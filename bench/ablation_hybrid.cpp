@@ -1,0 +1,59 @@
+/// Ablation for the Section 5 future-work hybrids:
+///  - IG-Match + iterative (ratio-cut FM) post-refinement — "the ratio cuts
+///    so obtained may optionally be improved by using standard iterative
+///    techniques";
+///  - the clustering-condensed multilevel hybrid — "a hybrid algorithm
+///    which uses clustering to condense the input before applying the
+///    partitioning algorithm ... is also promising".
+
+#include <iostream>
+
+#include "circuits/benchmarks.hpp"
+#include "core/partitioner.hpp"
+#include "core/table.hpp"
+
+int main() {
+  using namespace netpart;
+
+  std::cout << "Ablation: Section 5 hybrids vs plain IG-Match\n\n";
+
+  TextTable table({"Test problem", "IGM ratio", "IGM+FM ratio", "Impr %",
+                   "Multilevel ratio", "ML vs IGM %"});
+  double refine_sum = 0.0;
+  double ml_sum = 0.0;
+  int rows = 0;
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    const GeneratedCircuit g = make_benchmark(spec.name);
+
+    PartitionerConfig plain;
+    plain.algorithm = Algorithm::kIgMatch;
+    const PartitionResult igm = run_partitioner(g.hypergraph, plain);
+
+    PartitionerConfig refined;
+    refined.algorithm = Algorithm::kIgMatchRefined;
+    const PartitionResult igm_fm = run_partitioner(g.hypergraph, refined);
+
+    PartitionerConfig multilevel;
+    multilevel.algorithm = Algorithm::kMultilevel;
+    const PartitionResult ml = run_partitioner(g.hypergraph, multilevel);
+
+    const double refine_impr = percent_improvement(igm.ratio, igm_fm.ratio);
+    const double ml_impr = percent_improvement(igm.ratio, ml.ratio);
+    refine_sum += refine_impr;
+    ml_sum += ml_impr;
+    ++rows;
+
+    table.add_row({spec.name, format_ratio(igm.ratio),
+                   format_ratio(igm_fm.ratio), format_percent(refine_impr),
+                   format_ratio(ml.ratio), format_percent(ml_impr)});
+  }
+  print_table_auto(table, std::cout);
+  std::cout << "\naverage improvement of FM post-refinement over plain "
+               "IG-Match: "
+            << format_percent(refine_sum / rows) << "%\n"
+            << "average improvement of the multilevel hybrid over plain "
+               "IG-Match: "
+            << format_percent(ml_sum / rows)
+            << "% (negative = hybrid is worse)\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// Noise-sensitivity study: how IG-Match, EIG1 and ratio-cut FM degrade as
+/// the hierarchical cluster structure of a circuit is progressively
+/// destroyed by random pin rewiring.  Section 2.2 grounds the paper's whole
+/// approach in "larger netlists have strong hierarchical organization";
+/// this bench measures what happens as that premise is dialled away.
+
+#include <cstdio>
+#include <iostream>
+
+#include "circuits/benchmarks.hpp"
+#include "circuits/perturb.hpp"
+#include "core/partitioner.hpp"
+#include "core/table.hpp"
+
+int main() {
+  using namespace netpart;
+
+  const double noise_levels[] = {0.0, 0.05, 0.15, 0.40};
+  const char* circuit = "Test02";
+  const GeneratedCircuit base = make_benchmark(circuit);
+
+  std::cout << "Noise sensitivity on " << circuit
+            << ": ratio cut vs fraction of randomly rewired pins\n\n";
+
+  TextTable table({"Rewired pins", "IGM areas", "IGM cut", "IG-Match",
+                   "EIG1", "RCut-FM", "IGM vs RCut %"});
+  for (const double noise : noise_levels) {
+    const Hypergraph h =
+        noise == 0.0 ? base.hypergraph
+                     : rewire_pins(base.hypergraph, noise, 0xA0153);
+
+    PartitionerConfig igm_config;
+    igm_config.algorithm = Algorithm::kIgMatch;
+    const PartitionResult igm = run_partitioner(h, igm_config);
+
+    PartitionerConfig eig1_config;
+    eig1_config.algorithm = Algorithm::kEig1;
+    const PartitionResult eig1 = run_partitioner(h, eig1_config);
+
+    PartitionerConfig rcut_config;
+    rcut_config.algorithm = Algorithm::kRatioCutFm;
+    rcut_config.fm.num_starts = 10;
+    const PartitionResult rcut = run_partitioner(h, rcut_config);
+
+    char level[16];
+    std::snprintf(level, sizeof(level), "%.0f%%", noise * 100.0);
+    table.add_row({level,
+                   std::to_string(igm.left_size) + ":" +
+                       std::to_string(igm.right_size),
+                   std::to_string(igm.nets_cut), format_ratio(igm.ratio),
+                   format_ratio(eig1.ratio), format_ratio(rcut.ratio),
+                   format_percent(percent_improvement(rcut.ratio,
+                                                      igm.ratio))});
+  }
+  print_table_auto(table, std::cout);
+  std::cout << "\nNOTE: pin rewiring disconnects small fragments, whose "
+               "isolation is a genuine zero-cut ratio optimum.  The "
+               "spectral methods find those optima immediately; balanced "
+               "multi-start FM never reaches them — an extreme form of the "
+               "paper's 'natural partitions' argument.  Within the "
+               "connected regime (0%), the spectral advantage rests on the "
+               "hierarchical structure of Section 2.2.\n";
+  return 0;
+}

@@ -1,0 +1,157 @@
+/// Reproduces the Section 4 runtime observations with google-benchmark:
+///  - a single deterministic spectral run is competitive with (the paper:
+///    cheaper than) 10 random-start FM runs;
+///  - the intersection-graph eigenvector computation benefits from the
+///    sparser representation relative to the clique model.
+///
+/// Paper reference point: PrimSC2 eigenvector 83s vs 204s for 10 RCut1.0
+/// runs on a Sun4/60.  Absolute times are machine-specific; the comparison
+/// shape is the reproduced quantity.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "circuits/benchmarks.hpp"
+#include "core/partitioner.hpp"
+#include "graph/clique_model.hpp"
+#include "graph/intersection_graph.hpp"
+#include "linalg/block_lanczos.hpp"
+#include "linalg/fiedler.hpp"
+#include "spectral/eig1.hpp"
+
+namespace {
+
+using namespace netpart;
+
+const Hypergraph& circuit(const std::string& name) {
+  static std::map<std::string, Hypergraph> cache;
+  auto it = cache.find(name);
+  if (it == cache.end())
+    it = cache.emplace(name, make_benchmark(name).hypergraph).first;
+  return it->second;
+}
+
+void BM_FiedlerCliqueModel(benchmark::State& state) {
+  // Test05 is the paper's sparsity example: its large rail nets blow up
+  // the clique-model nonzero count, so the Laplacian matvec dominates.
+  const Hypergraph& h = circuit("Test05");
+  const linalg::CsrMatrix q = clique_expansion(h).laplacian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::fiedler_pair(q));
+  }
+  state.counters["nnz"] = static_cast<double>(q.nnz());
+}
+BENCHMARK(BM_FiedlerCliqueModel)->Unit(benchmark::kMillisecond);
+
+void BM_FiedlerIntersectionGraph(benchmark::State& state) {
+  const Hypergraph& h = circuit("Test05");
+  const linalg::CsrMatrix q = intersection_graph(h).laplacian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::fiedler_pair(q));
+  }
+  state.counters["nnz"] = static_cast<double>(q.nnz());
+}
+BENCHMARK(BM_FiedlerIntersectionGraph)->Unit(benchmark::kMillisecond);
+
+void BM_IgMatchEndToEnd(benchmark::State& state) {
+  const Hypergraph& h = circuit("Prim2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(igmatch_partition(h));
+  }
+}
+BENCHMARK(BM_IgMatchEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_RCutFmTenStarts(benchmark::State& state) {
+  const Hypergraph& h = circuit("Prim2");
+  FmOptions options;
+  options.num_starts = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ratio_cut_fm(h, options));
+  }
+}
+BENCHMARK(BM_RCutFmTenStarts)->Unit(benchmark::kMillisecond);
+
+void BM_IgMatchSweepOnly(benchmark::State& state) {
+  // The incremental matching sweep alone (Theorem 6's O(V(V+E)) claim),
+  // without the eigenvector computation.
+  const Hypergraph& h = circuit("Prim2");
+  const NetOrdering ordering = spectral_net_ordering(h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(igmatch_with_ordering(h, ordering.order));
+  }
+}
+BENCHMARK(BM_IgMatchSweepOnly)->Unit(benchmark::kMillisecond);
+
+void BM_IntersectionGraphConstruction(benchmark::State& state) {
+  const Hypergraph& h = circuit("Prim2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intersection_graph(h));
+  }
+}
+BENCHMARK(BM_IntersectionGraphConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_CliqueExpansionConstruction(benchmark::State& state) {
+  const Hypergraph& h = circuit("Prim2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clique_expansion(h));
+  }
+}
+BENCHMARK(BM_CliqueExpansionConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_FiedlerBlockLanczos(benchmark::State& state) {
+  // The paper's actual solver family (block Lanczos, footnote 1) with
+  // thick restarts; robust on the near-degenerate small eigenvalues of
+  // hierarchical netlists, at a constant-factor cost over single-vector
+  // Lanczos at these sizes.
+  const Hypergraph& h = circuit("Test05");
+  const linalg::CsrMatrix q = intersection_graph(h).laplacian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::fiedler_pair_block(q));
+  }
+}
+BENCHMARK(BM_FiedlerBlockLanczos)->Unit(benchmark::kMillisecond);
+
+void BM_FiedlerInverseIteration(benchmark::State& state) {
+  // Alternative eigensolver backend (projected-CG inverse iteration) on
+  // the same Test05 intersection-graph Laplacian as BM_FiedlerIntersectionGraph.
+  const Hypergraph& h = circuit("Test05");
+  const linalg::CsrMatrix q = intersection_graph(h).laplacian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::fiedler_pair_inverse_iteration(q));
+  }
+}
+BENCHMARK(BM_FiedlerInverseIteration)->Unit(benchmark::kMillisecond);
+
+/// Theorem 6 scaling: the full IG-Match split sweep (incremental matching
+/// + Phase I/II per split) over generated circuits of growing size.  The
+/// claimed bound is O(|V| * (|V| + |E|)) over ALL splits.
+void BM_IgMatchSweepScaling(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  GeneratorConfig config;
+  config.name = "scaling-" + std::to_string(n);
+  config.num_modules = n;
+  config.num_nets = n + n / 10;
+  config.leaf_max = 24;
+  static std::map<std::int32_t, std::pair<Hypergraph, NetOrdering>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    Hypergraph h = generate_circuit(config).hypergraph;
+    NetOrdering ordering = spectral_net_ordering(h);
+    it = cache.emplace(n, std::make_pair(std::move(h), std::move(ordering)))
+             .first;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        igmatch_with_ordering(it->second.first, it->second.second.order));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_IgMatchSweepScaling)
+    ->RangeMultiplier(2)
+    ->Range(500, 4000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+}  // namespace

@@ -1,0 +1,41 @@
+/// Reproduces the Section 1.2 sparsity claim: the intersection-graph
+/// adjacency matrix has far fewer nonzeros than the clique-model adjacency
+/// matrix (the paper quotes Test05: 19935 vs 219811 — over 10x).  This is
+/// what makes the sparse Lanczos computation faster on the IG.
+
+#include <cstdio>
+#include <iostream>
+
+#include "circuits/benchmarks.hpp"
+#include "core/table.hpp"
+#include "graph/sparsity.hpp"
+
+int main() {
+  using namespace netpart;
+
+  std::cout << "Sparsity of netlist representations "
+               "(adjacency-matrix nonzeros)\n\n";
+
+  TextTable table({"Test problem", "Modules", "Nets", "Clique nnz", "IG nnz",
+                   "Ratio"});
+  double ratio_sum = 0.0;
+  int rows = 0;
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    const GeneratedCircuit g = make_benchmark(spec.name);
+    const SparsityComparison c = compare_sparsity(g.hypergraph);
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2fx", c.ratio());
+    table.add_row({spec.name, std::to_string(c.clique_dimension),
+                   std::to_string(c.intersection_dimension),
+                   std::to_string(c.clique_nonzeros),
+                   std::to_string(c.intersection_nonzeros), ratio});
+    ratio_sum += c.ratio();
+    ++rows;
+  }
+  print_table_auto(table, std::cout);
+  std::printf(
+      "\naverage clique/IG nonzero ratio: %.2fx "
+      "(paper, Test05: 219811/19935 = 11.0x on the real MCNC netlist)\n",
+      ratio_sum / rows);
+  return 0;
+}

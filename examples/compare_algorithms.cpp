@@ -1,0 +1,58 @@
+/// Compare every partitioning algorithm in the library on one benchmark
+/// circuit — the workload of the paper's evaluation (Section 4), and the
+/// hardware-simulation/test motivation of Section 1: fewer cut nets means
+/// fewer multiplexed signals between simulator blocks and fewer test
+/// vectors per block.
+///
+/// Usage: compare_algorithms [circuit-name]   (default: Test02)
+///        circuit names: bm1 19ks Prim1 Prim2 Test02..Test06
+
+#include <iostream>
+#include <string>
+
+#include "circuits/benchmarks.hpp"
+#include "core/partitioner.hpp"
+#include "core/table.hpp"
+#include "hypergraph/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netpart;
+
+  const std::string name = argc > 1 ? argv[1] : "Test02";
+  GeneratedCircuit g;
+  try {
+    g = make_benchmark(name);
+  } catch (const std::out_of_range& e) {
+    std::cerr << e.what() << "\navailable:";
+    for (const BenchmarkSpec& spec : benchmark_suite())
+      std::cerr << ' ' << spec.name;
+    std::cerr << '\n';
+    return 2;
+  }
+
+  std::cout << "circuit " << name << ":\n"
+            << compute_stats(g.hypergraph) << '\n';
+
+  TextTable table({"Algorithm", "Areas", "Nets cut", "Ratio cut",
+                   "Runtime ms"});
+  for (const Algorithm a :
+       {Algorithm::kIgMatch, Algorithm::kIgMatchRecursive,
+        Algorithm::kIgMatchRefined, Algorithm::kIgVote, Algorithm::kEig1,
+        Algorithm::kRatioCutFm, Algorithm::kMinCutFm, Algorithm::kKl,
+        Algorithm::kMultilevel}) {
+    PartitionerConfig config;
+    config.algorithm = a;
+    const PartitionResult r = run_partitioner(g.hypergraph, config);
+    char ms[32];
+    std::snprintf(ms, sizeof(ms), "%.1f", r.runtime_ms);
+    table.add_row({r.algorithm_name,
+                   std::to_string(r.left_size) + ":" +
+                       std::to_string(r.right_size),
+                   std::to_string(r.nets_cut), format_ratio(r.ratio), ms});
+  }
+  table.print(std::cout);
+  std::cout << "\n(lower ratio cut is better; FM-bisect optimizes plain "
+               "min-cut under a balance constraint, so its ratio is "
+               "expectedly worse)\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// Hardware-simulation mapping — the Section 1 application that motivated
+/// Wei and Cheng's ratio-cut work: logic is split across simulator boards
+/// of bounded capacity, and every signal crossing between boards must be
+/// multiplexed (the paper cites 50% cost savings on a 5-million-gate
+/// Amdahl design from good partitioning).
+///
+/// This example decomposes a benchmark circuit into "boards", reports each
+/// board's I/O signal count and the total multiplexing cost, and contrasts
+/// the structure-aware decomposition against naive round-robin packing.
+///
+/// Usage: hardware_simulation [circuit] [board-capacity]
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "circuits/benchmarks.hpp"
+#include "core/applications.hpp"
+#include "core/multiway.hpp"
+#include "core/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netpart;
+
+  const std::string name = argc > 1 ? argv[1] : "Test05";
+  const std::int32_t capacity = argc > 2 ? std::stoi(argv[2]) : 400;
+
+  const GeneratedCircuit g = make_benchmark(name);
+  const Hypergraph& h = g.hypergraph;
+  std::cout << "mapping " << name << " (" << h.num_modules()
+            << " modules) onto simulator boards of capacity " << capacity
+            << "\n\n";
+
+  MultiwayOptions options;
+  options.max_block_size = capacity;
+  const MultiwayResult smart = multiway_partition(h, options);
+
+  TextTable table({"Board", "Modules", "I/O signals", "Internal nets"});
+  for (const BlockInterface& board : block_interfaces(h, smart.partition))
+    table.add_row({std::to_string(board.block),
+                   std::to_string(board.modules),
+                   std::to_string(board.io_signals),
+                   std::to_string(board.internal_nets)});
+  table.print(std::cout);
+
+  // Naive packing with the same board count: round-robin over module ids —
+  // what a packer that ignores connectivity entirely would do.  (Packing
+  // consecutive id ranges would be accidentally smart here: the synthetic
+  // generator numbers modules in cluster order.)
+  const std::int32_t boards = smart.partition.num_blocks();
+  std::vector<std::int32_t> naive_assignment(
+      static_cast<std::size_t>(h.num_modules()));
+  for (ModuleId m = 0; m < h.num_modules(); ++m)
+    naive_assignment[static_cast<std::size_t>(m)] = m % boards;
+  const MultiwayPartition naive(std::move(naive_assignment));
+
+  std::cout << "\nIG-Match decomposition: " << boards << " boards, "
+            << smart.nets_spanning << " spanning signals, multiplexing cost "
+            << multiplexing_cost(h, smart.partition) << '\n'
+            << "naive round-robin:      " << boards << " boards, "
+            << spanning_net_count(h, naive) << " spanning signals, "
+            << "multiplexing cost " << multiplexing_cost(h, naive) << '\n';
+  const double saving =
+      100.0 *
+      (1.0 - static_cast<double>(multiplexing_cost(h, smart.partition)) /
+                 static_cast<double>(std::max<std::int64_t>(
+                     1, multiplexing_cost(h, naive))));
+  std::cout << "multiplexing saving from partitioning: " << saving
+            << "% (the paper's Amdahl anecdote reports ~50%)\n";
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Full local verification: configure, build (warnings as errors), test,
+# and run every bench binary.  This is the command sequence EXPERIMENTS.md
+# numbers are regenerated with.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja -DNETPART_WARNINGS_AS_ERRORS=ON
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && echo "==== $b ====" && "$b"
+done

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuits/generator.hpp"
+
+/// \file benchmarks.hpp
+/// The nine benchmark circuits of the paper's evaluation (Tables 2 and 3):
+/// MCNC Primary1/Primary2, MCNC Test02-Test06, and the two industry
+/// circuits bm1 and 19ks.
+///
+/// SUBSTITUTION NOTE (see DESIGN.md §2): the original MCNC netlist files are
+/// not distributable here, so each name maps to a deterministic synthetic
+/// circuit with the published module count and an era-accurate net count and
+/// pin-size distribution, generated with the hierarchical model of
+/// generator.hpp.  Absolute cut values therefore differ from the paper;
+/// the algorithm comparisons (which algorithm wins, and by roughly what
+/// factor) are preserved because they depend on the hierarchical netlist
+/// structure, not on the exact MCNC gate functions.
+
+namespace netpart {
+
+/// Descriptor of one benchmark instance.
+struct BenchmarkSpec {
+  std::string name;
+  std::int32_t num_modules = 0;
+  std::int32_t num_nets = 0;
+};
+
+/// The nine circuits of Tables 2/3, in the paper's row order.
+[[nodiscard]] const std::vector<BenchmarkSpec>& benchmark_suite();
+
+/// Look up a spec by name; throws std::out_of_range for unknown names.
+[[nodiscard]] const BenchmarkSpec& benchmark_spec(std::string_view name);
+
+/// Generate the named benchmark circuit (deterministic).
+[[nodiscard]] GeneratedCircuit make_benchmark(std::string_view name);
+
+/// Generator config for the named benchmark (exposed for tests/ablations).
+[[nodiscard]] GeneratorConfig benchmark_config(std::string_view name);
+
+}  // namespace netpart

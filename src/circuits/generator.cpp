@@ -1,0 +1,195 @@
+#include "circuits/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netpart {
+
+namespace {
+
+/// Build the cluster tree.  Consumes rng draws (fanout choices) in a fixed
+/// order so the tree is identical for identical configs.
+std::vector<ClusterNode> build_tree(const GeneratorConfig& config,
+                                    Xoshiro256& rng) {
+  std::vector<ClusterNode> nodes;
+  nodes.push_back({0, config.num_modules, 0, -1, {}});
+  // Process nodes in creation order; children are appended, giving a
+  // breadth-first layout.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::int32_t size = nodes[i].size();
+    if (size <= config.leaf_max) continue;
+    auto fanout = static_cast<std::int32_t>(2 + rng.below(3));  // 2..4
+    fanout = std::min(fanout, size / 2);  // every child gets >= 2 modules
+    if (fanout < 2) continue;
+    const std::int32_t base = size / fanout;
+    const std::int32_t extra = size % fanout;
+    std::int32_t begin = nodes[i].begin;
+    for (std::int32_t c = 0; c < fanout; ++c) {
+      const std::int32_t child_size = base + (c < extra ? 1 : 0);
+      ClusterNode child;
+      child.begin = begin;
+      child.end = begin + child_size;
+      child.depth = nodes[i].depth + 1;
+      child.parent = static_cast<std::int32_t>(i);
+      begin = child.end;
+      nodes[i].children.push_back(static_cast<std::int32_t>(nodes.size()));
+      nodes.push_back(std::move(child));
+    }
+  }
+  return nodes;
+}
+
+/// Structural nets needed to cover a leaf of `size` modules: disjoint
+/// 2-pin pairs (one overlapping 2-pin net for an odd leftover) plus a
+/// chain of overlapping small "spine" nets over the pair heads tying the
+/// pairs together so the leaf is internally connected.
+std::int32_t leaf_net_count(std::int32_t size) {
+  if (size < 2) return 0;
+  const std::int32_t pair_like = (size + 1) / 2;  // pairs + odd leftover net
+  const std::int32_t heads = size / 2;            // one head per pair
+  const std::int32_t spine = heads >= 2 ? (heads - 1 + 1) / 2 : 0;
+  return pair_like + spine;
+}
+
+/// Draw `k` distinct module ids uniformly from [begin, end).
+void sample_distinct(Xoshiro256& rng, std::int32_t begin, std::int32_t end,
+                     std::int32_t k, std::vector<ModuleId>& out) {
+  out.clear();
+  const std::int32_t size = end - begin;
+  if (k >= size) {
+    for (std::int32_t m = begin; m < end; ++m) out.push_back(m);
+    return;
+  }
+  while (static_cast<std::int32_t>(out.size()) < k) {
+    const auto candidate =
+        static_cast<ModuleId>(rng.range(begin, end - 1));
+    const auto it = std::lower_bound(out.begin(), out.end(), candidate);
+    if (it != out.end() && *it == candidate) continue;
+    out.insert(it, candidate);
+  }
+}
+
+}  // namespace
+
+std::int32_t structural_net_count(const GeneratorConfig& config) {
+  Xoshiro256 rng = Xoshiro256::from_string(config.name);
+  const std::vector<ClusterNode> tree = build_tree(config, rng);
+  std::int32_t count = 0;
+  for (const ClusterNode& node : tree) {
+    if (node.is_leaf())
+      count += leaf_net_count(node.size());
+    else
+      ++count;  // one glue net per internal node
+  }
+  count += static_cast<std::int32_t>(config.rail_sizes.size());
+  return count;
+}
+
+GeneratedCircuit generate_circuit(const GeneratorConfig& config) {
+  if (config.num_modules < 2)
+    throw std::invalid_argument("generate_circuit: need >= 2 modules");
+  if (config.leaf_max < 4)
+    throw std::invalid_argument("generate_circuit: leaf_max must be >= 4");
+  if (config.descend_probability < 0.0 || config.descend_probability > 1.0)
+    throw std::invalid_argument(
+        "generate_circuit: descend_probability out of [0,1]");
+
+  Xoshiro256 rng = Xoshiro256::from_string(config.name);
+  std::vector<ClusterNode> tree = build_tree(config, rng);
+
+  HypergraphBuilder builder(config.num_modules);
+  builder.set_name(config.name);
+  std::vector<ModuleId> pins;
+
+  // 1. Leaf cover: disjoint 2-pin pairs over each leaf's modules (one
+  // overlapping 2-pin net for an odd leftover), plus a "spine" net joining
+  // the pair heads so the leaf is internally connected.  2-pin nets are the
+  // dominant population of real netlists (Table 1 of the paper); the spine
+  // nets model leaf-local control signals.
+  std::int32_t structural = 0;
+  std::vector<ModuleId> spine;
+  for (const ClusterNode& node : tree) {
+    if (!node.is_leaf()) continue;
+    spine.clear();
+    std::int32_t at = node.begin;
+    while (at < node.end) {
+      if (at + 1 < node.end) {
+        builder.add_net({at, at + 1});
+        spine.push_back(at);
+        at += 2;
+      } else {
+        builder.add_net({at - 1, at});  // odd leftover ties to its neighbor
+        at += 1;
+      }
+      ++structural;
+    }
+    // Spine: overlapping 3-pin nets chaining the pair heads (2-pin for the
+    // final fragment), modelling short local fanout chains.
+    for (std::size_t i = 0; i + 1 < spine.size(); i += 2) {
+      pins.clear();
+      pins.push_back(spine[i]);
+      pins.push_back(spine[i + 1]);
+      if (i + 2 < spine.size()) pins.push_back(spine[i + 2]);
+      builder.add_net(pins);
+      ++structural;
+    }
+  }
+
+  // 2. Glue nets: one per internal node, one random module per child.
+  for (const ClusterNode& node : tree) {
+    if (node.is_leaf()) continue;
+    pins.clear();
+    for (const std::int32_t child_idx : node.children) {
+      const ClusterNode& child = tree[static_cast<std::size_t>(child_idx)];
+      pins.push_back(
+          static_cast<ModuleId>(rng.range(child.begin, child.end - 1)));
+    }
+    builder.add_net(pins);
+    ++structural;
+  }
+
+  // 2b. Global rail nets (clock/reset/scan-style): large nets spanning the
+  // whole design.  These dominate the clique-model nonzero count exactly as
+  // in the real MCNC circuits (a k-pin net costs k(k-1) clique nonzeros but
+  // only one intersection-graph vertex).
+  for (const std::int32_t rail : config.rail_sizes) {
+    if (rail < 2 || rail > config.num_modules)
+      throw std::invalid_argument("generate_circuit: bad rail size " +
+                                  std::to_string(rail));
+    sample_distinct(rng, 0, config.num_modules, rail, pins);
+    builder.add_net(pins);
+    ++structural;
+  }
+
+  const std::int32_t remaining = config.num_nets - structural;
+  if (remaining < 0)
+    throw std::invalid_argument(
+        "generate_circuit: num_nets=" + std::to_string(config.num_nets) +
+        " is below the structural minimum " + std::to_string(structural) +
+        "; raise num_nets or leaf_max");
+
+  // 3. Distribution-sampled nets with subtree locality bias.
+  for (std::int32_t i = 0; i < remaining; ++i) {
+    const std::int32_t k = config.pin_distribution.sample(rng);
+    // Walk down from the root with probability descend_probability per
+    // level, then back up until the subtree can host k distinct pins.
+    std::size_t at = 0;
+    while (!tree[at].is_leaf() &&
+           rng.uniform() < config.descend_probability) {
+      const auto pick = rng.below(tree[at].children.size());
+      at = static_cast<std::size_t>(tree[at].children[pick]);
+    }
+    while (tree[at].size() < k && tree[at].parent >= 0)
+      at = static_cast<std::size_t>(tree[at].parent);
+    const std::int32_t clamped = std::min(k, tree[at].size());
+    sample_distinct(rng, tree[at].begin, tree[at].end, clamped, pins);
+    builder.add_net(pins);
+  }
+
+  GeneratedCircuit out;
+  out.hypergraph = builder.build();
+  out.tree = std::move(tree);
+  return out;
+}
+
+}  // namespace netpart

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuits/pin_distribution.hpp"
+#include "circuits/rng.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+/// \file generator.hpp
+/// Deterministic hierarchical netlist generator.
+///
+/// The paper's central empirical claim rests on real netlists having "strong
+/// hierarchical organization reflecting the high-level functional
+/// partitioning imposed by the designer" (Section 2.2).  Our generator
+/// encodes exactly that structure so the reproduced experiments exercise the
+/// same regime:
+///
+///  1. The modules are organised in a random cluster tree (fanout 2-4,
+///     leaves of bounded size).
+///  2. Each leaf receives a connected chain of 3-pin nets over its modules
+///     (local logic), and each internal node receives "glue" nets joining
+///     one module from each child (inter-block signals).  This makes the
+///     hypergraph connected by construction and every module degree >= 1.
+///  3. The remaining net budget is filled with nets whose pin count follows
+///     a configurable distribution (default: the Primary2 histogram of
+///     Table 1) and whose pins are drawn from a single subtree chosen with
+///     a locality bias — deep subtrees are preferred, so most nets are
+///     local and a few span the whole design.
+///
+/// Everything is seeded from the circuit name, so the same name always
+/// produces the identical hypergraph on every platform.
+
+namespace netpart {
+
+/// Parameters of the hierarchical generator.
+struct GeneratorConfig {
+  std::string name = "synthetic";  ///< design name; also the RNG seed
+  std::int32_t num_modules = 1000;
+  std::int32_t num_nets = 1100;  ///< total, including structural nets
+  std::int32_t leaf_max = 24;    ///< max modules per leaf cluster
+  /// Probability of descending one level when choosing a net's subtree;
+  /// higher = more local nets.
+  double descend_probability = 0.80;
+  /// Sizes of global "rail" nets (clock/reset/scan chains) spanning the
+  /// whole design; each entry produces one net with that many uniformly
+  /// chosen pins.  Counted inside num_nets.
+  std::vector<std::int32_t> rail_sizes;
+  PinDistribution pin_distribution = PinDistribution::mcnc_like();
+};
+
+/// One node of the cluster tree (exposed for tests and analysis tools).
+struct ClusterNode {
+  std::int32_t begin = 0;   ///< first module id in this cluster
+  std::int32_t end = 0;     ///< one past the last module id
+  std::int32_t depth = 0;   ///< root = 0
+  std::int32_t parent = -1; ///< index into the node array, -1 for root
+  std::vector<std::int32_t> children;  ///< indices into the node array
+  [[nodiscard]] std::int32_t size() const { return end - begin; }
+  [[nodiscard]] bool is_leaf() const { return children.empty(); }
+};
+
+/// A generated circuit: the hypergraph plus the cluster tree it was grown
+/// from (the tree is the generator's "ground truth" hierarchy and is useful
+/// for sanity-checking partitions).
+struct GeneratedCircuit {
+  Hypergraph hypergraph;
+  std::vector<ClusterNode> tree;  ///< node 0 is the root
+};
+
+/// Generate a circuit.  Throws std::invalid_argument when the net budget is
+/// too small to cover the structural (chain + glue) nets; the minimum can be
+/// queried with structural_net_count().
+[[nodiscard]] GeneratedCircuit generate_circuit(const GeneratorConfig& config);
+
+/// Number of structural nets the config's cluster tree will require.
+/// Deterministic for a given config.
+[[nodiscard]] std::int32_t structural_net_count(const GeneratorConfig& config);
+
+}  // namespace netpart

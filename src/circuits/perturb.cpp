@@ -1,0 +1,52 @@
+#include "circuits/perturb.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace netpart {
+
+Hypergraph rewire_pins(const Hypergraph& h, double fraction,
+                       std::uint64_t seed) {
+  if (fraction < 0.0 || fraction > 1.0)
+    throw std::invalid_argument("rewire_pins: fraction out of [0, 1]");
+
+  Xoshiro256 rng(seed);
+  HypergraphBuilder builder(h.num_modules());
+  builder.set_name(h.name());
+  std::vector<ModuleId> pins;
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    pins.clear();
+    for (const ModuleId m : h.pins(n)) {
+      if (h.num_modules() > 0 && rng.uniform() < fraction)
+        pins.push_back(static_cast<ModuleId>(
+            rng.below(static_cast<std::uint64_t>(h.num_modules()))));
+      else
+        pins.push_back(m);
+    }
+    builder.add_net(pins, h.net_weight(n));
+  }
+  return builder.build();
+}
+
+double pin_difference_fraction(const Hypergraph& a, const Hypergraph& b) {
+  if (a.num_nets() != b.num_nets() || a.num_modules() != b.num_modules())
+    throw std::invalid_argument("pin_difference_fraction: shape mismatch");
+  std::int64_t differing = 0;
+  std::int64_t total = 0;
+  for (NetId n = 0; n < a.num_nets(); ++n) {
+    const auto pa = a.pins(n);
+    const auto pb = b.pins(n);
+    // Symmetric difference of the two sorted pin sets.
+    std::vector<ModuleId> diff;
+    std::set_symmetric_difference(pa.begin(), pa.end(), pb.begin(),
+                                  pb.end(), std::back_inserter(diff));
+    differing += static_cast<std::int64_t>(diff.size());
+    total += static_cast<std::int64_t>(pa.size() + pb.size());
+  }
+  return total > 0 ? static_cast<double>(differing) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace netpart

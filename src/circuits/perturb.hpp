@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "circuits/rng.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+/// \file perturb.hpp
+/// Controlled structural noise for robustness studies: rewire a fraction
+/// of the pins of a netlist to uniformly random modules.  As the rewiring
+/// fraction grows, the hierarchical cluster structure — the property the
+/// paper argues real netlists have and spectral methods exploit — fades
+/// into a random hypergraph, letting the noise-sensitivity of each
+/// algorithm be measured (bench/ablation_noise).
+
+namespace netpart {
+
+/// Return a copy of `h` with each pin independently rewired to a uniform
+/// random module with probability `fraction` (0 = identical copy,
+/// 1 = fully random pin structure).  Net sizes can shrink when rewiring
+/// creates duplicate pins within a net (duplicates merge); nets never
+/// grow.  Deterministic in (h, fraction, seed).
+/// Throws std::invalid_argument for fraction outside [0, 1].
+[[nodiscard]] Hypergraph rewire_pins(const Hypergraph& h, double fraction,
+                                     std::uint64_t seed);
+
+/// Fraction of pins that differ between two same-shape hypergraphs
+/// (diagnostic for tests; requires equal module/net counts).
+[[nodiscard]] double pin_difference_fraction(const Hypergraph& a,
+                                             const Hypergraph& b);
+
+}  // namespace netpart

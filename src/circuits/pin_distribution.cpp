@@ -1,0 +1,65 @@
+#include "circuits/pin_distribution.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netpart {
+
+PinDistribution::PinDistribution(
+    std::vector<std::pair<std::int32_t, double>> weighted_sizes) {
+  if (weighted_sizes.empty())
+    throw std::invalid_argument("PinDistribution: no sizes");
+  double total = 0.0;
+  for (const auto& [size, weight] : weighted_sizes) {
+    if (size < 2)
+      throw std::invalid_argument("PinDistribution: net size must be >= 2");
+    if (weight <= 0.0)
+      throw std::invalid_argument("PinDistribution: weight must be > 0");
+    total += weight;
+  }
+  sizes_.reserve(weighted_sizes.size());
+  cumulative_.reserve(weighted_sizes.size());
+  double running = 0.0;
+  for (const auto& [size, weight] : weighted_sizes) {
+    running += weight / total;
+    sizes_.push_back(size);
+    cumulative_.push_back(running);
+    max_size_ = std::max(max_size_, size);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+PinDistribution PinDistribution::mcnc_like() {
+  // Net-size counts of the MCNC Primary2 netlist as published in Table 1.
+  return PinDistribution({{2, 1835}, {3, 365},  {4, 203}, {5, 192}, {6, 120},
+                          {7, 52},   {8, 14},   {9, 83},  {10, 14}, {11, 35},
+                          {12, 5},   {13, 3},   {14, 10}, {15, 3},  {16, 1},
+                          {17, 72},  {18, 1},   {23, 1},  {26, 1},  {29, 1},
+                          {30, 1},   {31, 1},   {33, 14}, {34, 1},  {37, 1}});
+}
+
+PinDistribution PinDistribution::constant(std::int32_t k) {
+  return PinDistribution({{k, 1.0}});
+}
+
+std::int32_t PinDistribution::sample(Xoshiro256& rng) const {
+  const double u = rng.uniform();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const auto idx = static_cast<std::size_t>(
+      std::distance(cumulative_.begin(),
+                    it == cumulative_.end() ? cumulative_.end() - 1 : it));
+  return sizes_[idx];
+}
+
+double PinDistribution::mean() const {
+  double mean = 0.0;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    mean += sizes_[i] * (cumulative_[i] - prev);
+    prev = cumulative_[i];
+  }
+  return mean;
+}
+
+}  // namespace netpart

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuits/rng.hpp"
+
+/// \file pin_distribution.hpp
+/// Discrete distribution over net sizes (pin counts).  The default is
+/// modelled on the MCNC Primary2 net-size histogram published in Table 1 of
+/// the paper: dominated by 2- and 3-pin nets with a long tail that includes
+/// a few nets of 15-40 pins (clock/control-style nets).
+
+namespace netpart {
+
+/// A sampleable distribution over net sizes >= 2.
+class PinDistribution {
+ public:
+  /// Build from (size, relative weight) pairs.  Weights need not be
+  /// normalized.  Sizes must be >= 2 and weights > 0.
+  explicit PinDistribution(
+      std::vector<std::pair<std::int32_t, double>> weighted_sizes);
+
+  /// The distribution matching Table 1 of the paper (Primary2 shape).
+  [[nodiscard]] static PinDistribution mcnc_like();
+
+  /// Degenerate distribution: every net has exactly `k` pins.
+  [[nodiscard]] static PinDistribution constant(std::int32_t k);
+
+  /// Sample one net size.
+  [[nodiscard]] std::int32_t sample(Xoshiro256& rng) const;
+
+  /// Largest size with nonzero probability.
+  [[nodiscard]] std::int32_t max_size() const { return max_size_; }
+
+  /// Expected net size.
+  [[nodiscard]] double mean() const;
+
+ private:
+  std::vector<std::int32_t> sizes_;
+  std::vector<double> cumulative_;  // normalized CDF, aligned with sizes_
+  std::int32_t max_size_ = 0;
+};
+
+}  // namespace netpart

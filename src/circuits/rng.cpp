@@ -1,0 +1,60 @@
+#include "circuits/rng.hpp"
+
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace netpart {
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+Xoshiro256 Xoshiro256::from_string(std::string_view key) {
+  // FNV-1a 64-bit over the key bytes.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return Xoshiro256(hash);
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Xoshiro256::below(0)");
+  // Unbiased rejection sampling: draw until the value falls below the
+  // largest multiple of `bound`.  The expected number of draws is < 2.
+  const std::uint64_t limit =
+      std::numeric_limits<std::uint64_t>::max() -
+      (std::numeric_limits<std::uint64_t>::max() % bound + 1) % bound;
+  std::uint64_t x = next();
+  while (x > limit) x = next();
+  return x % bound;
+}
+
+std::int64_t Xoshiro256::range(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Xoshiro256::range: lo > hi");
+  const auto width =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(below(width));
+}
+
+double Xoshiro256::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace netpart

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+/// \file rng.hpp
+/// Deterministic random number generation for the synthetic benchmark
+/// circuits.  We do not use std::mt19937 / std::uniform_int_distribution
+/// because their outputs are not guaranteed identical across standard
+/// library implementations; reproducibility of the generated netlists is a
+/// hard requirement (the EXPERIMENTS.md numbers must be regenerable
+/// bit-for-bit).
+
+namespace netpart {
+
+/// SplitMix64: used to seed Xoshiro and as a string hash.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, and entirely
+/// deterministic across platforms.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  /// Seed from a string (e.g. a benchmark name) via FNV-1a + SplitMix64.
+  static Xoshiro256 from_string(std::string_view key);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound), bound > 0.  Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive, lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace netpart

@@ -1,0 +1,132 @@
+#include "cluster/clustering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace netpart {
+
+Clustering::Clustering(std::int32_t num_modules)
+    : cluster_of_(static_cast<std::size_t>(num_modules)),
+      cluster_sizes_(static_cast<std::size_t>(num_modules), 1),
+      num_clusters_(num_modules) {
+  std::iota(cluster_of_.begin(), cluster_of_.end(), 0);
+}
+
+Clustering::Clustering(std::vector<std::int32_t> cluster_of)
+    : cluster_of_(std::move(cluster_of)) {
+  std::int32_t max_id = -1;
+  for (const std::int32_t c : cluster_of_) {
+    if (c < 0) throw std::invalid_argument("Clustering: negative cluster id");
+    max_id = std::max(max_id, c);
+  }
+  num_clusters_ = max_id + 1;
+  cluster_sizes_.assign(static_cast<std::size_t>(num_clusters_), 0);
+  for (const std::int32_t c : cluster_of_)
+    ++cluster_sizes_[static_cast<std::size_t>(c)];
+  for (const std::int32_t size : cluster_sizes_)
+    if (size == 0)
+      throw std::invalid_argument("Clustering: cluster ids not dense");
+}
+
+Partition Clustering::project(const Partition& cluster_partition) const {
+  if (cluster_partition.num_modules() != num_clusters_)
+    throw std::invalid_argument("Clustering::project: size mismatch");
+  Partition out(num_modules());
+  for (ModuleId m = 0; m < num_modules(); ++m)
+    out.assign(m, cluster_partition.side(cluster_of(m)));
+  return out;
+}
+
+namespace {
+
+/// Shared matching pass; `constraint` (optional) forbids cross-side mates.
+Clustering matching_pass(const Hypergraph& h, const Partition* constraint) {
+  const std::int32_t n = h.num_modules();
+  std::vector<std::int32_t> mate(static_cast<std::size_t>(n), -1);
+
+  // Visit modules by decreasing degree so densely connected logic pairs
+  // first; accumulate clique-model weights to each neighbour on the fly
+  // (a sparse row at a time) instead of materializing the full graph.
+  std::vector<ModuleId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](ModuleId a, ModuleId b) {
+    return h.module_degree(a) > h.module_degree(b);
+  });
+
+  std::unordered_map<ModuleId, double> weight_to;
+  for (const ModuleId m : order) {
+    if (mate[static_cast<std::size_t>(m)] != -1) continue;
+    weight_to.clear();
+    for (const NetId net : h.nets_of(m)) {
+      const auto pins = h.pins(net);
+      if (pins.size() < 2) continue;
+      const double w = 1.0 / static_cast<double>(pins.size() - 1);
+      for (const ModuleId other : pins) {
+        if (other == m) continue;
+        if (mate[static_cast<std::size_t>(other)] != -1) continue;
+        if (constraint != nullptr &&
+            constraint->side(other) != constraint->side(m))
+          continue;
+        weight_to[other] += w;
+      }
+    }
+    ModuleId best = -1;
+    double best_weight = 0.0;
+    for (const auto& [other, w] : weight_to) {
+      if (w > best_weight || (w == best_weight && (best == -1 || other < best))) {
+        best = other;
+        best_weight = w;
+      }
+    }
+    if (best != -1) {
+      mate[static_cast<std::size_t>(m)] = best;
+      mate[static_cast<std::size_t>(best)] = m;
+    }
+  }
+
+  // Assign dense cluster ids: each pair (or singleton) becomes a cluster.
+  std::vector<std::int32_t> cluster(static_cast<std::size_t>(n), -1);
+  std::int32_t next = 0;
+  for (ModuleId m = 0; m < n; ++m) {
+    if (cluster[static_cast<std::size_t>(m)] != -1) continue;
+    cluster[static_cast<std::size_t>(m)] = next;
+    const std::int32_t partner = mate[static_cast<std::size_t>(m)];
+    if (partner != -1) cluster[static_cast<std::size_t>(partner)] = next;
+    ++next;
+  }
+  return Clustering(std::move(cluster));
+}
+
+}  // namespace
+
+Clustering heavy_edge_matching(const Hypergraph& h) {
+  return matching_pass(h, nullptr);
+}
+
+Clustering heavy_edge_matching_within(const Hypergraph& h,
+                                      const Partition& p) {
+  if (p.num_modules() != h.num_modules())
+    throw std::invalid_argument(
+        "heavy_edge_matching_within: partition size mismatch");
+  return matching_pass(h, &p);
+}
+
+Hypergraph contract(const Hypergraph& h, const Clustering& c) {
+  if (c.num_modules() != h.num_modules())
+    throw std::invalid_argument("contract: clustering size mismatch");
+  HypergraphBuilder builder(c.num_clusters());
+  builder.set_name(h.name());
+  std::vector<ModuleId> pins;
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    pins.clear();
+    for (const ModuleId m : h.pins(n)) pins.push_back(c.cluster_of(m));
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+    if (pins.size() >= 2) builder.add_net(pins, h.net_weight(n));
+  }
+  return builder.build();
+}
+
+}  // namespace netpart

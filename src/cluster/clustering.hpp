@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/partition.hpp"
+
+/// \file clustering.hpp
+/// Module clustering and hypergraph contraction — the substrate for the
+/// Section 5 "hybrid algorithm which uses clustering to condense the input
+/// before applying the partitioning algorithm" (citing Bui et al. [3] and
+/// Lengauer [22]).
+///
+/// The clustering is a heavy-edge matching on the clique-model connectivity
+/// between modules: each pass greedily pairs every unmatched module with
+/// its most strongly connected unmatched neighbour, then the hypergraph is
+/// contracted by merging each pair.  Repeating this roughly halves the
+/// instance per level (the coarsening half of a multilevel partitioner).
+
+namespace netpart {
+
+/// A many-to-one map from modules to cluster ids (dense, 0-based).
+class Clustering {
+ public:
+  /// Identity clustering (every module its own cluster).
+  explicit Clustering(std::int32_t num_modules);
+
+  /// Build from an explicit map; cluster ids must be dense 0..k-1.
+  /// Throws std::invalid_argument when ids are not dense.
+  explicit Clustering(std::vector<std::int32_t> cluster_of);
+
+  [[nodiscard]] std::int32_t num_modules() const {
+    return static_cast<std::int32_t>(cluster_of_.size());
+  }
+
+  [[nodiscard]] std::int32_t num_clusters() const { return num_clusters_; }
+
+  [[nodiscard]] std::int32_t cluster_of(ModuleId m) const {
+    return cluster_of_[static_cast<std::size_t>(m)];
+  }
+
+  /// Number of modules in cluster `c`.
+  [[nodiscard]] std::int32_t cluster_size(std::int32_t c) const {
+    return cluster_sizes_[static_cast<std::size_t>(c)];
+  }
+
+  /// Lift a partition of the clusters back to a partition of the modules.
+  [[nodiscard]] Partition project(const Partition& cluster_partition) const;
+
+ private:
+  std::vector<std::int32_t> cluster_of_;
+  std::vector<std::int32_t> cluster_sizes_;
+  std::int32_t num_clusters_ = 0;
+};
+
+/// One pass of heavy-edge matching over the clique-model module
+/// connectivity: each module is paired with its most strongly connected
+/// unmatched neighbour (ties to the lower id), visiting modules in order of
+/// decreasing degree.  Unmatched modules stay singletons, so the result has
+/// between ceil(n/2) and n clusters.
+[[nodiscard]] Clustering heavy_edge_matching(const Hypergraph& h);
+
+/// Heavy-edge matching restricted to same-side pairs of `p` — the
+/// coarsening step of a multilevel V-cycle, which must preserve the
+/// current partition so it can be projected onto the coarse hypergraph.
+[[nodiscard]] Clustering heavy_edge_matching_within(const Hypergraph& h,
+                                                    const Partition& p);
+
+/// Contract a hypergraph by a clustering: pins map to cluster ids and are
+/// deduplicated; nets with fewer than 2 distinct clusters are dropped
+/// (they can never be cut at the coarse level).
+[[nodiscard]] Hypergraph contract(const Hypergraph& h, const Clustering& c);
+
+}  // namespace netpart

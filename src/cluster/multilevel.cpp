@@ -1,0 +1,105 @@
+#include "cluster/multilevel.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "fm/fm_engine.hpp"
+#include "hypergraph/cut_metrics.hpp"
+
+namespace netpart {
+
+MultilevelResult multilevel_partition(const Hypergraph& h,
+                                      const MultilevelOptions& options) {
+  if (options.coarsen_to < 4)
+    throw std::invalid_argument("multilevel_partition: coarsen_to too small");
+
+  MultilevelResult result;
+  result.partition = Partition(h.num_modules(), Side::kLeft);
+  if (h.num_modules() < 2) return result;
+
+  // Coarsening phase.  levels[i] is the hypergraph at level i (level 0 is
+  // the input); maps[i] sends level-i modules to level-(i+1) modules.
+  std::vector<Hypergraph> levels;
+  std::vector<Clustering> maps;
+  levels.push_back(h);
+  while (levels.back().num_modules() > options.coarsen_to &&
+         static_cast<std::int32_t>(maps.size()) < options.max_levels) {
+    Clustering c = heavy_edge_matching(levels.back());
+    if (c.num_clusters() >= levels.back().num_modules())
+      break;  // matching found nothing to merge; coarsening has converged
+    Hypergraph coarse = contract(levels.back(), c);
+    maps.push_back(std::move(c));
+    levels.push_back(std::move(coarse));
+  }
+  result.levels = static_cast<std::int32_t>(maps.size());
+  result.coarsest_modules = levels.back().num_modules();
+
+  // Initial solution on the coarsest level.
+  const IgMatchResult coarse_result =
+      igmatch_partition(levels.back(), options.igmatch);
+  Partition current = coarse_result.partition;
+  if (!current.is_proper() && levels.back().num_modules() >= 2) {
+    // Degenerate coarsest instance (e.g. a single net): fall back to an
+    // arbitrary proper split; refinement will fix it up.
+    current = Partition(levels.back().num_modules(), Side::kLeft);
+    current.assign(0, Side::kRight);
+  }
+
+  // Uncoarsening with ratio-cut FM refinement at every level.
+  for (std::size_t i = maps.size(); i-- > 0;) {
+    current = maps[i].project(current);
+    FmEngine engine(levels[i]);
+    engine.reset(current);
+    for (std::int32_t pass = 0; pass < options.refine_passes; ++pass)
+      if (!engine.pass_ratio_cut().improved) break;
+    current = engine.partition();
+  }
+
+  // The input itself may be below coarsen_to (no levels): still refine.
+  if (maps.empty()) {
+    FmEngine engine(levels[0]);
+    engine.reset(current);
+    for (std::int32_t pass = 0; pass < options.refine_passes; ++pass)
+      if (!engine.pass_ratio_cut().improved) break;
+    current = engine.partition();
+  }
+
+  // Optional V-cycles: coarsen WITH the current solution (same-side pairs
+  // only), refine the coarse instance, project back and refine again.
+  // Each cycle is improvement-guarded on the fine-level ratio cut.
+  for (std::int32_t cycle = 0; cycle < options.vcycles; ++cycle) {
+    if (!current.is_proper()) break;
+    const Clustering constrained = heavy_edge_matching_within(h, current);
+    if (constrained.num_clusters() >= h.num_modules()) break;
+    const Hypergraph coarse = contract(h, constrained);
+    // Project the fine partition onto the clusters (side-pure by
+    // construction).
+    Partition coarse_partition(constrained.num_clusters());
+    for (ModuleId m = 0; m < h.num_modules(); ++m)
+      coarse_partition.assign(constrained.cluster_of(m), current.side(m));
+
+    FmEngine coarse_engine(coarse);
+    coarse_engine.reset(coarse_partition);
+    for (std::int32_t pass = 0; pass < options.refine_passes; ++pass)
+      if (!coarse_engine.pass_ratio_cut().improved) break;
+    Partition candidate = constrained.project(coarse_engine.partition());
+
+    FmEngine fine_engine(h);
+    fine_engine.reset(candidate);
+    for (std::int32_t pass = 0; pass < options.refine_passes; ++pass)
+      if (!fine_engine.pass_ratio_cut().improved) break;
+    candidate = fine_engine.partition();
+
+    if (ratio_cut(h, candidate) < ratio_cut(h, current))
+      current = std::move(candidate);
+    else
+      break;  // converged: further cycles would repeat the same state
+  }
+
+  result.partition = std::move(current);
+  result.nets_cut = net_cut(h, result.partition);
+  result.ratio = ratio_cut(h, result.partition);
+  return result;
+}
+
+}  // namespace netpart

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/clustering.hpp"
+#include "igmatch/igmatch.hpp"
+
+/// \file multilevel.hpp
+/// The Section 5 hybrid: "A hybrid algorithm which uses clustering to
+/// condense the input before applying the partitioning algorithm (such an
+/// approach is discussed by Bui et al. [3] and by Lengauer [22]) is also
+/// promising", optionally followed by "standard iterative techniques" to
+/// polish the ratio cut.
+///
+/// Coarsen with repeated heavy-edge matching, run IG-Match on the coarsest
+/// hypergraph, then project the partition back level by level with
+/// ratio-cut FM refinement at each level — a multilevel partitioner with
+/// IG-Match as the initial solver.
+
+namespace netpart {
+
+/// Options for the multilevel hybrid.
+struct MultilevelOptions {
+  /// Stop coarsening once the instance has at most this many modules.
+  std::int32_t coarsen_to = 200;
+  /// Hard cap on coarsening levels (each level roughly halves the size).
+  std::int32_t max_levels = 16;
+  /// Solver options for the coarsest level.
+  IgMatchOptions igmatch;
+  /// Ratio-cut FM passes per uncoarsening level (stops early when a pass
+  /// fails to improve).
+  std::int32_t refine_passes = 8;
+  /// Additional V-cycles: re-coarsen with side-constrained matching (the
+  /// current partition projects exactly onto the coarse hypergraph),
+  /// refine coarse, project back, refine fine.  Improvement-guarded.
+  std::int32_t vcycles = 0;
+};
+
+/// Result of a multilevel run.
+struct MultilevelResult {
+  Partition partition;
+  std::int32_t nets_cut = 0;
+  double ratio = 0.0;
+  std::int32_t levels = 0;            ///< coarsening levels performed
+  std::int32_t coarsest_modules = 0;  ///< size of the solved instance
+};
+
+/// Run the multilevel hybrid on `h`.
+[[nodiscard]] MultilevelResult multilevel_partition(
+    const Hypergraph& h, const MultilevelOptions& options = {});
+
+}  // namespace netpart

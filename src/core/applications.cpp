@@ -1,0 +1,55 @@
+#include "core/applications.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netpart {
+
+std::vector<BlockInterface> block_interfaces(const Hypergraph& h,
+                                             const MultiwayPartition& p) {
+  if (p.num_modules() != h.num_modules())
+    throw std::invalid_argument("block_interfaces: partition size mismatch");
+
+  std::vector<BlockInterface> out(
+      static_cast<std::size_t>(p.num_blocks()));
+  for (std::int32_t b = 0; b < p.num_blocks(); ++b) {
+    out[static_cast<std::size_t>(b)].block = b;
+    out[static_cast<std::size_t>(b)].modules = p.block_size(b);
+  }
+
+  std::vector<std::int32_t> touched;
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    touched.clear();
+    for (const ModuleId m : h.pins(n)) touched.push_back(p.block_of(m));
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    if (touched.size() == 1) {
+      ++out[static_cast<std::size_t>(touched.front())].internal_nets;
+    } else {
+      for (const std::int32_t b : touched)
+        ++out[static_cast<std::size_t>(b)].io_signals;
+    }
+  }
+  return out;
+}
+
+std::int64_t multiplexing_cost(const Hypergraph& h,
+                               const MultiwayPartition& p) {
+  std::int64_t cost = 0;
+  for (const BlockInterface& block : block_interfaces(h, p))
+    cost += block.io_signals;
+  return cost;
+}
+
+double test_vector_cost(const Hypergraph& h, const MultiwayPartition& p,
+                        std::int32_t cap) {
+  if (cap < 1) throw std::invalid_argument("test_vector_cost: cap < 1");
+  double cost = 0.0;
+  for (const BlockInterface& block : block_interfaces(h, p))
+    cost += std::exp2(static_cast<double>(std::min(block.io_signals, cap)));
+  return cost;
+}
+
+}  // namespace netpart

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/multiway.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+/// \file applications.hpp
+/// Application-level cost metrics from Section 1 of the paper: for hardware
+/// simulation, "a good partitioning will minimize the number of signals
+/// between blocks that are multiplexed onto a hardware simulator";
+/// for test, "reducing the number of inputs to a block implies that fewer
+/// vectors will be needed to exercise the logic" (Wei [33] reports 50%
+/// hardware-simulation savings and similar test-vector savings at Amdahl).
+
+namespace netpart {
+
+/// Per-block interface statistics of a multiway decomposition.
+struct BlockInterface {
+  std::int32_t block = 0;
+  std::int32_t modules = 0;
+  /// Nets with a pin in this block and a pin elsewhere — the signals this
+  /// block exchanges with the rest of the system (its I/O count).
+  std::int32_t io_signals = 0;
+  /// Nets entirely inside the block.
+  std::int32_t internal_nets = 0;
+};
+
+/// Interface statistics for every block.
+[[nodiscard]] std::vector<BlockInterface> block_interfaces(
+    const Hypergraph& h, const MultiwayPartition& p);
+
+/// Hardware-simulation multiplexing cost: total block-to-block signal
+/// endpoints = sum over spanning nets of the number of blocks they touch.
+/// Each touched block needs one multiplexer slot for the signal.
+[[nodiscard]] std::int64_t multiplexing_cost(const Hypergraph& h,
+                                             const MultiwayPartition& p);
+
+/// Test-vector cost proxy: sum over blocks of 2^min(io_signals, cap)
+/// (exhaustive vectors over the block interface, saturated at `cap` bits
+/// to keep the number representable).  Lower is better; this is the
+/// quantity the Section 1 test motivation says partitioning shrinks.
+[[nodiscard]] double test_vector_cost(const Hypergraph& h,
+                                      const MultiwayPartition& p,
+                                      std::int32_t cap = 40);
+
+}  // namespace netpart

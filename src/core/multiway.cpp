@@ -1,0 +1,133 @@
+#include "core/multiway.hpp"
+
+#include "core/kway_refine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netpart {
+
+MultiwayPartition::MultiwayPartition(std::vector<std::int32_t> block_of)
+    : block_of_(std::move(block_of)) {
+  std::int32_t max_id = -1;
+  for (const std::int32_t b : block_of_) {
+    if (b < 0)
+      throw std::invalid_argument("MultiwayPartition: negative block id");
+    max_id = std::max(max_id, b);
+  }
+  num_blocks_ = max_id + 1;
+  block_sizes_.assign(static_cast<std::size_t>(num_blocks_), 0);
+  for (const std::int32_t b : block_of_)
+    ++block_sizes_[static_cast<std::size_t>(b)];
+  for (const std::int32_t size : block_sizes_)
+    if (size == 0)
+      throw std::invalid_argument("MultiwayPartition: block ids not dense");
+}
+
+std::int32_t spanning_net_count(const Hypergraph& h,
+                                const MultiwayPartition& p) {
+  std::int32_t count = 0;
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    const auto pins = h.pins(n);
+    if (pins.empty()) continue;
+    const std::int32_t first = p.block_of(pins.front());
+    for (const ModuleId m : pins)
+      if (p.block_of(m) != first) {
+        ++count;
+        break;
+      }
+  }
+  return count;
+}
+
+std::int32_t connectivity_minus_one(const Hypergraph& h,
+                                    const MultiwayPartition& p) {
+  std::int32_t cost = 0;
+  std::vector<std::int32_t> touched;
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    touched.clear();
+    for (const ModuleId m : h.pins(n)) touched.push_back(p.block_of(m));
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    if (!touched.empty())
+      cost += static_cast<std::int32_t>(touched.size()) - 1;
+  }
+  return cost;
+}
+
+MultiwayResult multiway_partition(const Hypergraph& h,
+                                  const MultiwayOptions& options) {
+  if (options.max_block_size < 2)
+    throw std::invalid_argument("multiway_partition: max_block_size < 2");
+
+  MultiwayResult result;
+  std::vector<std::int32_t> block_of(
+      static_cast<std::size_t>(h.num_modules()), 0);
+  if (h.num_modules() == 0) {
+    result.partition = MultiwayPartition(std::move(block_of));
+    return result;
+  }
+
+  // Work queue of blocks (module-id lists in the ORIGINAL netlist).
+  std::vector<std::vector<ModuleId>> blocks;
+  {
+    std::vector<ModuleId> all(static_cast<std::size_t>(h.num_modules()));
+    for (ModuleId m = 0; m < h.num_modules(); ++m)
+      all[static_cast<std::size_t>(m)] = m;
+    blocks.push_back(std::move(all));
+  }
+
+  std::size_t head = 0;
+  while (head < blocks.size()) {
+    const std::size_t current = head++;
+    const std::vector<ModuleId>& members = blocks[current];
+    if (static_cast<std::int32_t>(members.size()) <= options.max_block_size)
+      continue;
+    if (options.max_blocks > 0 &&
+        static_cast<std::int32_t>(blocks.size()) >= options.max_blocks)
+      continue;
+
+    const Hypergraph sub = induce_subhypergraph(h, members);
+    const PartitionResult split =
+        run_partitioner(sub, options.bipartitioner);
+    if (!split.partition.is_proper()) continue;  // cannot split further
+
+    std::vector<ModuleId> left;
+    std::vector<ModuleId> right;
+    for (std::size_t i = 0; i < members.size(); ++i)
+      (split.partition.side(static_cast<ModuleId>(i)) == Side::kLeft
+           ? left
+           : right)
+          .push_back(members[i]);
+    ++result.splits_performed;
+    blocks[current] = std::move(left);
+    blocks.push_back(std::move(right));
+    // Re-examine the shrunken block too.
+    if (current < head) head = current;
+  }
+
+  for (std::size_t b = 0; b < blocks.size(); ++b)
+    for (const ModuleId m : blocks[b])
+      block_of[static_cast<std::size_t>(m)] = static_cast<std::int32_t>(b);
+
+  result.partition = MultiwayPartition(std::move(block_of));
+  if (options.refine && result.partition.num_blocks() > 1) {
+    KwayRefineOptions refine_options;
+    refine_options.max_block_size = std::max(
+        options.max_block_size, [&] {
+          std::int32_t largest = 0;
+          for (std::int32_t b = 0; b < result.partition.num_blocks(); ++b)
+            largest = std::max(largest, result.partition.block_size(b));
+          return largest;
+        }());
+    refine_options.max_passes = options.refine_passes;
+    result.partition =
+        kway_refine(h, result.partition, refine_options).partition;
+  }
+  result.nets_spanning = spanning_net_count(h, result.partition);
+  result.connectivity_cost = connectivity_minus_one(h, result.partition);
+  return result;
+}
+
+}  // namespace netpart

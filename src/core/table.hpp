@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Minimal aligned text-table printer for the benchmark harness: the bench
+/// binaries print rows shaped like the paper's Tables 1-3.
+
+namespace netpart {
+
+/// A column-aligned text table.  Columns are sized to the widest cell.
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with single-space-padded columns and a header underline.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-style CSV (cells containing commas, quotes or
+  /// newlines are quoted; embedded quotes doubled), so bench tables can be
+  /// piped straight into plotting scripts.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print `table` as CSV when the NETPART_CSV environment variable is set
+/// to a non-empty value, as aligned text otherwise.  All bench binaries
+/// route their tables through this, so `NETPART_CSV=1 build/bench/...`
+/// yields machine-readable output.
+void print_table_auto(const TextTable& table, std::ostream& os);
+
+/// Format a ratio-cut value the way the paper prints it: mantissa times
+/// 10^-5, e.g. 5.53e-05 -> "5.53 x 10^-5".
+[[nodiscard]] std::string format_ratio(double ratio);
+
+/// Format a percentage improvement, e.g. 28.75 -> "29" (paper rounds to
+/// integer percent).
+[[nodiscard]] std::string format_percent(double percent);
+
+/// Percentage improvement of `ours` over `theirs` on a lower-is-better
+/// metric: 100 * (theirs - ours) / theirs.
+[[nodiscard]] double percent_improvement(double theirs, double ours);
+
+}  // namespace netpart

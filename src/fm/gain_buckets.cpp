@@ -1,0 +1,80 @@
+#include "fm/gain_buckets.hpp"
+
+#include <stdexcept>
+
+namespace netpart {
+
+namespace {
+std::int32_t checked_max_gain(std::int32_t max_gain) {
+  if (max_gain < 0)
+    throw std::invalid_argument("GainBuckets: negative max_gain");
+  return max_gain;
+}
+}  // namespace
+
+GainBuckets::GainBuckets(std::int32_t num_items, std::int32_t max_gain)
+    : max_gain_(checked_max_gain(max_gain)),
+      heads_(static_cast<std::size_t>(2 * max_gain_ + 1), -1),
+      next_(static_cast<std::size_t>(num_items), -1),
+      prev_(static_cast<std::size_t>(num_items), -1),
+      where_(static_cast<std::size_t>(num_items), kAbsent) {}
+
+std::int32_t GainBuckets::bucket_of_gain(std::int32_t gain) const {
+  if (gain < -max_gain_ || gain > max_gain_)
+    throw std::out_of_range("GainBuckets: gain out of range");
+  return gain + max_gain_;
+}
+
+void GainBuckets::insert(std::int32_t item, std::int32_t gain) {
+  if (contains(item)) throw std::logic_error("GainBuckets: double insert");
+  const std::int32_t b = bucket_of_gain(gain);
+  const std::int32_t old_head = heads_[static_cast<std::size_t>(b)];
+  next_[static_cast<std::size_t>(item)] = old_head;
+  prev_[static_cast<std::size_t>(item)] = -1;
+  if (old_head != -1) prev_[static_cast<std::size_t>(old_head)] = item;
+  heads_[static_cast<std::size_t>(b)] = item;
+  where_[static_cast<std::size_t>(item)] = b;
+  if (b > max_bucket_) max_bucket_ = b;
+  ++size_;
+}
+
+void GainBuckets::remove(std::int32_t item) {
+  const std::int32_t b = where_[static_cast<std::size_t>(item)];
+  if (b == kAbsent) throw std::logic_error("GainBuckets: remove of absent");
+  const std::int32_t p = prev_[static_cast<std::size_t>(item)];
+  const std::int32_t n = next_[static_cast<std::size_t>(item)];
+  if (p != -1)
+    next_[static_cast<std::size_t>(p)] = n;
+  else
+    heads_[static_cast<std::size_t>(b)] = n;
+  if (n != -1) prev_[static_cast<std::size_t>(n)] = p;
+  where_[static_cast<std::size_t>(item)] = kAbsent;
+  --size_;
+}
+
+void GainBuckets::update(std::int32_t item, std::int32_t new_gain) {
+  remove(item);
+  insert(item, new_gain);
+}
+
+void GainBuckets::adjust(std::int32_t item, std::int32_t delta) {
+  if (!contains(item) || delta == 0) return;
+  update(item, gain_of(item) + delta);
+}
+
+std::int32_t GainBuckets::max_item() const {
+  if (size_ == 0) return -1;
+  while (max_bucket_ >= 0 &&
+         heads_[static_cast<std::size_t>(max_bucket_)] == -1)
+    --max_bucket_;
+  return max_bucket_ >= 0 ? heads_[static_cast<std::size_t>(max_bucket_)]
+                          : -1;
+}
+
+std::int32_t GainBuckets::max_gain() const {
+  const std::int32_t item = max_item();
+  if (item == -1) throw std::logic_error("GainBuckets: max_gain of empty");
+  return max_bucket_ - max_gain_;
+}
+
+}  // namespace netpart

@@ -1,0 +1,29 @@
+#include "graph/clique_model.hpp"
+
+namespace netpart {
+
+WeightedGraph clique_expansion(const Hypergraph& h) {
+  std::vector<GraphEdge> edges;
+  // Reserve using the exact pair count.
+  std::size_t pairs = 0;
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    const auto k = static_cast<std::size_t>(h.net_size(n));
+    if (k >= 2) pairs += k * (k - 1) / 2;
+  }
+  edges.reserve(pairs);
+
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    const auto pins = h.pins(n);
+    const std::size_t k = pins.size();
+    if (k < 2) continue;
+    // A net of multiplicity w contributes like w parallel copies.
+    const double w = static_cast<double>(h.net_weight(n)) /
+                     static_cast<double>(k - 1);
+    for (std::size_t i = 0; i < k; ++i)
+      for (std::size_t j = i + 1; j < k; ++j)
+        edges.push_back({pins[i], pins[j], w});
+  }
+  return WeightedGraph::from_edges(h.num_modules(), std::move(edges));
+}
+
+}  // namespace netpart

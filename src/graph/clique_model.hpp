@@ -1,0 +1,19 @@
+#pragma once
+
+#include "graph/weighted_graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+/// \file clique_model.hpp
+/// The standard weighted clique net model (Section 2.1): a k-pin net
+/// contributes weight 1/(k-1) to each of the C(k, 2) module pairs it spans.
+/// This is the representation behind the EIG1 baseline; its adjacency
+/// nonzero count is the "dense" side of the paper's sparsity comparison.
+
+namespace netpart {
+
+/// Build the clique-model module graph of `h`.  Nets with fewer than two
+/// pins contribute nothing.  Parallel contributions from different nets are
+/// summed.
+[[nodiscard]] WeightedGraph clique_expansion(const Hypergraph& h);
+
+}  // namespace netpart

@@ -1,0 +1,19 @@
+#include "graph/sparsity.hpp"
+
+#include "graph/clique_model.hpp"
+#include "graph/intersection_graph.hpp"
+
+namespace netpart {
+
+SparsityComparison compare_sparsity(const Hypergraph& h) {
+  SparsityComparison out;
+  const WeightedGraph clique = clique_expansion(h);
+  const WeightedGraph ig = intersection_graph(h);
+  out.clique_nonzeros = clique.adjacency_nonzeros();
+  out.intersection_nonzeros = ig.adjacency_nonzeros();
+  out.clique_dimension = clique.num_vertices();
+  out.intersection_dimension = ig.num_vertices();
+  return out;
+}
+
+}  // namespace netpart

@@ -1,0 +1,101 @@
+#include "graph/weighted_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netpart {
+
+WeightedGraph WeightedGraph::from_edges(std::int32_t num_vertices,
+                                        std::vector<GraphEdge> edges) {
+  if (num_vertices < 0)
+    throw std::out_of_range("WeightedGraph: negative vertex count");
+  // Mirror every edge so CSR rows contain both directions.
+  std::vector<GraphEdge> directed;
+  directed.reserve(edges.size() * 2);
+  for (const GraphEdge& e : edges) {
+    if (e.u < 0 || e.u >= num_vertices || e.v < 0 || e.v >= num_vertices)
+      throw std::out_of_range("WeightedGraph: vertex id out of range");
+    if (e.u == e.v)
+      throw std::invalid_argument("WeightedGraph: self-loop rejected");
+    if (e.weight <= 0.0)
+      throw std::invalid_argument("WeightedGraph: weight must be positive");
+    directed.push_back({e.u, e.v, e.weight});
+    directed.push_back({e.v, e.u, e.weight});
+  }
+  std::sort(directed.begin(), directed.end(),
+            [](const GraphEdge& a, const GraphEdge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+
+  WeightedGraph g;
+  g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  std::size_t i = 0;
+  for (std::int32_t u = 0; u < num_vertices; ++u) {
+    while (i < directed.size() && directed[i].u == u) {
+      const std::int32_t v = directed[i].v;
+      double w = directed[i].weight;
+      ++i;
+      while (i < directed.size() && directed[i].u == u && directed[i].v == v) {
+        w += directed[i].weight;
+        ++i;
+      }
+      g.cols_.push_back(v);
+      g.weights_.push_back(w);
+    }
+    g.offsets_[static_cast<std::size_t>(u) + 1] =
+        static_cast<std::int64_t>(g.cols_.size());
+  }
+  return g;
+}
+
+double WeightedGraph::degree_weight(std::int32_t v) const {
+  double acc = 0.0;
+  for (const double w : weights(v)) acc += w;
+  return acc;
+}
+
+double WeightedGraph::edge_weight(std::int32_t u, std::int32_t v) const {
+  const auto ns = neighbors(u);
+  const auto it = std::lower_bound(ns.begin(), ns.end(), v);
+  if (it == ns.end() || *it != v) return 0.0;
+  return weights(u)[static_cast<std::size_t>(it - ns.begin())];
+}
+
+linalg::CsrMatrix WeightedGraph::laplacian() const {
+  std::vector<linalg::Triplet> triplets;
+  triplets.reserve(cols_.size() + static_cast<std::size_t>(num_vertices()));
+  for (std::int32_t u = 0; u < num_vertices(); ++u) {
+    triplets.push_back({u, u, degree_weight(u)});
+    const auto ns = neighbors(u);
+    const auto ws = weights(u);
+    for (std::size_t k = 0; k < ns.size(); ++k)
+      triplets.push_back({u, ns[k], -ws[k]});
+  }
+  return linalg::CsrMatrix::from_triplets(num_vertices(), std::move(triplets));
+}
+
+std::int32_t WeightedGraph::num_components() const {
+  const std::int32_t n = num_vertices();
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::vector<std::int32_t> stack;
+  std::int32_t components = 0;
+  for (std::int32_t start = 0; start < n; ++start) {
+    if (seen[static_cast<std::size_t>(start)]) continue;
+    ++components;
+    seen[static_cast<std::size_t>(start)] = 1;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const std::int32_t v = stack.back();
+      stack.pop_back();
+      for (const std::int32_t w : neighbors(v)) {
+        if (!seen[static_cast<std::size_t>(w)]) {
+          seen[static_cast<std::size_t>(w)] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace netpart

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+
+/// \file weighted_graph.hpp
+/// Simple undirected weighted graph with CSR adjacency.  Both the
+/// clique-model module graph and the netlist intersection graph are stored
+/// in this form; the Laplacian Q = D - A feeding the spectral solver is
+/// assembled from it.
+
+namespace netpart {
+
+/// One undirected edge during graph assembly.
+struct GraphEdge {
+  std::int32_t u = 0;
+  std::int32_t v = 0;
+  double weight = 0.0;
+};
+
+/// Immutable undirected weighted graph.  Parallel edges given at build time
+/// are merged by summing weights; self-loops are rejected.
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+
+  /// Build from an edge list.  Throws std::out_of_range for bad vertex ids
+  /// and std::invalid_argument for self-loops or non-positive weights.
+  [[nodiscard]] static WeightedGraph from_edges(std::int32_t num_vertices,
+                                                std::vector<GraphEdge> edges);
+
+  [[nodiscard]] std::int32_t num_vertices() const {
+    return static_cast<std::int32_t>(offsets_.size()) - 1;
+  }
+
+  /// Number of undirected edges (after merging).
+  [[nodiscard]] std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(cols_.size()) / 2;
+  }
+
+  /// Nonzeros of the adjacency matrix (= 2 * num_edges); this is the
+  /// sparsity figure the paper quotes (e.g. Test05: 19935 vs 219811).
+  [[nodiscard]] std::int64_t adjacency_nonzeros() const {
+    return static_cast<std::int64_t>(cols_.size());
+  }
+
+  /// Neighbor ids of `v`, ascending.
+  [[nodiscard]] std::span<const std::int32_t> neighbors(std::int32_t v) const {
+    return {cols_.data() + offsets_[static_cast<std::size_t>(v)],
+            cols_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  /// Edge weights aligned with neighbors(v).
+  [[nodiscard]] std::span<const double> weights(std::int32_t v) const {
+    return {weights_.data() + offsets_[static_cast<std::size_t>(v)],
+            weights_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  /// Weighted degree d(v) = sum of incident edge weights.
+  [[nodiscard]] double degree_weight(std::int32_t v) const;
+
+  /// Weight of edge {u, v}; 0 when absent.
+  [[nodiscard]] double edge_weight(std::int32_t u, std::int32_t v) const;
+
+  /// Laplacian Q = D - A as a CSR matrix (symmetric, zero row sums).
+  [[nodiscard]] linalg::CsrMatrix laplacian() const;
+
+  /// Number of connected components.
+  [[nodiscard]] std::int32_t num_components() const;
+
+ private:
+  std::vector<std::int64_t> offsets_{0};
+  std::vector<std::int32_t> cols_;
+  std::vector<double> weights_;
+};
+
+}  // namespace netpart

@@ -1,0 +1,91 @@
+#include "hypergraph/cut_metrics.hpp"
+
+#include <map>
+
+namespace netpart {
+
+bool is_net_cut(const Hypergraph& h, const Partition& p, NetId n) {
+  bool has_left = false;
+  bool has_right = false;
+  for (const ModuleId m : h.pins(n)) {
+    (p.side(m) == Side::kLeft ? has_left : has_right) = true;
+    if (has_left && has_right) return true;
+  }
+  return false;
+}
+
+std::int32_t net_cut(const Hypergraph& h, const Partition& p) {
+  std::int32_t cut = 0;
+  for (NetId n = 0; n < h.num_nets(); ++n)
+    if (is_net_cut(h, p, n)) ++cut;
+  return cut;
+}
+
+double ratio_cut(const Hypergraph& h, const Partition& p) {
+  return ratio_cut_value(net_cut(h, p), p.size(Side::kLeft),
+                         p.size(Side::kRight));
+}
+
+std::int64_t weighted_net_cut(const Hypergraph& h, const Partition& p) {
+  std::int64_t cut = 0;
+  for (NetId n = 0; n < h.num_nets(); ++n)
+    if (is_net_cut(h, p, n)) cut += h.net_weight(n);
+  return cut;
+}
+
+double weighted_ratio_cut(const Hypergraph& h, const Partition& p) {
+  if (!p.is_proper()) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(weighted_net_cut(h, p)) /
+         static_cast<double>(p.size_product());
+}
+
+IncrementalCut::IncrementalCut(const Hypergraph& h, const Partition& p)
+    : h_(h),
+      partition_(p),
+      left_pins_(static_cast<std::size_t>(h.num_nets()), 0) {
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    std::int32_t left = 0;
+    for (const ModuleId m : h.pins(n))
+      if (p.side(m) == Side::kLeft) ++left;
+    left_pins_[static_cast<std::size_t>(n)] = left;
+    if (left > 0 && left < h.net_size(n)) {
+      ++cut_;
+      weighted_cut_ += h.net_weight(n);
+    }
+  }
+}
+
+void IncrementalCut::move(ModuleId m, Side s) {
+  if (partition_.side(m) == s) return;
+  const std::int32_t delta = (s == Side::kLeft) ? 1 : -1;
+  for (const NetId n : h_.nets_of(m)) {
+    std::int32_t& left = left_pins_[static_cast<std::size_t>(n)];
+    const std::int32_t size = h_.net_size(n);
+    const bool was_cut = left > 0 && left < size;
+    left += delta;
+    const bool now_cut = left > 0 && left < size;
+    if (now_cut != was_cut) {
+      const std::int32_t sign = now_cut ? 1 : -1;
+      cut_ += sign;
+      weighted_cut_ += sign * static_cast<std::int64_t>(h_.net_weight(n));
+    }
+  }
+  partition_.assign(m, s);
+}
+
+std::vector<NetSizeCutRow> cut_stats_by_net_size(const Hypergraph& h,
+                                                 const Partition& p) {
+  std::map<std::int32_t, NetSizeCutRow> rows;
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    NetSizeCutRow& row = rows[h.net_size(n)];
+    row.net_size = h.net_size(n);
+    ++row.num_nets;
+    if (is_net_cut(h, p, n)) ++row.num_cut;
+  }
+  std::vector<NetSizeCutRow> out;
+  out.reserve(rows.size());
+  for (const auto& [size, row] : rows) out.push_back(row);
+  return out;
+}
+
+}  // namespace netpart

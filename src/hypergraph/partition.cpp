@@ -1,0 +1,45 @@
+#include "hypergraph/partition.hpp"
+
+#include <algorithm>
+
+namespace netpart {
+
+Partition::Partition(std::int32_t num_modules, Side initial)
+    : sides_(static_cast<std::size_t>(num_modules), initial),
+      left_count_(initial == Side::kLeft ? num_modules : 0) {}
+
+Partition::Partition(std::vector<Side> sides) : sides_(std::move(sides)) {
+  left_count_ = static_cast<std::int32_t>(
+      std::count(sides_.begin(), sides_.end(), Side::kLeft));
+}
+
+void Partition::assign(ModuleId m, Side s) {
+  Side& cur = sides_[static_cast<std::size_t>(m)];
+  if (cur == s) return;
+  left_count_ += (s == Side::kLeft) ? 1 : -1;
+  cur = s;
+}
+
+std::vector<ModuleId> Partition::members(Side s) const {
+  std::vector<ModuleId> out;
+  out.reserve(static_cast<std::size_t>(size(s)));
+  for (ModuleId m = 0; m < num_modules(); ++m)
+    if (side(m) == s) out.push_back(m);
+  return out;
+}
+
+void Partition::canonicalize() {
+  const std::int32_t right = num_modules() - left_count_;
+  const bool swap_sides =
+      left_count_ > right ||
+      (left_count_ == right && !sides_.empty() && sides_[0] == Side::kRight);
+  if (!swap_sides) return;
+  for (Side& s : sides_) s = opposite(s);
+  left_count_ = right;
+}
+
+bool Partition::operator==(const Partition& other) const {
+  return sides_ == other.sides_;
+}
+
+}  // namespace netpart

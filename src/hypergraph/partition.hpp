@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+/// \file partition.hpp
+/// Module bipartitions (U | W) and their basic bookkeeping.
+
+namespace netpart {
+
+/// The two sides of a bipartition.  The paper calls them U and W; we use
+/// Left/Right which also matches the L/R net sets of the IG-Match bipartite
+/// graph.
+enum class Side : std::uint8_t { kLeft = 0, kRight = 1 };
+
+/// Flip a side.
+[[nodiscard]] constexpr Side opposite(Side s) {
+  return s == Side::kLeft ? Side::kRight : Side::kLeft;
+}
+
+/// A bipartition of the modules of a hypergraph.
+class Partition {
+ public:
+  Partition() = default;
+
+  /// All modules start on `initial` (default: left).
+  explicit Partition(std::int32_t num_modules, Side initial = Side::kLeft);
+
+  /// Build from an explicit side assignment.
+  explicit Partition(std::vector<Side> sides);
+
+  [[nodiscard]] std::int32_t num_modules() const {
+    return static_cast<std::int32_t>(sides_.size());
+  }
+
+  [[nodiscard]] Side side(ModuleId m) const {
+    return sides_[static_cast<std::size_t>(m)];
+  }
+
+  /// Assign module `m` to side `s`, maintaining the side counts.
+  void assign(ModuleId m, Side s);
+
+  /// Move module `m` to the opposite side.
+  void flip(ModuleId m) { assign(m, opposite(side(m))); }
+
+  /// Number of modules currently on `s`.
+  [[nodiscard]] std::int32_t size(Side s) const {
+    return s == Side::kLeft ? left_count_
+                            : num_modules() - left_count_;
+  }
+
+  /// |U| * |W| as a 64-bit product (the ratio-cut denominator).
+  [[nodiscard]] std::int64_t size_product() const {
+    return static_cast<std::int64_t>(size(Side::kLeft)) *
+           static_cast<std::int64_t>(size(Side::kRight));
+  }
+
+  /// True when both sides are non-empty (a proper bipartition).
+  [[nodiscard]] bool is_proper() const {
+    return left_count_ > 0 && left_count_ < num_modules();
+  }
+
+  /// Modules on the given side, ascending.
+  [[nodiscard]] std::vector<ModuleId> members(Side s) const;
+
+  /// Canonicalize so the smaller side is Left (ties keep module 0 on Left).
+  /// Useful when comparing partitions produced by different algorithms.
+  void canonicalize();
+
+  [[nodiscard]] bool operator==(const Partition& other) const;
+
+  /// Raw side array (read-only).
+  [[nodiscard]] const std::vector<Side>& sides() const { return sides_; }
+
+ private:
+  std::vector<Side> sides_;
+  std::int32_t left_count_ = 0;
+};
+
+}  // namespace netpart

@@ -1,0 +1,37 @@
+#include "hypergraph/stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace netpart {
+
+HypergraphStats compute_stats(const Hypergraph& h) {
+  HypergraphStats s;
+  s.num_modules = h.num_modules();
+  s.num_nets = h.num_nets();
+  s.num_pins = h.num_pins();
+  s.max_net_size = h.max_net_size();
+  s.max_module_degree = h.max_module_degree();
+  s.avg_net_size =
+      s.num_nets > 0 ? static_cast<double>(s.num_pins) / s.num_nets : 0.0;
+  s.avg_module_degree = s.num_modules > 0
+                            ? static_cast<double>(s.num_pins) / s.num_modules
+                            : 0.0;
+  s.net_size_histogram.assign(static_cast<std::size_t>(s.max_net_size) + 1, 0);
+  for (NetId n = 0; n < h.num_nets(); ++n)
+    ++s.net_size_histogram[static_cast<std::size_t>(h.net_size(n))];
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const HypergraphStats& s) {
+  os << "modules:     " << s.num_modules << '\n'
+     << "nets:        " << s.num_nets << '\n'
+     << "pins:        " << s.num_pins << '\n'
+     << "avg net sz:  " << s.avg_net_size << '\n'
+     << "max net sz:  " << s.max_net_size << '\n'
+     << "avg degree:  " << s.avg_module_degree << '\n'
+     << "max degree:  " << s.max_module_degree << '\n';
+  return os;
+}
+
+}  // namespace netpart

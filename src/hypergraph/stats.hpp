@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+/// \file stats.hpp
+/// Structural statistics of a netlist hypergraph, used by the benchmark
+/// generator validation and the sparsity experiments.
+
+namespace netpart {
+
+/// Summary statistics of a hypergraph.
+struct HypergraphStats {
+  std::int32_t num_modules = 0;
+  std::int32_t num_nets = 0;
+  std::int64_t num_pins = 0;
+  double avg_net_size = 0.0;
+  std::int32_t max_net_size = 0;
+  double avg_module_degree = 0.0;
+  std::int32_t max_module_degree = 0;
+  /// histogram[k] = number of nets with exactly k pins (index 0 unused).
+  std::vector<std::int32_t> net_size_histogram;
+};
+
+/// Compute summary statistics in one pass.
+[[nodiscard]] HypergraphStats compute_stats(const Hypergraph& h);
+
+/// Pretty-print a stats block (one field per line).
+std::ostream& operator<<(std::ostream& os, const HypergraphStats& s);
+
+}  // namespace netpart

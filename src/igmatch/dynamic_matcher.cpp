@@ -1,0 +1,146 @@
+#include "igmatch/dynamic_matcher.hpp"
+
+#include <stdexcept>
+
+namespace netpart {
+
+DynamicBipartiteMatcher::DynamicBipartiteMatcher(
+    const WeightedGraph& conflict_graph)
+    : graph_(conflict_graph),
+      side_(static_cast<std::size_t>(conflict_graph.num_vertices()),
+            NetSide::kLeft),
+      match_(static_cast<std::size_t>(conflict_graph.num_vertices()), -1),
+      left_count_(conflict_graph.num_vertices()),
+      visit_stamp_(static_cast<std::size_t>(conflict_graph.num_vertices()), 0),
+      from_right_(static_cast<std::size_t>(conflict_graph.num_vertices()), -1) {
+}
+
+bool DynamicBipartiteMatcher::augment_from_right(std::int32_t root) {
+  ++stamp_;
+  queue_.clear();
+  queue_.push_back(root);
+  visit_stamp_[static_cast<std::size_t>(root)] = stamp_;
+
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const std::int32_t y = queue_[head];
+    for (const std::int32_t x : graph_.neighbors(y)) {
+      if (x == moving_vertex_) continue;  // its edges are suspended mid-move
+      if (side_[static_cast<std::size_t>(x)] != NetSide::kLeft) continue;
+      if (visit_stamp_[static_cast<std::size_t>(x)] == stamp_) continue;
+      visit_stamp_[static_cast<std::size_t>(x)] = stamp_;
+      from_right_[static_cast<std::size_t>(x)] = y;
+      const std::int32_t next = match_[static_cast<std::size_t>(x)];
+      if (next == -1) {
+        // Free L-vertex found: flip the alternating path back to the root.
+        std::int32_t cur = x;
+        for (;;) {
+          const std::int32_t via = from_right_[static_cast<std::size_t>(cur)];
+          const std::int32_t prev = match_[static_cast<std::size_t>(via)];
+          match_[static_cast<std::size_t>(cur)] = via;
+          match_[static_cast<std::size_t>(via)] = cur;
+          if (prev == -1) break;  // reached the (previously free) root
+          cur = prev;
+        }
+        ++matching_size_;
+        return true;
+      }
+      if (visit_stamp_[static_cast<std::size_t>(next)] != stamp_) {
+        visit_stamp_[static_cast<std::size_t>(next)] = stamp_;
+        queue_.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+void DynamicBipartiteMatcher::move_to_right(std::int32_t v) {
+  if (v < 0 || v >= num_vertices())
+    throw std::out_of_range("move_to_right: vertex out of range");
+  if (side_[static_cast<std::size_t>(v)] != NetSide::kLeft)
+    throw std::logic_error("move_to_right: vertex already on the right");
+
+  // Step 1: remove v from L.  Its B-edges vanish; if it was matched, the
+  // partner u in R loses its match and we try to re-match it with v's
+  // edges suspended.
+  moving_vertex_ = v;
+  const std::int32_t u = match_[static_cast<std::size_t>(v)];
+  if (u != -1) {
+    match_[static_cast<std::size_t>(v)] = -1;
+    match_[static_cast<std::size_t>(u)] = -1;
+    --matching_size_;
+    augment_from_right(u);
+  }
+
+  // Step 2: insert v into R.  Its edges to the (remaining) L side become
+  // B-edges; a single augmenting-path search restores maximality.
+  moving_vertex_ = -1;
+  side_[static_cast<std::size_t>(v)] = NetSide::kRight;
+  --left_count_;
+  augment_from_right(v);
+}
+
+std::vector<NetLabel> DynamicBipartiteMatcher::classify() const {
+  const std::int32_t n = num_vertices();
+  // Default: residual core, refined below.
+  std::vector<NetLabel> label(static_cast<std::size_t>(n));
+  for (std::int32_t v = 0; v < n; ++v)
+    label[static_cast<std::size_t>(v)] =
+        side_[static_cast<std::size_t>(v)] == NetSide::kLeft
+            ? NetLabel::kCoreLeft
+            : NetLabel::kCoreRight;
+
+  std::vector<std::int32_t> queue;
+
+  // Alternating BFS from the unmatched L-vertices: L-vertices reached are
+  // Even(L) winners, R-vertices touched are Odd(L) losers.
+  for (std::int32_t v = 0; v < n; ++v)
+    if (side_[static_cast<std::size_t>(v)] == NetSide::kLeft &&
+        match_[static_cast<std::size_t>(v)] == -1) {
+      label[static_cast<std::size_t>(v)] = NetLabel::kWinnerLeft;
+      queue.push_back(v);
+    }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::int32_t x = queue[head];
+    for (const std::int32_t y : graph_.neighbors(x)) {
+      if (side_[static_cast<std::size_t>(y)] != NetSide::kRight) continue;
+      if (label[static_cast<std::size_t>(y)] == NetLabel::kLoserRight)
+        continue;
+      label[static_cast<std::size_t>(y)] = NetLabel::kLoserRight;
+      const std::int32_t x2 = match_[static_cast<std::size_t>(y)];
+      // y must be matched: an unmatched neighbor of an Even(L) vertex would
+      // terminate an augmenting path, contradicting maximality.
+      if (x2 != -1 &&
+          label[static_cast<std::size_t>(x2)] != NetLabel::kWinnerLeft) {
+        label[static_cast<std::size_t>(x2)] = NetLabel::kWinnerLeft;
+        queue.push_back(x2);
+      }
+    }
+  }
+
+  // Symmetric BFS from the unmatched R-vertices.
+  queue.clear();
+  for (std::int32_t v = 0; v < n; ++v)
+    if (side_[static_cast<std::size_t>(v)] == NetSide::kRight &&
+        match_[static_cast<std::size_t>(v)] == -1) {
+      label[static_cast<std::size_t>(v)] = NetLabel::kWinnerRight;
+      queue.push_back(v);
+    }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::int32_t y = queue[head];
+    for (const std::int32_t x : graph_.neighbors(y)) {
+      if (side_[static_cast<std::size_t>(x)] != NetSide::kLeft) continue;
+      if (label[static_cast<std::size_t>(x)] == NetLabel::kLoserLeft) continue;
+      label[static_cast<std::size_t>(x)] = NetLabel::kLoserLeft;
+      const std::int32_t y2 = match_[static_cast<std::size_t>(x)];
+      if (y2 != -1 &&
+          label[static_cast<std::size_t>(y2)] != NetLabel::kWinnerRight) {
+        label[static_cast<std::size_t>(y2)] = NetLabel::kWinnerRight;
+        queue.push_back(y2);
+      }
+    }
+  }
+
+  return label;
+}
+
+}  // namespace netpart

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+
+/// \file dynamic_matcher.hpp
+/// Incremental maximum bipartite matching for the IG-Match main loop
+/// (Figure 5 of the paper).
+///
+/// The vertices are the nets of the design (= vertices of the intersection
+/// graph G').  A two-sided split (L, R) of the nets induces the bipartite
+/// conflict graph B: an edge of G' is "active" exactly when its endpoints
+/// lie on opposite sides.  IG-Match sweeps the sorted eigenvector by moving
+/// one net from L to R at a time; each move perturbs B slightly, and the
+/// maximum matching is *repaired* with at most two augmenting-path searches
+/// instead of being recomputed — this is what makes testing all |V|-1
+/// splits cost O(|V| * (|V| + |E|)) overall (Theorem 6).
+
+namespace netpart {
+
+/// Which side of the net split a vertex is currently on.
+enum class NetSide : std::uint8_t { kLeft = 0, kRight = 1 };
+
+/// Classification of every net for one split, produced by Phase I of the
+/// IG-Match main loop (the Even/Odd alternating-path sets of Figure 3).
+enum class NetLabel : std::uint8_t {
+  kWinnerLeft,   ///< Even(L): L-net guaranteed uncut (contains U_L)
+  kWinnerRight,  ///< Even(R): R-net guaranteed uncut (contains U_R)
+  kLoserLeft,    ///< Odd(R): L-net in the vertex cover (counted as cut)
+  kLoserRight,   ///< Odd(L): R-net in the vertex cover (counted as cut)
+  kCoreLeft,     ///< L': residual matched L-net (Phase II decides its fate)
+  kCoreRight,    ///< R': residual matched R-net
+};
+
+/// Maximum matching in the conflict bipartite graph under one-directional
+/// vertex moves (L -> R).  The conflict adjacency is the intersection
+/// graph's; edge weights are ignored.
+class DynamicBipartiteMatcher {
+ public:
+  /// All vertices start on the Left side with an empty matching (B has no
+  /// edges when R is empty, so the empty matching is maximum).
+  /// The graph reference must outlive the matcher.
+  explicit DynamicBipartiteMatcher(const WeightedGraph& conflict_graph);
+
+  /// Move vertex `v` from L to R, repairing the matching:
+  ///   1. drop v's B-edges and its matching edge (if any), then try to
+  ///      re-match its abandoned partner;
+  ///   2. insert v on the R side and try to match it.
+  /// Afterwards the matching is again maximum (verified by the property
+  /// tests against a from-scratch computation).
+  /// Throws std::logic_error if `v` is already on the Right.
+  void move_to_right(std::int32_t v);
+
+  /// Current size of the maximum matching — the IG-Match bound on the
+  /// number of nets cut in completing this split (Theorems 3 and 5).
+  [[nodiscard]] std::int32_t matching_size() const { return matching_size_; }
+
+  /// Matching partner of `v`, or -1 if unmatched.
+  [[nodiscard]] std::int32_t match_of(std::int32_t v) const {
+    return match_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] NetSide side_of(std::int32_t v) const {
+    return side_[static_cast<std::size_t>(v)];
+  }
+
+  /// Number of vertices currently on the Left.
+  [[nodiscard]] std::int32_t left_count() const { return left_count_; }
+
+  [[nodiscard]] std::int32_t num_vertices() const {
+    return static_cast<std::int32_t>(side_.size());
+  }
+
+  /// Phase I of the IG-Match main loop: classify every net into
+  /// winner/loser/core via alternating-path BFS from the unmatched
+  /// vertices of each side (Figure 5).
+  [[nodiscard]] std::vector<NetLabel> classify() const;
+
+ private:
+  /// BFS for an augmenting path starting at the free R-vertex `root`;
+  /// augments the matching and returns true when one exists.
+  bool augment_from_right(std::int32_t root);
+
+  const WeightedGraph& graph_;
+  std::vector<NetSide> side_;
+  /// Transient marker for the vertex mid-move (neither side's edges live).
+  std::int32_t moving_vertex_ = -1;
+  std::vector<std::int32_t> match_;
+  std::int32_t matching_size_ = 0;
+  std::int32_t left_count_ = 0;
+
+  // BFS scratch with timestamp-based clearing (O(1) reset per search).
+  std::vector<std::int32_t> visit_stamp_;
+  std::vector<std::int32_t> from_right_;  // L-vertex -> R-vertex we came from
+  std::vector<std::int32_t> queue_;
+  std::int32_t stamp_ = 0;
+};
+
+}  // namespace netpart

@@ -1,0 +1,195 @@
+#include "io/blif_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "io/netlist_io.hpp"
+
+namespace netpart::io {
+
+namespace {
+
+/// Fetch the next logical BLIF line: strips comments ('#' to end of line),
+/// joins continuation lines ending in '\', skips blanks.
+bool next_logical_line(std::istream& in, std::string& line,
+                       std::int64_t& line_no) {
+  line.clear();
+  std::string raw;
+  bool continuing = false;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (const auto hash = raw.find('#'); hash != std::string::npos)
+      raw.erase(hash);
+    // Trim trailing whitespace to detect the continuation backslash.
+    while (!raw.empty() && (raw.back() == ' ' || raw.back() == '\t' ||
+                            raw.back() == '\r'))
+      raw.pop_back();
+    bool continues = false;
+    if (!raw.empty() && raw.back() == '\\') {
+      raw.pop_back();
+      continues = true;
+    }
+    line += raw;
+    line += ' ';
+    if (continues) {
+      continuing = true;
+      continue;
+    }
+    // A line of pure whitespace (and not a continuation tail) is skipped.
+    if (line.find_first_not_of(" \t") == std::string::npos && !continuing) {
+      line.clear();
+      continue;
+    }
+    return true;
+  }
+  return !line.empty() &&
+         line.find_first_not_of(" \t") != std::string::npos;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream stream(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (stream >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+/// Extract the actual signal from a "formal=actual" .gate/.subckt pin.
+std::string actual_signal(const std::string& binding, std::int64_t line_no) {
+  const auto eq = binding.find('=');
+  if (eq == std::string::npos || eq + 1 >= binding.size())
+    throw ParseError("expected formal=actual pin binding, got '" + binding +
+                         "'",
+                     line_no);
+  return binding.substr(eq + 1);
+}
+
+}  // namespace
+
+BlifModel read_blif(std::istream& in) {
+  BlifModel model;
+  // Per gate: list of signal names it touches.
+  std::vector<std::vector<std::string>> gate_signals;
+  std::vector<std::string> gate_names;
+  bool in_names_cover = false;
+  bool saw_model = false;
+  bool saw_end = false;
+
+  std::string line;
+  std::int64_t line_no = 0;
+  while (!saw_end && next_logical_line(in, line, line_no)) {
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+
+    if (keyword[0] != '.') {
+      // Inside a .names block these are cover rows (e.g. "11 1"); anywhere
+      // else a bare line is an error.
+      if (in_names_cover) continue;
+      throw ParseError("unexpected token '" + keyword + "'", line_no);
+    }
+    in_names_cover = false;
+
+    if (keyword == ".model") {
+      if (saw_model) throw ParseError("second .model not supported", line_no);
+      saw_model = true;
+      if (tokens.size() > 1) model.name = tokens[1];
+    } else if (keyword == ".inputs") {
+      model.num_inputs += static_cast<std::int32_t>(tokens.size()) - 1;
+    } else if (keyword == ".outputs") {
+      model.num_outputs += static_cast<std::int32_t>(tokens.size()) - 1;
+    } else if (keyword == ".names") {
+      if (tokens.size() < 2)
+        throw ParseError(".names needs at least an output", line_no);
+      gate_signals.emplace_back(tokens.begin() + 1, tokens.end());
+      gate_names.push_back(tokens.back());
+      in_names_cover = true;
+    } else if (keyword == ".latch") {
+      if (tokens.size() < 3)
+        throw ParseError(".latch needs input and output", line_no);
+      gate_signals.push_back({tokens[1], tokens[2]});
+      gate_names.push_back(tokens[2]);
+    } else if (keyword == ".gate" || keyword == ".subckt") {
+      if (tokens.size() < 3)
+        throw ParseError(keyword + " needs a cell and pin bindings",
+                         line_no);
+      std::vector<std::string> signals;
+      for (std::size_t i = 2; i < tokens.size(); ++i)
+        signals.push_back(actual_signal(tokens[i], line_no));
+      if (signals.empty())
+        throw ParseError(keyword + " with no pins", line_no);
+      gate_names.push_back(signals.back());
+      gate_signals.push_back(std::move(signals));
+    } else if (keyword == ".end") {
+      saw_end = true;
+    } else if (keyword == ".exdc" || keyword == ".wire_load_slope" ||
+               keyword == ".default_input_arrival" ||
+               keyword == ".clock") {
+      // Benign directives: ignored.
+    } else {
+      throw ParseError("unsupported directive '" + keyword + "'", line_no);
+    }
+  }
+  if (!saw_model) throw ParseError("missing .model", line_no);
+
+  // Signals -> nets (only those touching >= 2 distinct gates).
+  std::unordered_map<std::string, std::vector<ModuleId>> signal_gates;
+  for (std::size_t g = 0; g < gate_signals.size(); ++g)
+    for (const std::string& s : gate_signals[g])
+      signal_gates[s].push_back(static_cast<ModuleId>(g));
+
+  HypergraphBuilder builder(static_cast<std::int32_t>(gate_signals.size()));
+  builder.set_name(model.name);
+  // Deterministic net order: sort signal names.
+  std::vector<std::string> signals;
+  signals.reserve(signal_gates.size());
+  for (const auto& [name, gates] : signal_gates) signals.push_back(name);
+  std::sort(signals.begin(), signals.end());
+  for (const std::string& s : signals) {
+    std::vector<ModuleId>& gates = signal_gates[s];
+    std::sort(gates.begin(), gates.end());
+    gates.erase(std::unique(gates.begin(), gates.end()), gates.end());
+    if (gates.size() < 2) continue;
+    builder.add_net(gates);
+    model.net_names.push_back(s);
+  }
+  model.hypergraph = builder.build();
+  model.module_names = std::move(gate_names);
+  return model;
+}
+
+BlifModel read_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_blif(in);
+}
+
+void write_blif(std::ostream& out, const Hypergraph& h) {
+  out << ".model " << (h.name().empty() ? "netpart" : h.name()) << '\n';
+  // Every net becomes a signal n<i>; nets are the "inputs" of the design.
+  out << ".inputs";
+  for (NetId n = 0; n < h.num_nets(); ++n) out << " n" << n;
+  out << '\n';
+  out << ".outputs";
+  for (ModuleId m = 0; m < h.num_modules(); ++m) out << " g" << m;
+  out << '\n';
+  for (ModuleId m = 0; m < h.num_modules(); ++m) {
+    out << ".names";
+    for (const NetId n : h.nets_of(m)) out << " n" << n;
+    out << " g" << m << '\n';
+    // An all-ones cover row keeps the file well-formed for logic tools.
+    const auto fan_in = h.nets_of(m).size();
+    if (fan_in > 0) {
+      out << std::string(fan_in, '1') << " 1\n";
+    } else {
+      out << "1\n";
+    }
+  }
+  out << ".end\n";
+}
+
+}  // namespace netpart::io

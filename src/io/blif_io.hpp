@@ -1,0 +1,55 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+/// \file blif_io.hpp
+/// Berkeley Logic Interchange Format (BLIF) front end — the format the
+/// MCNC logic-synthesis benchmarks of the paper's era actually circulate
+/// in.  Only the structural subset needed to recover the netlist
+/// hypergraph is interpreted:
+///
+///   .model <name>
+///   .inputs <signal> ...          (continuation with trailing '\')
+///   .outputs <signal> ...
+///   .names <in> ... <out>         one logic gate; cover lines skipped
+///   .latch <in> <out> [...]       one storage element
+///   .gate / .subckt <lib> a=b ... mapped cell; formal=actual pins
+///   .end
+///
+/// Mapping to the partitioning model: every .names/.latch/.gate becomes a
+/// *module*; every signal becomes a *net* connecting the modules that read
+/// or write it.  Primary inputs/outputs are represented as single-pin-
+/// extended nets only if they touch at least two modules (dangling PI/PO
+/// signals put no constraint on a partition).  Signals seen on fewer than
+/// two modules are dropped.
+
+namespace netpart::io {
+
+/// Result of parsing a BLIF model.
+struct BlifModel {
+  std::string name;
+  Hypergraph hypergraph;            ///< modules = gates, nets = signals
+  std::vector<std::string> module_names;  ///< per module (gate output name)
+  std::vector<std::string> net_names;     ///< per net (signal name)
+  std::int32_t num_inputs = 0;      ///< declared primary inputs
+  std::int32_t num_outputs = 0;     ///< declared primary outputs
+};
+
+/// Parse the first .model of a BLIF stream.  Throws ParseError (see
+/// netlist_io.hpp) on malformed input.
+[[nodiscard]] BlifModel read_blif(std::istream& in);
+
+/// Read a BLIF file from disk; throws std::runtime_error if unopenable.
+[[nodiscard]] BlifModel read_blif_file(const std::string& path);
+
+/// Write a hypergraph as a structural BLIF model: every module becomes a
+/// .names gate whose inputs are its incident nets and whose output is a
+/// fresh signal.  Round-tripping through read_blif recovers the same
+/// module-net incidence (up to nets with fewer than two pins).
+void write_blif(std::ostream& out, const Hypergraph& h);
+
+}  // namespace netpart::io

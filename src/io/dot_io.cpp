@@ -1,0 +1,58 @@
+#include "io/dot_io.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace netpart::io {
+
+void write_dot_netlist(std::ostream& out, const Hypergraph& h,
+                       const DotOptions& options) {
+  out << "graph netlist {\n"
+      << "  layout=neato;\n  overlap=false;\n  splines=true;\n";
+  const bool colored = options.partition != nullptr &&
+                       options.partition->num_modules() == h.num_modules();
+  for (ModuleId m = 0; m < h.num_modules(); ++m) {
+    out << "  m" << m << " [shape=circle, label=\"" << m << "\"";
+    if (colored)
+      out << ", style=filled, fillcolor="
+          << (options.partition->side(m) == Side::kLeft ? "lightblue"
+                                                        : "lightsalmon");
+    out << "];\n";
+  }
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    if (options.max_net_size > 0 && h.net_size(n) > options.max_net_size)
+      continue;
+    out << "  n" << n << " [shape=box, label=\"n" << n << "\"";
+    if (h.net_weight(n) != 1) out << ", penwidth=2";
+    out << "];\n";
+    for (const ModuleId m : h.pins(n))
+      out << "  n" << n << " -- m" << m << ";\n";
+  }
+  out << "}\n";
+}
+
+void write_dot_graph(std::ostream& out, const WeightedGraph& g,
+                     const char* graph_name) {
+  double max_weight = 0.0;
+  for (std::int32_t v = 0; v < g.num_vertices(); ++v)
+    for (const double w : g.weights(v)) max_weight = std::max(max_weight, w);
+  if (max_weight <= 0.0) max_weight = 1.0;
+
+  out << "graph " << graph_name << " {\n"
+      << "  layout=neato;\n  overlap=false;\n";
+  for (std::int32_t v = 0; v < g.num_vertices(); ++v)
+    out << "  v" << v << ";\n";
+  for (std::int32_t v = 0; v < g.num_vertices(); ++v) {
+    const auto neighbors = g.neighbors(v);
+    const auto weights = g.weights(v);
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      if (neighbors[k] <= v) continue;  // emit each undirected edge once
+      const double penwidth = 0.5 + 3.0 * weights[k] / max_weight;
+      out << "  v" << v << " -- v" << neighbors[k] << " [penwidth="
+          << penwidth << "];\n";
+    }
+  }
+  out << "}\n";
+}
+
+}  // namespace netpart::io

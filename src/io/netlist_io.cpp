@@ -1,0 +1,197 @@
+#include "io/netlist_io.hpp"
+
+#include <fstream>
+#include <limits>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace netpart::io {
+
+namespace {
+
+/// Fetch the next non-comment, non-blank line.  Returns false on EOF.
+bool next_content_line(std::istream& in, std::string& line,
+                       std::int64_t& line_no, char comment_char) {
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i == line.size() || line[i] == comment_char) continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Hypergraph read_hgr(std::istream& in) {
+  std::string line;
+  std::int64_t line_no = 0;
+  if (!next_content_line(in, line, line_no, '%'))
+    throw ParseError("empty .hgr input", line_no);
+
+  std::istringstream header(line);
+  std::int64_t num_nets = 0;
+  std::int64_t num_modules = 0;
+  if (!(header >> num_nets >> num_modules))
+    throw ParseError("expected '<nets> <modules>' header", line_no);
+  std::int64_t fmt = 0;
+  bool net_weights = false;
+  if (header >> fmt) {
+    // hMETIS format flags: 1 = hyperedge weights, 10 = vertex weights,
+    // 11 = both.  Vertex weights have no meaning in this library (the
+    // spectral methods are area-oblivious, see Section 4 of the paper).
+    if (fmt == 1)
+      net_weights = true;
+    else if (fmt != 0)
+      throw ParseError("unsupported .hgr format flag " + std::to_string(fmt) +
+                           " (only 0 and 1 are accepted)",
+                       line_no);
+  }
+  if (num_nets < 0 || num_modules < 0)
+    throw ParseError("negative counts in header", line_no);
+
+  HypergraphBuilder builder(static_cast<std::int32_t>(num_modules));
+  std::vector<ModuleId> pins;
+  for (std::int64_t n = 0; n < num_nets; ++n) {
+    if (!next_content_line(in, line, line_no, '%'))
+      throw ParseError("unexpected EOF: expected " + std::to_string(num_nets) +
+                           " nets, got " + std::to_string(n),
+                       line_no);
+    std::istringstream ls(line);
+    std::int64_t weight = 1;
+    if (net_weights) {
+      if (!(ls >> weight) || weight < 1 ||
+          weight > std::numeric_limits<std::int32_t>::max())
+        throw ParseError("bad net weight", line_no);
+    }
+    pins.clear();
+    std::int64_t pin = 0;
+    while (ls >> pin) {
+      if (pin < 1 || pin > num_modules)
+        throw ParseError("pin " + std::to_string(pin) + " out of range",
+                         line_no);
+      pins.push_back(static_cast<ModuleId>(pin - 1));
+    }
+    if (!ls.eof())
+      throw ParseError("non-numeric token in net line", line_no);
+    builder.add_net(pins, static_cast<std::int32_t>(weight));
+  }
+  return builder.build();
+}
+
+Hypergraph read_hgr_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  Hypergraph h = read_hgr(in);
+  return h;
+}
+
+void write_hgr(std::ostream& out, const Hypergraph& h) {
+  const bool weighted = !h.is_unweighted();
+  out << h.num_nets() << ' ' << h.num_modules();
+  if (weighted) out << " 1";
+  out << '\n';
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    bool first = true;
+    if (weighted) {
+      out << h.net_weight(n);
+      first = false;
+    }
+    for (const ModuleId m : h.pins(n)) {
+      if (!first) out << ' ';
+      out << (m + 1);
+      first = false;
+    }
+    out << '\n';
+  }
+}
+
+void write_hgr_file(const std::string& path, const Hypergraph& h) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_hgr(out, h);
+}
+
+Hypergraph read_netd(std::istream& in) {
+  std::string line;
+  std::int64_t line_no = 0;
+  std::string name;
+  std::int64_t num_modules = -1;
+  HypergraphBuilder* builder = nullptr;
+  // We need num_modules before constructing the builder; store nets seen
+  // before the builder exists is disallowed by the format (modules line
+  // must precede nets).
+  std::optional<HypergraphBuilder> opt_builder;
+  std::vector<ModuleId> pins;
+
+  while (next_content_line(in, line, line_no, '#')) {
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "netlist") {
+      ls >> name;
+    } else if (keyword == "modules") {
+      if (!(ls >> num_modules) || num_modules < 0)
+        throw ParseError("bad module count", line_no);
+      opt_builder.emplace(static_cast<std::int32_t>(num_modules));
+      builder = &*opt_builder;
+    } else if (keyword == "net") {
+      if (builder == nullptr)
+        throw ParseError("'net' before 'modules'", line_no);
+      pins.clear();
+      std::int64_t pin = 0;
+      while (ls >> pin) {
+        if (pin < 0 || pin >= num_modules)
+          throw ParseError("pin " + std::to_string(pin) + " out of range",
+                           line_no);
+        pins.push_back(static_cast<ModuleId>(pin));
+      }
+      if (!ls.eof()) throw ParseError("non-numeric pin", line_no);
+      builder->add_net(pins);
+    } else {
+      throw ParseError("unknown keyword '" + keyword + "'", line_no);
+    }
+  }
+  if (builder == nullptr) throw ParseError("missing 'modules' line", line_no);
+  builder->set_name(std::move(name));
+  return builder->build();
+}
+
+void write_netd(std::ostream& out, const Hypergraph& h) {
+  if (!h.name().empty()) out << "netlist " << h.name() << '\n';
+  out << "modules " << h.num_modules() << '\n';
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    out << "net";
+    for (const ModuleId m : h.pins(n)) out << ' ' << m;
+    out << '\n';
+  }
+}
+
+Partition read_partition(std::istream& in) {
+  std::vector<Side> sides;
+  std::string line;
+  std::int64_t line_no = 0;
+  while (next_content_line(in, line, line_no, '#')) {
+    std::istringstream ls(line);
+    char c = 0;
+    ls >> c;
+    if (c == 'L' || c == '0')
+      sides.push_back(Side::kLeft);
+    else if (c == 'R' || c == '1')
+      sides.push_back(Side::kRight);
+    else
+      throw ParseError("expected 'L' or 'R'", line_no);
+  }
+  return Partition(std::move(sides));
+}
+
+void write_partition(std::ostream& out, const Partition& p) {
+  for (ModuleId m = 0; m < p.num_modules(); ++m)
+    out << (p.side(m) == Side::kLeft ? 'L' : 'R') << '\n';
+}
+
+}  // namespace netpart::io

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/partition.hpp"
+
+/// \file netlist_io.hpp
+/// Reading and writing netlist hypergraphs.
+///
+/// Two formats are supported:
+///  - hMETIS ".hgr": first non-comment line is "<num_nets> <num_modules>",
+///    then one line per net listing its 1-based pins.  Comment lines start
+///    with '%'.  This is the de-facto exchange format for hypergraph
+///    partitioning benchmarks (the MCNC suites circulate in it), so real
+///    benchmark files drop straight in.
+///  - "netd" named format: "netlist <name>", "modules <n>", then lines
+///    "net <pin> <pin> ..." with 0-based pins.  '#' starts a comment.
+///
+/// Partitions are written/read as one side character ('L'/'R') per module
+/// line, so results can be diffed between runs.
+
+namespace netpart::io {
+
+/// Raised on any malformed input.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::int64_t line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  [[nodiscard]] std::int64_t line() const { return line_; }
+
+ private:
+  std::int64_t line_;
+};
+
+/// Parse an hMETIS .hgr stream.  Only the unweighted variant is accepted
+/// (a format flag other than absent/0 raises ParseError).
+[[nodiscard]] Hypergraph read_hgr(std::istream& in);
+
+/// Read an .hgr file from disk; throws std::runtime_error if unopenable.
+[[nodiscard]] Hypergraph read_hgr_file(const std::string& path);
+
+/// Serialize to hMETIS .hgr.
+void write_hgr(std::ostream& out, const Hypergraph& h);
+
+/// Write an .hgr file to disk; throws std::runtime_error if unopenable.
+void write_hgr_file(const std::string& path, const Hypergraph& h);
+
+/// Parse the named "netd" format.
+[[nodiscard]] Hypergraph read_netd(std::istream& in);
+
+/// Serialize to the named "netd" format.
+void write_netd(std::ostream& out, const Hypergraph& h);
+
+/// Read a partition: one 'L' or 'R' per line, one line per module.
+[[nodiscard]] Partition read_partition(std::istream& in);
+
+/// Write a partition in the same one-character-per-line format.
+void write_partition(std::ostream& out, const Partition& p);
+
+}  // namespace netpart::io

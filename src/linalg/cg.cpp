@@ -1,0 +1,83 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace netpart::linalg {
+
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            std::span<double> x,
+                            std::span<const std::vector<double>> deflation,
+                            const CgOptions& options) {
+  const auto n = static_cast<std::size_t>(a.dim());
+  if (b.size() != n || x.size() != n)
+    throw std::invalid_argument("conjugate_gradient: size mismatch");
+  for (const auto& q : deflation)
+    if (q.size() != n)
+      throw std::invalid_argument(
+          "conjugate_gradient: deflation size mismatch");
+
+  const auto project = [&](std::span<double> v) {
+    for (const auto& q : deflation) orthogonalize_against(v, q);
+  };
+
+  // Jacobi preconditioner from the diagonal (guard non-positive entries).
+  std::vector<double> inv_diag(n, 1.0);
+  for (std::int32_t i = 0; i < a.dim(); ++i) {
+    const double d = a.at(i, i);
+    if (d > 0.0) inv_diag[static_cast<std::size_t>(i)] = 1.0 / d;
+  }
+
+  std::vector<double> rhs(b.begin(), b.end());
+  project(rhs);
+  const double bnorm = std::max(norm(rhs), 1e-300);
+  const double bound = options.tolerance * bnorm;
+
+  project(x);
+  std::vector<double> r(n);
+  a.multiply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = rhs[i] - r[i];
+  project(r);
+
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  project(z);
+  std::vector<double> p = z;
+  std::vector<double> ap(n);
+  double rz = dot(r, z);
+
+  CgResult result;
+  result.residual = norm(r);
+  if (result.residual <= bound) {
+    result.converged = true;
+    return result;
+  }
+
+  for (std::int32_t it = 0; it < options.max_iterations; ++it) {
+    a.multiply(p, ap);
+    project(ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // numerical breakdown (A not PD on this space)
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    result.iterations = it + 1;
+    result.residual = norm(r);
+    if (result.residual <= bound) {
+      result.converged = true;
+      break;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    project(z);
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  project(x);
+  return result;
+}
+
+}  // namespace netpart::linalg

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+
+/// \file cg.hpp
+/// Projected preconditioned conjugate gradients for Laplacian systems.
+/// A graph Laplacian Q = D - A is only positive *semi*definite (the ones
+/// vector spans its kernel on a connected graph), so the solver works in
+/// the orthogonal complement of a supplied deflation basis, where Q is
+/// positive definite.  This is the engine behind the inverse-iteration
+/// Fiedler solver (fiedler.hpp), an alternative backend to Lanczos.
+
+namespace netpart::linalg {
+
+/// Options for the CG solver.
+struct CgOptions {
+  std::int32_t max_iterations = 2000;
+  /// Converged when ||b - A x|| <= tolerance * max(||b||, tiny).
+  double tolerance = 1e-10;
+};
+
+/// Outcome of a CG solve.
+struct CgResult {
+  std::int32_t iterations = 0;
+  double residual = 0.0;  ///< final ||b - A x||
+  bool converged = false;
+};
+
+/// Solve A x = b restricted to the orthogonal complement of the
+/// (orthonormal) `deflation` vectors, using Jacobi-preconditioned CG.
+/// `b` is projected into the complement first; `x` is used as the initial
+/// guess (projected) and receives the solution.
+/// Throws std::invalid_argument on size mismatches.
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            std::span<double> x,
+                            std::span<const std::vector<double>> deflation,
+                            const CgOptions& options = {});
+
+}  // namespace netpart::linalg

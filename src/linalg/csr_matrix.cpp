@@ -1,0 +1,85 @@
+#include "linalg/csr_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netpart::linalg {
+
+CsrMatrix CsrMatrix::from_triplets(std::int32_t n,
+                                   std::vector<Triplet> triplets) {
+  if (n < 0) throw std::out_of_range("CsrMatrix: negative dimension");
+  for (const Triplet& t : triplets)
+    if (t.row < 0 || t.row >= n || t.col < 0 || t.col >= n)
+      throw std::out_of_range("CsrMatrix: triplet index out of range");
+
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.row_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  m.cols_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  std::size_t i = 0;
+  for (std::int32_t r = 0; r < n; ++r) {
+    while (i < triplets.size() && triplets[i].row == r) {
+      const std::int32_t c = triplets[i].col;
+      double v = triplets[i].value;
+      ++i;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;
+        ++i;
+      }
+      m.cols_.push_back(c);
+      m.values_.push_back(v);
+    }
+    m.row_offsets_[static_cast<std::size_t>(r) + 1] =
+        static_cast<std::int64_t>(m.cols_.size());
+  }
+  return m;
+}
+
+void CsrMatrix::multiply(std::span<const double> x,
+                         std::span<double> y) const {
+  const std::int32_t n = dim();
+  for (std::int32_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    const auto cols = row_cols(r);
+    const auto vals = row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      acc += vals[k] * x[static_cast<std::size_t>(cols[k])];
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+double CsrMatrix::at(std::int32_t r, std::int32_t c) const {
+  const auto cols = row_cols(r);
+  const auto it = std::lower_bound(cols.begin(), cols.end(), c);
+  if (it == cols.end() || *it != c) return 0.0;
+  return row_values(r)[static_cast<std::size_t>(it - cols.begin())];
+}
+
+bool CsrMatrix::is_symmetric() const {
+  for (std::int32_t r = 0; r < dim(); ++r) {
+    const auto cols = row_cols(r);
+    const auto vals = row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      if (at(cols[k], r) != vals[k]) return false;
+  }
+  return true;
+}
+
+double CsrMatrix::inf_norm() const {
+  double best = 0.0;
+  for (std::int32_t r = 0; r < dim(); ++r) {
+    double row_sum = 0.0;
+    for (const double v : row_values(r)) row_sum += std::abs(v);
+    best = std::max(best, row_sum);
+  }
+  return best;
+}
+
+}  // namespace netpart::linalg

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// \file csr_matrix.hpp
+/// Compressed-sparse-row matrix, the storage behind the Laplacians Q = D - A
+/// of both the clique-model graph and the intersection graph.  The Lanczos
+/// solver only needs y = A x, so the interface is intentionally small.
+
+namespace netpart::linalg {
+
+/// One (row, col, value) entry used during assembly.
+struct Triplet {
+  std::int32_t row = 0;
+  std::int32_t col = 0;
+  double value = 0.0;
+};
+
+/// Immutable CSR matrix.  Duplicate triplets are summed during assembly.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Assemble an n x n matrix from triplets.  Entries with equal (row, col)
+  /// are summed; explicitly-stored zeros are kept (callers may rely on a
+  /// fixed sparsity pattern).  Throws std::out_of_range on bad indices.
+  [[nodiscard]] static CsrMatrix from_triplets(std::int32_t n,
+                                               std::vector<Triplet> triplets);
+
+  /// Dimension (the matrix is square).
+  [[nodiscard]] std::int32_t dim() const {
+    return static_cast<std::int32_t>(row_offsets_.size()) - 1;
+  }
+
+  /// Number of stored entries.
+  [[nodiscard]] std::int64_t nnz() const {
+    return static_cast<std::int64_t>(values_.size());
+  }
+
+  /// y = A x.  Sizes must equal dim().
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Column indices of stored entries in row `r` (ascending).
+  [[nodiscard]] std::span<const std::int32_t> row_cols(std::int32_t r) const {
+    return {cols_.data() + row_offsets_[static_cast<std::size_t>(r)],
+            cols_.data() + row_offsets_[static_cast<std::size_t>(r) + 1]};
+  }
+
+  /// Values of stored entries in row `r`, aligned with row_cols(r).
+  [[nodiscard]] std::span<const double> row_values(std::int32_t r) const {
+    return {values_.data() + row_offsets_[static_cast<std::size_t>(r)],
+            values_.data() + row_offsets_[static_cast<std::size_t>(r) + 1]};
+  }
+
+  /// Entry (r, c); 0.0 when not stored.  O(log row length).
+  [[nodiscard]] double at(std::int32_t r, std::int32_t c) const;
+
+  /// True when A equals its transpose exactly.
+  [[nodiscard]] bool is_symmetric() const;
+
+  /// An estimate of ||A||_inf (max absolute row sum), used for convergence
+  /// tolerances.
+  [[nodiscard]] double inf_norm() const;
+
+ private:
+  std::vector<std::int64_t> row_offsets_{0};
+  std::vector<std::int32_t> cols_;
+  std::vector<double> values_;
+};
+
+}  // namespace netpart::linalg

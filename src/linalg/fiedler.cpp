@@ -1,0 +1,128 @@
+#include "linalg/fiedler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/cg.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace netpart::linalg {
+
+FiedlerResult fiedler_pair(const CsrMatrix& q, const LanczosOptions& options) {
+  const std::int32_t n = q.dim();
+  if (n < 1) throw std::invalid_argument("fiedler_pair: empty Laplacian");
+
+  FiedlerResult out;
+  if (n == 1) {
+    out.vector.assign(1, 0.0);
+    out.converged = true;
+    return out;
+  }
+
+  const std::vector<double> ones(
+      static_cast<std::size_t>(n),
+      1.0 / std::sqrt(static_cast<double>(n)));
+  const std::vector<std::vector<double>> deflation{ones};
+
+  const LanczosResult lr = smallest_eigenpair(q, deflation, options);
+  out.lambda2 = lr.eigenvalue;
+  out.vector = lr.eigenvector;
+  out.lanczos_iterations = lr.iterations;
+  out.residual = lr.residual;
+  out.converged = lr.converged;
+  return out;
+}
+
+FiedlerResult fiedler_pair_inverse_iteration(
+    const CsrMatrix& q, const InverseIterationOptions& options) {
+  const std::int32_t n = q.dim();
+  if (n < 1) throw std::invalid_argument("fiedler_pair: empty Laplacian");
+
+  FiedlerResult out;
+  if (n == 1) {
+    out.vector.assign(1, 0.0);
+    out.converged = true;
+    return out;
+  }
+
+  const std::vector<std::vector<double>> deflation{std::vector<double>(
+      static_cast<std::size_t>(n),
+      1.0 / std::sqrt(static_cast<double>(n)))};
+  const double anorm = std::max(q.inf_norm(), 1.0);
+  const double bound = options.tolerance * anorm;
+
+  std::vector<double> x(static_cast<std::size_t>(n));
+  fill_random(x, options.seed);
+  for (const auto& d : deflation) orthogonalize_against(x, d);
+  if (normalize(x) == 0.0) {
+    out.converged = n <= 1;
+    return out;
+  }
+
+  CgOptions cg;
+  cg.max_iterations = options.cg_max_iterations;
+  cg.tolerance = options.cg_tolerance;
+
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> qx(static_cast<std::size_t>(n));
+  for (std::int32_t it = 0; it < options.max_iterations; ++it) {
+    out.lanczos_iterations = it + 1;  // reused as "outer iterations"
+    // y ~= Q^+ x in the complement; warm-started from the previous y.
+    conjugate_gradient(q, x, y, deflation, cg);
+    x = y;
+    for (const auto& d : deflation) orthogonalize_against(x, d);
+    if (normalize(x) == 0.0) break;
+
+    q.multiply(x, qx);
+    out.lambda2 = dot(x, qx);
+    axpy(-out.lambda2, x, qx);
+    out.residual = norm(qx);
+    if (out.residual <= bound) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.vector = std::move(x);
+  return out;
+}
+
+SpectralBasis laplacian_eigenpairs(const CsrMatrix& q, std::int32_t k,
+                                   const LanczosOptions& options) {
+  const std::int32_t n = q.dim();
+  if (n < 1)
+    throw std::invalid_argument("laplacian_eigenpairs: empty Laplacian");
+  if (k < 1) throw std::invalid_argument("laplacian_eigenpairs: k < 1");
+
+  SpectralBasis basis;
+  basis.converged = true;
+  std::vector<std::vector<double>> deflation{std::vector<double>(
+      static_cast<std::size_t>(n), 1.0 / std::sqrt(static_cast<double>(n)))};
+  const std::int32_t available = std::min(k, n - 1);
+  for (std::int32_t i = 0; i < available; ++i) {
+    LanczosOptions run = options;
+    run.seed = options.seed +
+               static_cast<std::uint64_t>(i) * std::uint64_t{0x51ED5EED};
+    const LanczosResult r = smallest_eigenpair(q, deflation, run);
+    basis.converged = basis.converged && r.converged;
+    basis.values.push_back(r.eigenvalue);
+    basis.vectors.push_back(r.eigenvector);
+    deflation.push_back(r.eigenvector);
+  }
+  basis.converged = basis.converged && available == k;
+  return basis;
+}
+
+std::vector<std::int32_t> sorted_order(const std::vector<double>& vector) {
+  std::vector<std::int32_t> order(vector.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     return vector[static_cast<std::size_t>(a)] <
+                            vector[static_cast<std::size_t>(b)];
+                   });
+  return order;
+}
+
+}  // namespace netpart::linalg

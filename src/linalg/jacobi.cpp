@@ -1,0 +1,84 @@
+#include "linalg/jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace netpart::linalg {
+
+DenseEigen jacobi_eigen(const std::vector<double>& a, std::size_t n) {
+  if (a.size() != n * n)
+    throw std::invalid_argument("jacobi_eigen: size mismatch");
+
+  std::vector<double> m = a;  // working copy, row-major
+  DenseEigen out;
+  out.vectors.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) out.vectors[i * n + i] = 1.0;
+
+  const auto off_diagonal_norm = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += m[i * n + j] * m[i * n + j];
+    return std::sqrt(s);
+  };
+
+  for (int sweep = 0; sweep < 100 && off_diagonal_norm() > 1e-13; ++sweep) {
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m[p * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = m[p * n + p];
+        const double aqq = m[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::abs(theta) + std::sqrt(theta * theta + 1.0)), theta);
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation J(p, q, theta) on both sides: m = J^T m J.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m[k * n + p];
+          const double mkq = m[k * n + q];
+          m[k * n + p] = c * mkp - s * mkq;
+          m[k * n + q] = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m[p * n + k];
+          const double mqk = m[q * n + k];
+          m[p * n + k] = c * mpk - s * mqk;
+          m[q * n + k] = s * mpk + c * mqk;
+        }
+        // Accumulate eigenvectors (columns p and q of V).
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = out.vectors[p * n + k];
+          const double vkq = out.vectors[q * n + k];
+          out.vectors[p * n + k] = c * vkp - s * vkq;
+          out.vectors[q * n + k] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  out.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.values[i] = m[i * n + i];
+
+  // Sort ascending with eigenvector columns.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return out.values[x] < out.values[y];
+  });
+  DenseEigen sorted;
+  sorted.values.resize(n);
+  sorted.vectors.resize(n * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted.values[j] = out.values[order[j]];
+    std::copy_n(
+        out.vectors.begin() + static_cast<std::ptrdiff_t>(order[j] * n), n,
+        sorted.vectors.begin() + static_cast<std::ptrdiff_t>(j * n));
+  }
+  return sorted;
+}
+
+}  // namespace netpart::linalg

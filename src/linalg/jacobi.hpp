@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+/// \file jacobi.hpp
+/// Dense cyclic Jacobi eigensolver for symmetric matrices.  O(n^3) per
+/// sweep — used only as a test oracle to validate the Lanczos + tridiagonal
+/// pipeline on small instances, never on full benchmarks.
+
+namespace netpart::linalg {
+
+/// Eigen-decomposition of a dense symmetric matrix.
+struct DenseEigen {
+  /// Eigenvalues ascending.
+  std::vector<double> values;
+  /// Column-major unit eigenvectors: vectors[j*n + i] pairs with values[j].
+  std::vector<double> vectors;
+};
+
+/// Solve the full symmetric eigenproblem of the n x n row-major matrix `a`
+/// (only the lower triangle is read; the matrix is assumed symmetric).
+/// Throws std::invalid_argument when a.size() != n*n.
+[[nodiscard]] DenseEigen jacobi_eigen(const std::vector<double>& a,
+                                      std::size_t n);
+
+}  // namespace netpart::linalg

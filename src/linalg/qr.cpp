@@ -1,0 +1,81 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace netpart::linalg {
+
+ThinQr thin_qr(ColumnBlock x, double drop_tolerance) {
+  if (x.empty()) throw std::invalid_argument("thin_qr: empty block");
+  const std::size_t n = x[0].size();
+  for (const auto& column : x)
+    if (column.size() != n)
+      throw std::invalid_argument("thin_qr: ragged block");
+
+  const auto b = static_cast<std::int32_t>(x.size());
+  ThinQr out;
+  out.r.assign(static_cast<std::size_t>(b) * static_cast<std::size_t>(b),
+               0.0);
+
+  // Column-norm scale for the rank decision.
+  double block_scale = 0.0;
+  for (const auto& column : x) block_scale = std::max(block_scale, norm(column));
+  const double threshold = drop_tolerance * std::max(block_scale, 1.0);
+
+  for (std::int32_t j = 0; j < b; ++j) {
+    std::vector<double>& column = x[static_cast<std::size_t>(j)];
+    // Two MGS passes against the already-finished columns.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::int32_t i = 0; i < j; ++i) {
+        const auto& qi = out.q[static_cast<std::size_t>(i)];
+        if (qi.empty()) continue;  // deficient column placeholder
+        const double projection = dot(column, qi);
+        axpy(-projection, qi, column);
+        out.r[static_cast<std::size_t>(i) * static_cast<std::size_t>(b) +
+              static_cast<std::size_t>(j)] += projection;
+      }
+    }
+    const double column_norm = norm(column);
+    if (column_norm <= threshold) {
+      // Dependent column: record a zero pivot and an empty Q column.
+      out.q.emplace_back();
+      continue;
+    }
+    out.r[static_cast<std::size_t>(j) * static_cast<std::size_t>(b) +
+          static_cast<std::size_t>(j)] = column_norm;
+    scale(column, 1.0 / column_norm);
+    out.q.push_back(std::move(column));
+    ++out.rank;
+  }
+  // Replace empty placeholders with zero columns of the right length.
+  for (auto& column : out.q)
+    if (column.empty()) column.assign(n, 0.0);
+  return out;
+}
+
+ColumnBlock block_times_small(const ColumnBlock& block,
+                              const std::vector<double>& m,
+                              std::int32_t rows, std::int32_t cols) {
+  if (static_cast<std::int32_t>(block.size()) != rows)
+    throw std::invalid_argument("block_times_small: row mismatch");
+  if (static_cast<std::int32_t>(m.size()) !=
+      static_cast<std::int32_t>(rows * cols))
+    throw std::invalid_argument("block_times_small: matrix size mismatch");
+  const std::size_t n = block.empty() ? 0 : block[0].size();
+  ColumnBlock out(static_cast<std::size_t>(cols),
+                  std::vector<double>(n, 0.0));
+  for (std::int32_t j = 0; j < cols; ++j)
+    for (std::int32_t i = 0; i < rows; ++i) {
+      const double factor = m[static_cast<std::size_t>(i) *
+                                  static_cast<std::size_t>(cols) +
+                              static_cast<std::size_t>(j)];
+      if (factor != 0.0)
+        axpy(factor, block[static_cast<std::size_t>(i)],
+             out[static_cast<std::size_t>(j)]);
+    }
+  return out;
+}
+
+}  // namespace netpart::linalg

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file qr.hpp
+/// Thin QR factorization of a tall block of column vectors via modified
+/// Gram-Schmidt with one re-orthogonalization pass.  This is the block
+/// orthonormalization step inside the block Lanczos iteration
+/// (block_lanczos.hpp): given the n x b block X, produce orthonormal Q and
+/// upper-triangular R (b x b) with X = Q R.  Rank deficiency is handled by
+/// replacing dependent columns with zero columns and recording a zero
+/// diagonal in R — the caller decides whether to refill them.
+
+namespace netpart::linalg {
+
+/// A tall column block: `columns[j]` is the j-th column, all of equal
+/// length.  (Kept as vector-of-vectors: n is large, b is tiny.)
+using ColumnBlock = std::vector<std::vector<double>>;
+
+/// Result of a thin QR factorization.
+struct ThinQr {
+  ColumnBlock q;           ///< orthonormal columns (zero where deficient)
+  std::vector<double> r;   ///< b x b upper triangular, row-major
+  std::int32_t rank = 0;   ///< number of non-deficient columns
+};
+
+/// Factor `x` (destroyed) into Q R.  `drop_tolerance` scales the
+/// column-norm threshold below which a column counts as dependent.
+/// Throws std::invalid_argument for an empty or ragged block.
+[[nodiscard]] ThinQr thin_qr(ColumnBlock x, double drop_tolerance = 1e-12);
+
+/// Multiply a column block by a small dense matrix on the right:
+/// out[j] = sum_i block[i] * m[i * cols + j]  (m is rows x cols row-major,
+/// rows == block.size()).  Used to assemble Ritz vectors from block bases.
+[[nodiscard]] ColumnBlock block_times_small(const ColumnBlock& block,
+                                            const std::vector<double>& m,
+                                            std::int32_t rows,
+                                            std::int32_t cols);
+
+}  // namespace netpart::linalg

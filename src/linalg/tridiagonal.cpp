@@ -1,0 +1,129 @@
+#include "linalg/tridiagonal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace netpart::linalg {
+
+namespace {
+
+/// Implicit-shift QL iteration on (d, e); classic EISPACK tql2 / Numerical
+/// Recipes tqli structure.  `e` holds the subdiagonal in e[0..n-2]; e[n-1]
+/// is scratch.  When `z` is non-null it points to an n x n column-major
+/// matrix into which the rotations are accumulated (pass identity to get
+/// the tridiagonal's eigenvectors).
+void ql_implicit(std::vector<double>& d, std::vector<double>& e,
+                 std::vector<double>* z) {
+  const std::size_t n = d.size();
+  if (n <= 1) return;
+
+  for (std::size_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (iterations++ == 50)
+          throw std::runtime_error("tridiagonal QL failed to converge");
+        // Wilkinson shift.
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        bool underflow = false;
+        for (std::size_t i1 = m; i1 > l; --i1) {
+          const std::size_t i = i1 - 1;
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            // Recover from underflow: deflate and restart this eigenvalue.
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          if (z != nullptr) {
+            for (std::size_t k = 0; k < n; ++k) {
+              f = (*z)[(i + 1) * n + k];
+              (*z)[(i + 1) * n + k] = s * (*z)[i * n + k] + c * f;
+              (*z)[i * n + k] = c * (*z)[i * n + k] - s * f;
+            }
+          }
+        }
+        if (underflow) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+TridiagonalEigen solve_impl(const std::vector<double>& diag,
+                            const std::vector<double>& sub,
+                            bool want_vectors) {
+  const std::size_t n = diag.size();
+  if (n > 0 && sub.size() != n - 1)
+    throw std::invalid_argument("solve_tridiagonal: sub must have size n-1");
+
+  TridiagonalEigen out;
+  out.values = diag;
+  std::vector<double> e = sub;
+  e.push_back(0.0);  // scratch slot used by the QL sweep
+  std::vector<double>* zp = nullptr;
+  if (want_vectors) {
+    out.vectors.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) out.vectors[i * n + i] = 1.0;
+    zp = &out.vectors;
+  }
+  ql_implicit(out.values, e, zp);
+
+  // Sort ascending, permuting eigenvector columns alongside.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return out.values[a] < out.values[b];
+  });
+  std::vector<double> sorted_values(n);
+  for (std::size_t j = 0; j < n; ++j) sorted_values[j] = out.values[order[j]];
+  out.values = std::move(sorted_values);
+  if (want_vectors) {
+    std::vector<double> sorted_vectors(n * n);
+    for (std::size_t j = 0; j < n; ++j)
+      std::copy_n(
+          out.vectors.begin() + static_cast<std::ptrdiff_t>(order[j] * n), n,
+          sorted_vectors.begin() + static_cast<std::ptrdiff_t>(j * n));
+    out.vectors = std::move(sorted_vectors);
+  }
+  return out;
+}
+
+}  // namespace
+
+TridiagonalEigen solve_tridiagonal(const std::vector<double>& diag,
+                                   const std::vector<double>& sub) {
+  return solve_impl(diag, sub, /*want_vectors=*/true);
+}
+
+std::vector<double> tridiagonal_eigenvalues(const std::vector<double>& diag,
+                                            const std::vector<double>& sub) {
+  return solve_impl(diag, sub, /*want_vectors=*/false).values;
+}
+
+}  // namespace netpart::linalg

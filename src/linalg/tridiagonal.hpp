@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+/// \file tridiagonal.hpp
+/// Symmetric tridiagonal eigensolver (implicit-shift QL, EISPACK tql2
+/// lineage).  The Lanczos process reduces the Laplacian to this form; the
+/// Ritz values/vectors come from solving the small tridiagonal problem.
+
+namespace netpart::linalg {
+
+/// Eigen-decomposition of a symmetric tridiagonal matrix.
+struct TridiagonalEigen {
+  /// Eigenvalues in ascending order.
+  std::vector<double> values;
+  /// Eigenvectors stored column-major: vectors[j*n + i] is component i of
+  /// the eigenvector paired with values[j].  Each column has unit norm.
+  std::vector<double> vectors;
+};
+
+/// Solve the full eigenproblem of the n x n symmetric tridiagonal matrix
+/// with diagonal `diag` (size n) and subdiagonal `sub` (size n-1; sub[i]
+/// couples rows i and i+1).  Throws std::runtime_error if the QL iteration
+/// fails to converge (more than 50 sweeps on one eigenvalue, which does not
+/// happen for well-scaled inputs).
+[[nodiscard]] TridiagonalEigen solve_tridiagonal(
+    const std::vector<double>& diag, const std::vector<double>& sub);
+
+/// Eigenvalues only (ascending); cheaper than the full decomposition.
+[[nodiscard]] std::vector<double> tridiagonal_eigenvalues(
+    const std::vector<double>& diag, const std::vector<double>& sub);
+
+}  // namespace netpart::linalg

@@ -1,0 +1,51 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace netpart::linalg {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double norm(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void scale(std::span<double> x, double a) {
+  for (double& v : x) v *= a;
+}
+
+double normalize(std::span<double> x) {
+  const double n = norm(x);
+  if (n > 0.0) scale(x, 1.0 / n);
+  return n;
+}
+
+void orthogonalize_against(std::span<double> x, std::span<const double> q) {
+  const double projection = dot(x, q);
+  axpy(-projection, q, x);
+}
+
+void fill_random(std::span<double> x, std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (double& v : x) {
+    // Inline SplitMix64 step (see circuits/rng.hpp) to avoid a dependency
+    // from linalg onto circuits.
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= (z >> 31);
+    v = static_cast<double>(z >> 11) * 0x1.0p-52 - 1.0;  // [-1, 1)
+  }
+}
+
+}  // namespace netpart::linalg

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// \file vector_ops.hpp
+/// Small dense-vector kernels used by the Lanczos eigensolver.  Kept as free
+/// functions over std::span so callers can use plain std::vector<double>
+/// storage without adapters.
+
+namespace netpart::linalg {
+
+/// Dot product x . y (sizes must match).
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm ||x||_2.
+[[nodiscard]] double norm(std::span<const double> x);
+
+/// y += a * x.
+void axpy(double a, std::span<const double> x, std::span<double> y);
+
+/// x *= a.
+void scale(std::span<double> x, double a);
+
+/// Normalize x in place; returns the pre-normalization norm.  A zero vector
+/// is left untouched and 0 is returned.
+double normalize(std::span<double> x);
+
+/// Remove from x its component along the *unit* vector q: x -= (x.q) q.
+void orthogonalize_against(std::span<double> x, std::span<const double> q);
+
+/// Fill x with deterministic pseudo-random values in [-1, 1) derived from
+/// `seed` (SplitMix64 stream); used for Lanczos starting vectors.
+void fill_random(std::span<double> x, std::uint64_t seed);
+
+}  // namespace netpart::linalg

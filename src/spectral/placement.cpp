@@ -1,0 +1,91 @@
+#include "spectral/placement.hpp"
+
+#include <stdexcept>
+
+#include "graph/clique_model.hpp"
+
+namespace netpart {
+
+PlacementResult hall_placement(const Hypergraph& h,
+                               const linalg::LanczosOptions& options) {
+  const std::int32_t n = h.num_modules();
+  PlacementResult out;
+  out.x.assign(static_cast<std::size_t>(n), 0.0);
+  out.y.assign(static_cast<std::size_t>(n), 0.0);
+  if (n < 3) {
+    out.converged = true;
+    return out;
+  }
+  const linalg::CsrMatrix q = clique_expansion(h).laplacian();
+  const linalg::SpectralBasis basis = linalg::laplacian_eigenpairs(q, 2,
+                                                                   options);
+  if (basis.values.size() >= 1) {
+    out.lambda2 = basis.values[0];
+    out.x = basis.vectors[0];
+  }
+  if (basis.values.size() >= 2) {
+    out.lambda3 = basis.values[1];
+    out.y = basis.vectors[1];
+  }
+  out.converged = basis.converged;
+  return out;
+}
+
+PlacementResult nets_as_points_placement(
+    const Hypergraph& h, IgWeighting weighting,
+    const linalg::LanczosOptions& options) {
+  const std::int32_t n = h.num_modules();
+  const std::int32_t m = h.num_nets();
+  PlacementResult out;
+  out.x.assign(static_cast<std::size_t>(n), 0.0);
+  out.y.assign(static_cast<std::size_t>(n), 0.0);
+  if (m < 3) {
+    out.converged = true;
+    return out;
+  }
+  const linalg::CsrMatrix q = intersection_graph(h, weighting).laplacian();
+  const linalg::SpectralBasis basis = linalg::laplacian_eigenpairs(q, 2,
+                                                                   options);
+  out.converged = basis.converged;
+  if (basis.values.size() < 2) return out;
+  out.lambda2 = basis.values[0];
+  out.lambda3 = basis.values[1];
+  const std::vector<double>& net_x = basis.vectors[0];
+  const std::vector<double>& net_y = basis.vectors[1];
+
+  for (ModuleId mod = 0; mod < n; ++mod) {
+    const auto nets = h.nets_of(mod);
+    if (nets.empty()) continue;
+    double sx = 0.0;
+    double sy = 0.0;
+    for (const NetId net : nets) {
+      sx += net_x[static_cast<std::size_t>(net)];
+      sy += net_y[static_cast<std::size_t>(net)];
+    }
+    out.x[static_cast<std::size_t>(mod)] = sx / static_cast<double>(nets.size());
+    out.y[static_cast<std::size_t>(mod)] = sy / static_cast<double>(nets.size());
+  }
+  return out;
+}
+
+double quadratic_wirelength(const Hypergraph& h,
+                            const std::vector<double>& x) {
+  if (static_cast<std::int32_t>(x.size()) != h.num_modules())
+    throw std::invalid_argument("quadratic_wirelength: size mismatch");
+  const WeightedGraph g = clique_expansion(h);
+  double z = 0.0;
+  for (std::int32_t u = 0; u < g.num_vertices(); ++u) {
+    const auto neighbors = g.neighbors(u);
+    const auto weights = g.weights(u);
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const std::int32_t v = neighbors[k];
+      if (v <= u) continue;
+      const double d = x[static_cast<std::size_t>(u)] -
+                       x[static_cast<std::size_t>(v)];
+      z += weights[k] * d * d;
+    }
+  }
+  return z;
+}
+
+}  // namespace netpart

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/intersection_graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "linalg/fiedler.hpp"
+
+/// \file placement.hpp
+/// Spectral quadratic placement — the Appendix A substrate (Hall [15]) and
+/// the "nets-as-points" variant of Pillage and Rohrer [24] mentioned in
+/// Section 2.2.
+///
+/// Hall's result: the vector x minimizing the quadratic wirelength
+/// z = 1/2 sum_ij (x_i - x_j)^2 A_ij subject to |x| = 1 is the second
+/// eigenvector of Q = D - A; a 2-D embedding uses the second and third.
+///
+/// The nets-as-points variant places *nets* by the intersection-graph
+/// eigenvectors and then drops every module at the centroid of the nets it
+/// belongs to (the module "wishes to lie within the convex hull of the
+/// locations of nets to which it belongs").
+
+namespace netpart {
+
+/// A 2-D embedding of the modules.
+struct PlacementResult {
+  std::vector<double> x;  ///< per module
+  std::vector<double> y;  ///< per module
+  double lambda2 = 0.0;
+  double lambda3 = 0.0;
+  bool converged = false;
+};
+
+/// Hall placement: modules at (v2, v3) of the clique-model Laplacian.
+[[nodiscard]] PlacementResult hall_placement(
+    const Hypergraph& h, const linalg::LanczosOptions& options = {});
+
+/// Nets-as-points placement: nets at (v2', v3') of the intersection-graph
+/// Laplacian; each module at the centroid of its incident nets (modules on
+/// no net land at the origin).
+[[nodiscard]] PlacementResult nets_as_points_placement(
+    const Hypergraph& h, IgWeighting weighting = IgWeighting::kPaper,
+    const linalg::LanczosOptions& options = {});
+
+/// Hall's quadratic objective z = 1/2 sum_ij (x_i - x_j)^2 A_ij for a 1-D
+/// coordinate vector over the clique-model graph.
+[[nodiscard]] double quadratic_wirelength(const Hypergraph& h,
+                                          const std::vector<double>& x);
+
+}  // namespace netpart

@@ -1,0 +1,40 @@
+#include "spectral/split_sweep.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace netpart {
+
+SweepResult best_ratio_cut_split(const Hypergraph& h,
+                                 std::span<const std::int32_t> module_order) {
+  const std::int32_t n = h.num_modules();
+  if (static_cast<std::int32_t>(module_order.size()) != n)
+    throw std::invalid_argument("best_ratio_cut_split: order size mismatch");
+
+  SweepResult result;
+  result.partition = Partition(n, Side::kRight);
+  if (n < 2) return result;
+
+  IncrementalCut tracker(h, Partition(n, Side::kRight));
+  double best_ratio = std::numeric_limits<double>::infinity();
+  std::int32_t best_rank = 0;
+  for (std::int32_t r = 1; r < n; ++r) {
+    tracker.move(module_order[static_cast<std::size_t>(r - 1)], Side::kLeft);
+    const double ratio = tracker.ratio();
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      best_rank = r;
+    }
+  }
+
+  Partition best(n, Side::kRight);
+  for (std::int32_t r = 0; r < best_rank; ++r)
+    best.assign(module_order[static_cast<std::size_t>(r)], Side::kLeft);
+  result.partition = std::move(best);
+  result.nets_cut = net_cut(h, result.partition);
+  result.ratio = best_ratio;
+  result.best_rank = best_rank;
+  return result;
+}
+
+}  // namespace netpart

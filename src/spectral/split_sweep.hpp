@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hypergraph/cut_metrics.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/partition.hpp"
+
+/// \file split_sweep.hpp
+/// "Try every splitting rank of a linear ordering and keep the best ratio
+/// cut" — the construction of Hagen-Kahng [13] that converts a sorted
+/// eigenvector into a partition.  The cut is maintained incrementally, so a
+/// full sweep costs O(total pins).
+
+namespace netpart {
+
+/// Outcome of a split sweep.
+struct SweepResult {
+  Partition partition;     ///< the best partition found
+  std::int32_t nets_cut = 0;
+  double ratio = 0.0;      ///< ratio-cut value of `partition`
+  /// Number of leading order entries on the Left side in the best split
+  /// (1 <= best_rank <= n-1), or 0 when no proper split exists.
+  std::int32_t best_rank = 0;
+};
+
+/// Sweep all splits of `module_order` (a permutation of 0..n-1): for rank r
+/// the first r modules of the order form the Left side.  Returns the split
+/// with minimum ratio cut; ties keep the smallest rank.
+[[nodiscard]] SweepResult best_ratio_cut_split(
+    const Hypergraph& h, std::span<const std::int32_t> module_order);
+
+}  // namespace netpart

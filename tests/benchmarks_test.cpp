@@ -1,0 +1,86 @@
+#include "circuits/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/stats.hpp"
+
+namespace netpart {
+namespace {
+
+TEST(Benchmarks, SuiteHasNineCircuits) {
+  EXPECT_EQ(benchmark_suite().size(), 9u);
+}
+
+TEST(Benchmarks, SpecLookup) {
+  const BenchmarkSpec& prim2 = benchmark_spec("Prim2");
+  EXPECT_EQ(prim2.num_modules, 3014);
+  EXPECT_EQ(prim2.num_nets, 3029);
+  EXPECT_THROW(benchmark_spec("nosuch"), std::out_of_range);
+}
+
+TEST(Benchmarks, ModuleCountsMatchPaperTable2) {
+  // "Number of elements" column of Table 2.
+  EXPECT_EQ(benchmark_spec("bm1").num_modules, 882);
+  EXPECT_EQ(benchmark_spec("19ks").num_modules, 2844);
+  EXPECT_EQ(benchmark_spec("Prim1").num_modules, 833);
+  EXPECT_EQ(benchmark_spec("Prim2").num_modules, 3014);
+  EXPECT_EQ(benchmark_spec("Test02").num_modules, 1663);
+  EXPECT_EQ(benchmark_spec("Test03").num_modules, 1607);
+  EXPECT_EQ(benchmark_spec("Test04").num_modules, 1515);
+  EXPECT_EQ(benchmark_spec("Test05").num_modules, 2595);
+  EXPECT_EQ(benchmark_spec("Test06").num_modules, 1752);
+}
+
+TEST(Benchmarks, EveryCircuitGeneratesWithExactCounts) {
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    const GeneratedCircuit g = make_benchmark(spec.name);
+    EXPECT_EQ(g.hypergraph.num_modules(), spec.num_modules) << spec.name;
+    EXPECT_EQ(g.hypergraph.num_nets(), spec.num_nets) << spec.name;
+    EXPECT_EQ(g.hypergraph.name(), spec.name);
+  }
+}
+
+TEST(Benchmarks, EveryCircuitConnectedAndCovered) {
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    const GeneratedCircuit g = make_benchmark(spec.name);
+    EXPECT_TRUE(g.hypergraph.is_connected()) << spec.name;
+    for (ModuleId m = 0; m < g.hypergraph.num_modules(); ++m)
+      ASSERT_GE(g.hypergraph.module_degree(m), 1)
+          << spec.name << " module " << m;
+  }
+}
+
+TEST(Benchmarks, GenerationIsReproducible) {
+  const GeneratedCircuit a = make_benchmark("Test05");
+  const GeneratedCircuit b = make_benchmark("Test05");
+  ASSERT_EQ(a.hypergraph.num_pins(), b.hypergraph.num_pins());
+  for (NetId n = 0; n < a.hypergraph.num_nets(); ++n) {
+    const auto pa = a.hypergraph.pins(n);
+    const auto pb = b.hypergraph.pins(n);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) ASSERT_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(Benchmarks, NetSizeShapeResemblesTable1) {
+  // The sampled portion follows the Primary2 histogram: 2-pin nets must be
+  // the most common size and the average net size must stay in the
+  // 2-4 pin range typical of the MCNC suite.
+  const GeneratedCircuit g = make_benchmark("Prim2");
+  const HypergraphStats s = compute_stats(g.hypergraph);
+  EXPECT_GT(s.avg_net_size, 2.0);
+  EXPECT_LT(s.avg_net_size, 4.0);
+  std::int32_t most_common_size = 0;
+  std::int32_t most_common_count = -1;
+  for (std::size_t k = 2; k < s.net_size_histogram.size(); ++k)
+    if (s.net_size_histogram[k] > most_common_count) {
+      most_common_count = s.net_size_histogram[k];
+      most_common_size = static_cast<std::int32_t>(k);
+    }
+  EXPECT_EQ(most_common_size, 2);
+  // Long tail exists: some net larger than 14 pins.
+  EXPECT_GT(s.max_net_size, 14);
+}
+
+}  // namespace
+}  // namespace netpart

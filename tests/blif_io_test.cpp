@@ -1,0 +1,142 @@
+#include "io/blif_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/netlist_io.hpp"
+
+namespace netpart::io {
+namespace {
+
+/// Two AND gates sharing signal `t`; a latch on the output.
+constexpr const char* kSample = R"(# a tiny design
+.model adder_bit
+.inputs a b c
+.outputs q
+.names a b t
+11 1
+.names t c s
+11 1
+.latch s q re clk 0
+.end
+)";
+
+TEST(BlifReader, ParsesGatesAndLatches) {
+  std::istringstream in(kSample);
+  const BlifModel model = read_blif(in);
+  EXPECT_EQ(model.name, "adder_bit");
+  EXPECT_EQ(model.num_inputs, 3);
+  EXPECT_EQ(model.num_outputs, 1);
+  // Modules: two .names + one .latch.
+  EXPECT_EQ(model.hypergraph.num_modules(), 3);
+  ASSERT_EQ(model.module_names.size(), 3u);
+  EXPECT_EQ(model.module_names[0], "t");
+  EXPECT_EQ(model.module_names[1], "s");
+  EXPECT_EQ(model.module_names[2], "q");
+}
+
+TEST(BlifReader, SignalsBecomeNets) {
+  std::istringstream in(kSample);
+  const BlifModel model = read_blif(in);
+  // Only signals touching >= 2 gates survive: t (gate0, gate1) and
+  // s (gate1, latch).  a, b, c, q touch one gate each.
+  EXPECT_EQ(model.hypergraph.num_nets(), 2);
+  ASSERT_EQ(model.net_names.size(), 2u);
+  // Net names are sorted: s before t.
+  EXPECT_EQ(model.net_names[0], "s");
+  EXPECT_EQ(model.net_names[1], "t");
+  // s connects gate 1 and the latch (module 2).
+  EXPECT_TRUE(model.hypergraph.contains(0, 1));
+  EXPECT_TRUE(model.hypergraph.contains(0, 2));
+  // t connects gates 0 and 1.
+  EXPECT_TRUE(model.hypergraph.contains(1, 0));
+  EXPECT_TRUE(model.hypergraph.contains(1, 1));
+}
+
+TEST(BlifReader, HandlesContinuationsAndComments) {
+  std::istringstream in(
+      ".model cont  # trailing comment\n"
+      ".inputs a \\\n"
+      "  b c\n"
+      ".names a b \\\n"
+      "  c x\n"
+      "111 1\n"
+      ".names x a y\n"
+      "11 1\n"
+      ".end\n");
+  const BlifModel model = read_blif(in);
+  EXPECT_EQ(model.num_inputs, 3);
+  EXPECT_EQ(model.hypergraph.num_modules(), 2);
+  // Signals a and x each touch both gates.
+  EXPECT_EQ(model.hypergraph.num_nets(), 2);
+}
+
+TEST(BlifReader, GateBindingsUseActualSignals) {
+  std::istringstream in(
+      ".model mapped\n"
+      ".gate nand2 a=in1 b=in2 o=w\n"
+      ".gate inv a=w o=out\n"
+      ".end\n");
+  const BlifModel model = read_blif(in);
+  EXPECT_EQ(model.hypergraph.num_modules(), 2);
+  EXPECT_EQ(model.hypergraph.num_nets(), 1);  // only w is shared
+  EXPECT_EQ(model.net_names[0], "w");
+}
+
+TEST(BlifReader, Errors) {
+  {
+    std::istringstream in(".inputs a\n.end\n");
+    EXPECT_THROW(read_blif(in), ParseError);  // missing .model
+  }
+  {
+    std::istringstream in(".model m\n.names\n.end\n");
+    EXPECT_THROW(read_blif(in), ParseError);  // .names without output
+  }
+  {
+    std::istringstream in(".model m\n.latch a\n.end\n");
+    EXPECT_THROW(read_blif(in), ParseError);
+  }
+  {
+    std::istringstream in(".model m\n.gate nand2 broken\n.end\n");
+    EXPECT_THROW(read_blif(in), ParseError);  // no '=' in binding
+  }
+  {
+    std::istringstream in(".model m\n.frobnicate x\n.end\n");
+    EXPECT_THROW(read_blif(in), ParseError);  // unknown directive
+  }
+  {
+    std::istringstream in(".model m\nstray tokens\n.end\n");
+    EXPECT_THROW(read_blif(in), ParseError);  // cover row outside .names
+  }
+}
+
+TEST(BlifRoundTrip, WriteThenReadPreservesIncidence) {
+  HypergraphBuilder b(4);
+  b.set_name("rt");
+  b.add_net({0, 1});
+  b.add_net({1, 2, 3});
+  b.add_net({0, 3});
+  const Hypergraph original = b.build();
+
+  std::stringstream buffer;
+  write_blif(buffer, original);
+  const BlifModel parsed = read_blif(buffer);
+
+  ASSERT_EQ(parsed.hypergraph.num_modules(), original.num_modules());
+  ASSERT_EQ(parsed.hypergraph.num_nets(), original.num_nets());
+  // Net order may differ (sorted by name n0, n1, n2 — here it matches).
+  for (NetId n = 0; n < original.num_nets(); ++n) {
+    const auto a = original.pins(n);
+    const auto p = parsed.hypergraph.pins(n);
+    ASSERT_EQ(a.size(), p.size()) << "net " << n;
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], p[i]);
+  }
+}
+
+TEST(BlifReader, FileNotFoundThrows) {
+  EXPECT_THROW(read_blif_file("/nonexistent/x.blif"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace netpart::io

@@ -1,0 +1,126 @@
+#include "linalg/block_lanczos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/generator.hpp"
+#include "graph/intersection_graph.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace netpart {
+namespace {
+
+using linalg::block_lanczos_smallest;
+using linalg::BlockLanczosOptions;
+using linalg::CsrMatrix;
+using linalg::fiedler_pair;
+using linalg::fiedler_pair_block;
+using linalg::LanczosResult;
+using linalg::Triplet;
+
+CsrMatrix cycle_laplacian(std::int32_t n) {
+  std::vector<Triplet> t;
+  for (std::int32_t i = 0; i < n; ++i) {
+    t.push_back({i, i, 2.0});
+    t.push_back({i, (i + 1) % n, -1.0});
+    t.push_back({i, (i + n - 1) % n, -1.0});
+  }
+  return CsrMatrix::from_triplets(n, std::move(t));
+}
+
+std::vector<double> unit_ones(std::int32_t n) {
+  return std::vector<double>(static_cast<std::size_t>(n),
+                             1.0 / std::sqrt(static_cast<double>(n)));
+}
+
+TEST(BlockLanczos, DiagonalSmallest) {
+  const CsrMatrix a = CsrMatrix::from_triplets(
+      4, {{0, 0, 3.0}, {1, 1, -1.0}, {2, 2, 7.0}, {3, 3, 0.5}});
+  const LanczosResult r = block_lanczos_smallest(a, {});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, -1.0, 1e-8);
+}
+
+TEST(BlockLanczos, DegenerateLambda2OfCycle) {
+  // C_n has lambda_2 with multiplicity 2 — the case block methods handle
+  // gracefully.  Any vector in the 2-dimensional eigenspace is acceptable;
+  // the eigenVALUE must be exact.
+  const std::int32_t n = 30;
+  const CsrMatrix q = cycle_laplacian(n);
+  const std::vector<std::vector<double>> deflation{unit_ones(n)};
+  const LanczosResult r = block_lanczos_smallest(q, deflation);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, 2.0 - 2.0 * std::cos(2.0 * M_PI / n), 1e-7);
+  EXPECT_NEAR(linalg::dot(r.eigenvector, deflation[0]), 0.0, 1e-8);
+}
+
+TEST(BlockLanczos, AgreesWithSingleVectorLanczosOnCircuit) {
+  GeneratorConfig c;
+  c.name = "blk-agree";
+  c.num_modules = 150;
+  c.num_nets = 170;
+  c.leaf_max = 12;
+  const Hypergraph h = generate_circuit(c).hypergraph;
+  const CsrMatrix q = intersection_graph(h).laplacian();
+
+  const linalg::FiedlerResult single = fiedler_pair(q);
+  const linalg::FiedlerResult block = fiedler_pair_block(q);
+  ASSERT_TRUE(single.converged);
+  ASSERT_TRUE(block.converged);
+  EXPECT_NEAR(block.lambda2, single.lambda2,
+              1e-6 * std::max(1.0, single.lambda2));
+}
+
+TEST(BlockLanczos, BlockSizeOneStillWorks) {
+  const CsrMatrix q = cycle_laplacian(16);
+  const std::vector<std::vector<double>> deflation{unit_ones(16)};
+  BlockLanczosOptions options;
+  options.block_size = 1;
+  const LanczosResult r = block_lanczos_smallest(q, deflation, options);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, 2.0 - 2.0 * std::cos(2.0 * M_PI / 16), 1e-7);
+}
+
+TEST(BlockLanczos, ResidualReportedHonestly) {
+  const CsrMatrix q = cycle_laplacian(20);
+  const std::vector<std::vector<double>> deflation{unit_ones(20)};
+  const LanczosResult r = block_lanczos_smallest(q, deflation);
+  std::vector<double> check(20);
+  q.multiply(r.eigenvector, check);
+  linalg::axpy(-r.eigenvalue, r.eigenvector, check);
+  EXPECT_NEAR(linalg::norm(check), r.residual, 1e-12);
+}
+
+TEST(BlockLanczos, FullyDeflatedSpaceSafe) {
+  const CsrMatrix a = CsrMatrix::from_triplets(1, {{0, 0, 2.0}});
+  const std::vector<std::vector<double>> deflation{{1.0}};
+  const LanczosResult r = block_lanczos_smallest(a, deflation);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(BlockLanczos, RejectsBadOptions) {
+  const CsrMatrix a = CsrMatrix::from_triplets(2, {{0, 0, 1.0}});
+  BlockLanczosOptions options;
+  options.block_size = 0;
+  EXPECT_THROW(block_lanczos_smallest(a, {}, options),
+               std::invalid_argument);
+  const CsrMatrix empty = CsrMatrix::from_triplets(0, {});
+  EXPECT_THROW(block_lanczos_smallest(empty, {}), std::invalid_argument);
+}
+
+TEST(BlockLanczos, BasisCapReturnsHonestFlag) {
+  // A tiny basis cap cannot converge a 40-dim problem with a tight
+  // tolerance; the result must say so rather than lie.
+  const CsrMatrix q = cycle_laplacian(40);
+  const std::vector<std::vector<double>> deflation{unit_ones(40)};
+  BlockLanczosOptions options;
+  options.max_basis = 4;
+  options.tolerance = 1e-14;
+  const LanczosResult r = block_lanczos_smallest(q, deflation, options);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.residual, 0.0);
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,76 @@
+#include "graph/clique_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netpart {
+namespace {
+
+TEST(CliqueModel, TwoPinNetIsUnitEdge) {
+  HypergraphBuilder b(2);
+  b.add_net({0, 1});
+  const WeightedGraph g = clique_expansion(b.build());
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.0);
+}
+
+TEST(CliqueModel, KPinNetWeights) {
+  // A 4-pin net induces C(4,2)=6 edges of weight 1/3 each.
+  HypergraphBuilder b(4);
+  b.add_net({0, 1, 2, 3});
+  const WeightedGraph g = clique_expansion(b.build());
+  EXPECT_EQ(g.num_edges(), 6);
+  for (std::int32_t i = 0; i < 4; ++i)
+    for (std::int32_t j = i + 1; j < 4; ++j)
+      EXPECT_DOUBLE_EQ(g.edge_weight(i, j), 1.0 / 3.0);
+}
+
+TEST(CliqueModel, OverlappingNetsSum) {
+  // Nets {0,1} and {0,1,2}: edge (0,1) gets 1 + 1/2.
+  HypergraphBuilder b(3);
+  b.add_net({0, 1});
+  b.add_net({0, 1, 2});
+  const WeightedGraph g = clique_expansion(b.build());
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), 0.5);
+}
+
+TEST(CliqueModel, SinglePinNetIgnored) {
+  HypergraphBuilder b(2);
+  b.add_net({0});
+  b.add_net({0, 1});
+  const WeightedGraph g = clique_expansion(b.build());
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(CliqueModel, NonzeroCountQuadraticInNetSize) {
+  // The paper's sparsity complaint: a k-pin net generates k(k-1) adjacency
+  // nonzeros.  A 100-pin net -> 4950 edges -> 9900 nonzeros.
+  HypergraphBuilder b(100);
+  std::vector<ModuleId> pins(100);
+  for (std::int32_t i = 0; i < 100; ++i)
+    pins[static_cast<std::size_t>(i)] = i;
+  b.add_net(pins);
+  const WeightedGraph g = clique_expansion(b.build());
+  EXPECT_EQ(g.num_edges(), 4950);
+  EXPECT_EQ(g.adjacency_nonzeros(), 9900);
+}
+
+TEST(CliqueModel, TotalWeightPerNetIsHalfK) {
+  // Sum of the C(k,2) edge weights of one k-pin net is k/2: a constant
+  // "total connection strength" per pin, the fairness property of the
+  // standard model.
+  for (std::int32_t k = 2; k <= 8; ++k) {
+    HypergraphBuilder b(k);
+    std::vector<ModuleId> pins;
+    for (std::int32_t i = 0; i < k; ++i) pins.push_back(i);
+    b.add_net(pins);
+    const WeightedGraph g = clique_expansion(b.build());
+    double total = 0.0;
+    for (std::int32_t v = 0; v < k; ++v) total += g.degree_weight(v);
+    EXPECT_NEAR(total / 2.0, static_cast<double>(k) / 2.0, 1e-12) << k;
+  }
+}
+
+}  // namespace
+}  // namespace netpart

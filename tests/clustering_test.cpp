@@ -1,0 +1,121 @@
+#include "cluster/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generator.hpp"
+#include "hypergraph/cut_metrics.hpp"
+
+namespace netpart {
+namespace {
+
+TEST(Clustering, IdentityByDefault) {
+  const Clustering c(4);
+  EXPECT_EQ(c.num_modules(), 4);
+  EXPECT_EQ(c.num_clusters(), 4);
+  for (ModuleId m = 0; m < 4; ++m) {
+    EXPECT_EQ(c.cluster_of(m), m);
+    EXPECT_EQ(c.cluster_size(m), 1);
+  }
+}
+
+TEST(Clustering, ExplicitMapCountsSizes) {
+  const Clustering c({0, 1, 0, 1, 2});
+  EXPECT_EQ(c.num_clusters(), 3);
+  EXPECT_EQ(c.cluster_size(0), 2);
+  EXPECT_EQ(c.cluster_size(1), 2);
+  EXPECT_EQ(c.cluster_size(2), 1);
+}
+
+TEST(Clustering, RejectsNonDenseIds) {
+  EXPECT_THROW(Clustering({0, 2}), std::invalid_argument);
+  EXPECT_THROW(Clustering({-1, 0}), std::invalid_argument);
+}
+
+TEST(Clustering, ProjectLiftsPartition) {
+  const Clustering c({0, 0, 1, 1, 2});
+  Partition coarse(3);
+  coarse.assign(1, Side::kRight);
+  const Partition fine = c.project(coarse);
+  EXPECT_EQ(fine.side(0), Side::kLeft);
+  EXPECT_EQ(fine.side(1), Side::kLeft);
+  EXPECT_EQ(fine.side(2), Side::kRight);
+  EXPECT_EQ(fine.side(3), Side::kRight);
+  EXPECT_EQ(fine.side(4), Side::kLeft);
+}
+
+TEST(Clustering, ProjectRejectsSizeMismatch) {
+  const Clustering c({0, 0, 1});
+  EXPECT_THROW(c.project(Partition(3)), std::invalid_argument);
+}
+
+TEST(HeavyEdgeMatching, PairsStronglyConnectedModules) {
+  // Modules 0-1 tied by two 2-pin nets; 2-3 by one; 4 dangling via a
+  // 3-pin net.  Matching must pair (0,1) and (2,3).
+  HypergraphBuilder b(5);
+  b.add_net({0, 1});
+  b.add_net({0, 1});
+  b.add_net({2, 3});
+  b.add_net({1, 2, 4});
+  const Clustering c = heavy_edge_matching(b.build());
+  EXPECT_EQ(c.cluster_of(0), c.cluster_of(1));
+  EXPECT_EQ(c.cluster_of(2), c.cluster_of(3));
+  EXPECT_NE(c.cluster_of(0), c.cluster_of(2));
+}
+
+TEST(HeavyEdgeMatching, ClusterSizesAtMostTwo) {
+  GeneratorConfig config;
+  config.name = "hem-test";
+  config.num_modules = 300;
+  config.num_nets = 330;
+  config.leaf_max = 16;
+  const Hypergraph h = generate_circuit(config).hypergraph;
+  const Clustering c = heavy_edge_matching(h);
+  EXPECT_LT(c.num_clusters(), h.num_modules());
+  EXPECT_GE(c.num_clusters(), (h.num_modules() + 1) / 2);
+  for (std::int32_t cl = 0; cl < c.num_clusters(); ++cl)
+    EXPECT_LE(c.cluster_size(cl), 2);
+}
+
+TEST(Contract, MergesPinsAndDropsInternalNets) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1});     // inside cluster 0: dropped
+  b.add_net({0, 2});     // becomes {0, 1}
+  b.add_net({0, 1, 3});  // becomes {0, 1} after dedup (0,1 -> 0; 3 -> 1)
+  const Hypergraph h = b.build();
+  const Clustering c({0, 0, 1, 1});
+  const Hypergraph coarse = contract(h, c);
+  EXPECT_EQ(coarse.num_modules(), 2);
+  EXPECT_EQ(coarse.num_nets(), 2);
+  for (NetId n = 0; n < coarse.num_nets(); ++n)
+    EXPECT_EQ(coarse.net_size(n), 2);
+}
+
+TEST(Contract, CutIsPreservedUnderProjection) {
+  // A cut of the coarse hypergraph equals the cut of the projected fine
+  // partition restricted to surviving nets; dropped nets are internal to
+  // clusters and can never be cut.
+  GeneratorConfig config;
+  config.name = "contract-cut";
+  config.num_modules = 200;
+  config.num_nets = 230;
+  config.leaf_max = 16;
+  const Hypergraph h = generate_circuit(config).hypergraph;
+  const Clustering c = heavy_edge_matching(h);
+  const Hypergraph coarse = contract(h, c);
+
+  Partition coarse_partition(coarse.num_modules());
+  for (std::int32_t cl = 0; cl < coarse.num_modules(); cl += 2)
+    coarse_partition.assign(cl, Side::kRight);
+  const Partition fine_partition = c.project(coarse_partition);
+  EXPECT_EQ(net_cut(coarse, coarse_partition),
+            net_cut(h, fine_partition));
+}
+
+TEST(Contract, RejectsSizeMismatch) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1, 2});
+  EXPECT_THROW(contract(b.build(), Clustering(2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,99 @@
+#include "linalg/csr_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace netpart::linalg {
+namespace {
+
+CsrMatrix example2x2() {
+  // [[2, -1], [-1, 2]]
+  return CsrMatrix::from_triplets(
+      2, {{0, 0, 2.0}, {0, 1, -1.0}, {1, 0, -1.0}, {1, 1, 2.0}});
+}
+
+TEST(CsrMatrix, EmptyMatrix) {
+  const CsrMatrix m = CsrMatrix::from_triplets(0, {});
+  EXPECT_EQ(m.dim(), 0);
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(CsrMatrix, BasicAccess) {
+  const CsrMatrix m = example2x2();
+  EXPECT_EQ(m.dim(), 2);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 2.0);
+}
+
+TEST(CsrMatrix, AbsentEntryIsZero) {
+  const CsrMatrix m = CsrMatrix::from_triplets(3, {{0, 2, 5.0}});
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 0.0);
+  EXPECT_EQ(m.nnz(), 1);
+}
+
+TEST(CsrMatrix, DuplicatesSummed) {
+  const CsrMatrix m =
+      CsrMatrix::from_triplets(2, {{0, 1, 1.5}, {0, 1, 2.5}, {0, 1, -1.0}});
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 3.0);
+}
+
+TEST(CsrMatrix, RowsSortedByColumn) {
+  const CsrMatrix m =
+      CsrMatrix::from_triplets(4, {{1, 3, 1.0}, {1, 0, 2.0}, {1, 2, 3.0}});
+  const auto cols = m.row_cols(1);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 2);
+  EXPECT_EQ(cols[2], 3);
+  EXPECT_DOUBLE_EQ(m.row_values(1)[0], 2.0);
+}
+
+TEST(CsrMatrix, MultiplyMatchesDense) {
+  const CsrMatrix m = example2x2();
+  const std::vector<double> x{1.0, 2.0};
+  std::vector<double> y(2);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0 * 1.0 - 1.0 * 2.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0 * 1.0 + 2.0 * 2.0);
+}
+
+TEST(CsrMatrix, MultiplyEmptyRowGivesZero) {
+  const CsrMatrix m = CsrMatrix::from_triplets(2, {{0, 0, 1.0}});
+  const std::vector<double> x{5.0, 7.0};
+  std::vector<double> y{99.0, 99.0};
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+TEST(CsrMatrix, SymmetryCheck) {
+  EXPECT_TRUE(example2x2().is_symmetric());
+  const CsrMatrix asym = CsrMatrix::from_triplets(2, {{0, 1, 1.0}});
+  EXPECT_FALSE(asym.is_symmetric());
+}
+
+TEST(CsrMatrix, InfNorm) {
+  const CsrMatrix m =
+      CsrMatrix::from_triplets(2, {{0, 0, -3.0}, {0, 1, 2.0}, {1, 1, 4.0}});
+  EXPECT_DOUBLE_EQ(m.inf_norm(), 5.0);
+}
+
+TEST(CsrMatrix, RejectsOutOfRangeIndices) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, {{0, 2, 1.0}}), std::out_of_range);
+  EXPECT_THROW(CsrMatrix::from_triplets(2, {{-1, 0, 1.0}}),
+               std::out_of_range);
+  EXPECT_THROW(CsrMatrix::from_triplets(-1, {}), std::out_of_range);
+}
+
+TEST(CsrMatrix, ExplicitZeroKept) {
+  const CsrMatrix m = CsrMatrix::from_triplets(2, {{0, 1, 0.0}});
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace netpart::linalg

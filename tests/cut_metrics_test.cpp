@@ -1,0 +1,131 @@
+#include "hypergraph/cut_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace netpart {
+namespace {
+
+/// Chain of modules 0-1-2-3 with three 2-pin nets, plus one 3-pin net
+/// {0,1,2}.
+Hypergraph chain4() {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1});
+  b.add_net({1, 2});
+  b.add_net({2, 3});
+  b.add_net({0, 1, 2});
+  return b.build();
+}
+
+Partition split_at(std::int32_t n, std::int32_t first_right) {
+  Partition p(n);
+  for (ModuleId m = first_right; m < n; ++m) p.assign(m, Side::kRight);
+  return p;
+}
+
+TEST(CutMetrics, NetCutCountsSpanningNets) {
+  const Hypergraph h = chain4();
+  const Partition p = split_at(4, 2);  // {0,1} | {2,3}
+  EXPECT_FALSE(is_net_cut(h, p, 0));
+  EXPECT_TRUE(is_net_cut(h, p, 1));
+  EXPECT_FALSE(is_net_cut(h, p, 2));
+  EXPECT_TRUE(is_net_cut(h, p, 3));
+  EXPECT_EQ(net_cut(h, p), 2);
+}
+
+TEST(CutMetrics, RatioCutValue) {
+  const Hypergraph h = chain4();
+  const Partition p = split_at(4, 2);
+  EXPECT_DOUBLE_EQ(ratio_cut(h, p), 2.0 / (2.0 * 2.0));
+}
+
+TEST(CutMetrics, ImproperPartitionIsInfinite) {
+  const Hypergraph h = chain4();
+  const Partition p(4);  // everything left
+  EXPECT_TRUE(std::isinf(ratio_cut(h, p)));
+  EXPECT_TRUE(std::isinf(ratio_cut_value(5, 0, 4)));
+  EXPECT_TRUE(std::isinf(ratio_cut_value(5, 4, 0)));
+}
+
+TEST(CutMetrics, SinglePinNetNeverCut) {
+  HypergraphBuilder b(2);
+  b.add_net({0});
+  b.add_net({0, 1});
+  const Hypergraph h = b.build();
+  Partition p(2);
+  p.assign(1, Side::kRight);
+  EXPECT_FALSE(is_net_cut(h, p, 0));
+  EXPECT_EQ(net_cut(h, p), 1);
+}
+
+TEST(IncrementalCut, MatchesBatchAfterMoves) {
+  const Hypergraph h = chain4();
+  IncrementalCut tracker(h, Partition(4));
+  EXPECT_EQ(tracker.cut(), 0);
+
+  tracker.move(3, Side::kRight);
+  EXPECT_EQ(tracker.cut(), net_cut(h, tracker.partition()));
+  tracker.move(2, Side::kRight);
+  EXPECT_EQ(tracker.cut(), net_cut(h, tracker.partition()));
+  EXPECT_EQ(tracker.cut(), 2);
+  tracker.move(3, Side::kLeft);
+  EXPECT_EQ(tracker.cut(), net_cut(h, tracker.partition()));
+  tracker.flip(0);
+  EXPECT_EQ(tracker.cut(), net_cut(h, tracker.partition()));
+}
+
+TEST(IncrementalCut, MoveToSameSideIsNoOp) {
+  const Hypergraph h = chain4();
+  IncrementalCut tracker(h, split_at(4, 2));
+  const std::int32_t before = tracker.cut();
+  tracker.move(0, Side::kLeft);
+  EXPECT_EQ(tracker.cut(), before);
+}
+
+TEST(IncrementalCut, RatioTracksPartitionSizes) {
+  const Hypergraph h = chain4();
+  IncrementalCut tracker(h, split_at(4, 2));
+  EXPECT_DOUBLE_EQ(tracker.ratio(), 2.0 / 4.0);
+  tracker.move(1, Side::kRight);
+  EXPECT_DOUBLE_EQ(tracker.ratio(),
+                   static_cast<double>(tracker.cut()) / (1.0 * 3.0));
+}
+
+TEST(IncrementalCut, LeftPinsExposed) {
+  const Hypergraph h = chain4();
+  IncrementalCut tracker(h, split_at(4, 2));
+  EXPECT_EQ(tracker.left_pins(3), 2);  // net {0,1,2}: modules 0,1 left
+  tracker.move(0, Side::kRight);
+  EXPECT_EQ(tracker.left_pins(3), 1);
+}
+
+TEST(CutStats, GroupsByNetSize) {
+  const Hypergraph h = chain4();
+  const Partition p = split_at(4, 2);
+  const auto rows = cut_stats_by_net_size(h, p);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].net_size, 2);
+  EXPECT_EQ(rows[0].num_nets, 3);
+  EXPECT_EQ(rows[0].num_cut, 1);
+  EXPECT_EQ(rows[1].net_size, 3);
+  EXPECT_EQ(rows[1].num_nets, 1);
+  EXPECT_EQ(rows[1].num_cut, 1);
+}
+
+TEST(CutStats, TotalsAreConsistent) {
+  const Hypergraph h = chain4();
+  const Partition p = split_at(4, 1);
+  std::int32_t nets = 0;
+  std::int32_t cut = 0;
+  for (const auto& row : cut_stats_by_net_size(h, p)) {
+    nets += row.num_nets;
+    cut += row.num_cut;
+  }
+  EXPECT_EQ(nets, h.num_nets());
+  EXPECT_EQ(cut, net_cut(h, p));
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,110 @@
+#include "linalg/fiedler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/weighted_graph.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace netpart {
+namespace {
+
+using linalg::FiedlerResult;
+using linalg::fiedler_pair;
+using linalg::sorted_order;
+
+/// Path graph P_n (unit weights).
+WeightedGraph path_graph(std::int32_t n) {
+  std::vector<GraphEdge> edges;
+  for (std::int32_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1, 1.0});
+  return WeightedGraph::from_edges(n, std::move(edges));
+}
+
+TEST(Fiedler, PathGraphLambda2Analytic) {
+  // P_n Laplacian: lambda_2 = 2 - 2 cos(pi / n) = 4 sin^2(pi / 2n).
+  const std::int32_t n = 12;
+  const FiedlerResult r = fiedler_pair(path_graph(n).laplacian());
+  EXPECT_TRUE(r.converged);
+  const double expected = 2.0 - 2.0 * std::cos(M_PI / n);
+  EXPECT_NEAR(r.lambda2, expected, 1e-8);
+}
+
+TEST(Fiedler, PathVectorIsMonotoneAcrossThePath) {
+  // The Fiedler vector of a path is cos(pi (i + 1/2) / n) up to sign —
+  // strictly monotone, so the sorted order is the path order (or its
+  // reverse).
+  const std::int32_t n = 10;
+  const FiedlerResult r = fiedler_pair(path_graph(n).laplacian());
+  const auto order = sorted_order(r.vector);
+  bool forward = true;
+  bool backward = true;
+  for (std::int32_t i = 0; i < n; ++i) {
+    forward &= order[static_cast<std::size_t>(i)] == i;
+    backward &= order[static_cast<std::size_t>(i)] == n - 1 - i;
+  }
+  EXPECT_TRUE(forward || backward);
+}
+
+TEST(Fiedler, TwoCliquesWithBridgeSeparates) {
+  // Two K4's joined by one edge; the Fiedler vector must put one clique
+  // entirely on each side of zero.
+  std::vector<GraphEdge> edges;
+  for (std::int32_t i = 0; i < 4; ++i)
+    for (std::int32_t j = i + 1; j < 4; ++j) {
+      edges.push_back({i, j, 1.0});
+      edges.push_back({i + 4, j + 4, 1.0});
+    }
+  edges.push_back({3, 4, 1.0});
+  const WeightedGraph g = WeightedGraph::from_edges(8, std::move(edges));
+  const FiedlerResult r = fiedler_pair(g.laplacian());
+  EXPECT_TRUE(r.converged);
+  for (std::int32_t i = 0; i < 4; ++i)
+    for (std::int32_t j = 4; j < 8; ++j)
+      EXPECT_LT(r.vector[static_cast<std::size_t>(i)] *
+                    r.vector[static_cast<std::size_t>(j)],
+                0.0)
+          << i << " vs " << j;
+}
+
+TEST(Fiedler, VectorOrthogonalToOnes) {
+  const FiedlerResult r = fiedler_pair(path_graph(9).laplacian());
+  double sum = 0.0;
+  for (const double v : r.vector) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-7);
+}
+
+TEST(Fiedler, SingletonGraph) {
+  const WeightedGraph g = WeightedGraph::from_edges(1, {});
+  const FiedlerResult r = fiedler_pair(g.laplacian());
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.lambda2, 0.0);
+}
+
+TEST(Fiedler, CompleteGraphLambda2EqualsN) {
+  // K_n Laplacian: lambda_2 = ... = lambda_n = n.
+  const std::int32_t n = 7;
+  std::vector<GraphEdge> edges;
+  for (std::int32_t i = 0; i < n; ++i)
+    for (std::int32_t j = i + 1; j < n; ++j) edges.push_back({i, j, 1.0});
+  const WeightedGraph g = WeightedGraph::from_edges(n, std::move(edges));
+  const FiedlerResult r = fiedler_pair(g.laplacian());
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.lambda2, static_cast<double>(n), 1e-7);
+}
+
+TEST(SortedOrder, TiesBrokenByIndex) {
+  const auto order = sorted_order({1.0, 0.0, 1.0, 0.0});
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 3);
+  EXPECT_EQ(order[2], 0);
+  EXPECT_EQ(order[3], 2);
+}
+
+TEST(SortedOrder, EmptyInput) {
+  EXPECT_TRUE(sorted_order({}).empty());
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,158 @@
+#include "fm/fm_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generator.hpp"
+#include "fm/fm_partition.hpp"
+#include "hypergraph/cut_metrics.hpp"
+
+namespace netpart {
+namespace {
+
+Hypergraph dumbbell() {
+  HypergraphBuilder b(8);
+  for (std::int32_t i = 0; i < 4; ++i)
+    for (std::int32_t j = i + 1; j < 4; ++j) {
+      b.add_net({i, j});
+      b.add_net({4 + i, 4 + j});
+    }
+  b.add_net({3, 4});
+  return b.build();
+}
+
+TEST(FmEngine, ResetTracksCut) {
+  const Hypergraph h = dumbbell();
+  FmEngine engine(h);
+  Partition p(8);
+  for (std::int32_t m = 4; m < 8; ++m) p.assign(m, Side::kRight);
+  engine.reset(p);
+  EXPECT_EQ(engine.cut(), net_cut(h, p));
+  EXPECT_EQ(engine.cut(), 1);
+}
+
+TEST(FmEngine, MinCutPassNeverWorsens) {
+  const Hypergraph h = dumbbell();
+  FmEngine engine(h);
+  engine.reset(random_balanced_partition(8, 7));
+  const std::int32_t before = engine.cut();
+  engine.pass_min_cut(3, 5);
+  EXPECT_LE(engine.cut(), before);
+  EXPECT_EQ(engine.cut(), net_cut(h, engine.partition()));
+  EXPECT_GE(engine.partition().size(Side::kLeft), 3);
+  EXPECT_LE(engine.partition().size(Side::kLeft), 5);
+}
+
+TEST(FmEngine, RecoversDumbbellOptimum) {
+  const Hypergraph h = dumbbell();
+  FmEngine engine(h);
+  // Worst-case start: interleaved.
+  Partition p(8);
+  for (std::int32_t m = 0; m < 8; m += 2) p.assign(m, Side::kRight);
+  engine.reset(p);
+  for (int pass = 0; pass < 10; ++pass)
+    if (!engine.pass_min_cut(4, 4).improved) break;
+  EXPECT_EQ(engine.cut(), 1);
+}
+
+TEST(FmEngine, RatioPassNeverWorsensRatio) {
+  GeneratorConfig c;
+  c.name = "fm-ratio-pass";
+  c.num_modules = 100;
+  c.num_nets = 120;
+  c.leaf_max = 10;
+  const Hypergraph h = generate_circuit(c).hypergraph;
+  FmEngine engine(h);
+  engine.reset(random_balanced_partition(100, 3));
+  const double before = engine.ratio();
+  engine.pass_ratio_cut();
+  EXPECT_LE(engine.ratio(), before + 1e-12);
+  EXPECT_EQ(engine.cut(), net_cut(h, engine.partition()));
+}
+
+TEST(FmEngine, RatioPassKeepsPartitionProper) {
+  const Hypergraph h = dumbbell();
+  FmEngine engine(h);
+  engine.reset(random_balanced_partition(8, 5));
+  for (int pass = 0; pass < 5; ++pass) engine.pass_ratio_cut();
+  EXPECT_TRUE(engine.partition().is_proper());
+}
+
+TEST(FmEngine, PassResultAccounting) {
+  const Hypergraph h = dumbbell();
+  FmEngine engine(h);
+  Partition p(8);
+  for (std::int32_t m = 0; m < 8; m += 2) p.assign(m, Side::kRight);
+  engine.reset(p);
+  const FmPassResult r = engine.pass_min_cut(4, 4);
+  EXPECT_GT(r.moves_tried, 0);
+  EXPECT_LE(r.prefix_kept, r.moves_tried);
+  EXPECT_EQ(r.improved, r.prefix_kept > 0);
+}
+
+TEST(FmEngine, FixedModulesNeverMove) {
+  const Hypergraph h = dumbbell();
+  FmEngine engine(h);
+  // Adversarial start: whole dumbbell on one side except module 0, with
+  // module 0 pinned to the right.
+  Partition p(8);
+  p.assign(0, Side::kRight);
+  engine.reset(p);
+  engine.fix_module(0);
+  EXPECT_TRUE(engine.is_fixed(0));
+  for (int pass = 0; pass < 6; ++pass) engine.pass_ratio_cut();
+  EXPECT_EQ(engine.partition().side(0), Side::kRight);
+}
+
+TEST(FmEngine, ResetClearsFixedSet) {
+  const Hypergraph h = dumbbell();
+  FmEngine engine(h);
+  engine.reset(Partition(8));
+  engine.fix_module(3);
+  engine.reset(Partition(8));
+  EXPECT_FALSE(engine.is_fixed(3));
+}
+
+TEST(FmEngine, TerminalsSteerTheRefinement) {
+  // Pin one module of each clique to opposite sides, start from the
+  // all-left partition: the pass must rebuild the natural split around the
+  // terminals.
+  const Hypergraph h = dumbbell();
+  FmEngine engine(h);
+  Partition p(8);
+  p.assign(4, Side::kRight);
+  engine.reset(p);
+  engine.fix_module(0);   // left clique anchor stays left
+  engine.fix_module(4);   // right clique anchor stays right
+  for (int pass = 0; pass < 8; ++pass)
+    if (!engine.pass_ratio_cut().improved) break;
+  EXPECT_EQ(engine.cut(), 1);
+  EXPECT_EQ(engine.partition().side(0), Side::kLeft);
+  EXPECT_EQ(engine.partition().side(4), Side::kRight);
+}
+
+TEST(FmEngine, RejectsBadInputs) {
+  const Hypergraph h = dumbbell();
+  FmEngine engine(h);
+  EXPECT_THROW(engine.reset(Partition(5)), std::invalid_argument);
+  engine.reset(Partition(8));
+  EXPECT_THROW(engine.pass_min_cut(5, 3), std::invalid_argument);
+  EXPECT_THROW(engine.pass_min_cut(-1, 4), std::invalid_argument);
+}
+
+TEST(FmEngine, CutStaysConsistentAcrossManyPasses) {
+  GeneratorConfig c;
+  c.name = "fm-consistency";
+  c.num_modules = 90;
+  c.num_nets = 110;
+  c.leaf_max = 10;
+  const Hypergraph h = generate_circuit(c).hypergraph;
+  FmEngine engine(h);
+  engine.reset(random_balanced_partition(90, 11));
+  for (int pass = 0; pass < 8; ++pass) {
+    engine.pass_min_cut(30, 60);
+    ASSERT_EQ(engine.cut(), net_cut(h, engine.partition())) << pass;
+  }
+}
+
+}  // namespace
+}  // namespace netpart

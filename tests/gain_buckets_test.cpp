@@ -1,0 +1,106 @@
+#include "fm/gain_buckets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netpart {
+namespace {
+
+TEST(GainBuckets, EmptyInitially) {
+  const GainBuckets b(4, 3);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0);
+  EXPECT_EQ(b.max_item(), -1);
+  EXPECT_FALSE(b.contains(0));
+}
+
+TEST(GainBuckets, InsertAndMax) {
+  GainBuckets b(4, 3);
+  b.insert(0, 1);
+  b.insert(1, -2);
+  b.insert(2, 3);
+  EXPECT_EQ(b.size(), 3);
+  EXPECT_EQ(b.max_item(), 2);
+  EXPECT_EQ(b.max_gain(), 3);
+  EXPECT_EQ(b.gain_of(1), -2);
+}
+
+TEST(GainBuckets, LifoWithinBucket) {
+  GainBuckets b(4, 2);
+  b.insert(0, 1);
+  b.insert(1, 1);
+  b.insert(2, 1);
+  EXPECT_EQ(b.max_item(), 2);  // most recent first
+  b.remove(2);
+  EXPECT_EQ(b.max_item(), 1);
+}
+
+TEST(GainBuckets, RemoveRelinksList) {
+  GainBuckets b(5, 2);
+  b.insert(0, 0);
+  b.insert(1, 0);
+  b.insert(2, 0);
+  b.remove(1);  // middle of the chain
+  EXPECT_FALSE(b.contains(1));
+  EXPECT_EQ(b.size(), 2);
+  b.remove(2);  // head
+  EXPECT_EQ(b.max_item(), 0);
+  b.remove(0);  // tail / last
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(GainBuckets, MaxPointerDescends) {
+  GainBuckets b(3, 5);
+  b.insert(0, 5);
+  b.insert(1, -5);
+  b.remove(0);
+  EXPECT_EQ(b.max_item(), 1);
+  EXPECT_EQ(b.max_gain(), -5);
+  // Re-raising the max works after the lazy pointer descended.
+  b.insert(2, 2);
+  EXPECT_EQ(b.max_item(), 2);
+}
+
+TEST(GainBuckets, UpdateMovesBuckets) {
+  GainBuckets b(3, 4);
+  b.insert(0, 0);
+  b.insert(1, 2);
+  b.update(0, 4);
+  EXPECT_EQ(b.max_item(), 0);
+  EXPECT_EQ(b.gain_of(0), 4);
+}
+
+TEST(GainBuckets, AdjustOnAbsentIsNoOp) {
+  GainBuckets b(2, 3);
+  b.adjust(0, 2);  // absent: ignored
+  EXPECT_TRUE(b.empty());
+  b.insert(0, 1);
+  b.adjust(0, -2);
+  EXPECT_EQ(b.gain_of(0), -1);
+  b.adjust(0, 0);  // delta 0: no relink
+  EXPECT_EQ(b.gain_of(0), -1);
+}
+
+TEST(GainBuckets, ErrorsOnMisuse) {
+  GainBuckets b(2, 1);
+  b.insert(0, 0);
+  EXPECT_THROW(b.insert(0, 1), std::logic_error);
+  EXPECT_THROW(b.remove(1), std::logic_error);
+  EXPECT_THROW(b.insert(1, 2), std::out_of_range);  // gain beyond max
+  EXPECT_THROW(GainBuckets(2, -1), std::invalid_argument);
+}
+
+TEST(GainBuckets, StressInsertRemoveKeepsConsistency) {
+  const std::int32_t n = 50;
+  GainBuckets b(n, 10);
+  for (std::int32_t i = 0; i < n; ++i) b.insert(i, (i * 7) % 21 - 10);
+  EXPECT_EQ(b.size(), n);
+  // Remove every third item, then verify max by linear scan.
+  for (std::int32_t i = 0; i < n; i += 3) b.remove(i);
+  std::int32_t expected_max = -100;
+  for (std::int32_t i = 0; i < n; ++i)
+    if (b.contains(i)) expected_max = std::max(expected_max, b.gain_of(i));
+  EXPECT_EQ(b.max_gain(), expected_max);
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,173 @@
+#include "circuits/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/stats.hpp"
+
+namespace netpart {
+namespace {
+
+GeneratorConfig small_config() {
+  GeneratorConfig c;
+  c.name = "gen-test";
+  c.num_modules = 200;
+  c.num_nets = 220;
+  c.leaf_max = 16;
+  return c;
+}
+
+TEST(Generator, ProducesRequestedCounts) {
+  const GeneratedCircuit g = generate_circuit(small_config());
+  EXPECT_EQ(g.hypergraph.num_modules(), 200);
+  EXPECT_EQ(g.hypergraph.num_nets(), 220);
+}
+
+TEST(Generator, DeterministicForSameConfig) {
+  const GeneratedCircuit a = generate_circuit(small_config());
+  const GeneratedCircuit b = generate_circuit(small_config());
+  ASSERT_EQ(a.hypergraph.num_nets(), b.hypergraph.num_nets());
+  for (NetId n = 0; n < a.hypergraph.num_nets(); ++n) {
+    const auto pa = a.hypergraph.pins(n);
+    const auto pb = b.hypergraph.pins(n);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(Generator, DifferentNamesGiveDifferentCircuits) {
+  GeneratorConfig c1 = small_config();
+  GeneratorConfig c2 = small_config();
+  c2.name = "gen-test-other";
+  const GeneratedCircuit a = generate_circuit(c1);
+  const GeneratedCircuit b = generate_circuit(c2);
+  bool any_difference = false;
+  for (NetId n = 0; n < a.hypergraph.num_nets() && !any_difference; ++n) {
+    const auto pa = a.hypergraph.pins(n);
+    const auto pb = b.hypergraph.pins(n);
+    if (pa.size() != pb.size()) {
+      any_difference = true;
+      break;
+    }
+    for (std::size_t i = 0; i < pa.size(); ++i)
+      if (pa[i] != pb[i]) {
+        any_difference = true;
+        break;
+      }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, EveryModuleCovered) {
+  const GeneratedCircuit g = generate_circuit(small_config());
+  for (ModuleId m = 0; m < g.hypergraph.num_modules(); ++m)
+    EXPECT_GE(g.hypergraph.module_degree(m), 1) << "module " << m;
+}
+
+TEST(Generator, HypergraphIsConnected) {
+  const GeneratedCircuit g = generate_circuit(small_config());
+  EXPECT_TRUE(g.hypergraph.is_connected());
+}
+
+TEST(Generator, TreeCoversModulesExactly) {
+  const GeneratedCircuit g = generate_circuit(small_config());
+  ASSERT_FALSE(g.tree.empty());
+  const ClusterNode& root = g.tree[0];
+  EXPECT_EQ(root.begin, 0);
+  EXPECT_EQ(root.end, 200);
+  EXPECT_EQ(root.parent, -1);
+  // Children of every internal node tile its range exactly.
+  for (const ClusterNode& node : g.tree) {
+    if (node.is_leaf()) continue;
+    std::int32_t at = node.begin;
+    for (const std::int32_t c : node.children) {
+      const ClusterNode& child = g.tree[static_cast<std::size_t>(c)];
+      EXPECT_EQ(child.begin, at);
+      EXPECT_EQ(child.parent, &node - g.tree.data());
+      at = child.end;
+    }
+    EXPECT_EQ(at, node.end);
+  }
+}
+
+TEST(Generator, LeavesRespectLeafMax) {
+  const GeneratedCircuit g = generate_circuit(small_config());
+  for (const ClusterNode& node : g.tree)
+    if (node.is_leaf()) EXPECT_LE(node.size(), 16);
+}
+
+TEST(Generator, StructuralCountMatchesThrowBoundary) {
+  GeneratorConfig c = small_config();
+  const std::int32_t structural = structural_net_count(c);
+  EXPECT_GT(structural, 0);
+  EXPECT_LE(structural, c.num_nets);  // small_config must be feasible
+  c.num_nets = structural - 1;
+  EXPECT_THROW(generate_circuit(c), std::invalid_argument);
+  c.num_nets = structural;
+  const GeneratedCircuit g = generate_circuit(c);
+  EXPECT_EQ(g.hypergraph.num_nets(), structural);
+}
+
+TEST(Generator, RejectsBadConfigs) {
+  GeneratorConfig c = small_config();
+  c.num_modules = 1;
+  EXPECT_THROW(generate_circuit(c), std::invalid_argument);
+  c = small_config();
+  c.leaf_max = 2;
+  EXPECT_THROW(generate_circuit(c), std::invalid_argument);
+  c = small_config();
+  c.descend_probability = 1.5;
+  EXPECT_THROW(generate_circuit(c), std::invalid_argument);
+}
+
+TEST(Generator, NetSizesComeFromDistributionRange) {
+  GeneratorConfig c = small_config();
+  c.pin_distribution = PinDistribution::constant(4);
+  const GeneratedCircuit g = generate_circuit(c);
+  // Structural nets: 2-pin pairs, leaf spines of up to ceil(leaf_max/2)
+  // pins, glue nets of 2-4 pins; sampled nets are exactly 4 pins.
+  const HypergraphStats s = compute_stats(g.hypergraph);
+  EXPECT_LE(s.max_net_size, std::max(4, (c.leaf_max + 1) / 2));
+}
+
+TEST(Generator, RailNetsSpanTheDesign) {
+  GeneratorConfig c = small_config();
+  c.rail_sizes = {50, 20};
+  const GeneratedCircuit g = generate_circuit(c);
+  EXPECT_EQ(g.hypergraph.num_nets(), c.num_nets);
+  const HypergraphStats s = compute_stats(g.hypergraph);
+  EXPECT_EQ(s.max_net_size, 50);
+  // Rails are included in the structural count.
+  GeneratorConfig without = small_config();
+  EXPECT_EQ(structural_net_count(c), structural_net_count(without) + 2);
+}
+
+TEST(Generator, RejectsBadRailSizes) {
+  GeneratorConfig c = small_config();
+  c.rail_sizes = {1};
+  EXPECT_THROW(generate_circuit(c), std::invalid_argument);
+  c.rail_sizes = {c.num_modules + 1};
+  EXPECT_THROW(generate_circuit(c), std::invalid_argument);
+}
+
+TEST(Generator, LocalityBiasKeepsMostNetsInsideSubtrees) {
+  const GeneratedCircuit g = generate_circuit(small_config());
+  // Count nets whose pins all fall inside one child of the root: with a
+  // 0.8 descend probability the overwhelming majority must be local.
+  const ClusterNode& root = g.tree[0];
+  ASSERT_FALSE(root.children.empty());
+  std::int32_t local = 0;
+  for (NetId n = 0; n < g.hypergraph.num_nets(); ++n) {
+    const auto pins = g.hypergraph.pins(n);
+    for (const std::int32_t ci : root.children) {
+      const ClusterNode& child = g.tree[static_cast<std::size_t>(ci)];
+      if (pins.front() >= child.begin && pins.back() < child.end) {
+        ++local;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(local, g.hypergraph.num_nets() * 3 / 4);
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,151 @@
+/// Spectral property tests over graph families with known Laplacian
+/// spectra — a cross-check of the whole CsrMatrix/Lanczos/tridiagonal
+/// pipeline against closed-form eigenvalues.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/weighted_graph.hpp"
+#include "linalg/fiedler.hpp"
+
+namespace netpart {
+namespace {
+
+using linalg::fiedler_pair;
+using linalg::FiedlerResult;
+
+WeightedGraph path(std::int32_t n) {
+  std::vector<GraphEdge> e;
+  for (std::int32_t i = 0; i + 1 < n; ++i) e.push_back({i, i + 1, 1.0});
+  return WeightedGraph::from_edges(n, std::move(e));
+}
+
+WeightedGraph cycle(std::int32_t n) {
+  std::vector<GraphEdge> e;
+  for (std::int32_t i = 0; i < n; ++i) e.push_back({i, (i + 1) % n, 1.0});
+  return WeightedGraph::from_edges(n, std::move(e));
+}
+
+WeightedGraph star(std::int32_t n) {
+  std::vector<GraphEdge> e;
+  for (std::int32_t i = 1; i < n; ++i) e.push_back({0, i, 1.0});
+  return WeightedGraph::from_edges(n, std::move(e));
+}
+
+WeightedGraph complete(std::int32_t n) {
+  std::vector<GraphEdge> e;
+  for (std::int32_t i = 0; i < n; ++i)
+    for (std::int32_t j = i + 1; j < n; ++j) e.push_back({i, j, 1.0});
+  return WeightedGraph::from_edges(n, std::move(e));
+}
+
+WeightedGraph complete_bipartite(std::int32_t a, std::int32_t b) {
+  std::vector<GraphEdge> e;
+  for (std::int32_t i = 0; i < a; ++i)
+    for (std::int32_t j = 0; j < b; ++j) e.push_back({i, a + j, 1.0});
+  return WeightedGraph::from_edges(a + b, std::move(e));
+}
+
+WeightedGraph grid(std::int32_t rows, std::int32_t cols) {
+  std::vector<GraphEdge> e;
+  const auto id = [cols](std::int32_t r, std::int32_t c) {
+    return r * cols + c;
+  };
+  for (std::int32_t r = 0; r < rows; ++r)
+    for (std::int32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) e.push_back({id(r, c), id(r, c + 1), 1.0});
+      if (r + 1 < rows) e.push_back({id(r, c), id(r + 1, c), 1.0});
+    }
+  return WeightedGraph::from_edges(rows * cols, std::move(e));
+}
+
+class FamilySizeTest : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(FamilySizeTest, PathLambda2) {
+  const std::int32_t n = GetParam();
+  const FiedlerResult r = fiedler_pair(path(n).laplacian());
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.lambda2, 2.0 - 2.0 * std::cos(M_PI / n), 1e-7);
+}
+
+TEST_P(FamilySizeTest, CycleLambda2) {
+  const std::int32_t n = GetParam();
+  const FiedlerResult r = fiedler_pair(cycle(n).laplacian());
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.lambda2, 2.0 - 2.0 * std::cos(2.0 * M_PI / n), 1e-7);
+}
+
+TEST_P(FamilySizeTest, StarLambda2IsOne) {
+  // Star K_{1,n-1} Laplacian spectrum: {0, 1 (n-2 times), n}.
+  const std::int32_t n = GetParam();
+  const FiedlerResult r = fiedler_pair(star(n).laplacian());
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.lambda2, 1.0, 1e-7);
+}
+
+TEST_P(FamilySizeTest, CompleteLambda2IsN) {
+  const std::int32_t n = GetParam();
+  const FiedlerResult r = fiedler_pair(complete(n).laplacian());
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.lambda2, static_cast<double>(n), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FamilySizeTest,
+                         ::testing::Values(4, 7, 12, 25, 48));
+
+TEST(GraphFamilies, CompleteBipartiteLambda2) {
+  // K_{a,b} Laplacian spectrum: {0, a (b-1 times), b (a-1 times), a+b};
+  // lambda2 = min(a, b).
+  for (const auto& [a, b] : {std::pair{3, 5}, std::pair{4, 4},
+                             std::pair{2, 9}}) {
+    const FiedlerResult r =
+        fiedler_pair(complete_bipartite(a, b).laplacian());
+    ASSERT_TRUE(r.converged);
+    EXPECT_NEAR(r.lambda2, static_cast<double>(std::min(a, b)), 1e-7)
+        << a << "x" << b;
+  }
+}
+
+TEST(GraphFamilies, GridLambda2IsProductFormula) {
+  // Cartesian product: lambda2(P_r x P_c) = min of the two path lambda2's.
+  const std::int32_t rows = 4;
+  const std::int32_t cols = 7;
+  const FiedlerResult r = fiedler_pair(grid(rows, cols).laplacian());
+  ASSERT_TRUE(r.converged);
+  const double expected =
+      std::min(2.0 - 2.0 * std::cos(M_PI / rows),
+               2.0 - 2.0 * std::cos(M_PI / cols));
+  EXPECT_NEAR(r.lambda2, expected, 1e-7);
+}
+
+TEST(GraphFamilies, GridFiedlerCutsTheLongAxis) {
+  // The Fiedler vector of an elongated grid varies along the long axis, so
+  // its sign splits the grid into left/right halves.
+  const std::int32_t rows = 3;
+  const std::int32_t cols = 11;
+  const FiedlerResult r = fiedler_pair(grid(rows, cols).laplacian());
+  ASSERT_TRUE(r.converged);
+  // Columns 0 and cols-1 must carry opposite signs in every row.
+  for (std::int32_t row = 0; row < rows; ++row) {
+    const double first = r.vector[static_cast<std::size_t>(row * cols)];
+    const double last =
+        r.vector[static_cast<std::size_t>(row * cols + cols - 1)];
+    EXPECT_LT(first * last, 0.0) << "row " << row;
+  }
+}
+
+TEST(GraphFamilies, WeightScalingScalesSpectrum) {
+  // L(cG) = c L(G): doubling all weights doubles lambda2.
+  std::vector<GraphEdge> e;
+  for (std::int32_t i = 0; i + 1 < 10; ++i) e.push_back({i, i + 1, 2.0});
+  const WeightedGraph doubled = WeightedGraph::from_edges(10, std::move(e));
+  const FiedlerResult scaled = fiedler_pair(doubled.laplacian());
+  const FiedlerResult unit = fiedler_pair(path(10).laplacian());
+  ASSERT_TRUE(scaled.converged);
+  ASSERT_TRUE(unit.converged);
+  EXPECT_NEAR(scaled.lambda2, 2.0 * unit.lambda2, 1e-7);
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,159 @@
+#include "igmatch/igmatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "circuits/generator.hpp"
+#include "hypergraph/cut_metrics.hpp"
+
+namespace netpart {
+namespace {
+
+/// Two 2-pin-net cliques bridged by one net (modules 0-4 and 5-9).
+Hypergraph dumbbell() {
+  HypergraphBuilder b(10);
+  for (std::int32_t i = 0; i < 5; ++i)
+    for (std::int32_t j = i + 1; j < 5; ++j) {
+      b.add_net({i, j});
+      b.add_net({5 + i, 5 + j});
+    }
+  b.add_net({4, 5});
+  return b.build();
+}
+
+TEST(IgMatch, SeparatesDumbbell) {
+  const Hypergraph h = dumbbell();
+  const IgMatchResult r = igmatch_partition(h);
+  EXPECT_TRUE(r.eigen_converged);
+  EXPECT_EQ(r.nets_cut, 1);
+  EXPECT_EQ(r.partition.size(Side::kLeft), 5);
+  const Side s = r.partition.side(0);
+  for (std::int32_t i = 1; i < 5; ++i) EXPECT_EQ(r.partition.side(i), s);
+  for (std::int32_t i = 5; i < 10; ++i)
+    EXPECT_EQ(r.partition.side(i), opposite(s));
+}
+
+TEST(IgMatch, ResultInternallyConsistent) {
+  GeneratorConfig c;
+  c.name = "igmatch-consistency";
+  c.num_modules = 150;
+  c.num_nets = 170;
+  c.leaf_max = 12;
+  const Hypergraph h = generate_circuit(c).hypergraph;
+  const IgMatchResult r = igmatch_partition(h);
+  EXPECT_TRUE(r.eigen_converged);
+  EXPECT_TRUE(r.partition.is_proper());
+  EXPECT_EQ(r.nets_cut, net_cut(h, r.partition));
+  EXPECT_DOUBLE_EQ(r.ratio, ratio_cut(h, r.partition));
+  EXPECT_GE(r.best_rank, 1);
+  EXPECT_LT(r.best_rank, h.num_nets());
+}
+
+TEST(IgMatch, Theorem5BoundHoldsAtEverySplit) {
+  GeneratorConfig c;
+  c.name = "igmatch-bound";
+  c.num_modules = 100;
+  c.num_nets = 120;
+  c.leaf_max = 10;
+  const Hypergraph h = generate_circuit(c).hypergraph;
+  IgMatchOptions options;
+  options.record_splits = true;
+  const IgMatchResult r = igmatch_partition(h, options);
+  ASSERT_EQ(static_cast<std::int32_t>(r.splits.size()), h.num_nets() - 1);
+  for (const IgMatchSplitRecord& record : r.splits)
+    EXPECT_LE(record.nets_cut, record.matching_size)
+        << "rank " << record.rank;
+  EXPECT_LE(r.nets_cut, r.matching_bound_at_best);
+}
+
+TEST(IgMatch, CutCanBeStrictlyBelowMatchingBound) {
+  // The Figure 4 phenomenon: a "loser" net whose modules all end up on one
+  // side is not actually cut.  Nets: x={0,1}, v={1,2}, y={2,3}, z={3,4},
+  // u={1,5}.  With the split L={x,y,u} | R={v,z}, the maximum matching has
+  // size 2 (x-v, y-z) but the completed partition {0,1,5} | {2,3,4} cuts
+  // only net v.
+  HypergraphBuilder b(6);
+  b.add_net({0, 1});  // x = net 0
+  b.add_net({1, 2});  // v = net 1
+  b.add_net({2, 3});  // y = net 2
+  b.add_net({3, 4});  // z = net 3
+  b.add_net({1, 5});  // u = net 4
+  const Hypergraph h = b.build();
+
+  const std::vector<std::int32_t> order{1, 3, 0, 2, 4};  // v, z first
+  IgMatchOptions options;
+  options.record_splits = true;
+  const IgMatchResult r = igmatch_with_ordering(h, order, options);
+  ASSERT_GE(r.splits.size(), 2u);
+  const IgMatchSplitRecord& at2 = r.splits[1];  // rank 2: R = {v, z}
+  EXPECT_EQ(at2.matching_size, 2);
+  EXPECT_EQ(at2.nets_cut, 1);
+  EXPECT_LT(at2.nets_cut, at2.matching_size);
+}
+
+TEST(IgMatch, WithOrderingValidatesSize) {
+  const Hypergraph h = dumbbell();
+  std::vector<std::int32_t> short_order{0, 1, 2};
+  EXPECT_THROW(igmatch_with_ordering(h, short_order), std::invalid_argument);
+}
+
+TEST(IgMatch, TrivialInstancesReturnSafely) {
+  HypergraphBuilder b(1);
+  b.add_net({0});
+  const IgMatchResult r = igmatch_partition(b.build());
+  EXPECT_EQ(r.nets_cut, 0);
+
+  HypergraphBuilder b2(3);
+  b2.add_net({0, 1, 2});
+  const IgMatchResult r2 = igmatch_partition(b2.build());
+  EXPECT_EQ(r2.nets_cut, 0);  // a single net cannot be usefully split
+}
+
+TEST(IgMatch, OrderingDirectionIsIrrelevantForBestRatio) {
+  // Sweeping the sorted eigenvector forward or backward explores the same
+  // family of net splits, so the best ratio must agree.
+  const Hypergraph h = dumbbell();
+  std::vector<std::int32_t> order(static_cast<std::size_t>(h.num_nets()));
+  std::iota(order.begin(), order.end(), 0);
+  const IgMatchResult fwd = igmatch_with_ordering(h, order);
+  std::vector<std::int32_t> rev(order.rbegin(), order.rend());
+  const IgMatchResult bwd = igmatch_with_ordering(h, rev);
+  EXPECT_DOUBLE_EQ(fwd.ratio, bwd.ratio);
+}
+
+TEST(IgMatch, RecursiveNeverWorse) {
+  GeneratorConfig c;
+  c.name = "igmatch-recursive";
+  c.num_modules = 180;
+  c.num_nets = 200;
+  c.leaf_max = 14;
+  const Hypergraph h = generate_circuit(c).hypergraph;
+  const IgMatchResult plain = igmatch_partition(h);
+  IgMatchOptions options;
+  options.recursive = true;
+  const IgMatchResult recursive = igmatch_partition(h, options);
+  EXPECT_LE(recursive.ratio, plain.ratio + 1e-12);
+  EXPECT_EQ(recursive.nets_cut, net_cut(h, recursive.partition));
+}
+
+TEST(IgMatch, WeightingVariantsAllProduceValidPartitions) {
+  GeneratorConfig c;
+  c.name = "igmatch-weightings";
+  c.num_modules = 120;
+  c.num_nets = 140;
+  c.leaf_max = 12;
+  const Hypergraph h = generate_circuit(c).hypergraph;
+  for (const IgWeighting w :
+       {IgWeighting::kPaper, IgWeighting::kUniform, IgWeighting::kOverlap,
+        IgWeighting::kJaccard}) {
+    IgMatchOptions options;
+    options.weighting = w;
+    const IgMatchResult r = igmatch_partition(h, options);
+    EXPECT_TRUE(r.partition.is_proper()) << to_string(w);
+    EXPECT_EQ(r.nets_cut, net_cut(h, r.partition)) << to_string(w);
+  }
+}
+
+}  // namespace
+}  // namespace netpart

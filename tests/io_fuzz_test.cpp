@@ -1,0 +1,110 @@
+/// Robustness tests: malformed and adversarial inputs must produce a
+/// ParseError (or another std exception), never a crash, hang, or silently
+/// wrong hypergraph.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuits/rng.hpp"
+#include "io/blif_io.hpp"
+#include "io/netlist_io.hpp"
+
+namespace netpart::io {
+namespace {
+
+/// Each parser must reject (or cleanly accept) arbitrary byte soup.
+class GarbageInputTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::string random_garbage(std::uint64_t seed, std::size_t length) {
+  Xoshiro256 rng(seed);
+  std::string out;
+  // Printable-ish alphabet with structure-adjacent characters so the
+  // parsers get past trivial rejections occasionally.
+  const std::string alphabet =
+      "0123456789 \t\n.%#-abcdefg .model.names net modules\\=";
+  for (std::size_t i = 0; i < length; ++i)
+    out += alphabet[static_cast<std::size_t>(
+        rng.below(alphabet.size()))];
+  return out;
+}
+
+TEST_P(GarbageInputTest, HgrParserNeverCrashes) {
+  std::istringstream in(random_garbage(GetParam(), 400));
+  try {
+    const Hypergraph h = read_hgr(in);
+    // Accepted input must at least be internally consistent.
+    std::int64_t pins = 0;
+    for (NetId n = 0; n < h.num_nets(); ++n) pins += h.net_size(n);
+    EXPECT_EQ(pins, h.num_pins());
+  } catch (const std::exception&) {
+    // Rejection is the expected outcome.
+  }
+}
+
+TEST_P(GarbageInputTest, NetdParserNeverCrashes) {
+  std::istringstream in(random_garbage(GetParam() + 1000, 400));
+  try {
+    (void)read_netd(in);
+  } catch (const std::exception&) {
+  }
+}
+
+TEST_P(GarbageInputTest, BlifParserNeverCrashes) {
+  std::istringstream in(random_garbage(GetParam() + 2000, 400));
+  try {
+    (void)read_blif(in);
+  } catch (const std::exception&) {
+  }
+}
+
+TEST_P(GarbageInputTest, PartitionParserNeverCrashes) {
+  std::istringstream in(random_garbage(GetParam() + 3000, 120));
+  try {
+    (void)read_partition(in);
+  } catch (const std::exception&) {
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GarbageInputTest,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+TEST(IoEdgeCases, HgrHugeHeaderCountsRejected) {
+  // A header promising far more nets than the stream carries must fail
+  // with ParseError (EOF), not allocate unboundedly.
+  std::istringstream in("2000000000 5\n1 2\n");
+  EXPECT_THROW(read_hgr(in), ParseError);
+}
+
+TEST(IoEdgeCases, HgrNegativeHeaderRejected) {
+  std::istringstream in("-3 5\n");
+  EXPECT_THROW(read_hgr(in), ParseError);
+}
+
+TEST(IoEdgeCases, NetdHugeModuleCountParsesButStaysEmpty) {
+  // Large module counts are legal (sparse designs); no nets is fine.
+  std::istringstream in("modules 1000000\n");
+  const Hypergraph h = read_netd(in);
+  EXPECT_EQ(h.num_modules(), 1000000);
+  EXPECT_EQ(h.num_nets(), 0);
+}
+
+TEST(IoEdgeCases, BlifDeepContinuationChain) {
+  std::string text = ".model chain\n.inputs";
+  for (int i = 0; i < 200; ++i) text += " \\\n s" + std::to_string(i);
+  text += "\n.names s0 s1 out\n11 1\n.end\n";
+  std::istringstream in(text);
+  const BlifModel model = read_blif(in);
+  EXPECT_EQ(model.num_inputs, 200);
+}
+
+TEST(IoEdgeCases, EmptyNetLineInHgrIsEmptyNet) {
+  // An .hgr net line may legally be empty only if the format allows
+  // zero-pin nets; ours treats a blank line as skippable, so the net count
+  // must then mismatch and raise.
+  std::istringstream in("2 3\n1 2\n\n");
+  EXPECT_THROW(read_hgr(in), ParseError);
+}
+
+}  // namespace
+}  // namespace netpart::io

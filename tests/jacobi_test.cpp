@@ -1,0 +1,84 @@
+#include "linalg/jacobi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace netpart::linalg {
+namespace {
+
+TEST(Jacobi, DiagonalMatrix) {
+  const std::vector<double> a{3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0};
+  const DenseEigen eig = jacobi_eigen(a, 3);
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-12);
+}
+
+TEST(Jacobi, TwoByTwoAnalytic) {
+  // [[2, 1], [1, 2]]: eigenvalues 1 and 3.
+  const std::vector<double> a{2.0, 1.0, 1.0, 2.0};
+  const DenseEigen eig = jacobi_eigen(a, 2);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+}
+
+TEST(Jacobi, EigenpairsSatisfyDefinition) {
+  // A symmetric 4x4 with distinct eigenvalues.
+  const std::vector<double> a{
+      4.0, 1.0, 0.5, 0.0,  //
+      1.0, 3.0, 0.2, 0.7,  //
+      0.5, 0.2, 2.0, 0.1,  //
+      0.0, 0.7, 0.1, 1.0,
+  };
+  const std::size_t n = 4;
+  const DenseEigen eig = jacobi_eigen(a, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        av += a[i * n + k] * eig.vectors[j * n + k];
+      EXPECT_NEAR(av, eig.values[j] * eig.vectors[j * n + i], 1e-10)
+          << "pair " << j << " row " << i;
+    }
+  }
+}
+
+TEST(Jacobi, VectorsOrthonormal) {
+  const std::vector<double> a{
+      1.0, 2.0, 0.0,  //
+      2.0, 5.0, 1.0,  //
+      0.0, 1.0, 3.0,
+  };
+  const std::size_t n = 3;
+  const DenseEigen eig = jacobi_eigen(a, n);
+  for (std::size_t x = 0; x < n; ++x)
+    for (std::size_t y = 0; y < n; ++y) {
+      double d = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        d += eig.vectors[x * n + i] * eig.vectors[y * n + i];
+      EXPECT_NEAR(d, x == y ? 1.0 : 0.0, 1e-11);
+    }
+}
+
+TEST(Jacobi, LaplacianOfTriangle) {
+  // K3 Laplacian: eigenvalues 0, 3, 3.
+  const std::vector<double> a{
+      2.0, -1.0, -1.0,  //
+      -1.0, 2.0, -1.0,  //
+      -1.0, -1.0, 2.0,
+  };
+  const DenseEigen eig = jacobi_eigen(a, 3);
+  EXPECT_NEAR(eig.values[0], 0.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-12);
+}
+
+TEST(Jacobi, RejectsSizeMismatch) {
+  EXPECT_THROW(jacobi_eigen({1.0, 2.0}, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpart::linalg

@@ -1,0 +1,104 @@
+#include "core/kway_refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generator.hpp"
+
+namespace netpart {
+namespace {
+
+Hypergraph circuit(std::int32_t n, const char* name) {
+  GeneratorConfig c;
+  c.name = name;
+  c.num_modules = n;
+  c.num_nets = n + n / 10;
+  c.leaf_max = 16;
+  return generate_circuit(c).hypergraph;
+}
+
+TEST(KwayRefine, FixesObviouslyMisplacedModule) {
+  // Three tight pairs in three blocks, but module 5 starts in the wrong
+  // block: {0,1} | {2,3} | {4} with 5 in block 0.
+  HypergraphBuilder b(6);
+  b.add_net({0, 1});
+  b.add_net({2, 3});
+  b.add_net({4, 5});
+  b.add_net({4, 5});
+  const Hypergraph h = b.build();
+  const MultiwayPartition start({0, 0, 1, 1, 2, 0});
+  const KwayRefineResult r = kway_refine(h, start);
+  EXPECT_EQ(r.partition.block_of(5), 2);
+  EXPECT_EQ(r.cost_after, 0);
+  EXPECT_GT(r.cost_before, 0);
+  EXPECT_GE(r.moves_made, 1);
+}
+
+TEST(KwayRefine, NeverIncreasesCost) {
+  const Hypergraph h = circuit(300, "kway-mono");
+  // Round-robin start: terrible, lots of room to improve.
+  std::vector<std::int32_t> assignment(300);
+  for (std::int32_t m = 0; m < 300; ++m) assignment[static_cast<std::size_t>(m)] = m % 5;
+  const MultiwayPartition start(std::move(assignment));
+  KwayRefineOptions options;
+  options.max_block_size = 120;
+  const KwayRefineResult r = kway_refine(h, start, options);
+  EXPECT_LE(r.cost_after, r.cost_before);
+  EXPECT_GT(r.moves_made, 0);
+  // Size bound honoured.
+  for (std::int32_t b = 0; b < r.partition.num_blocks(); ++b)
+    EXPECT_LE(r.partition.block_size(b), 120);
+}
+
+TEST(KwayRefine, NoMovesWhenAlreadyOptimal) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1});
+  b.add_net({2, 3});
+  const Hypergraph h = b.build();
+  const MultiwayPartition start({0, 0, 1, 1});
+  const KwayRefineResult r = kway_refine(h, start);
+  EXPECT_EQ(r.moves_made, 0);
+  EXPECT_EQ(r.cost_after, 0);
+}
+
+TEST(KwayRefine, NeverEmptiesABlock) {
+  // Block 1 holds a single weakly attached module; even though moving it
+  // would improve the cost, emptying a block is forbidden.
+  HypergraphBuilder b(3);
+  b.add_net({0, 1, 2});
+  const Hypergraph h = b.build();
+  const MultiwayPartition start({0, 0, 1});
+  const KwayRefineResult r = kway_refine(h, start);
+  EXPECT_EQ(r.partition.num_blocks(), 2);
+  EXPECT_GE(r.partition.block_size(1), 1);
+}
+
+TEST(KwayRefine, RejectsBadInputs) {
+  const Hypergraph h = circuit(50, "kway-bad");
+  EXPECT_THROW(kway_refine(h, MultiwayPartition({0, 1})),
+               std::invalid_argument);
+  std::vector<std::int32_t> assignment(50, 0);
+  assignment[0] = 1;
+  KwayRefineOptions options;
+  options.max_block_size = 10;  // block 0 already holds 49 modules
+  EXPECT_THROW(kway_refine(h, MultiwayPartition(std::move(assignment)),
+                           options),
+               std::invalid_argument);
+}
+
+TEST(KwayRefine, ImprovesRecursiveBisectionOutput) {
+  const Hypergraph h = circuit(400, "kway-improve");
+  MultiwayOptions no_refine;
+  no_refine.max_block_size = 60;
+  no_refine.refine = false;
+  const MultiwayResult raw = multiway_partition(h, no_refine);
+  const KwayRefineResult refined = kway_refine(h, raw.partition);
+  EXPECT_LE(refined.cost_after, raw.connectivity_cost);
+  // And the integrated path produces the same-or-better cost.
+  MultiwayOptions with_refine = no_refine;
+  with_refine.refine = true;
+  const MultiwayResult integrated = multiway_partition(h, with_refine);
+  EXPECT_LE(integrated.connectivity_cost, raw.connectivity_cost);
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,143 @@
+#include "linalg/lanczos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/jacobi.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace netpart::linalg {
+namespace {
+
+/// Laplacian of the cycle C_n as triplets.
+CsrMatrix cycle_laplacian(std::int32_t n) {
+  std::vector<Triplet> t;
+  for (std::int32_t i = 0; i < n; ++i) {
+    t.push_back({i, i, 2.0});
+    t.push_back({i, (i + 1) % n, -1.0});
+    t.push_back({i, (i + n - 1) % n, -1.0});
+  }
+  return CsrMatrix::from_triplets(n, std::move(t));
+}
+
+std::vector<double> unit_ones(std::int32_t n) {
+  return std::vector<double>(static_cast<std::size_t>(n),
+                             1.0 / std::sqrt(static_cast<double>(n)));
+}
+
+TEST(Lanczos, DiagonalSmallest) {
+  const CsrMatrix a =
+      CsrMatrix::from_triplets(3, {{0, 0, 5.0}, {1, 1, -2.0}, {2, 2, 1.0}});
+  const LanczosResult r = smallest_eigenpair(a, {});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, -2.0, 1e-8);
+  EXPECT_NEAR(std::abs(r.eigenvector[1]), 1.0, 1e-6);
+}
+
+TEST(Lanczos, CycleLambda2WithDeflation) {
+  // C_n Laplacian: lambda_2 = 2 - 2 cos(2 pi / n), multiplicity 2.
+  const std::int32_t n = 24;
+  const CsrMatrix q = cycle_laplacian(n);
+  const std::vector<std::vector<double>> deflation{unit_ones(n)};
+  const LanczosResult r = smallest_eigenpair(q, deflation);
+  EXPECT_TRUE(r.converged);
+  const double expected = 2.0 - 2.0 * std::cos(2.0 * M_PI / n);
+  EXPECT_NEAR(r.eigenvalue, expected, 1e-7);
+  // The eigenvector stays orthogonal to the deflated ones vector.
+  EXPECT_NEAR(dot(r.eigenvector, deflation[0]), 0.0, 1e-8);
+  EXPECT_NEAR(norm(r.eigenvector), 1.0, 1e-10);
+}
+
+TEST(Lanczos, MatchesJacobiOnRandomSymmetric) {
+  // Deterministic "random" dense symmetric matrix, solved both ways.
+  const std::size_t n = 20;
+  std::vector<double> dense(n * n, 0.0);
+  std::vector<double> noise(n * n);
+  fill_random(noise, 4242);
+  std::vector<Triplet> triplets;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = noise[i * n + j];
+      dense[i * n + j] = v;
+      dense[j * n + i] = v;
+      triplets.push_back({static_cast<std::int32_t>(i),
+                          static_cast<std::int32_t>(j), v});
+      if (i != j)
+        triplets.push_back({static_cast<std::int32_t>(j),
+                            static_cast<std::int32_t>(i), v});
+    }
+  const CsrMatrix sparse =
+      CsrMatrix::from_triplets(static_cast<std::int32_t>(n), triplets);
+  const DenseEigen oracle = jacobi_eigen(dense, n);
+  const LanczosResult r = smallest_eigenpair(sparse, {});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, oracle.values[0], 1e-7);
+}
+
+TEST(Lanczos, ResidualIsSmallOnConvergence) {
+  const CsrMatrix q = cycle_laplacian(30);
+  const std::vector<std::vector<double>> deflation{unit_ones(30)};
+  LanczosOptions options;
+  options.tolerance = 1e-10;
+  const LanczosResult r = smallest_eigenpair(q, deflation, options);
+  EXPECT_TRUE(r.converged);
+  // Verify the reported residual independently.
+  std::vector<double> w(30);
+  q.multiply(r.eigenvector, w);
+  axpy(-r.eigenvalue, r.eigenvector, w);
+  EXPECT_NEAR(norm(w), r.residual, 1e-12);
+  EXPECT_LT(r.residual, 1e-8);
+}
+
+TEST(Lanczos, FullyDeflatedSpaceReturnsZeroVector) {
+  const CsrMatrix a = CsrMatrix::from_triplets(1, {{0, 0, 3.0}});
+  const std::vector<std::vector<double>> deflation{{1.0}};
+  const LanczosResult r = smallest_eigenpair(a, deflation);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.eigenvector[0], 0.0);
+}
+
+TEST(Lanczos, DisconnectedLaplacianSecondZero) {
+  // Two disjoint edges: Laplacian eigenvalues {0, 0, 2, 2}; after deflating
+  // the global ones vector the smallest remaining eigenvalue is 0 (the
+  // second kernel vector).
+  const CsrMatrix q = CsrMatrix::from_triplets(
+      4, {{0, 0, 1.0}, {0, 1, -1.0}, {1, 0, -1.0}, {1, 1, 1.0},
+          {2, 2, 1.0}, {2, 3, -1.0}, {3, 2, -1.0}, {3, 3, 1.0}});
+  const std::vector<std::vector<double>> deflation{unit_ones(4)};
+  const LanczosResult r = smallest_eigenpair(q, deflation);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, 0.0, 1e-8);
+  // The kernel vector separates the components: constant per component
+  // with opposite signs.
+  EXPECT_NEAR(r.eigenvector[0], r.eigenvector[1], 1e-6);
+  EXPECT_NEAR(r.eigenvector[2], r.eigenvector[3], 1e-6);
+  EXPECT_LT(r.eigenvector[0] * r.eigenvector[2], 0.0);
+}
+
+TEST(Lanczos, RejectsBadInput) {
+  const CsrMatrix empty = CsrMatrix::from_triplets(0, {});
+  EXPECT_THROW(smallest_eigenpair(empty, {}), std::invalid_argument);
+  const CsrMatrix a = CsrMatrix::from_triplets(2, {{0, 0, 1.0}});
+  const std::vector<std::vector<double>> bad{{1.0}};  // wrong length
+  EXPECT_THROW(smallest_eigenpair(a, bad), std::invalid_argument);
+}
+
+TEST(Lanczos, SeedChangesStartButNotAnswer) {
+  const CsrMatrix q = cycle_laplacian(16);
+  const std::vector<std::vector<double>> deflation{unit_ones(16)};
+  LanczosOptions o1;
+  o1.seed = 1;
+  LanczosOptions o2;
+  o2.seed = 999;
+  const LanczosResult r1 = smallest_eigenpair(q, deflation, o1);
+  const LanczosResult r2 = smallest_eigenpair(q, deflation, o2);
+  EXPECT_TRUE(r1.converged);
+  EXPECT_TRUE(r2.converged);
+  EXPECT_NEAR(r1.eigenvalue, r2.eigenvalue, 1e-7);
+}
+
+}  // namespace
+}  // namespace netpart::linalg

@@ -1,0 +1,120 @@
+#include "cluster/multilevel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generator.hpp"
+#include "hypergraph/cut_metrics.hpp"
+
+namespace netpart {
+namespace {
+
+Hypergraph clustered_circuit(const char* name, std::int32_t n) {
+  GeneratorConfig c;
+  c.name = name;
+  c.num_modules = n;
+  c.num_nets = n + n / 10;
+  c.leaf_max = 16;
+  return generate_circuit(c).hypergraph;
+}
+
+TEST(Multilevel, ProducesConsistentResult) {
+  const Hypergraph h = clustered_circuit("ml-basic", 600);
+  const MultilevelResult r = multilevel_partition(h);
+  EXPECT_TRUE(r.partition.is_proper());
+  EXPECT_EQ(r.nets_cut, net_cut(h, r.partition));
+  EXPECT_DOUBLE_EQ(r.ratio, ratio_cut(h, r.partition));
+  EXPECT_GT(r.levels, 0);
+  EXPECT_LE(r.coarsest_modules, 200 + 200);  // matching may stall early
+}
+
+TEST(Multilevel, CoarsensToRequestedSize) {
+  const Hypergraph h = clustered_circuit("ml-coarsen", 800);
+  MultilevelOptions options;
+  options.coarsen_to = 100;
+  const MultilevelResult r = multilevel_partition(h, options);
+  // Heavy-edge matching halves per level, so the coarsest instance is
+  // within a factor ~2 of the target.
+  EXPECT_LE(r.coarsest_modules, 200);
+  EXPECT_TRUE(r.partition.is_proper());
+}
+
+TEST(Multilevel, SmallInputSkipsCoarsening) {
+  const Hypergraph h = clustered_circuit("ml-small", 80);
+  MultilevelOptions options;
+  options.coarsen_to = 200;
+  const MultilevelResult r = multilevel_partition(h, options);
+  EXPECT_EQ(r.levels, 0);
+  EXPECT_EQ(r.coarsest_modules, h.num_modules());
+  EXPECT_TRUE(r.partition.is_proper());
+}
+
+TEST(Multilevel, SeparatesDumbbell) {
+  HypergraphBuilder b(12);
+  for (std::int32_t i = 0; i < 6; ++i)
+    for (std::int32_t j = i + 1; j < 6; ++j) {
+      b.add_net({i, j});
+      b.add_net({6 + i, 6 + j});
+    }
+  b.add_net({5, 6});
+  const Hypergraph h = b.build();
+  MultilevelOptions options;
+  options.coarsen_to = 6;
+  const MultilevelResult r = multilevel_partition(h, options);
+  EXPECT_EQ(r.nets_cut, 1);
+  EXPECT_EQ(r.partition.size(Side::kLeft), 6);
+}
+
+TEST(Multilevel, RefinementNeverHurtsVersusCoarseProjection) {
+  // The multilevel result must be at least as good as solving the coarsest
+  // level and projecting straight up without refinement.
+  const Hypergraph h = clustered_circuit("ml-refine", 500);
+  MultilevelOptions no_refine;
+  no_refine.refine_passes = 0;
+  MultilevelOptions with_refine;
+  with_refine.refine_passes = 8;
+  const MultilevelResult a = multilevel_partition(h, no_refine);
+  const MultilevelResult b = multilevel_partition(h, with_refine);
+  EXPECT_LE(b.ratio, a.ratio + 1e-12);
+}
+
+TEST(Multilevel, VcyclesNeverHurt) {
+  const Hypergraph h = clustered_circuit("ml-vcycle", 500);
+  MultilevelOptions plain;
+  MultilevelOptions cycled;
+  cycled.vcycles = 3;
+  const MultilevelResult a = multilevel_partition(h, plain);
+  const MultilevelResult b = multilevel_partition(h, cycled);
+  EXPECT_LE(b.ratio, a.ratio + 1e-12);
+  EXPECT_TRUE(b.partition.is_proper());
+  EXPECT_EQ(b.nets_cut, net_cut(h, b.partition));
+}
+
+TEST(ConstrainedMatching, NeverMergesAcrossSides) {
+  const Hypergraph h = clustered_circuit("ml-constrained", 200);
+  Partition p(200);
+  for (ModuleId m = 100; m < 200; ++m) p.assign(m, Side::kRight);
+  const Clustering c = heavy_edge_matching_within(h, p);
+  for (ModuleId m = 0; m < 200; ++m)
+    for (ModuleId other = 0; other < 200; ++other)
+      if (other != m && c.cluster_of(m) == c.cluster_of(other))
+        ASSERT_EQ(p.side(m), p.side(other));
+  EXPECT_THROW(heavy_edge_matching_within(h, Partition(5)),
+               std::invalid_argument);
+}
+
+TEST(Multilevel, RejectsBadOptions) {
+  const Hypergraph h = clustered_circuit("ml-bad", 50);
+  MultilevelOptions options;
+  options.coarsen_to = 1;
+  EXPECT_THROW(multilevel_partition(h, options), std::invalid_argument);
+}
+
+TEST(Multilevel, TrivialInstanceSafe) {
+  HypergraphBuilder b(1);
+  b.add_net({0});
+  const MultilevelResult r = multilevel_partition(b.build());
+  EXPECT_EQ(r.nets_cut, 0);
+}
+
+}  // namespace
+}  // namespace netpart

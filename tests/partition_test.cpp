@@ -1,0 +1,95 @@
+#include "hypergraph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netpart {
+namespace {
+
+TEST(Side, OppositeFlips) {
+  EXPECT_EQ(opposite(Side::kLeft), Side::kRight);
+  EXPECT_EQ(opposite(Side::kRight), Side::kLeft);
+}
+
+TEST(Partition, DefaultAllLeft) {
+  const Partition p(4);
+  EXPECT_EQ(p.size(Side::kLeft), 4);
+  EXPECT_EQ(p.size(Side::kRight), 0);
+  EXPECT_FALSE(p.is_proper());
+}
+
+TEST(Partition, AssignMaintainsCounts) {
+  Partition p(4);
+  p.assign(0, Side::kRight);
+  p.assign(1, Side::kRight);
+  EXPECT_EQ(p.size(Side::kLeft), 2);
+  EXPECT_EQ(p.size(Side::kRight), 2);
+  EXPECT_TRUE(p.is_proper());
+  // Re-assigning to the same side is a no-op.
+  p.assign(0, Side::kRight);
+  EXPECT_EQ(p.size(Side::kRight), 2);
+}
+
+TEST(Partition, FlipTogglesSide) {
+  Partition p(2);
+  p.flip(1);
+  EXPECT_EQ(p.side(1), Side::kRight);
+  p.flip(1);
+  EXPECT_EQ(p.side(1), Side::kLeft);
+}
+
+TEST(Partition, SizeProduct) {
+  Partition p(10);
+  for (ModuleId m = 0; m < 3; ++m) p.assign(m, Side::kRight);
+  EXPECT_EQ(p.size_product(), 7 * 3);
+}
+
+TEST(Partition, MembersSortedAscending) {
+  Partition p(5);
+  p.assign(4, Side::kRight);
+  p.assign(1, Side::kRight);
+  const auto right = p.members(Side::kRight);
+  ASSERT_EQ(right.size(), 2u);
+  EXPECT_EQ(right[0], 1);
+  EXPECT_EQ(right[1], 4);
+  const auto left = p.members(Side::kLeft);
+  ASSERT_EQ(left.size(), 3u);
+  EXPECT_EQ(left[0], 0);
+}
+
+TEST(Partition, FromExplicitSides) {
+  const Partition p({Side::kRight, Side::kLeft, Side::kRight});
+  EXPECT_EQ(p.num_modules(), 3);
+  EXPECT_EQ(p.size(Side::kLeft), 1);
+  EXPECT_EQ(p.side(0), Side::kRight);
+}
+
+TEST(Partition, CanonicalizePutsSmallSideLeft) {
+  Partition p(5);  // all left
+  p.assign(0, Side::kRight);
+  // left = 4, right = 1 -> canonical form flips.
+  p.canonicalize();
+  EXPECT_EQ(p.size(Side::kLeft), 1);
+  EXPECT_EQ(p.side(0), Side::kLeft);
+}
+
+TEST(Partition, CanonicalizeTieKeepsModuleZeroLeft) {
+  Partition p(4);
+  p.assign(0, Side::kRight);
+  p.assign(1, Side::kRight);
+  p.canonicalize();
+  EXPECT_EQ(p.side(0), Side::kLeft);
+  EXPECT_EQ(p.size(Side::kLeft), 2);
+}
+
+TEST(Partition, EqualityComparesSides) {
+  Partition a(3);
+  Partition b(3);
+  EXPECT_EQ(a, b);
+  a.assign(2, Side::kRight);
+  EXPECT_FALSE(a == b);
+  b.assign(2, Side::kRight);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace netpart

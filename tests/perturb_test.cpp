@@ -1,0 +1,82 @@
+#include "circuits/perturb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generator.hpp"
+#include "hypergraph/stats.hpp"
+
+namespace netpart {
+namespace {
+
+Hypergraph base_circuit() {
+  GeneratorConfig c;
+  c.name = "perturb-base";
+  c.num_modules = 200;
+  c.num_nets = 230;
+  c.leaf_max = 16;
+  return generate_circuit(c).hypergraph;
+}
+
+TEST(Perturb, ZeroFractionIsIdentity) {
+  const Hypergraph h = base_circuit();
+  const Hypergraph copy = rewire_pins(h, 0.0, 1);
+  EXPECT_DOUBLE_EQ(pin_difference_fraction(h, copy), 0.0);
+}
+
+TEST(Perturb, FractionScalesDamage) {
+  const Hypergraph h = base_circuit();
+  const Hypergraph light = rewire_pins(h, 0.05, 7);
+  const Hypergraph heavy = rewire_pins(h, 0.60, 7);
+  const double light_diff = pin_difference_fraction(h, light);
+  const double heavy_diff = pin_difference_fraction(h, heavy);
+  EXPECT_GT(light_diff, 0.0);
+  EXPECT_GT(heavy_diff, light_diff * 3.0);
+  // Rewiring p of pins changes at most ~2p of the symmetric difference.
+  EXPECT_LT(light_diff, 0.15);
+}
+
+TEST(Perturb, DeterministicForSeed) {
+  const Hypergraph h = base_circuit();
+  const Hypergraph a = rewire_pins(h, 0.3, 42);
+  const Hypergraph b = rewire_pins(h, 0.3, 42);
+  EXPECT_DOUBLE_EQ(pin_difference_fraction(a, b), 0.0);
+  const Hypergraph c = rewire_pins(h, 0.3, 43);
+  EXPECT_GT(pin_difference_fraction(a, c), 0.0);
+}
+
+TEST(Perturb, PreservesShapeCounts) {
+  const Hypergraph h = base_circuit();
+  const Hypergraph noisy = rewire_pins(h, 0.5, 5);
+  EXPECT_EQ(noisy.num_modules(), h.num_modules());
+  EXPECT_EQ(noisy.num_nets(), h.num_nets());
+  // Nets never grow (duplicates can shrink them).
+  for (NetId n = 0; n < h.num_nets(); ++n)
+    EXPECT_LE(noisy.net_size(n), h.net_size(n));
+}
+
+TEST(Perturb, RejectsBadFraction) {
+  const Hypergraph h = base_circuit();
+  EXPECT_THROW(rewire_pins(h, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(rewire_pins(h, 1.1, 1), std::invalid_argument);
+}
+
+TEST(PinDifference, RejectsShapeMismatch) {
+  HypergraphBuilder a(2);
+  a.add_net({0, 1});
+  HypergraphBuilder b(3);
+  b.add_net({0, 1});
+  EXPECT_THROW(pin_difference_fraction(a.build(), b.build()),
+               std::invalid_argument);
+}
+
+TEST(PinDifference, HandComputed) {
+  HypergraphBuilder a(4);
+  a.add_net({0, 1});
+  HypergraphBuilder b(4);
+  b.add_net({0, 2});
+  // Symmetric difference {1, 2} = 2 of 4 total pins.
+  EXPECT_DOUBLE_EQ(pin_difference_fraction(a.build(), b.build()), 0.5);
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,72 @@
+#include "circuits/pin_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace netpart {
+namespace {
+
+TEST(PinDistribution, ConstantAlwaysSamplesK) {
+  const PinDistribution d = PinDistribution::constant(5);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 5);
+  EXPECT_EQ(d.max_size(), 5);
+  EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+}
+
+TEST(PinDistribution, RejectsEmpty) {
+  EXPECT_THROW(PinDistribution({}), std::invalid_argument);
+}
+
+TEST(PinDistribution, RejectsSizeBelowTwo) {
+  EXPECT_THROW(PinDistribution({{1, 1.0}}), std::invalid_argument);
+}
+
+TEST(PinDistribution, RejectsNonPositiveWeight) {
+  EXPECT_THROW(PinDistribution({{2, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(PinDistribution({{2, -1.0}}), std::invalid_argument);
+}
+
+TEST(PinDistribution, SamplesFollowWeights) {
+  // 2-pin nets three times as likely as 4-pin nets.
+  const PinDistribution d({{2, 3.0}, {4, 1.0}});
+  Xoshiro256 rng(42);
+  std::map<std::int32_t, int> counts;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) ++counts[d.sample(rng)];
+  EXPECT_EQ(counts.size(), 2u);
+  const double frac2 = static_cast<double>(counts[2]) / trials;
+  EXPECT_NEAR(frac2, 0.75, 0.02);
+}
+
+TEST(PinDistribution, MeanMatchesWeights) {
+  const PinDistribution d({{2, 1.0}, {6, 1.0}});
+  EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+}
+
+TEST(PinDistribution, McncLikeShape) {
+  const PinDistribution d = PinDistribution::mcnc_like();
+  EXPECT_EQ(d.max_size(), 37);
+  // Dominated by 2-pin nets: mean stays small despite the long tail.
+  EXPECT_GT(d.mean(), 2.0);
+  EXPECT_LT(d.mean(), 5.0);
+
+  Xoshiro256 rng(7);
+  int two_pin = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i)
+    if (d.sample(rng) == 2) ++two_pin;
+  // Table 1: 1835 of 3029 nets are 2-pin (~60.6%).
+  EXPECT_NEAR(static_cast<double>(two_pin) / trials, 0.606, 0.02);
+}
+
+TEST(PinDistribution, SampleIsDeterministicGivenRngState) {
+  const PinDistribution d = PinDistribution::mcnc_like();
+  Xoshiro256 a(5);
+  Xoshiro256 b(5);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(d.sample(a), d.sample(b));
+}
+
+}  // namespace
+}  // namespace netpart

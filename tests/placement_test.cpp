@@ -1,0 +1,113 @@
+#include "spectral/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+
+namespace netpart {
+namespace {
+
+/// Two 2-pin-net cliques with a bridge (modules 0-3 and 4-7).
+Hypergraph dumbbell() {
+  HypergraphBuilder b(8);
+  for (std::int32_t i = 0; i < 4; ++i)
+    for (std::int32_t j = i + 1; j < 4; ++j) {
+      b.add_net({i, j});
+      b.add_net({4 + i, 4 + j});
+    }
+  b.add_net({3, 4});
+  return b.build();
+}
+
+TEST(HallPlacement, SeparatesClusters) {
+  const PlacementResult p = hall_placement(dumbbell());
+  EXPECT_TRUE(p.converged);
+  // The x coordinate (Fiedler vector) puts the two cliques on opposite
+  // signs.
+  for (std::int32_t i = 0; i < 4; ++i)
+    for (std::int32_t j = 4; j < 8; ++j)
+      EXPECT_LT(p.x[static_cast<std::size_t>(i)] *
+                    p.x[static_cast<std::size_t>(j)],
+                0.0);
+}
+
+TEST(HallPlacement, CoordinatesAreUnitAndOrthogonal) {
+  const PlacementResult p = hall_placement(dumbbell());
+  EXPECT_NEAR(linalg::norm(p.x), 1.0, 1e-8);
+  EXPECT_NEAR(linalg::norm(p.y), 1.0, 1e-8);
+  EXPECT_NEAR(linalg::dot(p.x, p.y), 0.0, 1e-7);
+  EXPECT_LE(p.lambda2, p.lambda3 + 1e-9);
+}
+
+TEST(HallPlacement, FiedlerMinimizesQuadraticWirelength) {
+  // Appendix A: among unit vectors orthogonal to ones, the Fiedler vector
+  // minimizes z = 1/2 sum (x_i-x_j)^2 A_ij, and z(x) = lambda_2 / ... with
+  // our convention z equals x^T Q x = lambda_2.  Any other unit vector
+  // orthogonal to ones must score >= lambda_2.
+  const Hypergraph h = dumbbell();
+  const PlacementResult p = hall_placement(h);
+  const double z_fiedler = quadratic_wirelength(h, p.x);
+  EXPECT_NEAR(z_fiedler, p.lambda2, 1e-7);
+
+  // A competing unit vector orthogonal to ones: alternating +-.
+  std::vector<double> alt(8);
+  for (std::size_t i = 0; i < 8; ++i) alt[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  linalg::normalize(alt);
+  EXPECT_GE(quadratic_wirelength(h, alt), z_fiedler - 1e-9);
+  // The y coordinate scores exactly lambda_3.
+  EXPECT_NEAR(quadratic_wirelength(h, p.y), p.lambda3, 1e-7);
+}
+
+TEST(NetsAsPoints, ModulesAtNetCentroids) {
+  const Hypergraph h = dumbbell();
+  const PlacementResult p = nets_as_points_placement(h);
+  EXPECT_TRUE(p.converged);
+  // Same qualitative separation as Hall: the two cliques' modules split by
+  // sign of x.
+  for (std::int32_t i = 0; i < 4; ++i)
+    for (std::int32_t j = 4; j < 8; ++j)
+      EXPECT_LT(p.x[static_cast<std::size_t>(i)] *
+                    p.x[static_cast<std::size_t>(j)],
+                0.0)
+          << i << ' ' << j;
+}
+
+TEST(NetsAsPoints, IsolatedModuleAtOrigin) {
+  HypergraphBuilder b(5);
+  b.add_net({0, 1});
+  b.add_net({1, 2});
+  b.add_net({2, 3});
+  // module 4 is on no net
+  const Hypergraph h = b.build();
+  const PlacementResult p = nets_as_points_placement(h);
+  EXPECT_DOUBLE_EQ(p.x[4], 0.0);
+  EXPECT_DOUBLE_EQ(p.y[4], 0.0);
+}
+
+TEST(Placement, TinyInstancesSafe) {
+  HypergraphBuilder b(2);
+  b.add_net({0, 1});
+  const Hypergraph h = b.build();
+  const PlacementResult hall = hall_placement(h);
+  EXPECT_TRUE(hall.converged);
+  const PlacementResult nap = nets_as_points_placement(h);
+  EXPECT_TRUE(nap.converged);
+}
+
+TEST(QuadraticWirelength, RejectsSizeMismatch) {
+  const Hypergraph h = dumbbell();
+  EXPECT_THROW(quadratic_wirelength(h, std::vector<double>(3, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(QuadraticWirelength, HandComputed) {
+  // Single 2-pin net: z = (x0-x1)^2 * 1.
+  HypergraphBuilder b(2);
+  b.add_net({0, 1});
+  EXPECT_DOUBLE_EQ(quadratic_wirelength(b.build(), {1.0, -1.0}), 4.0);
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,79 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+
+namespace netpart::linalg {
+namespace {
+
+TEST(ThinQr, OrthonormalizesIndependentColumns) {
+  ColumnBlock x{{1.0, 1.0, 0.0}, {0.0, 1.0, 1.0}};
+  const ThinQr qr = thin_qr(x);
+  EXPECT_EQ(qr.rank, 2);
+  EXPECT_NEAR(norm(qr.q[0]), 1.0, 1e-14);
+  EXPECT_NEAR(norm(qr.q[1]), 1.0, 1e-14);
+  EXPECT_NEAR(dot(qr.q[0], qr.q[1]), 0.0, 1e-14);
+}
+
+TEST(ThinQr, ReconstructsInput) {
+  // X = Q R: verify column-wise reconstruction.
+  const ColumnBlock x{{3.0, 4.0, 0.0}, {1.0, 2.0, 2.0}, {0.5, -1.0, 4.0}};
+  const ThinQr qr = thin_qr(x);
+  const std::int32_t b = 3;
+  for (std::int32_t j = 0; j < b; ++j) {
+    std::vector<double> rebuilt(3, 0.0);
+    for (std::int32_t i = 0; i <= j; ++i)
+      axpy(qr.r[static_cast<std::size_t>(i * b + j)],
+           qr.q[static_cast<std::size_t>(i)], rebuilt);
+    for (std::size_t row = 0; row < 3; ++row)
+      EXPECT_NEAR(rebuilt[row], x[static_cast<std::size_t>(j)][row], 1e-12)
+          << "col " << j << " row " << row;
+  }
+}
+
+TEST(ThinQr, RUpperTriangularWithPositiveDiagonal) {
+  const ColumnBlock x{{2.0, 0.0}, {1.0, 1.0}};
+  const ThinQr qr = thin_qr(x);
+  EXPECT_GT(qr.r[0], 0.0);
+  EXPECT_GT(qr.r[3], 0.0);
+  EXPECT_DOUBLE_EQ(qr.r[2], 0.0);  // below-diagonal entry
+}
+
+TEST(ThinQr, DetectsDependentColumn) {
+  ColumnBlock x{{1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}};  // col2 = 2 * col1
+  const ThinQr qr = thin_qr(x);
+  EXPECT_EQ(qr.rank, 1);
+  // The dependent column became a zero column with zero pivot.
+  EXPECT_DOUBLE_EQ(qr.r[3], 0.0);
+  EXPECT_NEAR(norm(qr.q[1]), 0.0, 1e-14);
+}
+
+TEST(ThinQr, RejectsBadInput) {
+  EXPECT_THROW(thin_qr({}), std::invalid_argument);
+  EXPECT_THROW(thin_qr({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+}
+
+TEST(BlockTimesSmall, HandComputed) {
+  const ColumnBlock block{{1.0, 0.0}, {0.0, 1.0}};
+  // m = [[1, 2], [3, 4]] row-major: out0 = 1*b0 + 3*b1, out1 = 2*b0 + 4*b1.
+  const std::vector<double> m{1.0, 2.0, 3.0, 4.0};
+  const ColumnBlock out = block_times_small(block, m, 2, 2);
+  EXPECT_DOUBLE_EQ(out[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(out[0][1], 3.0);
+  EXPECT_DOUBLE_EQ(out[1][0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1][1], 4.0);
+}
+
+TEST(BlockTimesSmall, RejectsMismatch) {
+  const ColumnBlock block{{1.0}, {2.0}};
+  EXPECT_THROW(block_times_small(block, {1.0}, 2, 2),
+               std::invalid_argument);
+  EXPECT_THROW(block_times_small(block, {1.0, 2.0}, 1, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpart::linalg

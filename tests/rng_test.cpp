@@ -1,0 +1,105 @@
+#include "circuits/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace netpart {
+namespace {
+
+TEST(SplitMix64, KnownStream) {
+  // Reference values for seed 0 from the SplitMix64 reference
+  // implementation (Vigna).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454FULL);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro, FromStringIsDeterministic) {
+  Xoshiro256 a = Xoshiro256::from_string("Prim2");
+  Xoshiro256 b = Xoshiro256::from_string("Prim2");
+  EXPECT_EQ(a.next(), b.next());
+  Xoshiro256 c = Xoshiro256::from_string("Prim1");
+  Xoshiro256 d = Xoshiro256::from_string("Prim2");
+  EXPECT_NE(c.next(), d.next());
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Xoshiro, BelowZeroThrows) {
+  Xoshiro256 rng(7);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Xoshiro, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, BelowCoversAllResidues) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro, RangeInclusive) {
+  Xoshiro256 rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, RangeDegenerateSingleValue) {
+  Xoshiro256 rng(3);
+  EXPECT_EQ(rng.range(5, 5), 5);
+}
+
+TEST(Xoshiro, RangeBadBoundsThrow) {
+  Xoshiro256 rng(3);
+  EXPECT_THROW(rng.range(2, 1), std::invalid_argument);
+}
+
+TEST(Xoshiro, UniformInHalfOpenUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  // Mean of U(0,1) is 0.5; with 10k samples the error should be tiny.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace netpart

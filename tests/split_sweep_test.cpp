@@ -1,0 +1,103 @@
+#include "spectral/split_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+
+namespace netpart {
+namespace {
+
+/// Two triangles joined by a single bridge net; the obvious best split
+/// cuts only the bridge.
+Hypergraph two_triangles() {
+  HypergraphBuilder b(6);
+  b.add_net({0, 1});
+  b.add_net({1, 2});
+  b.add_net({0, 2});
+  b.add_net({3, 4});
+  b.add_net({4, 5});
+  b.add_net({3, 5});
+  b.add_net({2, 3});  // bridge
+  return b.build();
+}
+
+TEST(SplitSweep, FindsBridgeCutOnGoodOrdering) {
+  const Hypergraph h = two_triangles();
+  const std::vector<std::int32_t> order{0, 1, 2, 3, 4, 5};
+  const SweepResult r = best_ratio_cut_split(h, order);
+  EXPECT_EQ(r.best_rank, 3);
+  EXPECT_EQ(r.nets_cut, 1);
+  EXPECT_DOUBLE_EQ(r.ratio, 1.0 / 9.0);
+  EXPECT_EQ(r.partition.size(Side::kLeft), 3);
+}
+
+TEST(SplitSweep, RespectsOrderingNotIds) {
+  const Hypergraph h = two_triangles();
+  // Reversed ordering still finds the rank-3 split (other triangle first).
+  const std::vector<std::int32_t> order{5, 4, 3, 2, 1, 0};
+  const SweepResult r = best_ratio_cut_split(h, order);
+  EXPECT_EQ(r.best_rank, 3);
+  EXPECT_EQ(r.nets_cut, 1);
+  EXPECT_EQ(r.partition.side(5), Side::kLeft);
+  EXPECT_EQ(r.partition.side(0), Side::kRight);
+}
+
+TEST(SplitSweep, BadOrderingGivesWorseRatio) {
+  const Hypergraph h = two_triangles();
+  // Interleaved ordering: no prefix isolates a triangle.
+  const std::vector<std::int32_t> interleaved{0, 3, 1, 4, 2, 5};
+  const SweepResult bad = best_ratio_cut_split(h, interleaved);
+  const std::vector<std::int32_t> good{0, 1, 2, 3, 4, 5};
+  const SweepResult best = best_ratio_cut_split(h, good);
+  EXPECT_GT(bad.ratio, best.ratio);
+}
+
+TEST(SplitSweep, ReportedValuesConsistent) {
+  const Hypergraph h = two_triangles();
+  const std::vector<std::int32_t> order{2, 0, 1, 5, 3, 4};
+  const SweepResult r = best_ratio_cut_split(h, order);
+  EXPECT_EQ(r.nets_cut, net_cut(h, r.partition));
+  EXPECT_DOUBLE_EQ(r.ratio, ratio_cut(h, r.partition));
+  EXPECT_EQ(r.partition.size(Side::kLeft), r.best_rank);
+}
+
+TEST(SplitSweep, TinyInstances) {
+  HypergraphBuilder b(2);
+  b.add_net({0, 1});
+  const Hypergraph h = b.build();
+  const std::vector<std::int32_t> order{0, 1};
+  const SweepResult r = best_ratio_cut_split(h, order);
+  EXPECT_EQ(r.best_rank, 1);
+  EXPECT_EQ(r.nets_cut, 1);
+
+  HypergraphBuilder b1(1);
+  const Hypergraph single = b1.build();
+  const std::vector<std::int32_t> order1{0};
+  const SweepResult r1 = best_ratio_cut_split(single, order1);
+  EXPECT_EQ(r1.best_rank, 0);  // no proper split exists
+}
+
+TEST(SplitSweep, RejectsWrongOrderSize) {
+  const Hypergraph h = two_triangles();
+  const std::vector<std::int32_t> order{0, 1, 2};
+  EXPECT_THROW(best_ratio_cut_split(h, order), std::invalid_argument);
+}
+
+TEST(SplitSweep, SweepIsExhaustive) {
+  // The returned ratio equals the explicit minimum over all prefixes.
+  const Hypergraph h = two_triangles();
+  const std::vector<std::int32_t> order{1, 4, 0, 5, 2, 3};
+  const SweepResult r = best_ratio_cut_split(h, order);
+  double manual_best = std::numeric_limits<double>::infinity();
+  for (std::int32_t rank = 1; rank < 6; ++rank) {
+    Partition p(6, Side::kRight);
+    for (std::int32_t i = 0; i < rank; ++i)
+      p.assign(order[static_cast<std::size_t>(i)], Side::kLeft);
+    manual_best = std::min(manual_best, ratio_cut(h, p));
+  }
+  EXPECT_DOUBLE_EQ(r.ratio, manual_best);
+}
+
+}  // namespace
+}  // namespace netpart

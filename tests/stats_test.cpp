@@ -1,0 +1,55 @@
+#include "hypergraph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace netpart {
+namespace {
+
+TEST(Stats, EmptyHypergraph) {
+  const HypergraphStats s = compute_stats(Hypergraph{});
+  EXPECT_EQ(s.num_modules, 0);
+  EXPECT_EQ(s.num_nets, 0);
+  EXPECT_EQ(s.num_pins, 0);
+  EXPECT_DOUBLE_EQ(s.avg_net_size, 0.0);
+}
+
+TEST(Stats, CountsAndAverages) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1});
+  b.add_net({0, 1, 2, 3});
+  const HypergraphStats s = compute_stats(b.build());
+  EXPECT_EQ(s.num_modules, 4);
+  EXPECT_EQ(s.num_nets, 2);
+  EXPECT_EQ(s.num_pins, 6);
+  EXPECT_DOUBLE_EQ(s.avg_net_size, 3.0);
+  EXPECT_EQ(s.max_net_size, 4);
+  EXPECT_DOUBLE_EQ(s.avg_module_degree, 1.5);
+  EXPECT_EQ(s.max_module_degree, 2);
+}
+
+TEST(Stats, HistogramByNetSize) {
+  HypergraphBuilder b(5);
+  b.add_net({0, 1});
+  b.add_net({1, 2});
+  b.add_net({0, 1, 2});
+  const HypergraphStats s = compute_stats(b.build());
+  ASSERT_EQ(s.net_size_histogram.size(), 4u);
+  EXPECT_EQ(s.net_size_histogram[2], 2);
+  EXPECT_EQ(s.net_size_histogram[3], 1);
+}
+
+TEST(Stats, StreamOutputContainsFields) {
+  HypergraphBuilder b(2);
+  b.add_net({0, 1});
+  std::ostringstream os;
+  os << compute_stats(b.build());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("modules:"), std::string::npos);
+  EXPECT_NE(text.find("nets:"), std::string::npos);
+  EXPECT_NE(text.find("pins:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,86 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+namespace netpart {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, underline, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Both value cells start at the same column.
+  const auto line_start = [&](int k) {
+    std::size_t pos = 0;
+    for (int i = 0; i < k; ++i) pos = out.find('\n', pos) + 1;
+    return pos;
+  };
+  const std::string row1 = out.substr(line_start(2), out.find('\n', line_start(2)) - line_start(2));
+  const std::string row2 = out.substr(line_start(3), out.find('\n', line_start(3)) - line_start(3));
+  EXPECT_EQ(row1.find('1'), row2.find("22"));
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"name", "value"});
+  t.add_row({"plain", "1"});
+  t.add_row({"has,comma", "say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(),
+            "name,value\n"
+            "plain,1\n"
+            "\"has,comma\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, AutoPrinterSwitchesOnEnvVar) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  {
+    ::unsetenv("NETPART_CSV");
+    std::ostringstream os;
+    print_table_auto(t, os);
+    EXPECT_NE(os.str().find("----"), std::string::npos);  // aligned mode
+  }
+  {
+    ::setenv("NETPART_CSV", "1", 1);
+    std::ostringstream os;
+    print_table_auto(t, os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+    ::unsetenv("NETPART_CSV");
+  }
+}
+
+TEST(FormatRatio, PaperStyle) {
+  EXPECT_EQ(format_ratio(5.53e-5), "5.53 x 10^-5");
+  EXPECT_EQ(format_ratio(1.24e-4), "12.40 x 10^-5");
+  EXPECT_EQ(format_ratio(std::numeric_limits<double>::infinity()), "inf");
+}
+
+TEST(FormatPercent, RoundsToInteger) {
+  EXPECT_EQ(format_percent(28.75), "29");
+  EXPECT_EQ(format_percent(-1.2), "-1");
+  EXPECT_EQ(format_percent(0.4), "0");
+}
+
+TEST(PercentImprovement, LowerIsBetterConvention) {
+  EXPECT_DOUBLE_EQ(percent_improvement(10.0, 5.0), 50.0);
+  EXPECT_DOUBLE_EQ(percent_improvement(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(percent_improvement(10.0, 12.0), -20.0);
+  EXPECT_DOUBLE_EQ(percent_improvement(0.0, 5.0), 0.0);  // guarded
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,115 @@
+#include "linalg/tridiagonal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace netpart::linalg {
+namespace {
+
+/// Residual ||T y - lambda y|| for a tridiagonal T given by (diag, sub).
+double residual(const std::vector<double>& diag,
+                const std::vector<double>& sub, double lambda,
+                const double* y, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double r = diag[i] * y[i] - lambda * y[i];
+    if (i > 0) r += sub[i - 1] * y[i - 1];
+    if (i + 1 < n) r += sub[i] * y[i + 1];
+    acc += r * r;
+  }
+  return std::sqrt(acc);
+}
+
+TEST(Tridiagonal, EmptyAndSingleton) {
+  EXPECT_TRUE(tridiagonal_eigenvalues({}, {}).empty());
+  const auto vals = tridiagonal_eigenvalues({7.0}, {});
+  ASSERT_EQ(vals.size(), 1u);
+  EXPECT_DOUBLE_EQ(vals[0], 7.0);
+}
+
+TEST(Tridiagonal, DiagonalMatrixSorted) {
+  const auto vals = tridiagonal_eigenvalues({3.0, 1.0, 2.0}, {0.0, 0.0});
+  ASSERT_EQ(vals.size(), 3u);
+  EXPECT_DOUBLE_EQ(vals[0], 1.0);
+  EXPECT_DOUBLE_EQ(vals[1], 2.0);
+  EXPECT_DOUBLE_EQ(vals[2], 3.0);
+}
+
+TEST(Tridiagonal, TwoByTwoAnalytic) {
+  // [[0, 1], [1, 0]] has eigenvalues -1, 1.
+  const auto vals = tridiagonal_eigenvalues({0.0, 0.0}, {1.0});
+  ASSERT_EQ(vals.size(), 2u);
+  EXPECT_NEAR(vals[0], -1.0, 1e-12);
+  EXPECT_NEAR(vals[1], 1.0, 1e-12);
+}
+
+TEST(Tridiagonal, PathLaplacianKnownSpectrum) {
+  // Laplacian of the path P_n is tridiagonal with eigenvalues
+  // 4 sin^2(pi k / (2n)), k = 0..n-1.
+  const std::size_t n = 8;
+  std::vector<double> diag(n, 2.0);
+  diag.front() = diag.back() = 1.0;
+  std::vector<double> sub(n - 1, -1.0);
+  const auto vals = tridiagonal_eigenvalues(diag, sub);
+  ASSERT_EQ(vals.size(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected =
+        4.0 * std::pow(std::sin(std::numbers::pi * static_cast<double>(k) /
+                                (2.0 * static_cast<double>(n))),
+                       2.0);
+    EXPECT_NEAR(vals[k], expected, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(Tridiagonal, EigenvectorsSatisfyDefinition) {
+  const std::vector<double> diag{2.0, 5.0, 1.0, -3.0, 0.5};
+  const std::vector<double> sub{1.0, -2.0, 0.5, 3.0};
+  const TridiagonalEigen eig = solve_tridiagonal(diag, sub);
+  const std::size_t n = diag.size();
+  ASSERT_EQ(eig.values.size(), n);
+  ASSERT_EQ(eig.vectors.size(), n * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_LT(residual(diag, sub, eig.values[j], &eig.vectors[j * n], n),
+              1e-10)
+        << "eigenpair " << j;
+  }
+}
+
+TEST(Tridiagonal, EigenvectorsOrthonormal) {
+  const std::vector<double> diag{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> sub{0.5, 0.5, 0.5};
+  const TridiagonalEigen eig = solve_tridiagonal(diag, sub);
+  const std::size_t n = diag.size();
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = 0; b < n; ++b) {
+      double d = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        d += eig.vectors[a * n + i] * eig.vectors[b * n + i];
+      EXPECT_NEAR(d, a == b ? 1.0 : 0.0, 1e-12);
+    }
+}
+
+TEST(Tridiagonal, TraceAndSumPreserved) {
+  const std::vector<double> diag{4.0, -1.0, 2.5, 3.0, 7.0, -2.0};
+  const std::vector<double> sub{1.1, 0.3, -0.7, 2.0, 0.9};
+  const auto vals = tridiagonal_eigenvalues(diag, sub);
+  double trace = 0.0;
+  for (const double d : diag) trace += d;
+  double sum = 0.0;
+  for (const double v : vals) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-10);
+  // Sorted ascending.
+  for (std::size_t i = 1; i < vals.size(); ++i)
+    EXPECT_LE(vals[i - 1], vals[i]);
+}
+
+TEST(Tridiagonal, RejectsSizeMismatch) {
+  EXPECT_THROW(tridiagonal_eigenvalues({1.0, 2.0}, {}), std::invalid_argument);
+  EXPECT_THROW(solve_tridiagonal({1.0}, {0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netpart::linalg

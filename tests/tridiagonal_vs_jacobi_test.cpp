@@ -1,0 +1,80 @@
+/// Cross-validation of the two dense eigensolvers on random symmetric
+/// tridiagonal matrices: the QL implementation (used inside Lanczos) and
+/// the Jacobi oracle must agree on eigenvalues AND produce eigenvectors
+/// spanning the same spaces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/jacobi.hpp"
+#include "linalg/tridiagonal.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace netpart::linalg {
+namespace {
+
+class TridiagonalOracleTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(TridiagonalOracleTest, EigenvaluesMatchJacobi) {
+  const auto [n, seed] = GetParam();
+  std::vector<double> diag(n);
+  std::vector<double> sub(n - 1);
+  fill_random(diag, seed);
+  fill_random(sub, seed + 101);
+  for (double& d : diag) d *= 5.0;
+
+  const std::vector<double> ql_values = tridiagonal_eigenvalues(diag, sub);
+
+  std::vector<double> dense(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) dense[i * n + i] = diag[i];
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    dense[i * n + i + 1] = sub[i];
+    dense[(i + 1) * n + i] = sub[i];
+  }
+  const DenseEigen oracle = jacobi_eigen(dense, n);
+
+  ASSERT_EQ(ql_values.size(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(ql_values[i], oracle.values[i], 1e-9 * std::max(1.0, 5.0))
+        << "eigenvalue " << i;
+}
+
+TEST_P(TridiagonalOracleTest, EigenvectorsDiagonalizeTheMatrix) {
+  const auto [n, seed] = GetParam();
+  std::vector<double> diag(n);
+  std::vector<double> sub(n - 1);
+  fill_random(diag, seed + 7);
+  fill_random(sub, seed + 13);
+
+  const TridiagonalEigen eig = solve_tridiagonal(diag, sub);
+  // y_j^T T y_j == lambda_j and cross terms vanish.
+  const auto apply = [&](const double* y, std::vector<double>& out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = diag[i] * y[i];
+      if (i > 0) out[i] += sub[i - 1] * y[i - 1];
+      if (i + 1 < n) out[i] += sub[i] * y[i + 1];
+    }
+  };
+  std::vector<double> ty(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    apply(&eig.vectors[j * n], ty);
+    for (std::size_t k = 0; k < n; ++k) {
+      double cross = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        cross += eig.vectors[k * n + i] * ty[i];
+      EXPECT_NEAR(cross, j == k ? eig.values[j] : 0.0, 1e-9)
+          << "entry (" << j << "," << k << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TridiagonalOracleTest,
+    ::testing::Combine(::testing::Values<std::size_t>(3, 8, 17, 32),
+                       ::testing::Values<std::uint64_t>(11, 42)));
+
+}  // namespace
+}  // namespace netpart::linalg

@@ -1,0 +1,73 @@
+#include "linalg/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace netpart::linalg {
+namespace {
+
+TEST(VectorOps, Dot) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VectorOps, Norm) {
+  const std::vector<double> x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm(x), 5.0);
+}
+
+TEST(VectorOps, Axpy) {
+  const std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOps, Scale) {
+  std::vector<double> x{1.0, -2.0};
+  scale(x, -3.0);
+  EXPECT_DOUBLE_EQ(x[0], -3.0);
+  EXPECT_DOUBLE_EQ(x[1], 6.0);
+}
+
+TEST(VectorOps, NormalizeReturnsOldNorm) {
+  std::vector<double> x{0.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(normalize(x), 5.0);
+  EXPECT_NEAR(norm(x), 1.0, 1e-15);
+}
+
+TEST(VectorOps, NormalizeZeroVectorIsSafe) {
+  std::vector<double> x{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(normalize(x), 0.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+}
+
+TEST(VectorOps, OrthogonalizeAgainstUnitVector) {
+  std::vector<double> q{1.0, 0.0};
+  std::vector<double> x{3.0, 7.0};
+  orthogonalize_against(x, q);
+  EXPECT_NEAR(x[0], 0.0, 1e-15);
+  EXPECT_DOUBLE_EQ(x[1], 7.0);
+  EXPECT_NEAR(dot(x, q), 0.0, 1e-15);
+}
+
+TEST(VectorOps, FillRandomDeterministicAndBounded) {
+  std::vector<double> a(64);
+  std::vector<double> b(64);
+  fill_random(a, 99);
+  fill_random(b, 99);
+  EXPECT_EQ(a, b);
+  for (const double v : a) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+  std::vector<double> c(64);
+  fill_random(c, 100);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace netpart::linalg

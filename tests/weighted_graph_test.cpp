@@ -1,0 +1,81 @@
+#include "graph/weighted_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netpart {
+namespace {
+
+TEST(WeightedGraph, EmptyGraph) {
+  const WeightedGraph g = WeightedGraph::from_edges(3, {});
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.adjacency_nonzeros(), 0);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(WeightedGraph, EdgesMirroredAndSorted) {
+  const WeightedGraph g =
+      WeightedGraph::from_edges(4, {{2, 0, 1.0}, {0, 3, 2.0}});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.adjacency_nonzeros(), 4);
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 2);
+  EXPECT_EQ(n0[1], 3);
+  EXPECT_DOUBLE_EQ(g.edge_weight(3, 0), 2.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), 0.0);
+}
+
+TEST(WeightedGraph, ParallelEdgesMerged) {
+  const WeightedGraph g =
+      WeightedGraph::from_edges(2, {{0, 1, 1.5}, {1, 0, 2.5}});
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 4.0);
+}
+
+TEST(WeightedGraph, DegreeWeight) {
+  const WeightedGraph g =
+      WeightedGraph::from_edges(3, {{0, 1, 2.0}, {0, 2, 3.0}});
+  EXPECT_DOUBLE_EQ(g.degree_weight(0), 5.0);
+  EXPECT_DOUBLE_EQ(g.degree_weight(1), 2.0);
+}
+
+TEST(WeightedGraph, RejectsBadEdges) {
+  EXPECT_THROW(WeightedGraph::from_edges(2, {{0, 2, 1.0}}),
+               std::out_of_range);
+  EXPECT_THROW(WeightedGraph::from_edges(2, {{1, 1, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(WeightedGraph::from_edges(2, {{0, 1, 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(WeightedGraph::from_edges(2, {{0, 1, -3.0}}),
+               std::invalid_argument);
+}
+
+TEST(WeightedGraph, LaplacianRowsSumToZero) {
+  const WeightedGraph g = WeightedGraph::from_edges(
+      4, {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 0.5}, {0, 3, 1.5}});
+  const linalg::CsrMatrix q = g.laplacian();
+  EXPECT_TRUE(q.is_symmetric());
+  for (std::int32_t r = 0; r < q.dim(); ++r) {
+    double sum = 0.0;
+    for (const double v : q.row_values(r)) sum += v;
+    EXPECT_NEAR(sum, 0.0, 1e-14);
+  }
+  EXPECT_DOUBLE_EQ(q.at(0, 0), g.degree_weight(0));
+  EXPECT_DOUBLE_EQ(q.at(0, 1), -1.0);
+}
+
+TEST(WeightedGraph, ComponentCount) {
+  const WeightedGraph one =
+      WeightedGraph::from_edges(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  EXPECT_EQ(one.num_components(), 1);
+  const WeightedGraph two =
+      WeightedGraph::from_edges(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  EXPECT_EQ(two.num_components(), 2);
+  const WeightedGraph isolated = WeightedGraph::from_edges(3, {{0, 1, 1.0}});
+  EXPECT_EQ(isolated.num_components(), 2);
+}
+
+}  // namespace
+}  // namespace netpart

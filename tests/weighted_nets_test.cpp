@@ -1,0 +1,145 @@
+/// Tests for multiplicity-weighted nets (Section 1.1: "the multiplicity or
+/// importance of a wiring connection") across the stack: hypergraph
+/// storage, cut metrics, the FM engine's weighted gains, and the net-model
+/// expansions.  A net of weight w must behave exactly like w parallel
+/// copies wherever weighted quantities are defined.
+
+#include <gtest/gtest.h>
+
+#include "fm/fm_engine.hpp"
+#include "fm/fm_partition.hpp"
+#include "graph/clique_model.hpp"
+#include "graph/intersection_graph.hpp"
+#include "hypergraph/cut_metrics.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace netpart {
+namespace {
+
+TEST(WeightedNets, StorageAndTotals) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1}, 4);
+  b.add_net({1, 2});
+  const Hypergraph h = b.build();
+  EXPECT_EQ(h.net_weight(0), 4);
+  EXPECT_EQ(h.net_weight(1), 1);
+  EXPECT_EQ(h.total_net_weight(), 5);
+  EXPECT_FALSE(h.is_unweighted());
+  EXPECT_THROW(b.add_net({0, 1}, 0), std::invalid_argument);
+}
+
+TEST(WeightedNets, DefaultIsUnweighted) {
+  HypergraphBuilder b(2);
+  b.add_net({0, 1});
+  EXPECT_TRUE(b.build().is_unweighted());
+}
+
+TEST(WeightedNets, WeightedCutMetrics) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1}, 3);  // uncut under {0,1}|{2,3}
+  b.add_net({1, 2}, 5);  // cut
+  b.add_net({2, 3});     // uncut
+  b.add_net({0, 3}, 2);  // cut
+  const Hypergraph h = b.build();
+  Partition p(4);
+  p.assign(2, Side::kRight);
+  p.assign(3, Side::kRight);
+  EXPECT_EQ(net_cut(h, p), 2);
+  EXPECT_EQ(weighted_net_cut(h, p), 7);
+  EXPECT_DOUBLE_EQ(weighted_ratio_cut(h, p), 7.0 / 4.0);
+}
+
+TEST(WeightedNets, IncrementalTrackerMatchesBatch) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1}, 3);
+  b.add_net({1, 2}, 5);
+  b.add_net({2, 3});
+  b.add_net({0, 2, 3}, 2);
+  const Hypergraph h = b.build();
+  IncrementalCut tracker(h, Partition(4));
+  for (const ModuleId m : {3, 2, 1, 3, 0}) {
+    tracker.flip(m);
+    EXPECT_EQ(tracker.cut(), net_cut(h, tracker.partition()));
+    EXPECT_EQ(tracker.weighted_cut(),
+              weighted_net_cut(h, tracker.partition()));
+  }
+}
+
+TEST(WeightedNets, EquivalentToParallelCopiesInFm) {
+  // Weighted instance vs the same instance with the net literally
+  // duplicated: FM must produce identical weighted cuts from the same
+  // start.
+  HypergraphBuilder weighted(6);
+  weighted.add_net({0, 1}, 2);
+  weighted.add_net({1, 2}, 3);
+  weighted.add_net({3, 4});
+  weighted.add_net({4, 5}, 2);
+  weighted.add_net({2, 3});
+  const Hypergraph hw = weighted.build();
+
+  HypergraphBuilder copies(6);
+  for (int i = 0; i < 2; ++i) copies.add_net({0, 1});
+  for (int i = 0; i < 3; ++i) copies.add_net({1, 2});
+  copies.add_net({3, 4});
+  for (int i = 0; i < 2; ++i) copies.add_net({4, 5});
+  copies.add_net({2, 3});
+  const Hypergraph hc = copies.build();
+
+  const Partition start = random_balanced_partition(6, 77);
+  FmEngine ew(hw);
+  ew.reset(start);
+  FmEngine ec(hc);
+  ec.reset(start);
+  EXPECT_EQ(ew.weighted_cut(), static_cast<std::int64_t>(ec.cut()));
+  ew.pass_ratio_cut();
+  ec.pass_ratio_cut();
+  EXPECT_EQ(ew.weighted_cut(), static_cast<std::int64_t>(ec.cut()));
+  EXPECT_DOUBLE_EQ(ew.ratio(), ec.ratio());
+}
+
+TEST(WeightedNets, CliqueModelScalesWithMultiplicity) {
+  HypergraphBuilder b(2);
+  b.add_net({0, 1}, 5);
+  const WeightedGraph g = clique_expansion(b.build());
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 5.0);
+}
+
+TEST(WeightedNets, IntersectionGraphScalesWithProduct) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1}, 2);   // net a, weight 2
+  b.add_net({1, 2}, 3);   // net b, weight 3
+  const Hypergraph h = b.build();
+  // Unweighted paper formula: shared module 1 with d=2, sizes 2 and 2:
+  // 1/1 * (1/2 + 1/2) = 1; multiplicity scaling: * 2 * 3 = 6.
+  EXPECT_NEAR(intersection_graph(h).edge_weight(0, 1), 6.0, 1e-14);
+}
+
+TEST(WeightedNets, InduceAndContractPreserveWeights) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1, 2}, 9);
+  const Hypergraph h = b.build();
+  const std::vector<ModuleId> keep{0, 1};
+  const Hypergraph sub = induce_subhypergraph(h, keep);
+  ASSERT_EQ(sub.num_nets(), 1);
+  EXPECT_EQ(sub.net_weight(0), 9);
+}
+
+TEST(WeightedNets, HeavyNetDominatesFmDecision) {
+  // Two candidate cut positions: one cuts a weight-10 net, the other a
+  // weight-1 net.  Weighted FM must pick the light one.
+  HypergraphBuilder b(4);
+  b.add_net({0, 1}, 10);
+  b.add_net({1, 2}, 1);
+  b.add_net({2, 3}, 10);
+  const Hypergraph h = b.build();
+  FmOptions options;
+  options.num_starts = 4;
+  const FmRunResult r = ratio_cut_fm(h, options);
+  // Best split is {0,1} | {2,3}: cuts only the weight-1 net.
+  EXPECT_EQ(r.weighted_cut, 1);
+  EXPECT_EQ(r.partition.side(0), r.partition.side(1));
+  EXPECT_EQ(r.partition.side(2), r.partition.side(3));
+}
+
+}  // namespace
+}  // namespace netpart

@@ -1,0 +1,207 @@
+/// netpart — command-line front end for the library.
+///
+/// Subcommands:
+///   stats     <input>                      structural statistics
+///   generate  <circuit> <out.hgr>          materialize a benchmark circuit
+///   partition <input> [algo] [out.part]    bipartition with any algorithm
+///   multiway  <input> <max-block> [algo]   recursive k-way decomposition
+///   sparsity  <input>                      clique vs IG nonzero counts
+///   list                                   list built-in circuits/algorithms
+///
+/// <input> is either the name of a built-in benchmark circuit (bm1, 19ks,
+/// Prim1, Prim2, Test02..Test06) or a path to an hMETIS .hgr file.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "circuits/benchmarks.hpp"
+#include "core/multiway.hpp"
+#include "core/partitioner.hpp"
+#include "core/table.hpp"
+#include "graph/sparsity.hpp"
+#include "hypergraph/cut_metrics.hpp"
+#include "hypergraph/stats.hpp"
+#include "io/dot_io.hpp"
+#include "io/netlist_io.hpp"
+
+namespace {
+
+using namespace netpart;
+
+int usage() {
+  std::cerr
+      << "usage: netpart <command> [args]\n"
+         "  stats     <input>\n"
+         "  generate  <circuit> <out.hgr>\n"
+         "  partition <input> [algorithm] [out.part]\n"
+         "  multiway  <input> <max-block-size> [algorithm]\n"
+         "  sparsity  <input>\n"
+         "  verify    <input> <partition.part>\n"
+         "  dot       <input> <out.dot>\n"
+         "  list\n"
+         "<input> = built-in circuit name or .hgr file path\n";
+  return 2;
+}
+
+/// Load a built-in circuit by name, or an .hgr file by path.
+Hypergraph load(const std::string& input) {
+  for (const BenchmarkSpec& spec : benchmark_suite())
+    if (spec.name == input) return make_benchmark(input).hypergraph;
+  return io::read_hgr_file(input);
+}
+
+int cmd_stats(const std::string& input) {
+  const Hypergraph h = load(input);
+  std::cout << compute_stats(h);
+  std::cout << "connected:   " << (h.is_connected() ? "yes" : "no") << '\n';
+  return 0;
+}
+
+int cmd_generate(const std::string& circuit, const std::string& out) {
+  const GeneratedCircuit g = make_benchmark(circuit);
+  io::write_hgr_file(out, g.hypergraph);
+  std::cout << "wrote " << circuit << " (" << g.hypergraph.num_modules()
+            << " modules, " << g.hypergraph.num_nets() << " nets) to " << out
+            << '\n';
+  return 0;
+}
+
+int cmd_partition(const std::string& input, const std::string& algorithm,
+                  const std::string& out) {
+  const Hypergraph h = load(input);
+  PartitionerConfig config;
+  config.algorithm = parse_algorithm(algorithm);
+  const PartitionResult r = run_partitioner(h, config);
+  std::cout << r.algorithm_name << " on " << input << ":\n"
+            << "  areas     " << r.left_size << ":" << r.right_size << '\n'
+            << "  nets cut  " << r.nets_cut << '\n'
+            << "  ratio cut " << format_ratio(r.ratio) << '\n'
+            << "  runtime   " << r.runtime_ms << " ms\n";
+  if (r.matching_bound >= 0)
+    std::cout << "  MM bound  " << r.matching_bound << '\n';
+  if (!out.empty()) {
+    std::ofstream stream(out);
+    if (!stream) {
+      std::cerr << "cannot open " << out << '\n';
+      return 1;
+    }
+    io::write_partition(stream, r.partition);
+    std::cout << "  partition written to " << out << '\n';
+  }
+  return 0;
+}
+
+int cmd_multiway(const std::string& input, std::int32_t max_block,
+                 const std::string& algorithm) {
+  const Hypergraph h = load(input);
+  MultiwayOptions options;
+  options.max_block_size = max_block;
+  options.bipartitioner.algorithm = parse_algorithm(algorithm);
+  const MultiwayResult r = multiway_partition(h, options);
+  std::cout << "multiway decomposition of " << input << " (blocks <= "
+            << max_block << " modules, " << algorithm << " splits):\n"
+            << "  blocks            " << r.partition.num_blocks() << '\n'
+            << "  splits performed  " << r.splits_performed << '\n'
+            << "  spanning nets     " << r.nets_spanning << '\n'
+            << "  connectivity-1    " << r.connectivity_cost << '\n';
+  std::int32_t largest = 0;
+  for (std::int32_t b = 0; b < r.partition.num_blocks(); ++b)
+    largest = std::max(largest, r.partition.block_size(b));
+  std::cout << "  largest block     " << largest << " modules\n";
+  return 0;
+}
+
+int cmd_sparsity(const std::string& input) {
+  const Hypergraph h = load(input);
+  const SparsityComparison c = compare_sparsity(h);
+  std::cout << "clique-model adjacency:      " << c.clique_dimension << " x "
+            << c.clique_dimension << ", " << c.clique_nonzeros
+            << " nonzeros\n"
+            << "intersection-graph adjacency: " << c.intersection_dimension
+            << " x " << c.intersection_dimension << ", "
+            << c.intersection_nonzeros << " nonzeros\n"
+            << "ratio: " << c.ratio() << "x\n";
+  return 0;
+}
+
+int cmd_dot(const std::string& input, const std::string& out_path) {
+  const Hypergraph h = load(input);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << '\n';
+    return 1;
+  }
+  io::DotOptions options;
+  options.max_net_size = 16;  // keep rail hairballs out of the drawing
+  io::write_dot_netlist(out, h, options);
+  std::cout << "wrote DOT netlist of " << input << " to " << out_path
+            << " (render: neato -Tsvg " << out_path << " -o out.svg)\n";
+  return 0;
+}
+
+int cmd_verify(const std::string& input, const std::string& part_path) {
+  const Hypergraph h = load(input);
+  std::ifstream stream(part_path);
+  if (!stream) {
+    std::cerr << "cannot open " << part_path << '\n';
+    return 1;
+  }
+  const Partition p = io::read_partition(stream);
+  if (p.num_modules() != h.num_modules()) {
+    std::cerr << "partition has " << p.num_modules() << " entries but "
+              << input << " has " << h.num_modules() << " modules\n";
+    return 1;
+  }
+  const std::int32_t cut = net_cut(h, p);
+  std::cout << "partition of " << input << " from " << part_path << ":\n"
+            << "  areas     " << p.size(Side::kLeft) << ":"
+            << p.size(Side::kRight) << '\n'
+            << "  nets cut  " << cut << '\n'
+            << "  ratio cut "
+            << format_ratio(ratio_cut_value(cut, p.size(Side::kLeft),
+                                            p.size(Side::kRight)))
+            << '\n'
+            << "  proper    " << (p.is_proper() ? "yes" : "NO") << '\n';
+  return 0;
+}
+
+int cmd_list() {
+  std::cout << "built-in circuits:";
+  for (const BenchmarkSpec& spec : benchmark_suite())
+    std::cout << ' ' << spec.name;
+  std::cout << "\nalgorithms: igmatch igmatch-recursive igmatch-refined "
+               "igvote eig1 rcut fm kl multilevel sa\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  try {
+    const std::string& command = args[0];
+    if (command == "stats" && args.size() == 2) return cmd_stats(args[1]);
+    if (command == "generate" && args.size() == 3)
+      return cmd_generate(args[1], args[2]);
+    if (command == "partition" && args.size() >= 2 && args.size() <= 4)
+      return cmd_partition(args[1], args.size() > 2 ? args[2] : "igmatch",
+                           args.size() > 3 ? args[3] : "");
+    if (command == "multiway" && args.size() >= 3 && args.size() <= 4)
+      return cmd_multiway(args[1], std::stoi(args[2]),
+                          args.size() > 3 ? args[3] : "igmatch");
+    if (command == "sparsity" && args.size() == 2)
+      return cmd_sparsity(args[1]);
+    if (command == "verify" && args.size() == 3)
+      return cmd_verify(args[1], args[2]);
+    if (command == "dot" && args.size() == 3)
+      return cmd_dot(args[1], args[2]);
+    if (command == "list") return cmd_list();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
