@@ -11,8 +11,10 @@
 #include "circuits/benchmarks.hpp"
 #include "core/partitioner.hpp"
 #include "core/table.hpp"
+#include "bench_obs.hpp"
 
 int main() {
+  const netpart::bench::MetricsExportGuard netpart_obs_guard("ablation_hybrid");
   using namespace netpart;
 
   std::cout << "Ablation: Section 5 hybrids vs plain IG-Match\n\n";

@@ -12,8 +12,10 @@
 #include "core/table.hpp"
 #include "igmatch/igmatch.hpp"
 #include "spectral/eig1.hpp"
+#include "bench_obs.hpp"
 
 int main() {
+  const netpart::bench::MetricsExportGuard netpart_obs_guard("ablation_net_models");
   using namespace netpart;
 
   const NetModel models[] = {NetModel::kClique, NetModel::kPath,

@@ -11,8 +11,10 @@
 #include "circuits/perturb.hpp"
 #include "core/partitioner.hpp"
 #include "core/table.hpp"
+#include "bench_obs.hpp"
 
 int main() {
+  const netpart::bench::MetricsExportGuard netpart_obs_guard("ablation_noise");
   using namespace netpart;
 
   const double noise_levels[] = {0.0, 0.05, 0.15, 0.40};

@@ -9,8 +9,10 @@
 #include "circuits/benchmarks.hpp"
 #include "core/partitioner.hpp"
 #include "core/table.hpp"
+#include "bench_obs.hpp"
 
 int main() {
+  const netpart::bench::MetricsExportGuard netpart_obs_guard("ablation_recursive");
   using namespace netpart;
 
   std::cout << "Ablation: plain IG-Match vs recursive completion\n\n";

@@ -13,8 +13,10 @@
 #include "hypergraph/cut_metrics.hpp"
 #include "igmatch/igmatch.hpp"
 #include "spectral/eig1.hpp"
+#include "bench_obs.hpp"
 
 int main() {
+  const netpart::bench::MetricsExportGuard netpart_obs_guard("ablation_threshold");
   using namespace netpart;
 
   const std::int32_t thresholds[] = {0, 37, 20, 10};

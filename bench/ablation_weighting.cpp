@@ -8,8 +8,10 @@
 #include "circuits/benchmarks.hpp"
 #include "core/partitioner.hpp"
 #include "core/table.hpp"
+#include "bench_obs.hpp"
 
 int main() {
+  const netpart::bench::MetricsExportGuard netpart_obs_guard("ablation_weighting");
   using namespace netpart;
 
   const IgWeighting weightings[] = {IgWeighting::kPaper, IgWeighting::kUniform,

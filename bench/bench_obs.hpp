@@ -1,0 +1,27 @@
+#pragma once
+
+#include "obs/metrics.hpp"
+
+/// \file bench_obs.hpp
+/// One-liner metrics export for the plain bench drivers.  Declare a guard at
+/// the top of main(); when the NETPART_METRICS_OUT environment variable
+/// names a file, the registry is enabled for the run and one JSON record
+/// (labelled with the bench name) is appended on exit.  Without the
+/// variable the guard is inert and the bench runs uninstrumented.
+
+namespace netpart::bench {
+
+class MetricsExportGuard {
+ public:
+  explicit MetricsExportGuard(const char* label) : label_(label) {
+    obs::enable_from_env();
+  }
+  ~MetricsExportGuard() { obs::export_to_env_file(label_); }
+  MetricsExportGuard(const MetricsExportGuard&) = delete;
+  MetricsExportGuard& operator=(const MetricsExportGuard&) = delete;
+
+ private:
+  const char* label_;
+};
+
+}  // namespace netpart::bench

@@ -8,8 +8,10 @@
 #include "circuits/benchmarks.hpp"
 #include "core/partitioner.hpp"
 #include "core/table.hpp"
+#include "bench_obs.hpp"
 
 int main() {
+  const netpart::bench::MetricsExportGuard netpart_obs_guard("igmatch_vs_eig1");
   using namespace netpart;
 
   std::cout << "Section 4 comparison: IG-Match vs EIG1 "
@@ -37,7 +39,7 @@ int main() {
 
     char bound[32];
     std::snprintf(bound, sizeof(bound), "%.2e",
-                  eig1.lambda2 / spec.num_modules);
+                  eig1.lambda2.value_or(0.0) / spec.num_modules);
     table.add_row({spec.name, std::to_string(spec.num_modules),
                    std::to_string(eig1.nets_cut), format_ratio(eig1.ratio),
                    std::to_string(igm.nets_cut), format_ratio(igm.ratio),

@@ -9,8 +9,10 @@
 #include "circuits/benchmarks.hpp"
 #include "core/table.hpp"
 #include "graph/sparsity.hpp"
+#include "bench_obs.hpp"
 
 int main() {
+  const netpart::bench::MetricsExportGuard netpart_obs_guard("sparsity_stats");
   using namespace netpart;
 
   std::cout << "Sparsity of netlist representations "

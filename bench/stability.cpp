@@ -17,8 +17,10 @@
 #include "fm/annealing.hpp"
 #include "fm/fm_partition.hpp"
 #include "igmatch/igmatch.hpp"
+#include "bench_obs.hpp"
 
 int main() {
+  const netpart::bench::MetricsExportGuard netpart_obs_guard("stability");
   using namespace netpart;
   constexpr int kSeeds = 10;
 

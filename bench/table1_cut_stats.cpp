@@ -15,8 +15,10 @@
 #include "core/table.hpp"
 #include "fm/fm_partition.hpp"
 #include "hypergraph/cut_metrics.hpp"
+#include "bench_obs.hpp"
 
 int main(int argc, char** argv) {
+  const netpart::bench::MetricsExportGuard netpart_obs_guard("table1_cut_stats");
   const std::string circuit = argc > 1 ? argv[1] : "Prim2";
   const netpart::GeneratedCircuit g = netpart::make_benchmark(circuit);
 

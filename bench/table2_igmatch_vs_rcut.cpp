@@ -12,8 +12,10 @@
 #include "circuits/benchmarks.hpp"
 #include "core/partitioner.hpp"
 #include "core/table.hpp"
+#include "bench_obs.hpp"
 
 int main() {
+  const netpart::bench::MetricsExportGuard netpart_obs_guard("table2_igmatch_vs_rcut");
   using namespace netpart;
 
   std::cout << "Table 2: IG-Match vs RCut1.0 stand-in "

@@ -8,8 +8,10 @@
 #include "circuits/benchmarks.hpp"
 #include "core/partitioner.hpp"
 #include "core/table.hpp"
+#include "bench_obs.hpp"
 
 int main() {
+  const netpart::bench::MetricsExportGuard netpart_obs_guard("table3_igmatch_vs_igvote");
   using namespace netpart;
 
   std::cout << "Table 3: IG-Match vs IG-Vote (EIG1-IG)\n\n";

@@ -2,12 +2,21 @@
 # Full local verification: configure, build (warnings as errors), test,
 # and run every bench binary.  This is the command sequence EXPERIMENTS.md
 # numbers are regenerated with.
+#
+# The test suite runs twice: once with the observability layer compiled in
+# (the default) and once with -DNETPART_OBS=OFF, so a change can never pass
+# while the macro-disabled configuration fails to build or regresses.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja -DNETPART_WARNINGS_AS_ERRORS=ON
+cmake -B build -G Ninja -DNETPART_WARNINGS_AS_ERRORS=ON -DNETPART_OBS=ON
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+cmake -B build-noobs -G Ninja -DNETPART_WARNINGS_AS_ERRORS=ON -DNETPART_OBS=OFF
+cmake --build build-noobs
+ctest --test-dir build-noobs --output-on-failure
+
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] && echo "==== $b ====" && "$b"
 done

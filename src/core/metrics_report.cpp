@@ -1,0 +1,69 @@
+#include "core/metrics_report.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "core/table.hpp"
+
+namespace netpart {
+
+namespace {
+
+std::string format_ms(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3f", ms);
+  return std::string(buffer);
+}
+
+std::string format_value(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6g", v);
+  return std::string(buffer);
+}
+
+void print_span(const obs::SpanNode& node, std::ostream& os, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << node.name << "  " << format_ms(node.wall_ms) << " ms";
+  if (node.count > 1) os << "  (x" << node.count << ")";
+  os << '\n';
+  for (const obs::SpanNode& child : node.children)
+    print_span(child, os, depth + 1);
+}
+
+}  // namespace
+
+void print_span_tree(const obs::MetricsSnapshot& snapshot, std::ostream& os) {
+  if (snapshot.spans.empty()) {
+    os << "(no spans recorded)\n";
+    return;
+  }
+  for (const obs::SpanNode& root : snapshot.spans) print_span(root, os, 0);
+}
+
+void print_metrics_tables(const obs::MetricsSnapshot& snapshot,
+                          std::ostream& os) {
+  if (!snapshot.counters.empty()) {
+    TextTable table({"counter", "value"});
+    for (const obs::CounterEntry& c : snapshot.counters)
+      table.add_row({c.name, std::to_string(c.value)});
+    print_table_auto(table, os);
+  }
+  if (!snapshot.gauges.empty()) {
+    TextTable table({"gauge", "value"});
+    for (const obs::GaugeEntry& g : snapshot.gauges)
+      table.add_row({g.name, format_value(g.value)});
+    os << '\n';
+    print_table_auto(table, os);
+  }
+  if (!snapshot.histograms.empty()) {
+    TextTable table({"histogram", "count", "mean", "min", "max"});
+    for (const obs::HistogramEntry& h : snapshot.histograms)
+      table.add_row({h.name, std::to_string(h.count), format_value(h.mean()),
+                     format_value(h.min), format_value(h.max)});
+    os << '\n';
+    print_table_auto(table, os);
+  }
+}
+
+}  // namespace netpart

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/metrics.hpp"
+
+/// \file metrics_report.hpp
+/// Human-readable rendering of an obs::MetricsSnapshot: an indented span
+/// tree (the `--trace` view) and counter/gauge/histogram tables built on
+/// the core/table helpers the bench harness already uses.
+
+namespace netpart {
+
+/// Print the trace tree: one line per span, indented by nesting depth,
+/// with accumulated wall time and merge count.
+void print_span_tree(const obs::MetricsSnapshot& snapshot, std::ostream& os);
+
+/// Print counters, gauges, and histogram summaries as aligned text tables
+/// (CSV when NETPART_CSV is set, like every other table in the harness).
+void print_metrics_tables(const obs::MetricsSnapshot& snapshot,
+                          std::ostream& os);
+
+}  // namespace netpart

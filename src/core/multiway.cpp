@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace netpart {
 
 MultiwayPartition::MultiwayPartition(std::vector<std::int32_t> block_of)
@@ -58,6 +60,7 @@ std::int32_t connectivity_minus_one(const Hypergraph& h,
 
 MultiwayResult multiway_partition(const Hypergraph& h,
                                   const MultiwayOptions& options) {
+  NETPART_SPAN("multiway");
   if (options.max_block_size < 2)
     throw std::invalid_argument("multiway_partition: max_block_size < 2");
 
@@ -127,6 +130,8 @@ MultiwayResult multiway_partition(const Hypergraph& h,
   }
   result.nets_spanning = spanning_net_count(h, result.partition);
   result.connectivity_cost = connectivity_minus_one(h, result.partition);
+  NETPART_COUNTER_ADD("multiway.splits_performed", result.splits_performed);
+  NETPART_COUNTER_ADD("multiway.blocks", result.partition.num_blocks());
   return result;
 }
 

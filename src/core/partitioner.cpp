@@ -47,6 +47,7 @@ PartitionResult run_partitioner(const Hypergraph& h,
   PartitionResult out;
   out.algorithm_name = to_string(config.algorithm);
 
+  NETPART_SPAN("run-partitioner");
   const auto start = std::chrono::steady_clock::now();
   switch (config.algorithm) {
     case Algorithm::kIgMatch:
@@ -135,6 +136,15 @@ PartitionResult run_partitioner(const Hypergraph& h,
   out.left_size = out.partition.size(Side::kLeft);
   out.right_size = out.partition.size(Side::kRight);
   out.ratio = ratio_cut_value(out.nets_cut, out.left_size, out.right_size);
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  if (registry.enabled()) {
+    registry.set_gauge("partition.nets_cut", out.nets_cut);
+    registry.set_gauge("partition.ratio", out.ratio);
+    registry.set_gauge("partition.runtime_ms", out.runtime_ms);
+    if (out.lambda2) registry.set_gauge("partition.lambda2", *out.lambda2);
+    out.metrics = registry.snapshot();
+  }
   return out;
 }
 

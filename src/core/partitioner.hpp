@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -11,6 +12,7 @@
 #include "igmatch/igmatch.hpp"
 #include "igvote/igvote.hpp"
 #include "linalg/lanczos.hpp"
+#include "obs/metrics.hpp"
 
 /// \file partitioner.hpp
 /// One-call facade over every partitioning algorithm in the library.  This
@@ -64,10 +66,16 @@ struct PartitionResult {
   std::int32_t left_size = 0;
   std::int32_t right_size = 0;
   double runtime_ms = 0.0;
-  // Diagnostics (meaningful for spectral algorithms only).
-  double lambda2 = 0.0;
-  bool eigen_converged = false;
+  // Spectral diagnostics: engaged only for algorithms that computed an
+  // eigenvector (igmatch*, igvote, eig1); nullopt for the combinatorial
+  // algorithms, which used to report stale zeros here.
+  std::optional<double> lambda2;
+  std::optional<bool> eigen_converged;
   std::int32_t matching_bound = -1;  ///< IG-Match: |MM| at the winning split
+  /// Observability snapshot of the run (spans, counters, gauges,
+  /// histograms).  Empty unless the metrics registry is enabled; captures
+  /// everything recorded since the caller's last registry reset.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Run the configured algorithm on `h` and time it.

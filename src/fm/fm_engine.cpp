@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "hypergraph/cut_metrics.hpp"
+#include "obs/metrics.hpp"
 
 namespace netpart {
 
@@ -225,6 +226,12 @@ FmPassResult FmEngine::run_pass(bool use_ratio, std::int32_t min_left,
   result.moves_tried = static_cast<std::int32_t>(moves.size());
   result.prefix_kept = static_cast<std::int32_t>(best_prefix);
   result.improved = best_prefix > 0;
+  // Counters only (no spans): passes may run on FM worker threads, and the
+  // span tree belongs to the orchestrating thread.
+  NETPART_COUNTER_ADD("fm.passes", 1);
+  NETPART_COUNTER_ADD("fm.moves_tried", result.moves_tried);
+  NETPART_COUNTER_ADD("fm.moves_rejected",
+                      result.moves_tried - result.prefix_kept);
   return result;
 }
 

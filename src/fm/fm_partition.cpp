@@ -7,6 +7,7 @@
 #include "circuits/rng.hpp"
 #include "fm/fm_engine.hpp"
 #include "hypergraph/cut_metrics.hpp"
+#include "obs/metrics.hpp"
 
 namespace netpart {
 
@@ -44,6 +45,8 @@ struct StartOutcome {
 
 FmRunResult multi_start(const Hypergraph& h, const FmOptions& options,
                         Objective objective) {
+  NETPART_SPAN("fm-multistart");
+  NETPART_COUNTER_ADD("fm.starts", options.num_starts);
   const std::int32_t n = h.num_modules();
   FmRunResult best;
   best.partition = Partition(n, Side::kLeft);

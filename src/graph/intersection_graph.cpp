@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace netpart {
 
 IgWeighting parse_ig_weighting(std::string_view name) {
@@ -26,6 +28,8 @@ const char* to_string(IgWeighting w) {
 }
 
 WeightedGraph intersection_graph(const Hypergraph& h, IgWeighting weighting) {
+  NETPART_SPAN("ig-build");
+  NETPART_COUNTER_ADD("ig.builds", 1);
   // Accumulate, per ordered net pair (a < b):
   //  - the paper-formula weight contribution, and
   //  - the shared-module count q,
@@ -40,21 +44,27 @@ WeightedGraph intersection_graph(const Hypergraph& h, IgWeighting weighting) {
   std::vector<PairAccum> accums;
 
   const auto m = static_cast<std::int64_t>(h.num_nets());
-  for (ModuleId mod = 0; mod < h.num_modules(); ++mod) {
-    const auto nets = h.nets_of(mod);
-    const std::size_t d = nets.size();
-    if (d < 2) continue;
-    const double inv_deg = 1.0 / static_cast<double>(d - 1);
-    for (std::size_t i = 0; i < d; ++i) {
-      const double inv_a = 1.0 / static_cast<double>(h.net_size(nets[i]));
-      for (std::size_t j = i + 1; j < d; ++j) {
-        const double inv_b = 1.0 / static_cast<double>(h.net_size(nets[j]));
-        accums.push_back({static_cast<std::int64_t>(nets[i]) * m + nets[j],
-                          inv_deg * (inv_a + inv_b), 1});
+  {
+    NETPART_SPAN("accumulate");
+    for (ModuleId mod = 0; mod < h.num_modules(); ++mod) {
+      const auto nets = h.nets_of(mod);
+      const std::size_t d = nets.size();
+      if (d < 2) continue;
+      const double inv_deg = 1.0 / static_cast<double>(d - 1);
+      for (std::size_t i = 0; i < d; ++i) {
+        const double inv_a = 1.0 / static_cast<double>(h.net_size(nets[i]));
+        for (std::size_t j = i + 1; j < d; ++j) {
+          const double inv_b = 1.0 / static_cast<double>(h.net_size(nets[j]));
+          accums.push_back({static_cast<std::int64_t>(nets[i]) * m + nets[j],
+                            inv_deg * (inv_a + inv_b), 1});
+        }
       }
     }
   }
+  NETPART_COUNTER_ADD("ig.pair_contributions",
+                      static_cast<std::int64_t>(accums.size()));
 
+  NETPART_SPAN("sort-merge");
   std::sort(accums.begin(), accums.end(),
             [](const PairAccum& x, const PairAccum& y) { return x.key < y.key; });
 
@@ -97,6 +107,8 @@ WeightedGraph intersection_graph(const Hypergraph& h, IgWeighting weighting) {
          static_cast<double>(h.net_weight(b));
     edges.push_back({a, b, w});
   }
+  NETPART_COUNTER_ADD("ig.edges_built",
+                      static_cast<std::int64_t>(edges.size()));
 
   return WeightedGraph::from_edges(h.num_nets(), std::move(edges));
 }

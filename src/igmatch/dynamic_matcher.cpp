@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace netpart {
 
 DynamicBipartiteMatcher::DynamicBipartiteMatcher(
@@ -16,6 +18,7 @@ DynamicBipartiteMatcher::DynamicBipartiteMatcher(
 }
 
 bool DynamicBipartiteMatcher::augment_from_right(std::int32_t root) {
+  ++augmenting_searches_;
   ++stamp_;
   queue_.clear();
   queue_.push_back(root);
@@ -23,6 +26,8 @@ bool DynamicBipartiteMatcher::augment_from_right(std::int32_t root) {
 
   for (std::size_t head = 0; head < queue_.size(); ++head) {
     const std::int32_t y = queue_[head];
+    edges_scanned_ +=
+        static_cast<std::int64_t>(graph_.neighbors(y).size());
     for (const std::int32_t x : graph_.neighbors(y)) {
       if (x == moving_vertex_) continue;  // its edges are suspended mid-move
       if (side_[static_cast<std::size_t>(x)] != NetSide::kLeft) continue;
@@ -42,6 +47,7 @@ bool DynamicBipartiteMatcher::augment_from_right(std::int32_t root) {
           cur = prev;
         }
         ++matching_size_;
+        ++augmenting_paths_found_;
         return true;
       }
       if (visit_stamp_[static_cast<std::size_t>(next)] != stamp_) {
@@ -58,6 +64,11 @@ void DynamicBipartiteMatcher::move_to_right(std::int32_t v) {
     throw std::out_of_range("move_to_right: vertex out of range");
   if (side_[static_cast<std::size_t>(v)] != NetSide::kLeft)
     throw std::logic_error("move_to_right: vertex already on the right");
+
+  // [[maybe_unused]]: consumed only by the metrics macros below, which
+  // expand to nothing under -DNETPART_OBS=OFF.
+  [[maybe_unused]] const std::int64_t paths_before = augmenting_paths_found_;
+  [[maybe_unused]] const std::int64_t scanned_before = edges_scanned_;
 
   // Step 1: remove v from L.  Its B-edges vanish; if it was matched, the
   // partner u in R loses its match and we try to re-match it with v's
@@ -77,6 +88,15 @@ void DynamicBipartiteMatcher::move_to_right(std::int32_t v) {
   side_[static_cast<std::size_t>(v)] = NetSide::kRight;
   --left_count_;
   augment_from_right(v);
+
+  NETPART_COUNTER_ADD("igmatch.matching_repairs", 1);
+  NETPART_COUNTER_ADD("igmatch.augmenting_paths",
+                      augmenting_paths_found_ - paths_before);
+  NETPART_COUNTER_ADD("igmatch.bfs_edges_scanned",
+                      edges_scanned_ - scanned_before);
+  NETPART_HISTOGRAM_RECORD(
+      "igmatch.repair_edges_scanned",
+      static_cast<double>(edges_scanned_ - scanned_before));
 }
 
 std::vector<NetLabel> DynamicBipartiteMatcher::classify() const {

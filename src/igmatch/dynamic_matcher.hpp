@@ -78,6 +78,23 @@ class DynamicBipartiteMatcher {
   /// vertices of each side (Figure 5).
   [[nodiscard]] std::vector<NetLabel> classify() const;
 
+  // --- Repair-cost accounting (Theorem 6 empirics; see docs/OBSERVABILITY.md).
+  // These tallies are always maintained (plain integer increments) so tests
+  // can assert the amortized bounds without the metrics registry.
+
+  /// Total augmenting-path BFS searches launched over the matcher's life.
+  /// Each move launches at most two, so this is <= 2 * #moves (Theorem 6).
+  [[nodiscard]] std::int64_t augmenting_searches() const {
+    return augmenting_searches_;
+  }
+  /// Searches that found an augmenting path and grew the matching.
+  [[nodiscard]] std::int64_t augmenting_paths_found() const {
+    return augmenting_paths_found_;
+  }
+  /// Total adjacency entries scanned by all searches; the sweep-wide sum
+  /// is the O(|V| * (|V| + |E|)) quantity of Theorem 6.
+  [[nodiscard]] std::int64_t edges_scanned() const { return edges_scanned_; }
+
  private:
   /// BFS for an augmenting path starting at the free R-vertex `root`;
   /// augments the matching and returns true when one exists.
@@ -96,6 +113,11 @@ class DynamicBipartiteMatcher {
   std::vector<std::int32_t> from_right_;  // L-vertex -> R-vertex we came from
   std::vector<std::int32_t> queue_;
   std::int32_t stamp_ = 0;
+
+  // Repair-cost tallies (see accessors above).
+  std::int64_t augmenting_searches_ = 0;
+  std::int64_t augmenting_paths_found_ = 0;
+  std::int64_t edges_scanned_ = 0;
 };
 
 }  // namespace netpart

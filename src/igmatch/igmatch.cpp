@@ -7,6 +7,7 @@
 
 #include "hypergraph/cut_metrics.hpp"
 #include "igmatch/dynamic_matcher.hpp"
+#include "obs/metrics.hpp"
 #include "spectral/eig1.hpp"
 
 namespace netpart {
@@ -215,36 +216,50 @@ IgMatchResult igmatch_with_ordering(const Hypergraph& h,
   std::int32_t best_cut = 0;
   std::vector<std::pair<double, std::int32_t>> ratio_by_rank;  // for top-K
 
-  for (std::int32_t r = 1; r < m; ++r) {
-    matcher.move_to_right(net_order[static_cast<std::size_t>(r - 1)]);
-    const std::vector<NetLabel> labels = matcher.classify();
-    compute_fates(h, labels, fate);
-    const SplitEvaluation eval = evaluate_fates(h, fate);
+  {
+    NETPART_SPAN("sweep");
+    NETPART_COUNTER_ADD("igmatch.splits_evaluated", m - 1);
+    for (std::int32_t r = 1; r < m; ++r) {
+      matcher.move_to_right(net_order[static_cast<std::size_t>(r - 1)]);
+      std::vector<NetLabel> labels;
+      {
+        // Phase I: winner/loser/core classification of every net.
+        NETPART_SPAN("phase-1");
+        labels = matcher.classify();
+      }
+      // Phase II: evaluate both wholesale completions of this split.
+      NETPART_SPAN("phase-2");
+      compute_fates(h, labels, fate);
+      const SplitEvaluation eval = evaluate_fates(h, fate);
 
-    if (options.record_splits) {
-      IgMatchSplitRecord record;
-      record.rank = r;
-      record.matching_size = matcher.matching_size();
-      record.nets_cut = eval.best_cut();
-      record.ratio = eval.best_ratio();
-      result.splits.push_back(record);
-    }
+      if (options.record_splits) {
+        IgMatchSplitRecord record;
+        record.rank = r;
+        record.matching_size = matcher.matching_size();
+        record.nets_cut = eval.best_cut();
+        record.ratio = eval.best_ratio();
+        result.splits.push_back(record);
+      }
 
-    const double ratio = eval.best_ratio();
-    if (options.recursive && std::isfinite(ratio))
-      ratio_by_rank.emplace_back(ratio, r);
-    if (ratio < best_ratio) {
-      best_ratio = ratio;
-      best_cut = eval.best_cut();
-      best_fate = fate;
-      best_none_left = eval.none_left_is_better();
-      result.best_rank = r;
-      result.matching_bound_at_best = matcher.matching_size();
+      const double ratio = eval.best_ratio();
+      if (options.recursive && std::isfinite(ratio))
+        ratio_by_rank.emplace_back(ratio, r);
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best_cut = eval.best_cut();
+        best_fate = fate;
+        best_none_left = eval.none_left_is_better();
+        result.best_rank = r;
+        result.matching_bound_at_best = matcher.matching_size();
+      }
     }
   }
+  NETPART_COUNTER_ADD("igmatch.augmenting_searches",
+                      matcher.augmenting_searches());
 
   if (best_fate.empty()) return result;  // no proper completion existed
 
+  NETPART_SPAN("completion");
   result.partition = materialize(best_fate, best_none_left);
   result.nets_cut = best_cut;
   result.ratio = best_ratio;
@@ -302,6 +317,7 @@ IgMatchResult igmatch_with_ordering(const Hypergraph& h,
 
 IgMatchResult igmatch_partition(const Hypergraph& h,
                                 const IgMatchOptions& options) {
+  NETPART_SPAN("igmatch");
   if (h.num_nets() < 2 || h.num_modules() < 2) {
     IgMatchResult trivial;
     trivial.partition = Partition(h.num_modules(), Side::kLeft);
@@ -312,6 +328,9 @@ IgMatchResult igmatch_partition(const Hypergraph& h,
   IgMatchResult result = igmatch_with_ordering(h, ordering.order, options);
   result.lambda2 = ordering.lambda2;
   result.eigen_converged = ordering.eigen_converged;
+  NETPART_COUNTER_ADD("igmatch.runs", 1);
+  NETPART_GAUGE_SET("igmatch.best_rank", result.best_rank);
+  NETPART_GAUGE_SET("igmatch.matching_bound", result.matching_bound_at_best);
   return result;
 }
 

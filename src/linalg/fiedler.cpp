@@ -7,10 +7,13 @@
 
 #include "linalg/cg.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
 
 namespace netpart::linalg {
 
 FiedlerResult fiedler_pair(const CsrMatrix& q, const LanczosOptions& options) {
+  NETPART_SPAN("fiedler");
+  NETPART_COUNTER_ADD("fiedler.runs", 1);
   const std::int32_t n = q.dim();
   if (n < 1) throw std::invalid_argument("fiedler_pair: empty Laplacian");
 
@@ -32,11 +35,13 @@ FiedlerResult fiedler_pair(const CsrMatrix& q, const LanczosOptions& options) {
   out.lanczos_iterations = lr.iterations;
   out.residual = lr.residual;
   out.converged = lr.converged;
+  NETPART_GAUGE_SET("fiedler.lambda2", out.lambda2);
   return out;
 }
 
 FiedlerResult fiedler_pair_inverse_iteration(
     const CsrMatrix& q, const InverseIterationOptions& options) {
+  NETPART_SPAN("inverse-iteration");
   const std::int32_t n = q.dim();
   if (n < 1) throw std::invalid_argument("fiedler_pair: empty Laplacian");
 

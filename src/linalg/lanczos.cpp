@@ -7,6 +7,7 @@
 
 #include "linalg/tridiagonal.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
 
 namespace netpart::linalg {
 
@@ -18,6 +19,7 @@ namespace {
 void reorthogonalize(std::span<double> w,
                      std::span<const std::vector<double>> deflation,
                      const std::vector<std::vector<double>>& basis) {
+  NETPART_COUNTER_ADD("lanczos.reorthogonalizations", 1);
   for (int pass = 0; pass < 2; ++pass) {
     for (const auto& q : deflation) orthogonalize_against(w, q);
     for (const auto& q : basis) orthogonalize_against(w, q);
@@ -43,6 +45,8 @@ bool fresh_direction(std::vector<double>& v, std::uint64_t& seed,
 LanczosResult smallest_eigenpair(
     const CsrMatrix& a, std::span<const std::vector<double>> deflation,
     const LanczosOptions& options) {
+  NETPART_SPAN("lanczos");
+  NETPART_COUNTER_ADD("lanczos.runs", 1);
   const std::int32_t n = a.dim();
   if (n < 1) throw std::invalid_argument("smallest_eigenpair: empty matrix");
   for (const auto& q : deflation)
@@ -60,6 +64,16 @@ LanczosResult smallest_eigenpair(
   LanczosResult result;
   result.eigenvector.assign(static_cast<std::size_t>(n), 0.0);
 
+  // Flush per-run accounting on every exit path.
+  struct Flush {
+    const LanczosResult& r;
+    ~Flush() {
+      NETPART_COUNTER_ADD("lanczos.iterations", r.iterations);
+      NETPART_GAUGE_SET("lanczos.residual", r.residual);
+      NETPART_GAUGE_SET("lanczos.converged", r.converged ? 1.0 : 0.0);
+    }
+  } flush{result};
+
   std::vector<std::vector<double>> basis;
   std::vector<double> alpha;  // tridiagonal diagonal
   std::vector<double> beta;   // subdiagonal; beta[j] couples v_j, v_{j+1}
@@ -76,6 +90,7 @@ LanczosResult smallest_eigenpair(
   std::vector<double> w(static_cast<std::size_t>(n));
   std::vector<double> scratch(static_cast<std::size_t>(n));
   const auto assemble_ritz = [&](const TridiagonalEigen& eig) {
+    NETPART_COUNTER_ADD("lanczos.ritz_assemblies", 1);
     const std::size_t k = basis.size();
     std::fill(result.eigenvector.begin(), result.eigenvector.end(), 0.0);
     for (std::size_t i = 0; i < k; ++i)
@@ -133,6 +148,7 @@ LanczosResult smallest_eigenpair(
         result.converged = true;  // searched the entire deflated space
         return result;
       }
+      NETPART_COUNTER_ADD("lanczos.restarts", 1);
       beta.push_back(0.0);
     } else {
       beta.push_back(beta_j);

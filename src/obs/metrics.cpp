@@ -1,0 +1,307 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace netpart::obs {
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Bucket index for a histogram sample: 0 for values < 1, otherwise
+/// 1 + floor(log2(value)), clamped to the last (open-ended) bucket.
+std::size_t bucket_index(double value) {
+  if (!(value >= 1.0)) return 0;  // also catches NaN
+  const auto exponent = static_cast<std::size_t>(std::floor(std::log2(value)));
+  return std::min(exponent + 1, kHistogramBuckets - 1);
+}
+
+/// Shortest round-trippable representation of a double that is still valid
+/// JSON (no bare NaN/Inf — those become null).
+void append_json_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  // Trim to the shortest form that parses back exactly.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof shorter, "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) {
+      out += shorter;
+      return;
+    }
+  }
+  out += buffer;
+}
+
+void append_span_json(std::string& out, const SpanNode& node) {
+  out += R"({"name":")";
+  out += json_escape(node.name);
+  out += R"(","wall_ms":)";
+  append_json_number(out, node.wall_ms);
+  out += ",\"count\":";
+  out += std::to_string(node.count);
+  out += ",\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out += ',';
+    append_span_json(out, node.children[i]);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::int64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const CounterEntry& entry : counters)
+    if (entry.name == name) return entry.value;
+  return 0;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out;
+  out += R"({"label":")";
+  out += json_escape(run_label);
+  out += R"(","spans":[)";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out += ',';
+    append_span_json(out, spans[i]);
+  }
+  out += R"(],"counters":{)";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += json_escape(counters[i].name);
+    out += "\":";
+    out += std::to_string(counters[i].value);
+  }
+  out += R"(},"gauges":{)";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += json_escape(gauges[i].name);
+    out += "\":";
+    append_json_number(out, gauges[i].value);
+  }
+  out += R"(},"histograms":{)";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramEntry& h = histograms[i];
+    if (i > 0) out += ',';
+    out += '"';
+    out += json_escape(h.name);
+    out += R"(":{"count":)";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    append_json_number(out, h.sum);
+    out += ",\"min\":";
+    append_json_number(out, h.min);
+    out += ",\"max\":";
+    append_json_number(out, h.max);
+    out += ",\"buckets\":[";
+    // Trailing empty buckets are elided to keep records compact.
+    std::size_t last = h.buckets.size();
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    for (std::size_t b = 0; b < last; ++b) {
+      if (b > 0) out += ',';
+      out += std::to_string(h.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::set_enabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  run_label_.clear();
+  roots_.clear();
+  open_path_.clear();
+  open_start_ms_.clear();
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void MetricsRegistry::set_run_label(std::string label) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  run_label_ = std::move(label);
+}
+
+void MetricsRegistry::add_counter(std::string_view name, std::int64_t delta) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end())
+    it->second += delta;
+  else
+    counters_.emplace(std::string(name), delta);
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end())
+    it->second = value;
+  else
+    gauges_.emplace(std::string(name), value);
+}
+
+void MetricsRegistry::record_histogram(std::string_view name, double value) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = histograms_.try_emplace(std::string(name));
+  if (inserted) it->second.name = it->first;
+  HistogramEntry& h = it->second;
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+  ++h.buckets[bucket_index(value)];
+}
+
+void MetricsRegistry::begin_span(std::string_view name) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Walk to the innermost open node.
+  std::vector<SpanNode>* children = &roots_;
+  for (const std::size_t index : open_path_)
+    children = &(*children)[index].children;
+  // Merge with an existing sibling of the same name, else append.
+  std::size_t index = children->size();
+  for (std::size_t i = 0; i < children->size(); ++i)
+    if ((*children)[i].name == name) {
+      index = i;
+      break;
+    }
+  if (index == children->size()) {
+    SpanNode node;
+    node.name = std::string(name);
+    children->push_back(std::move(node));
+  }
+  open_path_.push_back(index);
+  open_start_ms_.push_back(now_ms());
+}
+
+void MetricsRegistry::end_span() {
+  // Deliberately NOT gated on enabled(): a ScopedSpan that observed the
+  // registry enabled at construction must always balance its begin_span,
+  // even if the registry was disabled mid-scope.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (open_path_.empty()) return;  // reset() mid-span, or unbalanced call
+  SpanNode* node = nullptr;
+  std::vector<SpanNode>* children = &roots_;
+  for (const std::size_t index : open_path_) {
+    node = &(*children)[index];
+    children = &node->children;
+  }
+  node->wall_ms += now_ms() - open_start_ms_.back();
+  ++node->count;
+  open_path_.pop_back();
+  open_start_ms_.pop_back();
+}
+
+std::int64_t MetricsRegistry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.run_label = run_label_;
+  snap.spans = roots_;  // deep copy
+  // Open spans have not accumulated their current activation yet; credit
+  // the partial elapsed time so mid-run snapshots are honest.
+  {
+    std::vector<SpanNode>* children = &snap.spans;
+    const double now = now_ms();
+    for (std::size_t depth = 0; depth < open_path_.size(); ++depth) {
+      SpanNode& node = (*children)[open_path_[depth]];
+      node.wall_ms += now - open_start_ms_[depth];
+      ++node.count;
+      children = &node.children;
+    }
+  }
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, value] : counters_)
+    snap.counters.push_back({name, value});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, value] : gauges_)
+    snap.gauges.push_back({name, value});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, entry] : histograms_)
+    snap.histograms.push_back(entry);
+  return snap;
+}
+
+bool enable_from_env() {
+  const char* path = std::getenv("NETPART_METRICS_OUT");
+  if (path == nullptr || *path == '\0') return false;
+  MetricsRegistry::instance().set_enabled(true);
+  return true;
+}
+
+void export_to_env_file(std::string_view label) {
+  const char* path = std::getenv("NETPART_METRICS_OUT");
+  if (path == nullptr || *path == '\0') return;
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  MetricsSnapshot snap = registry.snapshot();
+  if (snap.run_label.empty()) snap.run_label = std::string(label);
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  out << snap.to_json() << '\n';
+}
+
+}  // namespace netpart::obs

@@ -2,6 +2,7 @@
 
 #include "graph/clique_model.hpp"
 #include "graph/net_models.hpp"
+#include "obs/metrics.hpp"
 
 namespace netpart {
 
@@ -12,6 +13,7 @@ Eig1Result eig1_partition(const Hypergraph& h,
 
 Eig1Result eig1_partition_with_model(const Hypergraph& h, NetModel model,
                                      const linalg::LanczosOptions& options) {
+  NETPART_SPAN("eig1");
   const WeightedGraph g = expand_net_model(h, model);
   const linalg::FiedlerResult fiedler =
       linalg::fiedler_pair(g.laplacian(), options);
@@ -30,6 +32,7 @@ Eig1Result eig1_partition_with_model(const Hypergraph& h, NetModel model,
 NetOrdering spectral_net_ordering(const Hypergraph& h, IgWeighting weighting,
                                   const linalg::LanczosOptions& options,
                                   std::int32_t threshold_net_size) {
+  NETPART_SPAN("ordering");
   const WeightedGraph ig = intersection_graph(h, weighting);
   const std::int32_t m = h.num_nets();
 
@@ -84,6 +87,7 @@ NetOrdering spectral_net_ordering(const Hypergraph& h, IgWeighting weighting,
   out.eigen_converged = fiedler.converged;
   out.nets_thresholded =
       m - static_cast<std::int32_t>(small_nets.size());
+  NETPART_COUNTER_ADD("ordering.nets_thresholded", out.nets_thresholded);
 
   // Rank the small nets by Fiedler component, then place each large net at
   // the mean rank of its small IG neighbours (middle when it has none).

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "circuits/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace netpart {
 namespace {
@@ -220,6 +222,59 @@ TEST_P(ClassifyTest, WinnerLoserCoreInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ClassifyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+/// Theorem 6 accounting: a full left-to-right sweep performs at most two
+/// augmenting-path searches per move, so the total work over all |V| moves
+/// is O(|V| * (|V| + |E|)) — NOT a from-scratch matching per split.  The
+/// matcher exposes its own tallies precisely so this bound is testable.
+TEST(DynamicMatcher, FullSweepWorkIsLinearInMovesTheorem6) {
+  for (const auto& [n, density] :
+       {std::pair<std::int32_t, double>{24, 0.15},
+        std::pair<std::int32_t, double>{40, 0.3},
+        std::pair<std::int32_t, double>{64, 0.6}}) {
+    const WeightedGraph g = random_graph(n, density, 42);
+    std::int64_t directed_edges = 0;
+    for (std::int32_t v = 0; v < n; ++v)
+      directed_edges += static_cast<std::int64_t>(g.neighbors(v).size());
+
+    DynamicBipartiteMatcher matcher(g);
+    EXPECT_EQ(matcher.augmenting_searches(), 0);
+    for (std::int32_t v = 0; v < n; ++v) matcher.move_to_right(v);
+
+    // At most two searches per move (one for the un-matching of the moved
+    // vertex's partner, one for the moved vertex on its new side).
+    EXPECT_LE(matcher.augmenting_searches(), 2 * std::int64_t{n})
+        << "n=" << n << " density=" << density;
+    // Each search finds at most one augmenting path.
+    EXPECT_LE(matcher.augmenting_paths_found(), matcher.augmenting_searches());
+    // One BFS scans each right vertex's adjacency at most once, plus the
+    // root's: per-search work is O(|V| + |E|).
+    EXPECT_LE(matcher.edges_scanned(),
+              matcher.augmenting_searches() * (directed_edges + n))
+        << "n=" << n << " density=" << density;
+  }
+}
+
+#if NETPART_OBS_ENABLED
+/// The obs counters must agree with the matcher's own tallies.
+TEST(DynamicMatcher, ObsCountersMatchMatcherTallies) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.reset();
+  registry.set_enabled(true);
+  const std::int32_t n = 32;
+  const WeightedGraph g = random_graph(n, 0.4, 7);
+  DynamicBipartiteMatcher matcher(g);
+  for (std::int32_t v = 0; v < n; ++v) matcher.move_to_right(v);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  registry.set_enabled(false);
+  registry.reset();
+  EXPECT_EQ(snap.counter("igmatch.matching_repairs"), n);
+  EXPECT_EQ(snap.counter("igmatch.augmenting_paths"),
+            matcher.augmenting_paths_found());
+  EXPECT_EQ(snap.counter("igmatch.bfs_edges_scanned"),
+            matcher.edges_scanned());
+}
+#endif
 
 }  // namespace
 }  // namespace netpart

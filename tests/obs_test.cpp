@@ -1,0 +1,489 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace netpart::obs {
+namespace {
+
+/// RAII guard: every test runs against a clean, enabled registry and leaves
+/// it disabled and empty for the next one (the registry is process-wide).
+struct RegistryFixture : ::testing::Test {
+  void SetUp() override {
+    MetricsRegistry::instance().reset();
+    MetricsRegistry::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    MetricsRegistry::instance().set_enabled(false);
+    MetricsRegistry::instance().reset();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough to round-trip what to_json() emits.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end()) throw std::out_of_range("missing key: " + key);
+    return it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    const JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c)
+      throw std::runtime_error(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      const JsonValue key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(key.string, value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (peek() != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        v.string += c;
+        continue;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': v.string += '"'; break;
+        case '\\': v.string += '\\'; break;
+        case '/': v.string += '/'; break;
+        case 'n': v.string += '\n'; break;
+        case 'r': v.string += '\r'; break;
+        case 't': v.string += '\t'; break;
+        case 'u': {
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          v.string += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+          break;
+        }
+        default: throw std::runtime_error("bad escape");
+      }
+    }
+    ++pos_;
+    return v;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.substr(pos_, 5) == "false") {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      throw std::runtime_error("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null() {
+    if (text_.substr(pos_, 4) != "null") throw std::runtime_error("bad null");
+    pos_ += 4;
+    return {};
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) throw std::runtime_error("bad number");
+    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Span tree
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryFixture, NestedSpansFormATree) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  {
+    ScopedSpan outer("outer");
+    {
+      ScopedSpan inner("inner");
+      ScopedSpan innermost("innermost");
+      (void)innermost;
+    }
+    ScopedSpan sibling("sibling");
+    (void)sibling;
+  }
+  const MetricsSnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  const SpanNode& outer = snap.spans.front();
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.count, 1);
+  EXPECT_GE(outer.wall_ms, 0.0);
+  ASSERT_EQ(outer.children.size(), 2u);
+  EXPECT_EQ(outer.children[0].name, "inner");
+  EXPECT_EQ(outer.children[1].name, "sibling");
+  ASSERT_EQ(outer.children[0].children.size(), 1u);
+  EXPECT_EQ(outer.children[0].children[0].name, "innermost");
+  // A parent's accumulated time includes its children's.
+  EXPECT_GE(outer.wall_ms, outer.children[0].wall_ms);
+}
+
+TEST_F(RegistryFixture, SameNameSiblingSpansMerge) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  {
+    ScopedSpan sweep("sweep");
+    for (int i = 0; i < 5; ++i) {
+      ScopedSpan split("split");
+      (void)split;
+    }
+  }
+  const MetricsSnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  ASSERT_EQ(snap.spans[0].children.size(), 1u);
+  EXPECT_EQ(snap.spans[0].children[0].name, "split");
+  EXPECT_EQ(snap.spans[0].children[0].count, 5);
+}
+
+TEST_F(RegistryFixture, SnapshotCreditsOpenSpans) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.begin_span("still-open");
+  const MetricsSnapshot snap = r.snapshot();
+  r.end_span();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_EQ(snap.spans[0].name, "still-open");
+  EXPECT_EQ(snap.spans[0].count, 1);
+  EXPECT_GE(snap.spans[0].wall_ms, 0.0);
+  // The registry itself still has the span open: closing it must not
+  // double-count (count stays 1 in the final snapshot).
+  EXPECT_EQ(r.snapshot().spans[0].count, 1);
+}
+
+TEST_F(RegistryFixture, DisableMidScopeKeepsStackBalanced) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  {
+    ScopedSpan outer("outer");
+    r.set_enabled(false);
+  }  // destructor must still close "outer"
+  r.set_enabled(true);
+  {
+    ScopedSpan top("top");
+    (void)top;
+  }
+  const MetricsSnapshot snap = r.snapshot();
+  // "top" is a root, not a child of a dangling "outer".
+  ASSERT_EQ(snap.spans.size(), 2u);
+  EXPECT_EQ(snap.spans[0].name, "outer");
+  EXPECT_TRUE(snap.spans[0].children.empty());
+  EXPECT_EQ(snap.spans[1].name, "top");
+}
+
+TEST_F(RegistryFixture, EndSpanWithoutOpenSpanIsNoOp) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.end_span();  // must not crash or underflow
+  EXPECT_TRUE(r.snapshot().spans.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Counters, gauges, histograms
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryFixture, CountersAccumulate) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.add_counter("a.hits", 1);
+  r.add_counter("a.hits", 41);
+  r.add_counter("b.misses", 7);
+  EXPECT_EQ(r.counter("a.hits"), 42);
+  EXPECT_EQ(r.counter("b.misses"), 7);
+  EXPECT_EQ(r.counter("never.touched"), 0);
+  const MetricsSnapshot snap = r.snapshot();
+  EXPECT_EQ(snap.counter("a.hits"), 42);
+  ASSERT_EQ(snap.counters.size(), 2u);
+  // Snapshot entries are sorted by name.
+  EXPECT_EQ(snap.counters[0].name, "a.hits");
+  EXPECT_EQ(snap.counters[1].name, "b.misses");
+}
+
+TEST_F(RegistryFixture, GaugesOverwrite) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.set_gauge("lambda2", 0.25);
+  r.set_gauge("lambda2", 0.5);
+  const MetricsSnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 0.5);
+}
+
+TEST_F(RegistryFixture, HistogramBucketsArePowersOfTwo) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.record_histogram("h", 0.5);   // bucket 0: < 1
+  r.record_histogram("h", 1.0);   // bucket 1: [1, 2)
+  r.record_histogram("h", 3.0);   // bucket 2: [2, 4)
+  r.record_histogram("h", 3.9);   // bucket 2
+  r.record_histogram("h", 1e12);  // clamped to the open-ended last bucket
+  const MetricsSnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramEntry& h = snap.histograms[0];
+  EXPECT_EQ(h.count, 5);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 1e12);
+  EXPECT_DOUBLE_EQ(h.sum, 0.5 + 1.0 + 3.0 + 3.9 + 1e12);
+  EXPECT_NEAR(h.mean(), h.sum / 5.0, 1e-9);
+  EXPECT_EQ(h.buckets[0], 1);
+  EXPECT_EQ(h.buckets[1], 1);
+  EXPECT_EQ(h.buckets[2], 2);
+  EXPECT_EQ(h.buckets[kHistogramBuckets - 1], 1);
+}
+
+TEST_F(RegistryFixture, DisabledRegistryRecordsNothing) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.set_enabled(false);
+  r.add_counter("c", 1);
+  r.set_gauge("g", 1.0);
+  r.record_histogram("h", 1.0);
+  r.begin_span("s");
+  r.end_span();
+  NETPART_COUNTER_ADD("macro.c", 1);
+  NETPART_GAUGE_SET("macro.g", 1.0);
+  NETPART_HISTOGRAM_RECORD("macro.h", 1.0);
+  { NETPART_SPAN("macro.s"); }
+  r.set_enabled(true);
+  EXPECT_TRUE(r.snapshot().empty());
+}
+
+TEST_F(RegistryFixture, ResetDropsEverything) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.set_run_label("before");
+  r.add_counter("c", 1);
+  r.begin_span("open");
+  r.reset();
+  r.end_span();  // the abandoned span must not resurface
+  const MetricsSnapshot snap = r.snapshot();
+  EXPECT_TRUE(snap.empty());
+  EXPECT_TRUE(snap.run_label.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryFixture, MacrosRecordWhenCompiledInAndEnabled) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  {
+    NETPART_SPAN("macro-span");
+    NETPART_COUNTER_ADD("macro.counter", 3);
+    NETPART_GAUGE_SET("macro.gauge", 2.5);
+    NETPART_HISTOGRAM_RECORD("macro.hist", 4.0);
+  }
+  const MetricsSnapshot snap = r.snapshot();
+#if NETPART_OBS_ENABLED
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_EQ(snap.spans[0].name, "macro-span");
+  EXPECT_EQ(snap.counter("macro.counter"), 3);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 2.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1);
+#else
+  // Compiled out: the macros above must have expanded to nothing even
+  // though the registry is enabled.
+  EXPECT_TRUE(snap.empty());
+#endif
+}
+
+#if !NETPART_OBS_ENABLED
+TEST_F(RegistryFixture, CompiledOutMacrosDoNotEvaluateArguments) {
+  int evaluations = 0;
+  const auto touch = [&evaluations]() {
+    ++evaluations;
+    return 1;
+  };
+  (void)touch;  // only ever referenced inside the discarded macro arguments
+  NETPART_COUNTER_ADD("x", touch());
+  NETPART_GAUGE_SET("x", static_cast<double>(touch()));
+  NETPART_HISTOGRAM_RECORD("x", static_cast<double>(touch()));
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// JSON serialization
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryFixture, JsonRoundTrip) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.set_run_label("bm1/igmatch");
+  {
+    ScopedSpan outer("outer");
+    ScopedSpan inner("inner");
+    (void)inner;
+  }
+  r.add_counter("lanczos.iterations", 160);
+  r.set_gauge("fiedler.lambda2", 0.0778551);
+  r.record_histogram("repair.cost", 3.0);
+  r.record_histogram("repair.cost", 17.0);
+  const MetricsSnapshot snap = r.snapshot();
+
+  const JsonValue root = JsonParser(snap.to_json()).parse();
+  EXPECT_EQ(root.at("label").string, "bm1/igmatch");
+
+  const JsonValue& spans = root.at("spans");
+  ASSERT_EQ(spans.array.size(), 1u);
+  EXPECT_EQ(spans.array[0].at("name").string, "outer");
+  EXPECT_EQ(spans.array[0].at("count").number, 1.0);
+  ASSERT_EQ(spans.array[0].at("children").array.size(), 1u);
+  EXPECT_EQ(spans.array[0].at("children").array[0].at("name").string,
+            "inner");
+
+  EXPECT_EQ(root.at("counters").at("lanczos.iterations").number, 160.0);
+  EXPECT_DOUBLE_EQ(root.at("gauges").at("fiedler.lambda2").number, 0.0778551);
+
+  const JsonValue& hist = root.at("histograms").at("repair.cost");
+  EXPECT_EQ(hist.at("count").number, 2.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").number, 20.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").number, 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("max").number, 17.0);
+  // 3 -> bucket 2, 17 -> bucket 5; trailing zero buckets are elided.
+  const std::vector<JsonValue>& buckets = hist.at("buckets").array;
+  ASSERT_EQ(buckets.size(), 6u);
+  EXPECT_EQ(buckets[2].number, 1.0);
+  EXPECT_EQ(buckets[5].number, 1.0);
+}
+
+TEST_F(RegistryFixture, JsonEscapesControlCharactersAndQuotes) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.set_run_label("a\"b\\c\nd\te\x01f");
+  r.add_counter("weird \"name\"", 1);
+  const std::string json = r.snapshot().to_json();
+  const JsonValue root = JsonParser(json).parse();
+  EXPECT_EQ(root.at("label").string, "a\"b\\c\nd\te\x01f");
+  EXPECT_EQ(root.at("counters").at("weird \"name\"").number, 1.0);
+}
+
+TEST(JsonEscape, Direct) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("q\"q"), "q\\\"q");
+  EXPECT_EQ(json_escape("b\\b"), "b\\\\b");
+  EXPECT_EQ(json_escape("n\nn"), "n\\nn");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST_F(RegistryFixture, EmptySnapshotSerializesToValidJson) {
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  const JsonValue root = JsonParser(snap.to_json()).parse();
+  EXPECT_TRUE(root.at("spans").array.empty());
+  EXPECT_TRUE(root.at("counters").object.empty());
+  EXPECT_TRUE(root.at("gauges").object.empty());
+  EXPECT_TRUE(root.at("histograms").object.empty());
+}
+
+TEST_F(RegistryFixture, NonFiniteGaugesSerializeAsNull) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.set_gauge("bad", std::numeric_limits<double>::infinity());
+  const JsonValue root = JsonParser(r.snapshot().to_json()).parse();
+  EXPECT_EQ(root.at("gauges").at("bad").kind, JsonValue::Kind::kNull);
+}
+
+}  // namespace
+}  // namespace netpart::obs

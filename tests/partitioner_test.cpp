@@ -60,9 +60,48 @@ TEST(Partitioner, SpectralDiagnosticsFilled) {
   PartitionerConfig config;
   config.algorithm = Algorithm::kIgMatch;
   const PartitionResult r = run_partitioner(h, config);
-  EXPECT_TRUE(r.eigen_converged);
-  EXPECT_GT(r.lambda2, 0.0);  // connected circuit
+  ASSERT_TRUE(r.eigen_converged.has_value());
+  EXPECT_TRUE(*r.eigen_converged);
+  ASSERT_TRUE(r.lambda2.has_value());
+  EXPECT_GT(*r.lambda2, 0.0);  // connected circuit
   EXPECT_GE(r.matching_bound, r.nets_cut);
+}
+
+TEST(Partitioner, SpectralDiagnosticsEmptyForCombinatorialAlgorithms) {
+  const Hypergraph h = test_circuit();
+  for (const Algorithm a : {Algorithm::kRatioCutFm, Algorithm::kMinCutFm,
+                            Algorithm::kKl}) {
+    PartitionerConfig config;
+    config.algorithm = a;
+    config.fm.num_starts = 2;
+    const PartitionResult r = run_partitioner(h, config);
+    EXPECT_FALSE(r.lambda2.has_value()) << r.algorithm_name;
+    EXPECT_FALSE(r.eigen_converged.has_value()) << r.algorithm_name;
+  }
+}
+
+TEST(Partitioner, MetricsSnapshotCapturedWhenEnabled) {
+  const Hypergraph h = test_circuit();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.reset();
+  registry.set_enabled(true);
+  PartitionerConfig config;
+  config.algorithm = Algorithm::kIgMatch;
+  const PartitionResult r = run_partitioner(h, config);
+  registry.set_enabled(false);
+  registry.reset();
+#if NETPART_OBS_ENABLED
+  EXPECT_FALSE(r.metrics.empty());
+  EXPECT_EQ(r.metrics.counter("igmatch.runs"), 1);
+  ASSERT_FALSE(r.metrics.spans.empty());
+  EXPECT_EQ(r.metrics.spans.front().name, "run-partitioner");
+  EXPECT_GT(r.metrics.spans.front().wall_ms, 0.0);
+#else
+  // Macros compiled out: the registry records nothing from the library,
+  // but the run-level gauges set directly in run_partitioner remain.
+  EXPECT_TRUE(r.metrics.spans.empty());
+  EXPECT_EQ(r.metrics.counter("igmatch.runs"), 0);
+#endif
 }
 
 TEST(Partitioner, RefinedNeverWorseThanPlainIgMatch) {

@@ -10,6 +10,12 @@
 ///
 /// <input> is either the name of a built-in benchmark circuit (bm1, 19ks,
 /// Prim1, Prim2, Test02..Test06) or a path to an hMETIS .hgr file.
+///
+/// Flags (anywhere on the command line):
+///   --trace               print the phase trace tree and metrics tables
+///   --metrics-out <file>  append one JSON metrics record for this run
+///   --version             print the library version and exit
+///   --help                print usage and exit
 
 #include <fstream>
 #include <iostream>
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "circuits/benchmarks.hpp"
+#include "core/metrics_report.hpp"
 #include "core/multiway.hpp"
 #include "core/partitioner.hpp"
 #include "core/table.hpp"
@@ -25,25 +32,44 @@
 #include "hypergraph/stats.hpp"
 #include "io/dot_io.hpp"
 #include "io/netlist_io.hpp"
+#include "obs/metrics.hpp"
+
+#ifndef NETPART_VERSION
+#define NETPART_VERSION "unknown"
+#endif
 
 namespace {
 
 using namespace netpart;
 
+void print_usage(std::ostream& os) {
+  os << "usage: netpart <command> [args] [flags]\n"
+        "  stats     <input>\n"
+        "  generate  <circuit> <out.hgr>\n"
+        "  partition <input> [algorithm] [out.part]\n"
+        "  multiway  <input> <max-block-size> [algorithm]\n"
+        "  sparsity  <input>\n"
+        "  verify    <input> <partition.part>\n"
+        "  dot       <input> <out.dot>\n"
+        "  list\n"
+        "flags:\n"
+        "  --trace               print phase trace tree and metrics tables\n"
+        "  --metrics-out <file>  append one JSON metrics record per run\n"
+        "  --version             print version and exit\n"
+        "  --help                print this message and exit\n"
+        "<input> = built-in circuit name or .hgr file path\n";
+}
+
 int usage() {
-  std::cerr
-      << "usage: netpart <command> [args]\n"
-         "  stats     <input>\n"
-         "  generate  <circuit> <out.hgr>\n"
-         "  partition <input> [algorithm] [out.part]\n"
-         "  multiway  <input> <max-block-size> [algorithm]\n"
-         "  sparsity  <input>\n"
-         "  verify    <input> <partition.part>\n"
-         "  dot       <input> <out.dot>\n"
-         "  list\n"
-         "<input> = built-in circuit name or .hgr file path\n";
+  print_usage(std::cerr);
   return 2;
 }
+
+/// Flags extracted from the command line before positional dispatch.
+struct CliFlags {
+  bool trace = false;
+  std::string metrics_out;
+};
 
 /// Load a built-in circuit by name, or an .hgr file by path.
 Hypergraph load(const std::string& input) {
@@ -179,29 +205,103 @@ int cmd_list() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::vector<std::string> args(argv + 1, argv + argc);
+  const std::vector<std::string> raw(argv + 1, argv + argc);
+
+  // Separate --flags (accepted anywhere) from positional arguments; any
+  // unrecognized flag is a hard error so typos never silently degrade to
+  // defaults.
+  CliFlags flags;
+  std::vector<std::string> args;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::string& arg = raw[i];
+    if (arg.size() < 2 || arg[0] != '-' || arg[1] != '-') {
+      args.push_back(arg);
+      continue;
+    }
+    if (arg == "--help") {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (arg == "--version") {
+      std::cout << "netpart " << NETPART_VERSION << '\n';
+      return 0;
+    }
+    if (arg == "--trace") {
+      flags.trace = true;
+      continue;
+    }
+    if (arg == "--metrics-out") {
+      if (i + 1 >= raw.size()) {
+        std::cerr << "error: --metrics-out requires a file argument\n";
+        return 2;
+      }
+      flags.metrics_out = raw[++i];
+      continue;
+    }
+    std::cerr << "error: unknown flag '" << arg
+              << "' (see netpart --help)\n";
+    return 2;
+  }
   if (args.empty()) return usage();
+
+  const bool collect = flags.trace || !flags.metrics_out.empty();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  if (collect) {
+    registry.set_enabled(true);
+    // Run label: the positionals after the command, e.g. "bm1/igmatch".
+    std::string label;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (i > 1) label += '/';
+      label += args[i];
+    }
+    registry.set_run_label(label);
+  }
+
+  int rc = 2;
+  bool dispatched = true;
   try {
     const std::string& command = args[0];
-    if (command == "stats" && args.size() == 2) return cmd_stats(args[1]);
-    if (command == "generate" && args.size() == 3)
-      return cmd_generate(args[1], args[2]);
-    if (command == "partition" && args.size() >= 2 && args.size() <= 4)
-      return cmd_partition(args[1], args.size() > 2 ? args[2] : "igmatch",
-                           args.size() > 3 ? args[3] : "");
-    if (command == "multiway" && args.size() >= 3 && args.size() <= 4)
-      return cmd_multiway(args[1], std::stoi(args[2]),
-                          args.size() > 3 ? args[3] : "igmatch");
-    if (command == "sparsity" && args.size() == 2)
-      return cmd_sparsity(args[1]);
-    if (command == "verify" && args.size() == 3)
-      return cmd_verify(args[1], args[2]);
-    if (command == "dot" && args.size() == 3)
-      return cmd_dot(args[1], args[2]);
-    if (command == "list") return cmd_list();
+    if (command == "stats" && args.size() == 2)
+      rc = cmd_stats(args[1]);
+    else if (command == "generate" && args.size() == 3)
+      rc = cmd_generate(args[1], args[2]);
+    else if (command == "partition" && args.size() >= 2 && args.size() <= 4)
+      rc = cmd_partition(args[1], args.size() > 2 ? args[2] : "igmatch",
+                         args.size() > 3 ? args[3] : "");
+    else if (command == "multiway" && args.size() >= 3 && args.size() <= 4)
+      rc = cmd_multiway(args[1], std::stoi(args[2]),
+                        args.size() > 3 ? args[3] : "igmatch");
+    else if (command == "sparsity" && args.size() == 2)
+      rc = cmd_sparsity(args[1]);
+    else if (command == "verify" && args.size() == 3)
+      rc = cmd_verify(args[1], args[2]);
+    else if (command == "dot" && args.size() == 3)
+      rc = cmd_dot(args[1], args[2]);
+    else if (command == "list")
+      rc = cmd_list();
+    else
+      dispatched = false;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
-  return usage();
+  if (!dispatched) return usage();
+
+  if (collect) {
+    const obs::MetricsSnapshot snapshot = registry.snapshot();
+    if (flags.trace) {
+      std::cout << "\ntrace:\n";
+      print_span_tree(snapshot, std::cout);
+      print_metrics_tables(snapshot, std::cout);
+    }
+    if (!flags.metrics_out.empty()) {
+      std::ofstream out(flags.metrics_out, std::ios::app);
+      if (!out) {
+        std::cerr << "cannot open " << flags.metrics_out << '\n';
+        return 1;
+      }
+      out << snapshot.to_json() << '\n';
+    }
+  }
+  return rc;
 }
