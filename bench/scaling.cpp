@@ -1,0 +1,243 @@
+/// Thread-scaling benchmark for the deterministic parallel runtime: times
+/// the intersection-graph build, the two spectral pipelines (eig1,
+/// igmatch), multi-start ratio-cut FM, and the recursive multiway
+/// decomposition at 1/2/4/8 worker lanes on one large generated circuit,
+/// verifies that every thread count reproduces the serial result bit for
+/// bit, and exports the measurements as BENCH_scaling.json.
+///
+/// Usage: scaling [out.json] [modules]
+///
+/// The determinism contract means the numbers here are pure performance
+/// data — there is no quality axis to trade off, every row of the table
+/// computes the identical partition.  Speedups are only meaningful when
+/// the host actually has spare cores; `hardware_threads` is recorded in
+/// the JSON so a reader can tell a 1-core CI container from a real
+/// machine.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuits/generator.hpp"
+#include "core/multiway.hpp"
+#include "core/partitioner.hpp"
+#include "core/table.hpp"
+#include "fm/fm_partition.hpp"
+#include "graph/intersection_graph.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace netpart;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::int32_t kThreadCounts[] = {1, 2, 4, 8};
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Everything measured at one thread count.
+struct ScalingRow {
+  std::int32_t threads = 0;
+  double ig_build_ms = 0.0;
+  double eig1_ms = 0.0;
+  double igmatch_ms = 0.0;
+  double fm_ms = 0.0;
+  double multiway_ms = 0.0;
+  std::int64_t pool_regions = 0;
+  std::int64_t pool_chunks = 0;
+  bool identical_to_serial = true;
+};
+
+/// The results pinned against the serial reference.
+struct RunFingerprint {
+  std::vector<std::int32_t> eig1_sides;
+  std::vector<std::int32_t> igmatch_sides;
+  double eig1_ratio = 0.0;
+  double igmatch_ratio = 0.0;
+  double fm_ratio = 0.0;
+  std::int32_t fm_cut = 0;
+  std::int32_t multiway_blocks = 0;
+  std::int32_t multiway_connectivity = 0;
+
+  bool operator==(const RunFingerprint&) const = default;
+};
+
+std::vector<std::int32_t> sides_of(const Partition& p, std::int32_t n) {
+  std::vector<std::int32_t> sides;
+  sides.reserve(static_cast<std::size_t>(n));
+  for (ModuleId m = 0; m < n; ++m)
+    sides.push_back(p.side(m) == Side::kLeft ? 0 : 1);
+  return sides;
+}
+
+ScalingRow measure(const Hypergraph& h, std::int32_t threads,
+                   RunFingerprint& fingerprint) {
+  parallel::ThreadPool::instance().configure(threads);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.reset();
+
+  ScalingRow row;
+  row.threads = threads;
+
+  auto start = Clock::now();
+  const WeightedGraph ig = intersection_graph(h);
+  row.ig_build_ms = ms_since(start);
+  (void)ig;
+
+  PartitionerConfig eig1;
+  eig1.algorithm = Algorithm::kEig1;
+  start = Clock::now();
+  const PartitionResult eig1_result = run_partitioner(h, eig1);
+  row.eig1_ms = ms_since(start);
+
+  PartitionerConfig igmatch;
+  igmatch.algorithm = Algorithm::kIgMatch;
+  start = Clock::now();
+  const PartitionResult igmatch_result = run_partitioner(h, igmatch);
+  row.igmatch_ms = ms_since(start);
+
+  FmOptions fm;
+  fm.num_threads = 0;  // auto: all pool lanes
+  start = Clock::now();
+  const FmRunResult fm_result = ratio_cut_fm(h, fm);
+  row.fm_ms = ms_since(start);
+
+  MultiwayOptions multiway;
+  multiway.max_block_size = std::max(h.num_modules() / 16, 32);
+  start = Clock::now();
+  const MultiwayResult multiway_result = multiway_partition(h, multiway);
+  row.multiway_ms = ms_since(start);
+
+  row.pool_regions = registry.counter("pool.regions");
+  row.pool_chunks = registry.counter("pool.chunks");
+
+  RunFingerprint got;
+  got.eig1_sides = sides_of(eig1_result.partition, h.num_modules());
+  got.igmatch_sides = sides_of(igmatch_result.partition, h.num_modules());
+  got.eig1_ratio = eig1_result.ratio;
+  got.igmatch_ratio = igmatch_result.ratio;
+  got.fm_ratio = fm_result.ratio;
+  got.fm_cut = fm_result.nets_cut;
+  got.multiway_blocks = multiway_result.partition.num_blocks();
+  got.multiway_connectivity = multiway_result.connectivity_cost;
+
+  if (threads == kThreadCounts[0])
+    fingerprint = std::move(got);
+  else
+    row.identical_to_serial = got == fingerprint;
+  return row;
+}
+
+std::string format_ms(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.1f", ms);
+  return buffer;
+}
+
+void append_row_json(std::string& out, const ScalingRow& row) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "    {\"threads\": %d, \"ig_build_ms\": %.3f, \"eig1_ms\": %.3f, "
+      "\"igmatch_ms\": %.3f, \"fm_ms\": %.3f, \"multiway_ms\": %.3f, "
+      "\"pool_regions\": %lld, \"pool_chunks\": %lld, "
+      "\"identical_to_serial\": %s}",
+      row.threads, row.ig_build_ms, row.eig1_ms, row.igmatch_ms, row.fm_ms,
+      row.multiway_ms, static_cast<long long>(row.pool_regions),
+      static_cast<long long>(row.pool_chunks),
+      row.identical_to_serial ? "true" : "false");
+  out += buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_scaling.json";
+  const std::int32_t modules =
+      argc > 2 ? static_cast<std::int32_t>(std::atoi(argv[2])) : 12000;
+
+  GeneratorConfig config;
+  config.name = "scaling-bench";
+  config.num_modules = modules;
+  // > 4096 nets so reductions genuinely chunk; +10% connective surplus.
+  config.num_nets = modules + modules / 10;
+  const Hypergraph h = generate_circuit(config).hypergraph;
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::cout << "scaling bench: " << h.num_modules() << " modules, "
+            << h.num_nets() << " nets, hardware_threads=" << hardware
+            << "\n\n";
+
+  obs::MetricsRegistry::instance().set_enabled(true);
+
+  RunFingerprint fingerprint;
+  std::vector<ScalingRow> rows;
+  for (const std::int32_t threads : kThreadCounts)
+    rows.push_back(measure(h, threads, fingerprint));
+  parallel::ThreadPool::instance().configure(1);
+
+  TextTable table({"threads", "IG build ms", "eig1 ms", "igmatch ms",
+                   "FM ms", "multiway ms", "identical"});
+  for (const ScalingRow& row : rows)
+    table.add_row({std::to_string(row.threads), format_ms(row.ig_build_ms),
+                   format_ms(row.eig1_ms), format_ms(row.igmatch_ms),
+                   format_ms(row.fm_ms), format_ms(row.multiway_ms),
+                   row.identical_to_serial ? "yes" : "NO"});
+  print_table_auto(table, std::cout);
+
+  const ScalingRow& serial = rows.front();
+  const ScalingRow& widest = rows.back();
+  const double serial_total = serial.eig1_ms + serial.igmatch_ms +
+                              serial.fm_ms + serial.multiway_ms;
+  const double widest_total = widest.eig1_ms + widest.igmatch_ms +
+                              widest.fm_ms + widest.multiway_ms;
+  const double speedup = widest_total > 0.0 ? serial_total / widest_total : 0;
+  std::cout << "\ntotal pipeline speedup at " << widest.threads
+            << " threads: " << format_ms(speedup) << "x (hardware has "
+            << hardware << " thread" << (hardware == 1 ? "" : "s") << ")\n";
+
+  bool all_identical = true;
+  for (const ScalingRow& row : rows) all_identical &= row.identical_to_serial;
+  if (!all_identical) {
+    std::cerr << "FAIL: some thread count diverged from the serial result\n";
+    return 1;
+  }
+
+  std::string json;
+  json += "{\n  \"bench\": \"scaling\",\n";
+  json += "  \"hardware_threads\": " + std::to_string(hardware) + ",\n";
+  json += "  \"modules\": " + std::to_string(h.num_modules()) + ",\n";
+  json += "  \"nets\": " + std::to_string(h.num_nets()) + ",\n";
+  json += "  \"all_identical_to_serial\": true,\n";
+  {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.3f", speedup);
+    json += "  \"total_speedup_at_max_threads\": ";
+    json += buffer;
+    json += ",\n";
+  }
+  json += "  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    append_row_json(json, rows[i]);
+    json += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << '\n';
+    return 1;
+  }
+  out << json;
+  std::cout << "wrote " << out_path << '\n';
+  return 0;
+}

@@ -6,6 +6,8 @@
 # The test suite runs twice: once with the observability layer compiled in
 # (the default) and once with -DNETPART_OBS=OFF, so a change can never pass
 # while the macro-disabled configuration fails to build or regresses.
+# A third, ThreadSanitizer-instrumented build then runs the parallel-runtime
+# and observability tests at several lane counts to race-check the pool.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +18,16 @@ ctest --test-dir build --output-on-failure
 cmake -B build-noobs -G Ninja -DNETPART_WARNINGS_AS_ERRORS=ON -DNETPART_OBS=OFF
 cmake --build build-noobs
 ctest --test-dir build-noobs --output-on-failure
+
+# ThreadSanitizer pass over the concurrency-sensitive binaries.  Only the
+# targets that exercise the pool and the shared metrics registry are built
+# and run — a full TSan suite would be prohibitively slow.
+cmake -B build-tsan -G Ninja -DNETPART_SANITIZE=thread \
+  -DNETPART_BUILD_BENCHMARKS=OFF -DNETPART_BUILD_EXAMPLES=OFF
+cmake --build build-tsan --target parallel_test obs_test fm_partition_test
+./build-tsan/tests/parallel_test
+./build-tsan/tests/obs_test
+NETPART_THREADS=4 ./build-tsan/tests/fm_partition_test
 
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] && echo "==== $b ====" && "$b"

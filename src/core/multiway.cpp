@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace netpart {
 
@@ -81,33 +82,71 @@ MultiwayResult multiway_partition(const Hypergraph& h,
     blocks.push_back(std::move(all));
   }
 
-  std::size_t head = 0;
-  while (head < blocks.size()) {
-    const std::size_t current = head++;
-    const std::vector<ModuleId>& members = blocks[current];
-    if (static_cast<std::int32_t>(members.size()) <= options.max_block_size)
-      continue;
-    if (options.max_blocks > 0 &&
-        static_cast<std::int32_t>(blocks.size()) >= options.max_blocks)
-      continue;
-
-    const Hypergraph sub = induce_subhypergraph(h, members);
-    const PartitionResult split =
-        run_partitioner(sub, options.bipartitioner);
-    if (!split.partition.is_proper()) continue;  // cannot split further
-
+  // Recursive decomposition in waves: every oversized block of a wave is an
+  // independent sub-problem (it only reads its own member list and the
+  // original netlist), so the wave's bipartitions run in parallel on the
+  // shared pool.  Results are applied sequentially in block-index order and
+  // block ids are assigned by that deterministic order, so the decomposition
+  // is identical for every thread count.  A block whose split comes back
+  // improper cannot be divided further and is never re-examined (matching
+  // the sequential behaviour this replaces).
+  struct SplitOutcome {
     std::vector<ModuleId> left;
     std::vector<ModuleId> right;
-    for (std::size_t i = 0; i < members.size(); ++i)
-      (split.partition.side(static_cast<ModuleId>(i)) == Side::kLeft
-           ? left
-           : right)
-          .push_back(members[i]);
-    ++result.splits_performed;
-    blocks[current] = std::move(left);
-    blocks.push_back(std::move(right));
-    // Re-examine the shrunken block too.
-    if (current < head) head = current;
+    bool proper = false;
+  };
+  std::vector<std::size_t> pending{0};
+  while (!pending.empty()) {
+    std::vector<std::size_t> wave;
+    for (const std::size_t index : pending)
+      if (static_cast<std::int32_t>(blocks[index].size()) >
+          options.max_block_size)
+        wave.push_back(index);
+    std::vector<std::size_t> deferred;
+    if (options.max_blocks > 0) {
+      // Each applied split grows the block count by one; never launch work
+      // whose result could not be applied under the cap.  Blocks beyond the
+      // allowance are deferred: improper splits do not consume allowance,
+      // so the next wave may still have room for them.
+      const std::int64_t allowance =
+          options.max_blocks - static_cast<std::int64_t>(blocks.size());
+      if (allowance <= 0) break;
+      if (static_cast<std::int64_t>(wave.size()) > allowance) {
+        deferred.assign(wave.begin() + allowance, wave.end());
+        wave.resize(static_cast<std::size_t>(allowance));
+      }
+    }
+    if (wave.empty()) break;
+
+    std::vector<SplitOutcome> outcomes(wave.size());
+    parallel::parallel_tasks(
+        static_cast<std::int64_t>(wave.size()), 0,
+        [&](std::int64_t w, std::size_t) {
+          const std::vector<ModuleId>& members =
+              blocks[wave[static_cast<std::size_t>(w)]];
+          const Hypergraph sub = induce_subhypergraph(h, members);
+          const PartitionResult split =
+              run_partitioner(sub, options.bipartitioner);
+          SplitOutcome& out = outcomes[static_cast<std::size_t>(w)];
+          if (!split.partition.is_proper()) return;
+          out.proper = true;
+          for (std::size_t i = 0; i < members.size(); ++i)
+            (split.partition.side(static_cast<ModuleId>(i)) == Side::kLeft
+                 ? out.left
+                 : out.right)
+                .push_back(members[i]);
+        });
+
+    pending = std::move(deferred);
+    for (std::size_t w = 0; w < wave.size(); ++w) {
+      SplitOutcome& out = outcomes[w];
+      if (!out.proper) continue;  // cannot split further
+      ++result.splits_performed;
+      blocks[wave[w]] = std::move(out.left);
+      pending.push_back(wave[w]);
+      blocks.push_back(std::move(out.right));
+      pending.push_back(blocks.size() - 1);
+    }
   }
 
   for (std::size_t b = 0; b < blocks.size(); ++b)

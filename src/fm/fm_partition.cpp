@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <limits>
-#include <thread>
+#include <memory>
 
 #include "circuits/rng.hpp"
 #include "fm/fm_engine.hpp"
 #include "hypergraph/cut_metrics.hpp"
 #include "obs/metrics.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace netpart {
 
@@ -102,27 +103,30 @@ FmRunResult multi_start(const Hypergraph& h, const FmOptions& options,
     return a.start < b.start;
   };
 
-  std::vector<StartOutcome> outcomes;
-  const std::int32_t threads =
-      std::clamp(options.num_threads, 1, options.num_starts);
+  // 0 = auto (all pool lanes); explicit values are clamped to [1, starts].
+  const std::int32_t requested =
+      options.num_threads == 0 ? parallel::ThreadPool::instance().lanes()
+                               : std::max(options.num_threads, 1);
+  const std::int32_t threads = std::min(requested, options.num_starts);
+  std::vector<StartOutcome> outcomes(
+      static_cast<std::size_t>(options.num_starts));
   if (threads <= 1) {
     FmEngine engine(h);
     for (std::int32_t start = 0; start < options.num_starts; ++start)
-      outcomes.push_back(run_start(engine, start));
+      outcomes[static_cast<std::size_t>(start)] = run_start(engine, start);
   } else {
-    outcomes.resize(static_cast<std::size_t>(options.num_starts));
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (std::int32_t t = 0; t < threads; ++t) {
-      pool.emplace_back([&, t] {
-        FmEngine engine(h);
-        for (std::int32_t start = t; start < options.num_starts;
-             start += threads)
+    // One start per pool task; each lane lazily builds one engine and
+    // reuses it across the starts it claims.  Outcomes are indexed by
+    // start, so the schedule cannot affect the result.
+    std::vector<std::unique_ptr<FmEngine>> engines(
+        static_cast<std::size_t>(parallel::ThreadPool::instance().lanes()));
+    parallel::parallel_tasks(
+        options.num_starts, threads, [&](std::int64_t start, std::size_t lane) {
+          std::unique_ptr<FmEngine>& engine = engines[lane];
+          if (engine == nullptr) engine = std::make_unique<FmEngine>(h);
           outcomes[static_cast<std::size_t>(start)] =
-              run_start(engine, start);
-      });
-    }
-    for (std::thread& worker : pool) worker.join();
+              run_start(*engine, static_cast<std::int32_t>(start));
+        });
   }
 
   const StartOutcome* winner = nullptr;

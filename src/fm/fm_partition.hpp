@@ -29,10 +29,15 @@ struct FmOptions {
   /// Bisection only: allowed deviation of |U| from n/2 as a fraction of n
   /// (the r-bipartition slack).
   double balance_tolerance = 0.10;
-  /// Worker threads for the independent random starts.  The result is
-  /// identical for every thread count (starts are seeded individually and
-  /// ties are broken by start index).
-  std::int32_t num_threads = 1;
+  /// Worker threads for the independent random starts, executed on the
+  /// shared pool (src/parallel).  0 = auto: use every pool lane (the pool
+  /// defaults to hardware concurrency, overridable via NETPART_THREADS or
+  /// the CLI --threads flag).  Values > 0 cap the lanes used; negative
+  /// values are treated as 1 (serial).  Never more threads than
+  /// num_starts.  The result is identical for every thread count: starts
+  /// are seeded individually, each start writes its own outcome slot, and
+  /// ties are broken by start index.
+  std::int32_t num_threads = 0;
 };
 
 /// Result of a multi-start FM run.

@@ -41,6 +41,12 @@ enum class IgWeighting {
 /// Build the intersection graph of `h` under the chosen weighting.  Vertex
 /// i of the result corresponds to net i of `h`.  Nets sharing no module are
 /// non-adjacent; the adjacency *pattern* is identical for every weighting.
+///
+/// The build runs on the shared thread pool (accumulation over fixed module
+/// chunks into a single exactly-sized buffer, then a stable parallel
+/// sort-merge keyed by the net pair).  Pair contributions are summed in
+/// module-scan order regardless of thread count, so edge weights are
+/// bit-identical for any `--threads` setting.
 [[nodiscard]] WeightedGraph intersection_graph(
     const Hypergraph& h, IgWeighting weighting = IgWeighting::kPaper);
 

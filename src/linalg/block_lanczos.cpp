@@ -12,7 +12,10 @@ namespace netpart::linalg {
 namespace {
 
 /// Orthogonalize one column against the deflation set and the whole basis
-/// (two passes), returning its remaining norm without normalizing.
+/// (two passes), returning its remaining norm without normalizing.  The
+/// dot/axpy kernels underneath parallelize on the shared pool with
+/// deterministic reductions, so block iterations are thread-count
+/// independent bit for bit.
 double orthogonalize_column(std::vector<double>& column,
                             std::span<const std::vector<double>> deflation,
                             const std::vector<std::vector<double>>& basis) {

@@ -4,7 +4,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/parallel_for.hpp"
+
 namespace netpart::linalg {
+
+namespace {
+
+/// Rows per SpMV chunk.  Scheduling-only: per-row accumulation is serial,
+/// so the product is bit-identical under any chunking.
+constexpr std::int64_t kRowGrain = 256;
+
+}  // namespace
 
 CsrMatrix CsrMatrix::from_triplets(std::int32_t n,
                                    std::vector<Triplet> triplets) {
@@ -44,15 +54,19 @@ CsrMatrix CsrMatrix::from_triplets(std::int32_t n,
 
 void CsrMatrix::multiply(std::span<const double> x,
                          std::span<double> y) const {
-  const std::int32_t n = dim();
-  for (std::int32_t r = 0; r < n; ++r) {
-    double acc = 0.0;
-    const auto cols = row_cols(r);
-    const auto vals = row_values(r);
-    for (std::size_t k = 0; k < cols.size(); ++k)
-      acc += vals[k] * x[static_cast<std::size_t>(cols[k])];
-    y[static_cast<std::size_t>(r)] = acc;
-  }
+  // Row-parallel: each row's accumulation is a self-contained serial loop,
+  // so the result is bit-identical for any chunking and any thread count.
+  parallel::parallel_for(
+      0, dim(), kRowGrain, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t r = lo; r < hi; ++r) {
+          double acc = 0.0;
+          const auto cols = row_cols(static_cast<std::int32_t>(r));
+          const auto vals = row_values(static_cast<std::int32_t>(r));
+          for (std::size_t k = 0; k < cols.size(); ++k)
+            acc += vals[k] * x[static_cast<std::size_t>(cols[k])];
+          y[static_cast<std::size_t>(r)] = acc;
+        }
+      });
 }
 
 double CsrMatrix::at(std::int32_t r, std::int32_t c) const {
@@ -73,13 +87,21 @@ bool CsrMatrix::is_symmetric() const {
 }
 
 double CsrMatrix::inf_norm() const {
-  double best = 0.0;
-  for (std::int32_t r = 0; r < dim(); ++r) {
-    double row_sum = 0.0;
-    for (const double v : row_values(r)) row_sum += std::abs(v);
-    best = std::max(best, row_sum);
-  }
-  return best;
+  // max over per-chunk maxima is exact (no rounding), so any chunk order
+  // gives the same bits; each row sum stays a serial loop.
+  return parallel::deterministic_reduce<double>(
+      dim(),
+      [&](std::int64_t lo, std::int64_t hi) {
+        double best = 0.0;
+        for (std::int64_t r = lo; r < hi; ++r) {
+          double row_sum = 0.0;
+          for (const double v : row_values(static_cast<std::int32_t>(r)))
+            row_sum += std::abs(v);
+          best = std::max(best, row_sum);
+        }
+        return best;
+      },
+      [](double a, double b) { return std::max(a, b); });
 }
 
 }  // namespace netpart::linalg

@@ -39,7 +39,9 @@ class CsrMatrix {
     return static_cast<std::int64_t>(values_.size());
   }
 
-  /// y = A x.  Sizes must equal dim().
+  /// y = A x.  Sizes must equal dim().  Rows are computed in parallel on
+  /// the shared pool; each row is a serial accumulation, so the result is
+  /// bit-identical for every thread count.
   void multiply(std::span<const double> x, std::span<double> y) const;
 
   /// Column indices of stored entries in row `r` (ascending).

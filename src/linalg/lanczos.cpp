@@ -15,7 +15,9 @@ namespace {
 
 /// Orthogonalize `w` against the deflation set and the Lanczos basis.
 /// Two passes ("twice is enough", Parlett) keep orthogonality to machine
-/// precision even when cancellation is severe.
+/// precision even when cancellation is severe.  The inner dot/axpy kernels
+/// run on the shared thread pool with fixed-chunk deterministic reductions,
+/// so the recurrence is bit-identical for any worker count.
 void reorthogonalize(std::span<double> w,
                      std::span<const std::vector<double>> deflation,
                      const std::vector<std::vector<double>>& basis) {

@@ -4,24 +4,54 @@
 #include <cmath>
 #include <cstdint>
 
+#include "parallel/parallel_for.hpp"
+
 namespace netpart::linalg {
+
+namespace {
+
+/// Elementwise grain: below this the pool is not worth waking.  Purely a
+/// scheduling knob — elementwise ops are bit-identical under any chunking.
+constexpr std::int64_t kElementGrain = 8192;
+
+}  // namespace
 
 double dot(std::span<const double> x, std::span<const double> y) {
   assert(x.size() == y.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
-  return acc;
+  // Fixed-chunk deterministic reduction: partial sums over kReductionChunk
+  // element blocks, combined in block order.  Identical bits for any lane
+  // count; identical to the plain serial loop when x fits in one block.
+  return parallel::deterministic_sum(
+      static_cast<std::int64_t>(x.size()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        double acc = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i)
+          acc += x[static_cast<std::size_t>(i)] *
+                 y[static_cast<std::size_t>(i)];
+        return acc;
+      });
 }
 
 double norm(std::span<const double> x) { return std::sqrt(dot(x, x)); }
 
 void axpy(double a, std::span<const double> x, std::span<double> y) {
   assert(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+  parallel::parallel_for(0, static_cast<std::int64_t>(x.size()),
+                         kElementGrain,
+                         [&](std::int64_t lo, std::int64_t hi) {
+                           for (std::int64_t i = lo; i < hi; ++i)
+                             y[static_cast<std::size_t>(i)] +=
+                                 a * x[static_cast<std::size_t>(i)];
+                         });
 }
 
 void scale(std::span<double> x, double a) {
-  for (double& v : x) v *= a;
+  parallel::parallel_for(0, static_cast<std::int64_t>(x.size()),
+                         kElementGrain,
+                         [&](std::int64_t lo, std::int64_t hi) {
+                           for (std::int64_t i = lo; i < hi; ++i)
+                             x[static_cast<std::size_t>(i)] *= a;
+                         });
 }
 
 double normalize(std::span<double> x) {

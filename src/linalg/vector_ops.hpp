@@ -8,6 +8,12 @@
 /// Small dense-vector kernels used by the Lanczos eigensolver.  Kept as free
 /// functions over std::span so callers can use plain std::vector<double>
 /// storage without adapters.
+///
+/// All kernels run on the shared deterministic thread pool (src/parallel).
+/// `dot` (and everything derived from it: norm, normalize,
+/// orthogonalize_against) uses fixed-chunk reductions, so its result is
+/// bit-identical for every thread count — and identical to a plain serial
+/// loop whenever the vectors fit in one reduction chunk.
 
 namespace netpart::linalg {
 

@@ -153,6 +153,12 @@ MetricsRegistry& MetricsRegistry::instance() {
 }
 
 void MetricsRegistry::set_enabled(bool enabled) {
+  if (enabled) {
+    // The enabling thread owns the trace tree; spans from other threads
+    // (pool workers) are dropped so the tree shape stays deterministic.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    span_owner_ = std::this_thread::get_id();
+  }
   enabled_.store(enabled, std::memory_order_relaxed);
 }
 
@@ -213,6 +219,7 @@ void MetricsRegistry::record_histogram(std::string_view name, double value) {
 void MetricsRegistry::begin_span(std::string_view name) {
   if (!enabled()) return;
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (std::this_thread::get_id() != span_owner_) return;  // worker thread
   // Walk to the innermost open node.
   std::vector<SpanNode>* children = &roots_;
   for (const std::size_t index : open_path_)
@@ -238,6 +245,7 @@ void MetricsRegistry::end_span() {
   // registry enabled at construction must always balance its begin_span,
   // even if the registry was disabled mid-scope.
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (std::this_thread::get_id() != span_owner_) return;  // worker thread
   if (open_path_.empty()) return;  // reset() mid-span, or unbalanced call
   SpanNode* node = nullptr;
   std::vector<SpanNode>* children = &roots_;

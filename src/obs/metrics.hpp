@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 /// \file metrics.hpp
@@ -20,9 +21,12 @@
 ///    when compiled in they are gated on a single relaxed-atomic bool so a
 ///    disabled registry costs one predictable branch per site.
 ///  - Counters, gauges and histograms are thread-safe (the FM multi-start
-///    engine records from worker threads).  Spans are NOT: the trace tree
-///    models the orchestrating thread's call structure, so only code running
-///    on the thread that owns the run may open spans.
+///    engine records from worker threads).  Spans model the orchestrating
+///    thread's call structure: the thread that calls set_enabled(true)
+///    owns the trace tree, and begin/end_span calls from any other thread
+///    (e.g. pool workers running bipartitions inside multiway waves) are
+///    dropped.  This keeps the tree shape deterministic no matter how work
+///    is scheduled.
 ///  - Repeated spans with the same name under the same parent merge into a
 ///    single node (wall time accumulates, count increments), so per-split
 ///    spans inside the IG-Match sweep stay O(distinct phases), not O(m).
@@ -98,6 +102,8 @@ class MetricsRegistry {
   static MetricsRegistry& instance();
 
   /// Runtime master switch.  While disabled every record call is a no-op.
+  /// Enabling also marks the calling thread as the span owner: spans opened
+  /// from other threads are dropped (see the file comment).
   void set_enabled(bool enabled);
   [[nodiscard]] bool enabled() const {
     return enabled_.load(std::memory_order_relaxed);
@@ -115,10 +121,11 @@ class MetricsRegistry {
   void record_histogram(std::string_view name, double value);
 
   /// Open a span as a child of the innermost open span (or at top level).
-  /// Spans with the same name under the same parent merge.  Orchestrating
-  /// thread only — see the file comment.
+  /// Spans with the same name under the same parent merge.  No-op when the
+  /// calling thread is not the span owner — see the file comment.
   void begin_span(std::string_view name);
-  /// Close the innermost open span; no-op when none is open.
+  /// Close the innermost open span; no-op when none is open or when the
+  /// calling thread is not the span owner.
   void end_span();
 
   /// Current value of a counter (0 if never touched).
@@ -132,6 +139,7 @@ class MetricsRegistry {
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;
+  std::thread::id span_owner_;  ///< thread that called set_enabled(true)
   std::string run_label_;
   std::vector<SpanNode> roots_;
   /// Path of indices from roots_ to the innermost open span; indices stay

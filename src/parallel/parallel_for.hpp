@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+/// \file parallel_for.hpp
+/// Header-only loop and reduction templates over the shared ThreadPool.
+/// Everything here upholds the determinism contract: chunk boundaries are a
+/// pure function of the iteration range, and reductions combine per-chunk
+/// partials in ascending chunk order on the calling thread, so results are
+/// bit-identical for every lane count.
+
+namespace netpart::parallel {
+
+/// Run body(lo, hi) over [begin, end) in chunks of `grain` elements.
+/// Elementwise bodies (each index writes only its own outputs) are
+/// trivially deterministic under any chunking; `grain` only tunes the
+/// scheduling overhead / load-balance trade-off.
+template <typename Body>
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  Body&& body) {
+  if (end <= begin) return;
+  ThreadPool& pool = ThreadPool::instance();
+  if (end - begin <= grain || pool.lanes() == 1) {
+    body(begin, end);
+    return;
+  }
+  pool.run_chunks(begin, end, grain, 0,
+                  [&body](std::int64_t lo, std::int64_t hi, std::size_t) {
+                    body(lo, hi);
+                  });
+}
+
+/// Run task(i, lane) for each i in [0, n), one task per chunk.  `max_lanes`
+/// caps concurrency (0 = all lanes).  Tasks must write only to i-indexed
+/// outputs; `lane` (< ThreadPool::instance().lanes()) indexes lane-local
+/// scratch.
+template <typename Task>
+void parallel_tasks(std::int64_t n, std::int32_t max_lanes, Task&& task) {
+  if (n <= 0) return;
+  ThreadPool::instance().run_chunks(
+      0, n, 1, max_lanes,
+      [&task](std::int64_t lo, std::int64_t, std::size_t lane) {
+        task(lo, lane);
+      });
+}
+
+/// Deterministic reduction: combine(acc, f(lo, hi)) over fixed chunks of
+/// kReductionChunk elements, in ascending chunk order.  With n <= one chunk
+/// this is exactly f(0, n) — i.e. identical to the plain serial kernel —
+/// which keeps small problems bit-compatible with the pre-parallel library.
+template <typename T, typename ChunkFn, typename Combine>
+T deterministic_reduce(std::int64_t n, ChunkFn&& f, Combine&& combine) {
+  if (n <= kReductionChunk) return f(std::int64_t{0}, n);
+  const std::int64_t num_chunks =
+      (n + kReductionChunk - 1) / kReductionChunk;
+  std::vector<T> partials(static_cast<std::size_t>(num_chunks));
+  ThreadPool::instance().run_chunks(
+      0, n, kReductionChunk, 0,
+      [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+        partials[static_cast<std::size_t>(lo / kReductionChunk)] = f(lo, hi);
+      });
+  T acc = std::move(partials[0]);
+  for (std::size_t c = 1; c < partials.size(); ++c)
+    acc = combine(std::move(acc), std::move(partials[c]));
+  return acc;
+}
+
+/// Deterministic chunked sum of f(lo, hi) partials (see deterministic_reduce).
+template <typename ChunkFn>
+double deterministic_sum(std::int64_t n, ChunkFn&& f) {
+  return deterministic_reduce<double>(
+      n, std::forward<ChunkFn>(f),
+      [](double a, double b) { return a + b; });
+}
+
+}  // namespace netpart::parallel

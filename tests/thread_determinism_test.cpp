@@ -1,0 +1,194 @@
+/// Cross-thread-count determinism: the contract of the parallel runtime is
+/// that every pipeline — spectral (eig1), intersection-graph (igmatch),
+/// combinatorial (FM multi-start), and the recursive multiway decomposition
+/// on top of them — produces bit-identical results for any lane count.
+/// The largest circuit exceeds the reduction chunk (4096 elements), so the
+/// chunked parallel reduction paths are genuinely exercised, not just the
+/// single-chunk fallback.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuits/generator.hpp"
+#include "core/multiway.hpp"
+#include "core/partitioner.hpp"
+#include "fm/fm_partition.hpp"
+#include "graph/intersection_graph.hpp"
+#include "graph/weighted_graph.hpp"
+#include "linalg/fiedler.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace netpart {
+namespace {
+
+constexpr std::int32_t kLaneCounts[] = {1, 2, 8};
+
+Hypergraph circuit(std::int32_t modules, const char* name) {
+  GeneratorConfig config;
+  config.name = name;
+  config.num_modules = modules;
+  config.num_nets = modules + modules / 10;
+  return generate_circuit(config).hypergraph;
+}
+
+class ThreadDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    parallel::ThreadPool::instance().configure(1);
+  }
+};
+
+/// Everything we pin about one partitioning run.
+struct RunRecord {
+  std::vector<std::int32_t> sides;
+  std::int32_t nets_cut = 0;
+  double ratio = 0.0;
+  double lambda2 = 0.0;
+  bool has_lambda2 = false;
+};
+
+RunRecord record_run(const Hypergraph& h, Algorithm algorithm) {
+  PartitionerConfig config;
+  config.algorithm = algorithm;
+  const PartitionResult r = run_partitioner(h, config);
+  RunRecord rec;
+  rec.sides.reserve(static_cast<std::size_t>(h.num_modules()));
+  for (ModuleId m = 0; m < h.num_modules(); ++m)
+    rec.sides.push_back(r.partition.side(m) == Side::kLeft ? 0 : 1);
+  rec.nets_cut = r.nets_cut;
+  rec.ratio = r.ratio;
+  rec.has_lambda2 = r.lambda2.has_value();
+  rec.lambda2 = r.lambda2.value_or(0.0);
+  return rec;
+}
+
+void expect_identical(const RunRecord& a, const RunRecord& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.sides, b.sides) << context;
+  EXPECT_EQ(a.nets_cut, b.nets_cut) << context;
+  EXPECT_EQ(a.ratio, b.ratio) << context;  // bitwise, no tolerance
+  EXPECT_EQ(a.has_lambda2, b.has_lambda2) << context;
+  EXPECT_EQ(a.lambda2, b.lambda2) << context;
+}
+
+TEST_F(ThreadDeterminismTest, PipelinesBitIdenticalAcrossLaneCounts) {
+  const Hypergraph circuits[] = {
+      circuit(600, "det-small"),
+      circuit(1200, "det-medium"),
+      // > 4096 nets: dot products and SpMV cross the reduction chunk.
+      circuit(5000, "det-large"),
+  };
+  const Algorithm algorithms[] = {Algorithm::kEig1, Algorithm::kIgMatch,
+                                  Algorithm::kRatioCutFm};
+  for (const Hypergraph& h : circuits) {
+    for (const Algorithm algorithm : algorithms) {
+      parallel::ThreadPool::instance().configure(1);
+      const RunRecord reference = record_run(h, algorithm);
+      for (const std::int32_t lanes : kLaneCounts) {
+        if (lanes == 1) continue;
+        parallel::ThreadPool::instance().configure(lanes);
+        const std::string context = std::string(to_string(algorithm)) +
+                                    " modules=" +
+                                    std::to_string(h.num_modules()) +
+                                    " lanes=" + std::to_string(lanes);
+        expect_identical(record_run(h, algorithm), reference, context);
+      }
+    }
+  }
+}
+
+TEST_F(ThreadDeterminismTest, FiedlerVectorBitIdenticalUpToNothingAtAll) {
+  // The eigenvector itself (not just the derived partition) must match
+  // exactly — same seed, same chunked reductions, so not even a sign flip
+  // is possible between lane counts.
+  const Hypergraph h = circuit(5000, "det-eigvec");
+  const WeightedGraph ig = intersection_graph(h);
+  parallel::ThreadPool::instance().configure(1);
+  const linalg::FiedlerResult reference =
+      linalg::fiedler_pair(ig.laplacian());
+  for (const std::int32_t lanes : kLaneCounts) {
+    if (lanes == 1) continue;
+    parallel::ThreadPool::instance().configure(lanes);
+    const linalg::FiedlerResult got = linalg::fiedler_pair(ig.laplacian());
+    EXPECT_EQ(got.lambda2, reference.lambda2) << "lanes=" << lanes;
+    EXPECT_EQ(got.vector, reference.vector) << "lanes=" << lanes;
+    EXPECT_EQ(got.lanczos_iterations, reference.lanczos_iterations)
+        << "lanes=" << lanes;
+  }
+}
+
+TEST_F(ThreadDeterminismTest, IntersectionGraphBitIdenticalAcrossLaneCounts) {
+  const Hypergraph h = circuit(5000, "det-ig");
+  parallel::ThreadPool::instance().configure(1);
+  const WeightedGraph reference = intersection_graph(h);
+  for (const std::int32_t lanes : kLaneCounts) {
+    if (lanes == 1) continue;
+    parallel::ThreadPool::instance().configure(lanes);
+    const WeightedGraph got = intersection_graph(h);
+    ASSERT_EQ(got.num_vertices(), reference.num_vertices());
+    for (std::int32_t v = 0; v < reference.num_vertices(); ++v) {
+      const auto ref_neighbors = reference.neighbors(v);
+      const auto got_neighbors = got.neighbors(v);
+      ASSERT_EQ(got_neighbors.size(), ref_neighbors.size())
+          << "vertex " << v << " lanes=" << lanes;
+      const auto ref_weights = reference.weights(v);
+      const auto got_weights = got.weights(v);
+      for (std::size_t i = 0; i < ref_neighbors.size(); ++i) {
+        EXPECT_EQ(got_neighbors[i], ref_neighbors[i])
+            << "vertex " << v << " lanes=" << lanes;
+        EXPECT_EQ(got_weights[i], ref_weights[i])
+            << "vertex " << v << " lanes=" << lanes;  // bitwise
+      }
+    }
+  }
+}
+
+TEST_F(ThreadDeterminismTest, FmThreadOptionSemantics) {
+  const Hypergraph h = circuit(400, "det-fm-threads");
+  parallel::ThreadPool::instance().configure(8);
+  FmOptions reference_options;
+  reference_options.num_threads = 1;
+  const FmRunResult reference = ratio_cut_fm(h, reference_options);
+  // 0 = auto (all pool lanes), negative = serial, large = clamped; all of
+  // them must agree with the serial reference bit for bit.
+  for (const std::int32_t threads : {0, -3, 2, 64}) {
+    FmOptions options;
+    options.num_threads = threads;
+    const FmRunResult got = ratio_cut_fm(h, options);
+    EXPECT_EQ(got.nets_cut, reference.nets_cut) << "threads=" << threads;
+    EXPECT_EQ(got.weighted_cut, reference.weighted_cut)
+        << "threads=" << threads;
+    EXPECT_EQ(got.ratio, reference.ratio) << "threads=" << threads;
+    EXPECT_EQ(got.starts_run, reference.starts_run) << "threads=" << threads;
+    for (ModuleId m = 0; m < h.num_modules(); ++m)
+      ASSERT_EQ(got.partition.side(m), reference.partition.side(m))
+          << "module " << m << " threads=" << threads;
+  }
+}
+
+TEST_F(ThreadDeterminismTest, MultiwayBitIdenticalAcrossLaneCounts) {
+  const Hypergraph h = circuit(900, "det-multiway");
+  MultiwayOptions options;
+  options.max_block_size = 120;
+  parallel::ThreadPool::instance().configure(1);
+  const MultiwayResult reference = multiway_partition(h, options);
+  for (const std::int32_t lanes : kLaneCounts) {
+    if (lanes == 1) continue;
+    parallel::ThreadPool::instance().configure(lanes);
+    const MultiwayResult got = multiway_partition(h, options);
+    ASSERT_EQ(got.partition.num_blocks(), reference.partition.num_blocks())
+        << "lanes=" << lanes;
+    for (ModuleId m = 0; m < h.num_modules(); ++m)
+      ASSERT_EQ(got.partition.block_of(m), reference.partition.block_of(m))
+          << "module " << m << " lanes=" << lanes;
+    EXPECT_EQ(got.splits_performed, reference.splits_performed);
+    EXPECT_EQ(got.nets_spanning, reference.nets_spanning);
+    EXPECT_EQ(got.connectivity_cost, reference.connectivity_cost);
+  }
+}
+
+}  // namespace
+}  // namespace netpart

@@ -12,6 +12,8 @@
 /// Prim1, Prim2, Test02..Test06) or a path to an hMETIS .hgr file.
 ///
 /// Flags (anywhere on the command line):
+///   --threads <n>         worker threads (0 = auto); default: hardware
+///                         concurrency, overridable via NETPART_THREADS
 ///   --trace               print the phase trace tree and metrics tables
 ///   --metrics-out <file>  append one JSON metrics record for this run
 ///   --version             print the library version and exit
@@ -33,6 +35,7 @@
 #include "io/dot_io.hpp"
 #include "io/netlist_io.hpp"
 #include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
 
 #ifndef NETPART_VERSION
 #define NETPART_VERSION "unknown"
@@ -53,6 +56,9 @@ void print_usage(std::ostream& os) {
         "  dot       <input> <out.dot>\n"
         "  list\n"
         "flags:\n"
+        "  --threads <n>         worker threads; 0 = auto (default: hardware\n"
+        "                        concurrency, env override NETPART_THREADS).\n"
+        "                        Results are identical for every value.\n"
         "  --trace               print phase trace tree and metrics tables\n"
         "  --metrics-out <file>  append one JSON metrics record per run\n"
         "  --version             print version and exit\n"
@@ -236,6 +242,24 @@ int main(int argc, char** argv) {
         return 2;
       }
       flags.metrics_out = raw[++i];
+      continue;
+    }
+    if (arg == "--threads") {
+      if (i + 1 >= raw.size()) {
+        std::cerr << "error: --threads requires a count argument\n";
+        return 2;
+      }
+      int threads = -1;
+      try {
+        threads = std::stoi(raw[++i]);
+      } catch (const std::exception&) {
+        threads = -1;
+      }
+      if (threads < 0) {
+        std::cerr << "error: --threads requires a non-negative integer\n";
+        return 2;
+      }
+      parallel::ThreadPool::instance().configure(threads);
       continue;
     }
     std::cerr << "error: unknown flag '" << arg
