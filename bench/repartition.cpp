@@ -1,0 +1,269 @@
+/// Incremental-repartitioning benchmark: drives a 100-batch ECO edit
+/// sequence over a 12k-module generated circuit through one warm
+/// RepartitionSession (delta IG maintenance + warm-start Lanczos + masked
+/// sweep) and, at every batch, also runs the cold `igmatch_partition` from
+/// scratch on the identical netlist state.  Verifies per batch that the
+/// incrementally maintained intersection graph is bit-identical to the
+/// from-scratch build, requires the final warm ratio cut to be equal or
+/// better than the final cold one, and exports everything as
+/// BENCH_repartition.json.
+///
+/// Usage: repartition [out.json] [modules] [edit-batches]
+///
+/// Exits nonzero when any IG snapshot diverges, when the warm session ends
+/// worse than cold, or when the warm sequence is not at least 2x faster
+/// than the 100 cold runs.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "circuits/generator.hpp"
+#include "circuits/rng.hpp"
+#include "core/table.hpp"
+#include "graph/intersection_graph.hpp"
+#include "igmatch/igmatch.hpp"
+#include "repart/session.hpp"
+
+namespace {
+
+using namespace netpart;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Exact comparison: CSR layout, neighbor ids, IEEE bit pattern of weights
+/// (== is bit equality here; all IG weights are positive finite doubles).
+bool ig_identical(const WeightedGraph& a, const WeightedGraph& b) {
+  if (a.num_vertices() != b.num_vertices()) return false;
+  for (std::int32_t v = 0; v < a.num_vertices(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    const auto wa = a.weights(v);
+    const auto wb = b.weights(v);
+    if (na.size() != nb.size()) return false;
+    for (std::size_t i = 0; i < na.size(); ++i)
+      if (na[i] != nb[i] || wa[i] != wb[i]) return false;
+  }
+  return true;
+}
+
+/// One deterministic ECO batch applied directly to the session's netlist:
+/// mostly pin moves, with occasional net churn (remove + add).
+void apply_random_batch(repart::EditableNetlist& netlist, Xoshiro256& rng) {
+  const auto ops = static_cast<std::int32_t>(rng.range(1, 3));
+  for (std::int32_t op = 0; op < ops; ++op) {
+    const std::int32_t m = netlist.num_nets();
+    const std::int32_t n = netlist.num_modules();
+    if (m < 3 || n < 8) return;
+    if (rng.below(7) == 0) {
+      // Net churn: retire one net, wire a fresh one somewhere else.
+      netlist.remove_net(static_cast<NetId>(rng.below(
+          static_cast<std::uint64_t>(netlist.num_nets()))));
+      std::vector<ModuleId> pins;
+      const auto size = static_cast<std::int32_t>(rng.range(2, 5));
+      for (std::int32_t i = 0; i < size; ++i)
+        pins.push_back(static_cast<ModuleId>(
+            rng.below(static_cast<std::uint64_t>(n))));
+      netlist.add_net(pins);
+    } else {
+      // Pin move: random pin of a random multi-pin net to a random module.
+      for (std::int32_t attempt = 0; attempt < 20; ++attempt) {
+        const auto net = static_cast<NetId>(
+            rng.below(static_cast<std::uint64_t>(netlist.num_nets())));
+        const auto pins = netlist.pins(net);
+        if (pins.size() < 2) continue;
+        const ModuleId from =
+            pins[static_cast<std::size_t>(rng.below(pins.size()))];
+        const auto to = static_cast<ModuleId>(
+            rng.below(static_cast<std::uint64_t>(n)));
+        if (to != from) netlist.move_pin(net, from, to);
+        break;
+      }
+    }
+  }
+}
+
+struct BatchRow {
+  double warm_ms = 0.0;
+  double cold_ms = 0.0;
+  double warm_ratio = 0.0;
+  double cold_ratio = 0.0;
+  bool ig_ok = false;
+  bool warm_started = false;
+  std::int32_t rows_rebuilt = 0;
+  std::int32_t splits_evaluated = 0;
+  std::int32_t splits_total = 0;
+  std::int32_t warm_iters = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_repartition.json";
+  const std::int32_t modules =
+      argc > 2 ? static_cast<std::int32_t>(std::atoi(argv[2])) : 12000;
+  const std::int32_t batches =
+      argc > 3 ? static_cast<std::int32_t>(std::atoi(argv[3])) : 100;
+
+  GeneratorConfig config;
+  config.name = "repart-bench";
+  config.num_modules = modules;
+  config.num_nets = modules + modules / 10;
+  const Hypergraph h = generate_circuit(config).hypergraph;
+  std::cout << "repartition bench: " << h.num_modules() << " modules, "
+            << h.num_nets() << " nets, " << batches << " edit batches\n";
+
+  repart::RepartitionSession session(h);
+  Xoshiro256 rng = Xoshiro256::from_string("repart-bench-edits");
+
+  // Prime the caches (cold by construction; not counted in either column —
+  // both the warm and the cold sequence start from this same state).
+  auto start = Clock::now();
+  repart::RepartitionResult primed = session.repartition();
+  std::cout << "initial cold run: ratio " << format_ratio(primed.ratio)
+            << ", " << primed.lanczos_iterations << " Lanczos iters, "
+            << ms_since(start) << " ms\n\n";
+
+  std::vector<BatchRow> rows;
+  rows.reserve(static_cast<std::size_t>(batches));
+  bool all_ig_ok = true;
+  std::int32_t warm_better = 0, ties = 0, cold_better = 0;
+
+  for (std::int32_t batch = 0; batch < batches; ++batch) {
+    apply_random_batch(session.netlist(), rng);
+
+    BatchRow row;
+    start = Clock::now();
+    const repart::RepartitionResult warm = session.repartition();
+    row.warm_ms = ms_since(start);
+
+    const Hypergraph& state = session.hypergraph();
+    start = Clock::now();
+    const IgMatchResult cold = igmatch_partition(state);
+    row.cold_ms = ms_since(start);
+
+    row.ig_ok = ig_identical(session.intersection_graph(),
+                             intersection_graph(state));
+    all_ig_ok &= row.ig_ok;
+    row.warm_ratio = warm.ratio;
+    row.cold_ratio = cold.ratio;
+    row.warm_started = warm.warm_started;
+    row.rows_rebuilt = warm.ig_rows_rebuilt;
+    row.splits_evaluated = warm.sweep_ranks_evaluated;
+    row.splits_total = warm.sweep_ranks_total;
+    row.warm_iters = warm.lanczos_iterations;
+    if (warm.ratio < cold.ratio)
+      ++warm_better;
+    else if (warm.ratio > cold.ratio)
+      ++cold_better;
+    else
+      ++ties;
+    rows.push_back(row);
+
+    if ((batch + 1) % 10 == 0)
+      std::cout << "batch " << batch + 1 << ": warm " << row.warm_ms
+                << " ms vs cold " << row.cold_ms << " ms, ratios "
+                << format_ratio(row.warm_ratio) << " / "
+                << format_ratio(row.cold_ratio)
+                << (row.ig_ok ? "" : "  [IG MISMATCH]") << '\n';
+  }
+
+  double warm_total = 0.0, cold_total = 0.0;
+  std::int64_t splits_evaluated = 0, splits_total = 0;
+  for (const BatchRow& row : rows) {
+    warm_total += row.warm_ms;
+    cold_total += row.cold_ms;
+    splits_evaluated += row.splits_evaluated;
+    splits_total += row.splits_total;
+  }
+  const double speedup = warm_total > 0.0 ? cold_total / warm_total : 0.0;
+  const double warm_final = rows.back().warm_ratio;
+  const double cold_final = rows.back().cold_ratio;
+
+  TextTable table({"sequence", "total ms", "final ratio"});
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.1f", warm_total);
+  table.add_row({"warm (incremental)", buffer, format_ratio(warm_final)});
+  std::snprintf(buffer, sizeof buffer, "%.1f", cold_total);
+  table.add_row({"cold (from scratch)", buffer, format_ratio(cold_final)});
+  std::cout << '\n';
+  print_table_auto(table, std::cout);
+  std::cout << "\nspeedup: " << speedup << "x over " << batches
+            << " batches; splits evaluated " << splits_evaluated << "/"
+            << splits_total << "; quality warm-better/tie/cold-better: "
+            << warm_better << "/" << ties << "/" << cold_better
+            << "; IG bit-identical: " << (all_ig_ok ? "yes" : "NO") << '\n';
+
+  std::string json;
+  json += "{\n  \"bench\": \"repartition\",\n";
+  json += "  \"modules\": " + std::to_string(modules) + ",\n";
+  json += "  \"nets_initial\": " + std::to_string(h.num_nets()) + ",\n";
+  json +=
+      "  \"nets_final\": " + std::to_string(session.hypergraph().num_nets()) +
+      ",\n";
+  json += "  \"batches\": " + std::to_string(batches) + ",\n";
+  std::snprintf(buffer, sizeof buffer, "%.3f", warm_total);
+  json += "  \"warm_total_ms\": " + std::string(buffer) + ",\n";
+  std::snprintf(buffer, sizeof buffer, "%.3f", cold_total);
+  json += "  \"cold_total_ms\": " + std::string(buffer) + ",\n";
+  std::snprintf(buffer, sizeof buffer, "%.3f", speedup);
+  json += "  \"speedup\": " + std::string(buffer) + ",\n";
+  std::snprintf(buffer, sizeof buffer, "%.9g", warm_final);
+  json += "  \"warm_final_ratio\": " + std::string(buffer) + ",\n";
+  std::snprintf(buffer, sizeof buffer, "%.9g", cold_final);
+  json += "  \"cold_final_ratio\": " + std::string(buffer) + ",\n";
+  json += "  \"warm_better\": " + std::to_string(warm_better) + ",\n";
+  json += "  \"ties\": " + std::to_string(ties) + ",\n";
+  json += "  \"cold_better\": " + std::to_string(cold_better) + ",\n";
+  json += "  \"all_ig_identical\": " + std::string(all_ig_ok ? "true" : "false") +
+          ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BatchRow& row = rows[i];
+    char line[320];
+    std::snprintf(line, sizeof line,
+                  "    {\"batch\": %zu, \"warm_ms\": %.3f, \"cold_ms\": %.3f, "
+                  "\"warm_ratio\": %.9g, \"cold_ratio\": %.9g, "
+                  "\"warm_started\": %s, \"ig_identical\": %s, "
+                  "\"ig_rows_rebuilt\": %d, \"splits_evaluated\": %d, "
+                  "\"lanczos_iters\": %d}%s\n",
+                  i + 1, row.warm_ms, row.cold_ms, row.warm_ratio,
+                  row.cold_ratio, row.warm_started ? "true" : "false",
+                  row.ig_ok ? "true" : "false", row.rows_rebuilt,
+                  row.splits_evaluated, row.warm_iters,
+                  i + 1 < rows.size() ? "," : "");
+    json += line;
+  }
+  json += "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << '\n';
+    return 1;
+  }
+  out << json;
+  std::cout << "wrote " << out_path << '\n';
+
+  if (!all_ig_ok) {
+    std::cerr << "FAIL: incremental IG diverged from the from-scratch build\n";
+    return 1;
+  }
+  if (warm_final > cold_final) {
+    std::cerr << "FAIL: warm sequence ended worse than cold (" << warm_final
+              << " > " << cold_final << ")\n";
+    return 1;
+  }
+  if (speedup < 2.0) {
+    std::cerr << "FAIL: warm speedup " << speedup << "x below the 2x target\n";
+    return 1;
+  }
+  return 0;
+}

@@ -6,13 +6,27 @@
 # The test suite runs twice: once with the observability layer compiled in
 # (the default) and once with -DNETPART_OBS=OFF, so a change can never pass
 # while the macro-disabled configuration fails to build or regresses.
-# A third, ThreadSanitizer-instrumented build then runs the parallel-runtime
-# and observability tests at several lane counts to race-check the pool.
+# A third, ThreadSanitizer-instrumented build then runs the parallel-runtime,
+# observability, and repartitioning tests at several lane counts to
+# race-check the pool.
+#
+# Usage: check.sh [--fast]
+#   --fast  Tier-1 loop only: single OBS=ON configuration, tests not labeled
+#           "slow" (ctest -LE slow), no second config, no TSan, no benches.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+FAST=0
+if [ "${1:-}" = "--fast" ]; then
+  FAST=1
+fi
+
 cmake -B build -G Ninja -DNETPART_WARNINGS_AS_ERRORS=ON -DNETPART_OBS=ON
 cmake --build build
+if [ "$FAST" -eq 1 ]; then
+  ctest --test-dir build --output-on-failure -LE slow
+  exit 0
+fi
 ctest --test-dir build --output-on-failure
 
 cmake -B build-noobs -G Ninja -DNETPART_WARNINGS_AS_ERRORS=ON -DNETPART_OBS=OFF
@@ -20,14 +34,18 @@ cmake --build build-noobs
 ctest --test-dir build-noobs --output-on-failure
 
 # ThreadSanitizer pass over the concurrency-sensitive binaries.  Only the
-# targets that exercise the pool and the shared metrics registry are built
-# and run — a full TSan suite would be prohibitively slow.
+# targets that exercise the pool, the shared metrics registry, and the
+# incremental repartitioning session (warm Lanczos restarts on the pool) are
+# built and run — a full TSan suite would be prohibitively slow.
 cmake -B build-tsan -G Ninja -DNETPART_SANITIZE=thread \
   -DNETPART_BUILD_BENCHMARKS=OFF -DNETPART_BUILD_EXAMPLES=OFF
-cmake --build build-tsan --target parallel_test obs_test fm_partition_test
+cmake --build build-tsan --target parallel_test obs_test fm_partition_test \
+  repart_property_test igmatch_oracle_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/obs_test
 NETPART_THREADS=4 ./build-tsan/tests/fm_partition_test
+NETPART_THREADS=4 ./build-tsan/tests/repart_property_test
+NETPART_THREADS=4 ./build-tsan/tests/igmatch_oracle_test
 
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] && echo "==== $b ====" && "$b"

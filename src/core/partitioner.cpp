@@ -57,6 +57,7 @@ PartitionResult run_partitioner(const Hypergraph& h,
       options.weighting = config.weighting;
       options.lanczos = config.lanczos;
       options.threshold_net_size = config.threshold_net_size;
+      options.prebuilt_ig = config.prebuilt_ig;
       options.recursive = config.algorithm == Algorithm::kIgMatchRecursive;
       const IgMatchResult r = igmatch_partition(h, options);
       out.partition = r.partition;

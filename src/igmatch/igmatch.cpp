@@ -166,6 +166,7 @@ bool refine_recursively(const Hypergraph& h,
   sub_options.recursive = options.recursion_depth > 1;
   sub_options.recursion_depth = options.recursion_depth - 1;
   sub_options.record_splits = false;
+  sub_options.prebuilt_ig = nullptr;  // the sub-hypergraph has its own IG
   const IgMatchResult sub_result = igmatch_partition(sub, sub_options);
   if (!sub_result.partition.is_proper()) return false;
 
@@ -198,15 +199,45 @@ bool refine_recursively(const Hypergraph& h,
 IgMatchResult igmatch_with_ordering(const Hypergraph& h,
                                     std::span<const std::int32_t> net_order,
                                     const IgMatchOptions& options) {
+  if (h.num_nets() < 2 || h.num_modules() < 2) {
+    IgMatchResult trivial;
+    trivial.partition = Partition(h.num_modules(), Side::kLeft);
+    return trivial;
+  }
+  if (options.prebuilt_ig != nullptr)
+    return igmatch_sweep(h, *options.prebuilt_ig, net_order, {}, options);
+  const WeightedGraph ig = intersection_graph(h, options.weighting);
+  return igmatch_sweep(h, ig, net_order, {}, options);
+}
+
+IgMatchResult igmatch_sweep(const Hypergraph& h, const WeightedGraph& ig,
+                            std::span<const std::int32_t> net_order,
+                            std::span<const char> rank_mask,
+                            const IgMatchOptions& options) {
   const std::int32_t m = h.num_nets();
   if (static_cast<std::int32_t>(net_order.size()) != m)
     throw std::invalid_argument("igmatch_with_ordering: order size mismatch");
+  if (ig.num_vertices() != m)
+    throw std::invalid_argument("igmatch_sweep: intersection graph mismatch");
+  if (!rank_mask.empty() && static_cast<std::int32_t>(rank_mask.size()) != m)
+    throw std::invalid_argument("igmatch_sweep: rank mask size mismatch");
 
   IgMatchResult result;
   result.partition = Partition(h.num_modules(), Side::kLeft);
   if (m < 2 || h.num_modules() < 2) return result;
 
-  const WeightedGraph ig = intersection_graph(h, options.weighting);
+  // The matcher must advance through every rank up to the last one we
+  // evaluate; beyond that the sweep can stop outright.
+  std::int32_t last_rank = m - 1;
+  if (!rank_mask.empty()) {
+    last_rank = 0;
+    for (std::int32_t r = m - 1; r >= 1; --r)
+      if (rank_mask[static_cast<std::size_t>(r)]) {
+        last_rank = r;
+        break;
+      }
+  }
+
   DynamicBipartiteMatcher matcher(ig);
 
   std::vector<ModuleFate> fate(static_cast<std::size_t>(h.num_modules()));
@@ -216,11 +247,14 @@ IgMatchResult igmatch_with_ordering(const Hypergraph& h,
   std::int32_t best_cut = 0;
   std::vector<std::pair<double, std::int32_t>> ratio_by_rank;  // for top-K
 
+  std::int32_t splits_evaluated = 0;
   {
     NETPART_SPAN("sweep");
-    NETPART_COUNTER_ADD("igmatch.splits_evaluated", m - 1);
-    for (std::int32_t r = 1; r < m; ++r) {
+    for (std::int32_t r = 1; r <= last_rank; ++r) {
       matcher.move_to_right(net_order[static_cast<std::size_t>(r - 1)]);
+      if (!rank_mask.empty() && !rank_mask[static_cast<std::size_t>(r)])
+        continue;
+      ++splits_evaluated;
       std::vector<NetLabel> labels;
       {
         // Phase I: winner/loser/core classification of every net.
@@ -254,10 +288,20 @@ IgMatchResult igmatch_with_ordering(const Hypergraph& h,
       }
     }
   }
+  NETPART_COUNTER_ADD("igmatch.splits_evaluated", splits_evaluated);
+  NETPART_COUNTER_ADD("igmatch.splits_skipped",
+                      static_cast<std::int64_t>(m - 1) - splits_evaluated);
   NETPART_COUNTER_ADD("igmatch.augmenting_searches",
                       matcher.augmenting_searches());
 
-  if (best_fate.empty()) return result;  // no proper completion existed
+  if (best_fate.empty()) {
+    // No evaluated split admitted a proper wholesale completion (possible
+    // on tiny dense instances, or under a rank mask that skips every
+    // viable split).  Report +inf — never the default 0.0, which any
+    // ratio-minimizing caller would mistake for a perfect cut.
+    result.ratio = std::numeric_limits<double>::infinity();
+    return result;
+  }
 
   NETPART_SPAN("completion");
   result.partition = materialize(best_fate, best_none_left);
@@ -292,7 +336,7 @@ IgMatchResult igmatch_with_ordering(const Hypergraph& h,
 
     // Second sweep, stopping at the candidate ranks to rebuild their fates.
     DynamicBipartiteMatcher replay(ig);
-    for (std::int32_t r = 1; r < m; ++r) {
+    for (std::int32_t r = 1; r <= last_rank; ++r) {
       replay.move_to_right(net_order[static_cast<std::size_t>(r - 1)]);
       if (!is_candidate[static_cast<std::size_t>(r)]) continue;
       compute_fates(h, replay.classify(), fate);
@@ -323,8 +367,13 @@ IgMatchResult igmatch_partition(const Hypergraph& h,
     trivial.partition = Partition(h.num_modules(), Side::kLeft);
     return trivial;
   }
-  const NetOrdering ordering = spectral_net_ordering(
-      h, options.weighting, options.lanczos, options.threshold_net_size);
+  const NetOrdering ordering =
+      options.prebuilt_ig != nullptr
+          ? spectral_net_ordering_of_ig(h, *options.prebuilt_ig,
+                                        options.lanczos,
+                                        options.threshold_net_size)
+          : spectral_net_ordering(h, options.weighting, options.lanczos,
+                                  options.threshold_net_size);
   IgMatchResult result = igmatch_with_ordering(h, ordering.order, options);
   result.lambda2 = ordering.lambda2;
   result.eigen_converged = ordering.eigen_converged;

@@ -52,6 +52,12 @@ struct IgMatchOptions {
   /// cores; refining only the single winner is often a no-op because its
   /// core is tiny).
   std::int32_t recursive_candidates = 8;
+  /// Optional prebuilt intersection graph of the input hypergraph (must
+  /// match its net count and the configured weighting); skips the IG build
+  /// in both the ordering and the sweep.  The incremental repartitioning
+  /// pipeline maintains one across edits.  Not propagated into recursive
+  /// completions (their sub-hypergraphs need their own IGs).
+  const WeightedGraph* prebuilt_ig = nullptr;
 };
 
 /// Per-split record (filled when record_splits is set).
@@ -84,6 +90,22 @@ struct IgMatchResult {
 /// delegates here after computing the spectral ordering.
 [[nodiscard]] IgMatchResult igmatch_with_ordering(
     const Hypergraph& h, std::span<const std::int32_t> net_order,
+    const IgMatchOptions& options = {});
+
+/// The sweep core: like `igmatch_with_ordering`, but consumes a prebuilt
+/// intersection graph of `h` (the incremental repartitioning pipeline
+/// maintains one across edits) and an optional rank mask.  When `rank_mask`
+/// is non-empty it must have one entry per net; split rank r (1 <= r < m)
+/// is fully evaluated (Phase I classification + Phase II completion) only
+/// when rank_mask[r] != 0, and the matcher stops advancing past the last
+/// masked rank.  Unmasked ranks still perform the O(1)-amortized matching
+/// repair, so the evaluated splits see exactly the state a full sweep would
+/// — restricting the mask trades global optimality of the sweep for time,
+/// never correctness of the evaluated splits.  An empty mask evaluates
+/// every rank (identical to `igmatch_with_ordering`).
+[[nodiscard]] IgMatchResult igmatch_sweep(
+    const Hypergraph& h, const WeightedGraph& ig,
+    std::span<const std::int32_t> net_order, std::span<const char> rank_mask,
     const IgMatchOptions& options = {});
 
 }  // namespace netpart

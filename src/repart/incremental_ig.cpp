@@ -1,0 +1,232 @@
+#include "repart/incremental_ig.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace netpart::repart {
+
+IncrementalIntersectionGraph::IncrementalIntersectionGraph(
+    const Hypergraph& h, IgWeighting weighting)
+    : weighting_(weighting) {
+  const std::int32_t m = h.num_nets();
+  inv_size_.resize(static_cast<std::size_t>(m));
+  for (NetId n = 0; n < m; ++n)
+    inv_size_[static_cast<std::size_t>(n)] =
+        1.0 / static_cast<double>(h.net_size(n));
+  rows_.resize(static_cast<std::size_t>(m));
+  scratch_paper_.assign(static_cast<std::size_t>(m), 0.0);
+  scratch_shared_.assign(static_cast<std::size_t>(m), 0);
+  for (NetId a = 0; a < m; ++a)
+    build_row(h, a, rows_[static_cast<std::size_t>(a)]);
+  last_rows_rebuilt_ = m;
+}
+
+void IncrementalIntersectionGraph::build_row(const Hypergraph& h, NetId a,
+                                             std::vector<IgEntry>& out) {
+  // Shared-module fold in ascending module-id order — the same term order
+  // the from-scratch build's stable sort-by-(a,b)-key produces, so the
+  // accumulated doubles match it bit for bit.
+  touched_.clear();
+  const double inv_a = inv_size_[static_cast<std::size_t>(a)];
+  for (const ModuleId k : h.pins(a)) {
+    const auto nets = h.nets_of(k);
+    const std::size_t d = nets.size();
+    if (d < 2) continue;
+    const double inv_deg = 1.0 / static_cast<double>(d - 1);
+    for (const NetId b : nets) {
+      if (b == a) continue;
+      const auto bi = static_cast<std::size_t>(b);
+      if (scratch_shared_[bi] == 0) touched_.push_back(b);
+      scratch_paper_[bi] += inv_deg * (inv_a + inv_size_[bi]);
+      scratch_shared_[bi] += 1;
+    }
+  }
+  std::sort(touched_.begin(), touched_.end());
+  out.clear();
+  out.reserve(touched_.size());
+  for (const NetId b : touched_) {
+    const auto bi = static_cast<std::size_t>(b);
+    out.push_back({b, scratch_paper_[bi], scratch_shared_[bi]});
+    scratch_paper_[bi] = 0.0;
+    scratch_shared_[bi] = 0;
+  }
+}
+
+namespace {
+
+/// Binary search a sorted row for `neighbor`; nullptr when absent.
+IgEntry* find_entry(std::vector<IgEntry>& row, NetId neighbor) {
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), neighbor,
+      [](const IgEntry& e, NetId b) { return e.neighbor < b; });
+  return (it != row.end() && it->neighbor == neighbor) ? &*it : nullptr;
+}
+
+void upsert_entry(std::vector<IgEntry>& row, const IgEntry& entry) {
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), entry.neighbor,
+      [](const IgEntry& e, NetId b) { return e.neighbor < b; });
+  if (it != row.end() && it->neighbor == entry.neighbor)
+    *it = entry;
+  else
+    row.insert(it, entry);
+}
+
+void erase_entry(std::vector<IgEntry>& row, NetId neighbor) {
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), neighbor,
+      [](const IgEntry& e, NetId b) { return e.neighbor < b; });
+  if (it != row.end() && it->neighbor == neighbor) row.erase(it);
+}
+
+}  // namespace
+
+void IncrementalIntersectionGraph::update(const Hypergraph& edited,
+                                          const ChangeSet& changes) {
+  NETPART_SPAN("ig-delta");
+  const std::int32_t m_old = static_cast<std::int32_t>(rows_.size());
+  if (static_cast<std::int32_t>(changes.net_remap.size()) != m_old)
+    throw std::invalid_argument(
+        "IncrementalIntersectionGraph: change set baseline mismatch (one "
+        "update per drain_changes)");
+  const std::int32_t m_new = edited.num_nets();
+
+  // 1. Remap surviving rows and the inverse-size table into the new id
+  //    space.  The remap is strictly increasing over survivors, so entry
+  //    order inside each row is preserved.  Entries pointing at removed
+  //    nets are dropped (their rows are rebuilt below anyway — every
+  //    neighbor of a removed net shared a module with it, and that module
+  //    is dirty).
+  std::vector<std::vector<IgEntry>> new_rows(static_cast<std::size_t>(m_new));
+  std::vector<double> new_inv(static_cast<std::size_t>(m_new), 0.0);
+  std::vector<char> fresh(static_cast<std::size_t>(m_new), 1);  // no preimage
+  for (std::int32_t old_id = 0; old_id < m_old; ++old_id) {
+    const std::int32_t new_id =
+        changes.net_remap[static_cast<std::size_t>(old_id)];
+    if (new_id < 0) continue;
+    auto& row = rows_[static_cast<std::size_t>(old_id)];
+    std::size_t out = 0;
+    for (const IgEntry& e : row) {
+      const std::int32_t nb =
+          changes.net_remap[static_cast<std::size_t>(e.neighbor)];
+      if (nb < 0) continue;
+      row[out] = {nb, e.paper, e.shared};
+      ++out;
+    }
+    row.resize(out);
+    new_rows[static_cast<std::size_t>(new_id)] = std::move(row);
+    new_inv[static_cast<std::size_t>(new_id)] =
+        inv_size_[static_cast<std::size_t>(old_id)];
+    fresh[static_cast<std::size_t>(new_id)] = 0;
+  }
+  rows_ = std::move(new_rows);
+  inv_size_ = std::move(new_inv);
+
+  // 2. Affected set: dirty nets, brand-new nets, and every net incident to
+  //    a dirty module (a degree change alters the 1/(d_k - 1) term of every
+  //    pair through that module).
+  std::vector<char> affected(static_cast<std::size_t>(m_new), 0);
+  for (const NetId n : changes.dirty_nets)
+    affected[static_cast<std::size_t>(n)] = 1;
+  for (std::int32_t n = 0; n < m_new; ++n)
+    if (fresh[static_cast<std::size_t>(n)])
+      affected[static_cast<std::size_t>(n)] = 1;
+  for (const ModuleId k : changes.dirty_modules)
+    for (const NetId b : edited.nets_of(k))
+      affected[static_cast<std::size_t>(b)] = 1;
+
+  // 3. Refresh 1/|s_e| where the size could have changed.
+  for (const NetId n : changes.dirty_nets)
+    inv_size_[static_cast<std::size_t>(n)] =
+        1.0 / static_cast<double>(edited.net_size(n));
+  for (std::int32_t n = 0; n < m_new; ++n)
+    if (fresh[static_cast<std::size_t>(n)])
+      inv_size_[static_cast<std::size_t>(n)] =
+          1.0 / static_cast<double>(edited.net_size(n));
+
+  last_affected_.clear();
+  for (std::int32_t n = 0; n < m_new; ++n)
+    if (affected[static_cast<std::size_t>(n)]) last_affected_.push_back(n);
+
+  // 4. Rebuild affected rows, remembering their previous neighbor sets so
+  //    stale symmetric entries in clean rows can be removed.
+  scratch_paper_.assign(static_cast<std::size_t>(m_new), 0.0);
+  scratch_shared_.assign(static_cast<std::size_t>(m_new), 0);
+  std::vector<std::vector<NetId>> old_neighbors;
+  old_neighbors.reserve(last_affected_.size());
+  for (const NetId a : last_affected_) {
+    auto& row = rows_[static_cast<std::size_t>(a)];
+    std::vector<NetId> prev;
+    prev.reserve(row.size());
+    for (const IgEntry& e : row) prev.push_back(e.neighbor);
+    old_neighbors.push_back(std::move(prev));
+    build_row(edited, a, row);
+  }
+
+  // 5. Patch the symmetric half: for each affected row a, clean neighbors b
+  //    get their (b, a) entry upserted to the freshly folded value, and
+  //    former neighbors that vanished get it erased.  Pairs with both ends
+  //    affected were rebuilt consistently on both sides (same fold, same
+  //    bits).
+  for (std::size_t i = 0; i < last_affected_.size(); ++i) {
+    const NetId a = last_affected_[i];
+    const auto& row = rows_[static_cast<std::size_t>(a)];
+    for (const IgEntry& e : row) {
+      if (affected[static_cast<std::size_t>(e.neighbor)]) continue;
+      upsert_entry(rows_[static_cast<std::size_t>(e.neighbor)],
+                   {a, e.paper, e.shared});
+    }
+    auto* mutable_row = &rows_[static_cast<std::size_t>(a)];
+    for (const NetId b : old_neighbors[i]) {
+      if (affected[static_cast<std::size_t>(b)]) continue;
+      if (find_entry(*mutable_row, b) != nullptr) continue;  // still adjacent
+      erase_entry(rows_[static_cast<std::size_t>(b)], a);
+    }
+  }
+
+  last_rows_rebuilt_ = static_cast<std::int32_t>(last_affected_.size());
+  last_rows_reused_ = m_new - last_rows_rebuilt_;
+  NETPART_COUNTER_ADD("repart.ig_rows_rebuilt", last_rows_rebuilt_);
+  NETPART_COUNTER_ADD("repart.ig_rows_reused", last_rows_reused_);
+}
+
+WeightedGraph IncrementalIntersectionGraph::snapshot(const Hypergraph& h) const {
+  const std::int32_t m = static_cast<std::int32_t>(rows_.size());
+  if (h.num_nets() != m)
+    throw std::invalid_argument(
+        "IncrementalIntersectionGraph::snapshot: hypergraph mismatch");
+  std::vector<GraphEdge> edges;
+  for (NetId a = 0; a < m; ++a) {
+    for (const IgEntry& e : rows_[static_cast<std::size_t>(a)]) {
+      const NetId b = e.neighbor;
+      if (b <= a) continue;  // emit each undirected edge once, (a < b)
+      double w = 0.0;
+      switch (weighting_) {
+        case IgWeighting::kPaper:
+          w = e.paper;
+          break;
+        case IgWeighting::kUniform:
+          w = 1.0;
+          break;
+        case IgWeighting::kOverlap:
+          w = static_cast<double>(e.shared);
+          break;
+        case IgWeighting::kJaccard: {
+          const double unions = static_cast<double>(h.net_size(a)) +
+                                static_cast<double>(h.net_size(b)) -
+                                static_cast<double>(e.shared);
+          w = static_cast<double>(e.shared) / unions;
+          break;
+        }
+      }
+      w *= static_cast<double>(h.net_weight(a)) *
+           static_cast<double>(h.net_weight(b));
+      edges.push_back({a, b, w});
+    }
+  }
+  return WeightedGraph::from_edges(m, std::move(edges));
+}
+
+}  // namespace netpart::repart

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/intersection_graph.hpp"
+#include "graph/weighted_graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "repart/editable_netlist.hpp"
+
+/// \file incremental_ig.hpp
+/// Incrementally maintained intersection graph.
+///
+/// The from-scratch `intersection_graph()` build costs O(sum_k d_k^2) over
+/// every module; after a small ECO batch only a handful of nets change.
+/// This structure keeps one row per net of (neighbor, paper-sum, shared
+/// count) and, on `update()`, rebuilds only the rows of *affected* nets —
+/// nets whose own pin set changed, plus nets incident to a module whose
+/// degree or membership changed — then patches the symmetric entries of
+/// untouched rows.
+///
+/// Bit-identity contract: `snapshot()` is byte-for-byte equal (CSR layout,
+/// neighbor ids, IEEE-754 weight bits) to `intersection_graph(h, weighting)`
+/// on the edited hypergraph.  The from-scratch build folds each edge weight
+/// over shared modules in ascending module-id order; a row rebuild iterates
+/// `pins(a)` ascending and adds the identical terms (addition inside a term,
+/// `inv_a + inv_b`, is commutative at the IEEE level, so it does not matter
+/// which endpoint's row folds it), and untouched rows keep doubles that were
+/// equal to the from-scratch fold by induction.  The property test
+/// (`repart_property_test`) enforces this equality exactly.
+
+namespace netpart::repart {
+
+/// One adjacency entry of a net row: raw accumulators, pre-weighting.
+struct IgEntry {
+  NetId neighbor = -1;
+  double paper = 0.0;      ///< sum over shared k of (1/(d_k-1))(1/|a|+1/|b|)
+  std::int32_t shared = 0; ///< number of shared modules
+};
+
+class IncrementalIntersectionGraph {
+ public:
+  /// Full build from `h` (the baseline the journal of an EditableNetlist
+  /// constructed from the same hypergraph refers to).
+  IncrementalIntersectionGraph(const Hypergraph& h, IgWeighting weighting);
+
+  /// Fold one batch of edits into the rows.  `edited` must be the
+  /// materialization of the netlist *after* the batch and `changes` the
+  /// journal drained for exactly that batch (one update per drain).
+  void update(const Hypergraph& edited, const ChangeSet& changes);
+
+  /// Materialize the current rows as a WeightedGraph — bit-identical to
+  /// `intersection_graph(h, weighting())` on the current hypergraph `h`
+  /// (needed for net sizes/weights of the jaccard and multiplicity terms).
+  [[nodiscard]] WeightedGraph snapshot(const Hypergraph& h) const;
+
+  [[nodiscard]] IgWeighting weighting() const { return weighting_; }
+  [[nodiscard]] std::int32_t num_nets() const {
+    return static_cast<std::int32_t>(rows_.size());
+  }
+
+  /// Rows rebuilt / reused by the most recent update() (reused = untouched
+  /// rows, possibly with symmetric entries patched).
+  [[nodiscard]] std::int32_t last_rows_rebuilt() const {
+    return last_rows_rebuilt_;
+  }
+  [[nodiscard]] std::int32_t last_rows_reused() const {
+    return last_rows_reused_;
+  }
+  /// Affected nets of the most recent update (current ids, ascending); the
+  /// session seeds its sweep mask from these.
+  [[nodiscard]] const std::vector<NetId>& last_affected_nets() const {
+    return last_affected_;
+  }
+
+ private:
+  void build_row(const Hypergraph& h, NetId a, std::vector<IgEntry>& out);
+
+  IgWeighting weighting_;
+  std::vector<double> inv_size_;            // 1/|s_e| per net
+  std::vector<std::vector<IgEntry>> rows_;  // sorted by neighbor id
+  std::vector<NetId> last_affected_;
+  std::int32_t last_rows_rebuilt_ = 0;
+  std::int32_t last_rows_reused_ = 0;
+
+  // Dense scratch for build_row, sized to the current net count.
+  std::vector<double> scratch_paper_;
+  std::vector<std::int32_t> scratch_shared_;
+  std::vector<NetId> touched_;
+};
+
+}  // namespace netpart::repart

@@ -1,0 +1,192 @@
+#include "repart/session.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "hypergraph/cut_metrics.hpp"
+#include "obs/metrics.hpp"
+#include "spectral/eig1.hpp"
+
+namespace netpart::repart {
+
+RepartitionSession::RepartitionSession(const Hypergraph& initial,
+                                       RepartitionOptions options)
+    : options_(std::move(options)),
+      editor_(initial),
+      h_(initial),
+      inc_ig_(initial, options_.weighting),
+      ig_(inc_ig_.snapshot(initial)) {}
+
+std::vector<char> RepartitionSession::build_rank_mask(
+    const ChangeSet& changes, const std::vector<std::int32_t>& order) {
+  const auto m = static_cast<std::int32_t>(order.size());
+  const std::int32_t last = m - 1;  // split ranks are 1..m-1
+  std::vector<char> mask(static_cast<std::size_t>(m), 0);
+  const std::int32_t w = std::max<std::int32_t>(1, options_.sweep_window);
+  const auto mark = [&](std::int32_t rank) {
+    const std::int32_t lo = std::max<std::int32_t>(1, rank - w);
+    const std::int32_t hi = std::min<std::int32_t>(last, rank + w);
+    for (std::int32_t r = lo; r <= hi; ++r)
+      mask[static_cast<std::size_t>(r)] = 1;
+  };
+
+  std::vector<std::int32_t> pos(static_cast<std::size_t>(m), 0);
+  for (std::int32_t i = 0; i < m; ++i)
+    pos[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+
+  // The perturbed region of the ordering: ranks of nets whose IG rows were
+  // rebuilt this batch (includes every net added since the cached epoch).
+  // Splits far from every edited net and from the previous winner are not
+  // re-evaluated — near-flat stretches of the Fiedler vector permute
+  // arbitrarily under any perturbation, so chasing ordering drift itself
+  // degenerates into a full sweep; the prev-partition quality guard in
+  // repartition() backstops anything a small mask misses.
+  for (const NetId a : inc_ig_.last_affected_nets())
+    mark(pos[static_cast<std::size_t>(a)] + 1);
+
+  // The neighbourhood of the previous winner is always worth re-checking.
+  // Track its boundary nets through the remap so the window follows the
+  // split even when the whole ordering shifts.
+  mark(std::clamp<std::int32_t>(prev_best_rank_, 1, std::max(1, last)));
+  const auto prev_m = static_cast<std::int32_t>(prev_order_.size());
+  const std::int32_t lo_b = std::max<std::int32_t>(0, prev_best_rank_ - 2);
+  const std::int32_t hi_b = std::min<std::int32_t>(prev_m - 1, prev_best_rank_ + 1);
+  for (std::int32_t i = lo_b; i <= hi_b; ++i) {
+    const std::int32_t id = changes.net_remap[static_cast<std::size_t>(
+        prev_order_[static_cast<std::size_t>(i)])];
+    if (id >= 0) mark(pos[static_cast<std::size_t>(id)] + 1);
+  }
+
+  std::int64_t count = 0;
+  for (std::int32_t r = 1; r <= last; ++r)
+    count += mask[static_cast<std::size_t>(r)];
+  if (count == 0 ||
+      static_cast<double>(count) >=
+          options_.full_sweep_fraction * static_cast<double>(last))
+    return {};  // full sweep: the mask would not buy anything
+  return mask;
+}
+
+RepartitionResult RepartitionSession::repartition() {
+  NETPART_SPAN("repartition");
+  NETPART_COUNTER_ADD("repart.runs", 1);
+
+  ChangeSet changes = editor_.drain_changes();
+  const bool edited = !changes.empty();
+  if (edited) {
+    {
+      NETPART_SPAN("materialize");
+      h_ = editor_.materialize();
+    }
+    inc_ig_.update(h_, changes);
+    ig_ = inc_ig_.snapshot(h_);
+  }
+
+  const std::int32_t m = h_.num_nets();
+  const std::int32_t n = h_.num_modules();
+  RepartitionResult out;
+  out.sweep_ranks_total = std::max(0, m - 1);
+  out.ig_rows_rebuilt = edited ? inc_ig_.last_rows_rebuilt() : 0;
+  out.ig_rows_reused = edited ? inc_ig_.last_rows_reused() : m;
+
+  if (m < 2 || n < 2) {
+    out.partition = Partition(n);
+    out.ratio = std::numeric_limits<double>::infinity();
+    cache_valid_ = false;
+    return out;
+  }
+
+  // A warm start additionally requires the cache to be of the epoch the
+  // journal's remap tables refer to (they always are when edits flow
+  // through this session's netlist() between repartition() calls).
+  const bool warm =
+      options_.warm_start && cache_valid_ &&
+      prev_fiedler_.size() == changes.net_remap.size() &&
+      static_cast<std::size_t>(prev_partition_.num_modules()) ==
+          changes.module_remap.size();
+
+  linalg::LanczosOptions lanczos = options_.lanczos;
+  if (warm) {
+    std::vector<double> guess(static_cast<std::size_t>(m), 0.0);
+    for (std::size_t old_id = 0; old_id < changes.net_remap.size(); ++old_id) {
+      const std::int32_t id = changes.net_remap[old_id];
+      if (id >= 0) guess[static_cast<std::size_t>(id)] = prev_fiedler_[old_id];
+    }
+    lanczos.initial_guess = std::move(guess);
+    lanczos.check_interval = std::max<std::int32_t>(1, options_.warm_check_interval);
+    NETPART_COUNTER_ADD("repart.cache_hits", 1);
+  } else {
+    NETPART_COUNTER_ADD("repart.cache_misses", 1);
+  }
+
+  NetOrdering ordering = spectral_net_ordering_of_ig(h_, ig_, lanczos, 0);
+  out.lambda2 = ordering.lambda2;
+  out.eigen_converged = ordering.eigen_converged;
+  out.lanczos_iterations = ordering.lanczos_iterations;
+  out.warm_started = warm;
+  if (warm && cold_iterations_ > ordering.lanczos_iterations)
+    NETPART_COUNTER_ADD("repart.warmstart_iters_saved",
+                        cold_iterations_ - ordering.lanczos_iterations);
+
+  std::vector<char> mask;
+  if (warm) mask = build_rank_mask(changes, ordering.order);
+
+  IgMatchOptions igmatch;
+  igmatch.weighting = options_.weighting;
+  igmatch.lanczos = options_.lanczos;
+  const IgMatchResult sweep =
+      igmatch_sweep(h_, ig_, ordering.order, mask, igmatch);
+
+  out.sweep_ranks_evaluated = out.sweep_ranks_total;
+  if (!mask.empty()) {
+    std::int32_t count = 0;
+    for (std::int32_t r = 1; r < m; ++r)
+      count += mask[static_cast<std::size_t>(r)];
+    out.sweep_ranks_evaluated = count;
+  }
+  NETPART_COUNTER_ADD("repart.sweep_ranks_evaluated", out.sweep_ranks_evaluated);
+  NETPART_COUNTER_ADD("repart.sweep_ranks_skipped",
+                      out.sweep_ranks_total - out.sweep_ranks_evaluated);
+
+  out.partition = sweep.partition;
+  out.nets_cut = sweep.nets_cut;
+  out.ratio = sweep.ratio;
+
+  // Quality guard: the previous answer, remapped, is always a candidate —
+  // a masked sweep can then never regress below simply keeping the old
+  // partition (new modules default to the left side).
+  if (warm) {
+    Partition candidate(n);
+    for (std::size_t old_id = 0; old_id < changes.module_remap.size();
+         ++old_id) {
+      const std::int32_t id = changes.module_remap[old_id];
+      if (id >= 0)
+        candidate.assign(id,
+                         prev_partition_.side(static_cast<ModuleId>(old_id)));
+    }
+    if (candidate.size(Side::kLeft) > 0 && candidate.size(Side::kRight) > 0) {
+      const std::int32_t cut = net_cut(h_, candidate);
+      const double ratio = ratio_cut_value(cut, candidate.size(Side::kLeft),
+                                           candidate.size(Side::kRight));
+      if (ratio < out.ratio) {
+        out.partition = candidate;
+        out.nets_cut = cut;
+        out.ratio = ratio;
+        out.used_previous_partition = true;
+        NETPART_COUNTER_ADD("repart.prev_partition_wins", 1);
+      }
+    }
+  }
+
+  // Refresh the cache for the next run.
+  if (!warm) cold_iterations_ = ordering.lanczos_iterations;
+  prev_fiedler_ = std::move(ordering.fiedler);
+  prev_order_ = std::move(ordering.order);
+  prev_best_rank_ = sweep.best_rank;
+  prev_partition_ = out.partition;
+  cache_valid_ = prev_fiedler_.size() == static_cast<std::size_t>(m);
+  return out;
+}
+
+}  // namespace netpart::repart

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/intersection_graph.hpp"
+#include "graph/weighted_graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/partition.hpp"
+#include "igmatch/igmatch.hpp"
+#include "linalg/lanczos.hpp"
+#include "repart/editable_netlist.hpp"
+#include "repart/incremental_ig.hpp"
+
+/// \file session.hpp
+/// The incremental repartitioning session: edits in, partitions out.
+///
+/// A session owns one evolving netlist plus three caches that make the
+/// next `repartition()` cheap:
+///  - the incrementally maintained intersection graph (delta row rebuilds);
+///  - the previous run's Fiedler vector, fed back as the Lanczos warm
+///    start (a converged eigenvector of a slightly perturbed Laplacian
+///    typically re-converges in 1-3 iterations instead of hundreds);
+///  - the previous net ordering and winning split rank, used to restrict
+///    the IG-Match sweep to the *perturbed region* — ranks where the
+///    ordering actually moved, ranks of nets whose IG rows changed, and a
+///    window around the previous winner.
+///
+/// Quality guard: the remapped previous partition is always evaluated as a
+/// candidate, so a warm repartition is never worse than carrying the old
+/// answer forward; when the masked region covers most of the sweep anyway
+/// the session falls back to the full sweep.  With `warm_start` disabled
+/// every repartition is an exact cold run — bit-identical to
+/// `igmatch_partition` on the materialized hypergraph — which is the
+/// equivalence oracle the property tests lean on.
+
+namespace netpart::repart {
+
+struct RepartitionOptions {
+  IgWeighting weighting = IgWeighting::kPaper;
+  /// Lanczos settings for cold runs (warm runs override check_interval).
+  linalg::LanczosOptions lanczos;
+  /// Ritz check cadence for warm-started runs; 1 detects the typical
+  /// immediate re-convergence without burning extra iterations.
+  std::int32_t warm_check_interval = 1;
+  /// Dilation radius (in ranks) of the perturbed-region sweep mask.
+  std::int32_t sweep_window = 48;
+  /// Masked fraction of ranks above which the session runs the full sweep
+  /// (the mask would not save anything and the full sweep is strictly
+  /// more thorough).
+  double full_sweep_fraction = 0.6;
+  /// Disable to make every repartition an exact cold run (no warm vector,
+  /// no mask, no previous-partition candidate) while still exercising the
+  /// incremental IG maintenance.
+  bool warm_start = true;
+};
+
+struct RepartitionResult {
+  Partition partition;
+  std::int32_t nets_cut = 0;
+  double ratio = 0.0;
+  double lambda2 = 0.0;
+  bool eigen_converged = false;
+  std::int32_t lanczos_iterations = 0;
+  bool warm_started = false;
+  /// The remapped previous partition beat the masked sweep and was kept.
+  bool used_previous_partition = false;
+  std::int32_t sweep_ranks_evaluated = 0;
+  std::int32_t sweep_ranks_total = 0;
+  std::int32_t ig_rows_rebuilt = 0;
+  std::int32_t ig_rows_reused = 0;
+};
+
+class RepartitionSession {
+ public:
+  explicit RepartitionSession(const Hypergraph& initial,
+                              RepartitionOptions options = {});
+
+  /// The mutable netlist; apply edits here, then call repartition().
+  [[nodiscard]] EditableNetlist& netlist() { return editor_; }
+
+  /// Fold pending edits into the caches and produce a partition of the
+  /// current netlist.  The first call (and any call after cache
+  /// invalidation) is a cold full run that primes the caches.
+  RepartitionResult repartition();
+
+  /// Current materialized hypergraph (as of the last repartition()).
+  [[nodiscard]] const Hypergraph& hypergraph() const { return h_; }
+
+  /// Current intersection graph (incrementally maintained snapshot).
+  [[nodiscard]] const WeightedGraph& intersection_graph() const { return ig_; }
+
+  [[nodiscard]] const RepartitionOptions& options() const { return options_; }
+
+ private:
+  std::vector<char> build_rank_mask(const ChangeSet& changes,
+                                    const std::vector<std::int32_t>& order);
+
+  RepartitionOptions options_;
+  EditableNetlist editor_;
+  Hypergraph h_;
+  IncrementalIntersectionGraph inc_ig_;
+  WeightedGraph ig_;
+
+  // Warm-start cache (valid_ false until the first successful run).
+  bool cache_valid_ = false;
+  std::vector<double> prev_fiedler_;        // per net id of the cached epoch
+  std::vector<std::int32_t> prev_order_;    // net ids, cached epoch
+  std::int32_t prev_best_rank_ = 0;
+  Partition prev_partition_;                // module space of cached epoch
+  std::int32_t cold_iterations_ = 0;        // Lanczos cost of last cold run
+};
+
+}  // namespace netpart::repart

@@ -32,9 +32,19 @@ Eig1Result eig1_partition_with_model(const Hypergraph& h, NetModel model,
 NetOrdering spectral_net_ordering(const Hypergraph& h, IgWeighting weighting,
                                   const linalg::LanczosOptions& options,
                                   std::int32_t threshold_net_size) {
-  NETPART_SPAN("ordering");
   const WeightedGraph ig = intersection_graph(h, weighting);
+  return spectral_net_ordering_of_ig(h, ig, options, threshold_net_size);
+}
+
+NetOrdering spectral_net_ordering_of_ig(const Hypergraph& h,
+                                        const WeightedGraph& ig,
+                                        const linalg::LanczosOptions& options,
+                                        std::int32_t threshold_net_size) {
+  NETPART_SPAN("ordering");
   const std::int32_t m = h.num_nets();
+  if (ig.num_vertices() != m)
+    throw std::invalid_argument(
+        "spectral_net_ordering_of_ig: intersection graph mismatch");
 
   // Partition nets into "small" (kept in the eigenproblem) and "large"
   // (thresholded away, re-inserted by interpolation afterwards).
@@ -55,12 +65,13 @@ NetOrdering spectral_net_ordering(const Hypergraph& h, IgWeighting weighting,
 
   NetOrdering out;
   if (!thresholding) {
-    const linalg::FiedlerResult fiedler =
+    linalg::FiedlerResult fiedler =
         linalg::fiedler_pair(ig.laplacian(), options);
     out.order = linalg::sorted_order(fiedler.vector);
     out.lambda2 = fiedler.lambda2;
     out.lanczos_iterations = fiedler.lanczos_iterations;
     out.eigen_converged = fiedler.converged;
+    out.fiedler = std::move(fiedler.vector);
     return out;
   }
 

@@ -9,6 +9,7 @@
 #include "circuits/rng.hpp"
 #include "io/blif_io.hpp"
 #include "io/netlist_io.hpp"
+#include "repart/edit_script.hpp"
 
 namespace netpart::io {
 namespace {
@@ -66,6 +67,42 @@ TEST_P(GarbageInputTest, PartitionParserNeverCrashes) {
   }
 }
 
+/// A small netlist the edit-script fuzzers apply against.
+Hypergraph fuzz_target() {
+  HypergraphBuilder builder(6);
+  builder.add_net({0, 1});
+  builder.add_net({1, 2, 3});
+  builder.add_net({3, 4});
+  builder.add_net({4, 5});
+  return builder.build();
+}
+
+std::string random_edit_garbage(std::uint64_t seed, std::size_t length) {
+  Xoshiro256 rng(seed);
+  std::string out;
+  // Edit-op-adjacent alphabet so scripts occasionally parse and reach the
+  // applier, where the semantic validation (names, ids) takes over.
+  const std::string alphabet =
+      "0123456789 \n#-addnetremovmpicu add-net remove-net move-pin commit n0 ";
+  for (std::size_t i = 0; i < length; ++i)
+    out += alphabet[static_cast<std::size_t>(rng.below(alphabet.size()))];
+  return out;
+}
+
+TEST_P(GarbageInputTest, EditScriptParserAndApplierNeverCrash) {
+  std::istringstream in(random_edit_garbage(GetParam() + 4000, 300));
+  try {
+    const repart::EditScript script = repart::read_edit_script(in);
+    // Parsed scripts must also apply cleanly or be rejected cleanly.
+    repart::EditableNetlist editor(fuzz_target());
+    repart::EditScriptApplier applier(editor);
+    for (const repart::EditBatch& batch : script.batches) applier.apply(batch);
+  } catch (const std::exception&) {
+    // Rejection (ParseError at parse time, invalid_argument/out_of_range at
+    // apply time) is the expected outcome.
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, GarbageInputTest,
                          ::testing::Range<std::uint64_t>(0, 24));
 
@@ -96,6 +133,85 @@ TEST(IoEdgeCases, BlifDeepContinuationChain) {
   std::istringstream in(text);
   const BlifModel model = read_blif(in);
   EXPECT_EQ(model.num_inputs, 200);
+}
+
+/// Hand-written mutation corpus for the edits-file format: every entry must
+/// be rejected with a clean exception — at parse time for syntactic damage,
+/// at apply time for semantic damage — and never crash or corrupt state.
+TEST(IoEdgeCases, EditScriptMutationCorpusRejectedCleanly) {
+  const struct {
+    const char* label;
+    const char* text;
+    bool parses;  // syntactically fine, must then fail in the applier
+  } corpus[] = {
+      {"truncated add-net (no name)", "add-net\n", false},
+      {"truncated add-net (no pins)", "add-net x\n", false},
+      {"truncated move-pin", "move-pin n3 1\n", false},
+      {"truncated remove-net", "remove-net\n", false},
+      {"remove-net extra args", "remove-net n0 n1\n", false},
+      {"commit with arguments", "commit now\n", false},
+      {"add-module with arguments", "add-module 3\n", false},
+      {"unknown op", "frobnicate n0\n", false},
+      {"non-numeric pin", "add-net x 0 one\n", false},
+      {"negative pin", "add-net x 0 -1\n", false},
+      {"huge id overflows int32", "add-net x 0 999999999999999999999\n", false},
+      {"remove-module non-numeric", "remove-module n0\n", false},
+      {"duplicate net name", "add-net dup 0 1\nadd-net dup 1 2\n", true},
+      {"dangling net ref", "remove-net nope\n", true},
+      {"move-pin unknown net", "move-pin ghost 0 1\n", true},
+      {"move-pin module not a pin", "move-pin n0 5 2\n", true},
+      {"move-pin module out of range", "move-pin n0 0 99\n", true},
+      {"add-net pin out of range", "add-net x 0 42\n", true},
+      {"remove-module out of range", "remove-module 17\n", true},
+      {"net name reused after removal", "remove-net n1\nadd-net n1 0 1\n",
+       true},
+  };
+  for (const auto& entry : corpus) {
+    std::istringstream in(entry.text);
+    if (!entry.parses) {
+      EXPECT_THROW((void)repart::read_edit_script(in), ParseError)
+          << entry.label;
+      continue;
+    }
+    repart::EditScript script;
+    ASSERT_NO_THROW(script = repart::read_edit_script(in)) << entry.label;
+    repart::EditableNetlist editor(fuzz_target());
+    repart::EditScriptApplier applier(editor);
+    const std::int32_t nets_before = editor.num_nets();
+    bool rejected = false;
+    try {
+      for (const repart::EditBatch& batch : script.batches)
+        applier.apply(batch);
+    } catch (const std::invalid_argument&) {
+      rejected = true;
+    } catch (const std::out_of_range&) {
+      rejected = true;
+    }
+    if (std::string(entry.label) == "net name reused after removal") {
+      // This one is legal by design: names are handles, removal frees them.
+      EXPECT_FALSE(rejected) << entry.label;
+      EXPECT_EQ(editor.num_nets(), nets_before) << entry.label;
+    } else {
+      EXPECT_TRUE(rejected) << entry.label;
+    }
+  }
+}
+
+TEST(IoEdgeCases, EditScriptPositiveRoundTrip) {
+  std::istringstream in(
+      "# ECO\n"
+      "add-module\n"
+      "add-net bridge 0 6\n"
+      "commit\n"
+      "move-pin n2 3 5\n"
+      "remove-net n0\n");
+  const repart::EditScript script = repart::read_edit_script(in);
+  ASSERT_EQ(script.batches.size(), 2u);  // trailing batch is implicit
+  repart::EditableNetlist editor(fuzz_target());
+  repart::EditScriptApplier applier(editor);
+  for (const repart::EditBatch& batch : script.batches) applier.apply(batch);
+  EXPECT_EQ(editor.num_modules(), 7);
+  EXPECT_EQ(editor.num_nets(), 4);  // 4 - 1 removed + 1 added
 }
 
 TEST(IoEdgeCases, EmptyNetLineInHgrIsEmptyNet) {

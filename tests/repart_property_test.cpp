@@ -1,0 +1,404 @@
+/// Property tests for the incremental repartitioning subsystem.
+///
+/// Oracle 1 (exact): after ANY edit script, the incrementally maintained
+/// intersection graph must equal the from-scratch `intersection_graph()`
+/// build on the materialized hypergraph EXACTLY — same CSR layout, same
+/// neighbor ids, same IEEE-754 weight bits — and the materialized
+/// hypergraph must equal an independently maintained shadow netlist.
+///
+/// Oracle 2 (exact): a session with warm_start disabled runs the identical
+/// cold pipeline, so its partitions must be bit-identical to
+/// `igmatch_partition()` on the materialized hypergraph.
+///
+/// Oracle 3 (tolerance): a warm session (cached Fiedler vector, masked
+/// sweep) must stay within solver tolerance of the cold ratio cut — the
+/// masked sweep is a subset of the full sweep, but the previous-partition
+/// candidate and the perturbed-region mask keep it competitive.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuits/generator.hpp"
+#include "circuits/rng.hpp"
+#include "graph/intersection_graph.hpp"
+#include "hypergraph/cut_metrics.hpp"
+#include "igmatch/igmatch.hpp"
+#include "repart/edit_script.hpp"
+#include "repart/session.hpp"
+
+namespace netpart::repart {
+namespace {
+
+Hypergraph small_circuit(std::uint64_t seed) {
+  GeneratorConfig config;
+  config.name = "repart-prop-" + std::to_string(seed);
+  config.num_modules = 80 + static_cast<std::int32_t>(seed % 7) * 25;
+  config.num_nets = config.num_modules + config.num_modules / 5 + 10;
+  return generate_circuit(config).hypergraph;
+}
+
+/// Independent mutable netlist model: plain vector ops, no journaling, no
+/// sharing of code with EditableNetlist beyond the Hypergraph builder.
+struct ShadowNetlist {
+  std::int32_t modules = 0;
+  std::vector<std::vector<ModuleId>> pins;
+  std::vector<std::int32_t> weights;
+
+  explicit ShadowNetlist(const Hypergraph& h) : modules(h.num_modules()) {
+    for (NetId n = 0; n < h.num_nets(); ++n) {
+      const auto p = h.pins(n);
+      pins.emplace_back(p.begin(), p.end());
+      weights.push_back(h.net_weight(n));
+    }
+  }
+
+  void add_net(std::vector<ModuleId> p, std::int32_t w) {
+    std::sort(p.begin(), p.end());
+    p.erase(std::unique(p.begin(), p.end()), p.end());
+    pins.push_back(std::move(p));
+    weights.push_back(w);
+  }
+  void remove_net(std::int32_t n) {
+    pins.erase(pins.begin() + n);
+    weights.erase(weights.begin() + n);
+  }
+  void remove_module(ModuleId m) {
+    for (auto& p : pins) {
+      std::erase(p, m);
+      for (ModuleId& k : p)
+        if (k > m) --k;
+    }
+    --modules;
+  }
+  void move_pin(std::int32_t n, ModuleId from, ModuleId to) {
+    auto& p = pins[static_cast<std::size_t>(n)];
+    std::erase(p, from);
+    if (std::find(p.begin(), p.end(), to) == p.end()) {
+      p.push_back(to);
+      std::sort(p.begin(), p.end());
+    }
+  }
+
+  [[nodiscard]] Hypergraph build() const {
+    HypergraphBuilder builder(modules);
+    for (std::size_t n = 0; n < pins.size(); ++n)
+      builder.add_net(pins[n], weights[n]);
+    return builder.build();
+  }
+};
+
+/// One random edit applied identically to the session's netlist and the
+/// shadow model.
+void random_edit(Xoshiro256& rng, EditableNetlist& editor,
+                 ShadowNetlist& shadow) {
+  const std::int32_t m = editor.num_nets();
+  const std::int32_t n = editor.num_modules();
+  switch (rng.below(8)) {
+    case 0: {  // add a net (with duplicate pins, exercising the dedup)
+      std::vector<ModuleId> p;
+      const auto size = static_cast<std::int32_t>(rng.range(2, 6));
+      for (std::int32_t i = 0; i < size; ++i)
+        p.push_back(
+            static_cast<ModuleId>(rng.below(static_cast<std::uint64_t>(n))));
+      const auto w = static_cast<std::int32_t>(rng.range(1, 3));
+      editor.add_net(p, w);
+      shadow.add_net(p, w);
+      break;
+    }
+    case 1: {  // remove a net
+      if (m <= 4) break;
+      const auto net =
+          static_cast<NetId>(rng.below(static_cast<std::uint64_t>(m)));
+      editor.remove_net(net);
+      shadow.remove_net(net);
+      break;
+    }
+    case 2: {  // add a module and wire it in so it is not an isolated row
+      const ModuleId fresh = editor.add_module();
+      ++shadow.modules;
+      std::vector<ModuleId> p{fresh,
+                              static_cast<ModuleId>(rng.below(
+                                  static_cast<std::uint64_t>(n)))};
+      editor.add_net(p, 1);
+      shadow.add_net(p, 1);
+      break;
+    }
+    case 3: {  // remove a module
+      if (n <= 16) break;
+      const auto mod =
+          static_cast<ModuleId>(rng.below(static_cast<std::uint64_t>(n)));
+      editor.remove_module(mod);
+      shadow.remove_module(mod);
+      break;
+    }
+    default: {  // move a pin (the common ECO)
+      for (std::int32_t attempt = 0; attempt < 20; ++attempt) {
+        const auto net =
+            static_cast<NetId>(rng.below(static_cast<std::uint64_t>(m)));
+        const auto p = editor.pins(net);
+        if (p.size() < 2) continue;
+        const ModuleId from =
+            p[static_cast<std::size_t>(rng.below(p.size()))];
+        const auto to =
+            static_cast<ModuleId>(rng.below(static_cast<std::uint64_t>(n)));
+        if (to != from) {
+          editor.move_pin(net, from, to);
+          shadow.move_pin(net, from, to);
+        }
+        break;
+      }
+      break;
+    }
+  }
+}
+
+void expect_hypergraphs_equal(const Hypergraph& got, const Hypergraph& want) {
+  ASSERT_EQ(got.num_modules(), want.num_modules());
+  ASSERT_EQ(got.num_nets(), want.num_nets());
+  for (NetId n = 0; n < got.num_nets(); ++n) {
+    ASSERT_EQ(got.net_weight(n), want.net_weight(n)) << "net " << n;
+    const auto gp = got.pins(n);
+    const auto wp = want.pins(n);
+    ASSERT_EQ(gp.size(), wp.size()) << "net " << n;
+    for (std::size_t i = 0; i < gp.size(); ++i)
+      ASSERT_EQ(gp[i], wp[i]) << "net " << n << " pin " << i;
+  }
+}
+
+/// Exact equality — including the IEEE bit patterns of the weights (== on
+/// positive finite doubles is bit equality).
+void expect_igs_identical(const WeightedGraph& got, const WeightedGraph& want) {
+  ASSERT_EQ(got.num_vertices(), want.num_vertices());
+  for (std::int32_t v = 0; v < got.num_vertices(); ++v) {
+    const auto gn = got.neighbors(v);
+    const auto wn = want.neighbors(v);
+    const auto gw = got.weights(v);
+    const auto ww = want.weights(v);
+    ASSERT_EQ(gn.size(), wn.size()) << "row " << v;
+    for (std::size_t i = 0; i < gn.size(); ++i) {
+      ASSERT_EQ(gn[i], wn[i]) << "row " << v << " entry " << i;
+      ASSERT_EQ(gw[i], ww[i]) << "row " << v << " entry " << i
+                              << " (weights differ in bits)";
+    }
+  }
+}
+
+constexpr IgWeighting kWeightings[] = {IgWeighting::kPaper,
+                                       IgWeighting::kUniform,
+                                       IgWeighting::kOverlap,
+                                       IgWeighting::kJaccard};
+
+// ~200 random edit scripts: 52 scripts x 4 weightings, 3 batches each.
+TEST(RepartPropertyTest, IncrementalIgMatchesFromScratchOnRandomEditScripts) {
+  std::int32_t scripts = 0;
+  for (std::uint64_t seed = 0; seed < 52; ++seed) {
+    const Hypergraph h = small_circuit(seed);
+    const IgWeighting weighting = kWeightings[seed % 4];
+    RepartitionOptions options;
+    options.weighting = weighting;
+    RepartitionSession session(h, options);
+    ShadowNetlist shadow(h);
+    Xoshiro256 rng(seed * 7919 + 17);
+    (void)session.repartition();
+    for (std::int32_t batch = 0; batch < 3; ++batch) {
+      const auto edits = static_cast<std::int32_t>(rng.range(1, 8));
+      for (std::int32_t e = 0; e < edits; ++e)
+        random_edit(rng, session.netlist(), shadow);
+      (void)session.repartition();
+      const Hypergraph want_h = shadow.build();
+      expect_hypergraphs_equal(session.hypergraph(), want_h);
+      expect_igs_identical(session.intersection_graph(),
+                           intersection_graph(want_h, weighting));
+      if (::testing::Test::HasFatalFailure()) {
+        ADD_FAILURE() << "script seed " << seed << " batch " << batch;
+        return;
+      }
+    }
+    ++scripts;
+  }
+  EXPECT_EQ(scripts, 52);
+}
+
+// Cold-mode sessions run the identical pipeline (full sweep, random-start
+// Lanczos, incremental IG) — results must be bit-identical to the
+// from-scratch igmatch_partition.
+TEST(RepartPropertyTest, ColdSessionBitIdenticalToScratchPipeline) {
+  for (std::uint64_t seed = 100; seed < 112; ++seed) {
+    const Hypergraph h = small_circuit(seed);
+    RepartitionOptions options;
+    options.warm_start = false;
+    RepartitionSession session(h, options);
+    ShadowNetlist shadow(h);
+    Xoshiro256 rng(seed * 104729 + 5);
+    for (std::int32_t batch = 0; batch < 3; ++batch) {
+      const auto edits = static_cast<std::int32_t>(rng.range(1, 6));
+      for (std::int32_t e = 0; e < edits; ++e)
+        random_edit(rng, session.netlist(), shadow);
+      const RepartitionResult got = session.repartition();
+      const IgMatchResult want = igmatch_partition(session.hypergraph());
+      ASSERT_EQ(got.nets_cut, want.nets_cut) << "seed " << seed;
+      ASSERT_EQ(got.ratio, want.ratio) << "seed " << seed;
+      ASSERT_EQ(got.lambda2, want.lambda2) << "seed " << seed;
+      ASSERT_EQ(got.partition.num_modules(), want.partition.num_modules());
+      for (ModuleId m = 0; m < got.partition.num_modules(); ++m)
+        ASSERT_EQ(got.partition.side(m), want.partition.side(m))
+            << "seed " << seed << " module " << m;
+      ASSERT_FALSE(got.warm_started);
+    }
+  }
+}
+
+// Warm sessions (cache + mask + previous-partition guard) must stay within
+// solver tolerance of the cold pipeline's cut quality.
+TEST(RepartPropertyTest, WarmSessionWithinToleranceOfCold) {
+  std::int32_t warm_wins = 0, cold_wins = 0;
+  for (std::uint64_t seed = 200; seed < 230; ++seed) {
+    const Hypergraph h = small_circuit(seed);
+    RepartitionSession session(h);
+    ShadowNetlist shadow(h);
+    Xoshiro256 rng(seed * 65537 + 3);
+    (void)session.repartition();
+    for (std::int32_t batch = 0; batch < 3; ++batch) {
+      const auto edits = static_cast<std::int32_t>(rng.range(1, 5));
+      for (std::int32_t e = 0; e < edits; ++e)
+        random_edit(rng, session.netlist(), shadow);
+      const RepartitionResult warm = session.repartition();
+      EXPECT_TRUE(warm.warm_started) << "seed " << seed;
+      const IgMatchResult cold = igmatch_partition(session.hypergraph());
+      ASSERT_TRUE(warm.partition.is_proper()) << "seed " << seed;
+      // Verify the reported metrics against the partition itself.
+      const std::int32_t check_cut = net_cut(session.hypergraph(),
+                                             warm.partition);
+      ASSERT_EQ(check_cut, warm.nets_cut) << "seed " << seed;
+      EXPECT_LE(warm.ratio, cold.ratio * 1.15 + 1e-9)
+          << "seed " << seed << " batch " << batch;
+      if (warm.ratio < cold.ratio) ++warm_wins;
+      if (warm.ratio > cold.ratio) ++cold_wins;
+    }
+  }
+  // The tolerance must not be doing all the work: warm matches or beats
+  // cold in the overwhelming majority of batches.
+  EXPECT_LE(cold_wins, 20) << "warm wins: " << warm_wins;
+}
+
+TEST(RepartPropertyTest, EditApiValidation) {
+  HypergraphBuilder builder(4);
+  builder.add_net({0, 1});
+  builder.add_net({1, 2, 3});
+  builder.add_net({0, 3});
+  const Hypergraph h = builder.build();
+  EditableNetlist editor(h);
+
+  EXPECT_THROW(editor.remove_net(3), std::out_of_range);
+  EXPECT_THROW(editor.remove_net(-1), std::out_of_range);
+  EXPECT_THROW(editor.remove_module(4), std::out_of_range);
+  EXPECT_THROW(editor.add_net(std::vector<ModuleId>{0, 7}),
+               std::out_of_range);
+  EXPECT_THROW(editor.add_net(std::vector<ModuleId>{0, 1}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(editor.move_pin(0, 2, 3), std::invalid_argument);  // not a pin
+  EXPECT_THROW(editor.move_pin(0, 0, 9), std::out_of_range);
+
+  // Pin-merge semantics: moving 0 onto 1 in net {0,1} shrinks it.
+  editor.move_pin(0, 0, 1);
+  EXPECT_EQ(editor.pins(0).size(), 1u);
+
+  // Module removal strips pins and shifts ids.
+  editor.remove_module(1);
+  EXPECT_EQ(editor.num_modules(), 3);
+  // Former net {1,2,3} is now {1,2}.
+  ASSERT_EQ(editor.pins(1).size(), 2u);
+  EXPECT_EQ(editor.pins(1)[0], 1);
+  EXPECT_EQ(editor.pins(1)[1], 2);
+
+  const ChangeSet changes = editor.drain_changes();
+  EXPECT_EQ(changes.prev_num_nets, 3);
+  EXPECT_EQ(changes.prev_num_modules, 4);
+  ASSERT_EQ(changes.module_remap.size(), 4u);
+  EXPECT_EQ(changes.module_remap[0], 0);
+  EXPECT_EQ(changes.module_remap[1], -1);
+  EXPECT_EQ(changes.module_remap[2], 1);
+  EXPECT_EQ(changes.module_remap[3], 2);
+  EXPECT_TRUE(editor.drain_changes().empty());  // baseline was reset
+}
+
+TEST(RepartPropertyTest, EditScriptParsesAndApplies) {
+  HypergraphBuilder builder(5);
+  builder.add_net({0, 1});
+  builder.add_net({1, 2});
+  builder.add_net({3, 4});
+  const Hypergraph h = builder.build();
+  EditableNetlist editor(h);
+  EditScriptApplier applier(editor);
+
+  std::istringstream in(
+      "# a comment\n"
+      "add-module\n"
+      "add-net fresh 0 5  # new module is id 5\n"
+      "remove-net n1\n"
+      "commit\n"
+      "move-pin n2 4 2\n"  // n2 = {3,4} (names track original ids)
+      "commit\n");
+  const EditScript script = read_edit_script(in);
+  ASSERT_EQ(script.batches.size(), 2u);
+  applier.apply(script.batches[0]);
+  EXPECT_EQ(editor.num_modules(), 6);
+  EXPECT_EQ(editor.num_nets(), 3);  // 3 - 1 removed + 1 added
+  applier.apply(script.batches[1]);
+  // n2 was {3,4}; after removing n1, it shifted to id 1; 4 -> 2.
+  ASSERT_EQ(editor.pins(1).size(), 2u);
+  EXPECT_EQ(editor.pins(1)[0], 2);
+  EXPECT_EQ(editor.pins(1)[1], 3);
+
+  // Semantic failures: unknown / duplicate names.
+  EditBatch bad;
+  EditOp op;
+  op.kind = EditOpKind::kRemoveNet;
+  op.net_name = "nope";
+  bad.push_back(op);
+  EXPECT_THROW(applier.apply(bad), std::invalid_argument);
+  bad.clear();
+  op.kind = EditOpKind::kAddNet;
+  op.net_name = "fresh";  // already registered above
+  op.pins = {0, 1};
+  bad.push_back(op);
+  EXPECT_THROW(applier.apply(bad), std::invalid_argument);
+}
+
+TEST(RepartPropertyTest, SessionSurvivesDegenerateNetlists) {
+  // Two 2-net clusters joined by a bridge: the natural split {0,1}|{2,3}
+  // cuts only the bridge, so a proper completion exists.
+  HypergraphBuilder builder(4);
+  builder.add_net({0, 1});
+  builder.add_net({0, 1});
+  builder.add_net({2, 3});
+  builder.add_net({2, 3});
+  builder.add_net({1, 2});
+  const Hypergraph h = builder.build();
+  RepartitionSession session(h);
+  ASSERT_TRUE(session.repartition().partition.is_proper());
+
+  // Shrink below the 2-net floor: trivial improper result, no crash.
+  while (session.netlist().num_nets() > 1) session.netlist().remove_net(0);
+  const RepartitionResult r = session.repartition();
+  EXPECT_EQ(r.nets_cut, 0);
+  EXPECT_FALSE(r.partition.is_proper());
+  EXPECT_TRUE(std::isinf(r.ratio));
+
+  // And grow back: the session recovers with a cold run.
+  session.netlist().add_net(std::vector<ModuleId>{0, 1});
+  session.netlist().add_net(std::vector<ModuleId>{2, 3});
+  session.netlist().add_net(std::vector<ModuleId>{1, 2});
+  const RepartitionResult back = session.repartition();
+  EXPECT_FALSE(back.warm_started);
+  EXPECT_TRUE(back.partition.is_proper());
+}
+
+}  // namespace
+}  // namespace netpart::repart

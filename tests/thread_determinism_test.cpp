@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "circuits/generator.hpp"
+#include "circuits/rng.hpp"
 #include "core/multiway.hpp"
 #include "core/partitioner.hpp"
 #include "fm/fm_partition.hpp"
@@ -20,6 +21,7 @@
 #include "graph/weighted_graph.hpp"
 #include "linalg/fiedler.hpp"
 #include "parallel/thread_pool.hpp"
+#include "repart/session.hpp"
 
 namespace netpart {
 namespace {
@@ -187,6 +189,108 @@ TEST_F(ThreadDeterminismTest, MultiwayBitIdenticalAcrossLaneCounts) {
     EXPECT_EQ(got.splits_performed, reference.splits_performed);
     EXPECT_EQ(got.nets_spanning, reference.nets_spanning);
     EXPECT_EQ(got.connectivity_cost, reference.connectivity_cost);
+  }
+}
+
+/// One batch of the fixed repartitioning edit script.  The RNG is re-seeded
+/// per trace, so every lane count sees the identical edit sequence.
+void apply_deterministic_batch(repart::EditableNetlist& netlist,
+                               Xoshiro256& rng) {
+  const std::int32_t n = netlist.num_modules();
+  // Two pin moves plus, every third batch, one net churn.
+  for (std::int32_t op = 0; op < 2; ++op) {
+    const auto net = static_cast<NetId>(
+        rng.below(static_cast<std::uint64_t>(netlist.num_nets())));
+    const auto pins = netlist.pins(net);
+    if (pins.size() < 2) continue;
+    const ModuleId from = pins[static_cast<std::size_t>(rng.below(pins.size()))];
+    const auto to =
+        static_cast<ModuleId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (to != from) netlist.move_pin(net, from, to);
+  }
+  if (rng.below(3) == 0) {
+    netlist.remove_net(static_cast<NetId>(
+        rng.below(static_cast<std::uint64_t>(netlist.num_nets()))));
+    std::vector<ModuleId> pins;
+    for (std::int32_t i = 0; i < 3; ++i)
+      pins.push_back(
+          static_cast<ModuleId>(rng.below(static_cast<std::uint64_t>(n))));
+    netlist.add_net(pins);
+  }
+}
+
+/// Everything we pin about one repartitioning batch, incremental IG state
+/// included (flattened CSR: neighbor ids and raw weight bits).
+struct RepartRecord {
+  std::vector<std::int32_t> sides;
+  std::int32_t nets_cut = 0;
+  double ratio = 0.0;
+  double lambda2 = 0.0;
+  std::int32_t lanczos_iterations = 0;
+  bool warm_started = false;
+  std::vector<std::int32_t> ig_neighbors;
+  std::vector<double> ig_weights;
+};
+
+std::vector<RepartRecord> repart_trace(const Hypergraph& h,
+                                       std::int32_t lanes) {
+  parallel::ThreadPool::instance().configure(lanes);
+  repart::RepartitionSession session(h);
+  Xoshiro256 rng = Xoshiro256::from_string("det-repart-edits");
+  std::vector<RepartRecord> trace;
+  for (std::int32_t batch = 0; batch < 20; ++batch) {
+    if (batch > 0) apply_deterministic_batch(session.netlist(), rng);
+    const repart::RepartitionResult r = session.repartition();
+    RepartRecord rec;
+    rec.sides.reserve(static_cast<std::size_t>(r.partition.num_modules()));
+    for (ModuleId m = 0; m < r.partition.num_modules(); ++m)
+      rec.sides.push_back(r.partition.side(m) == Side::kLeft ? 0 : 1);
+    rec.nets_cut = r.nets_cut;
+    rec.ratio = r.ratio;
+    rec.lambda2 = r.lambda2;
+    rec.lanczos_iterations = r.lanczos_iterations;
+    rec.warm_started = r.warm_started;
+    const WeightedGraph& ig = session.intersection_graph();
+    for (std::int32_t v = 0; v < ig.num_vertices(); ++v) {
+      const auto neighbors = ig.neighbors(v);
+      const auto weights = ig.weights(v);
+      rec.ig_neighbors.insert(rec.ig_neighbors.end(), neighbors.begin(),
+                              neighbors.end());
+      rec.ig_weights.insert(rec.ig_weights.end(), weights.begin(),
+                            weights.end());
+    }
+    trace.push_back(std::move(rec));
+  }
+  return trace;
+}
+
+TEST_F(ThreadDeterminismTest, RepartitionPathBitIdenticalAcrossLaneCounts) {
+  // > 4096 nets so the chunked parallel reductions run inside the warm
+  // Lanczos restarts too, not just the cold ones.
+  const Hypergraph h = circuit(4000, "det-repart");
+  const std::vector<RepartRecord> reference = repart_trace(h, 1);
+  ASSERT_EQ(reference.size(), 20u);
+  // The script must actually exercise the warm path.
+  std::int32_t warm = 0;
+  for (const RepartRecord& rec : reference) warm += rec.warm_started ? 1 : 0;
+  EXPECT_GE(warm, 15);
+  for (const std::int32_t lanes : kLaneCounts) {
+    if (lanes == 1) continue;
+    const std::vector<RepartRecord> got = repart_trace(h, lanes);
+    ASSERT_EQ(got.size(), reference.size()) << "lanes=" << lanes;
+    for (std::size_t b = 0; b < reference.size(); ++b) {
+      const std::string context =
+          "lanes=" + std::to_string(lanes) + " batch=" + std::to_string(b);
+      EXPECT_EQ(got[b].sides, reference[b].sides) << context;
+      EXPECT_EQ(got[b].nets_cut, reference[b].nets_cut) << context;
+      EXPECT_EQ(got[b].ratio, reference[b].ratio) << context;  // bitwise
+      EXPECT_EQ(got[b].lambda2, reference[b].lambda2) << context;
+      EXPECT_EQ(got[b].lanczos_iterations, reference[b].lanczos_iterations)
+          << context;
+      EXPECT_EQ(got[b].warm_started, reference[b].warm_started) << context;
+      ASSERT_EQ(got[b].ig_neighbors, reference[b].ig_neighbors) << context;
+      ASSERT_EQ(got[b].ig_weights, reference[b].ig_weights) << context;
+    }
   }
 }
 

@@ -14,6 +14,9 @@
 /// Flags (anywhere on the command line):
 ///   --threads <n>         worker threads (0 = auto); default: hardware
 ///                         concurrency, overridable via NETPART_THREADS
+///   --repartition <file>  (partition, igmatch only) apply the ECO edit
+///                         script and repartition incrementally at each
+///                         `commit` (warm-start spectral cache + IG deltas)
 ///   --trace               print the phase trace tree and metrics tables
 ///   --metrics-out <file>  append one JSON metrics record for this run
 ///   --version             print the library version and exit
@@ -36,6 +39,8 @@
 #include "io/netlist_io.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
+#include "repart/edit_script.hpp"
+#include "repart/session.hpp"
 
 #ifndef NETPART_VERSION
 #define NETPART_VERSION "unknown"
@@ -59,6 +64,9 @@ void print_usage(std::ostream& os) {
         "  --threads <n>         worker threads; 0 = auto (default: hardware\n"
         "                        concurrency, env override NETPART_THREADS).\n"
         "                        Results are identical for every value.\n"
+        "  --repartition <file>  (partition, igmatch only) apply the ECO\n"
+        "                        edit script, repartitioning incrementally\n"
+        "                        at each 'commit'\n"
         "  --trace               print phase trace tree and metrics tables\n"
         "  --metrics-out <file>  append one JSON metrics record per run\n"
         "  --version             print version and exit\n"
@@ -75,6 +83,7 @@ int usage() {
 struct CliFlags {
   bool trace = false;
   std::string metrics_out;
+  std::string repartition;
 };
 
 /// Load a built-in circuit by name, or an .hgr file by path.
@@ -98,6 +107,59 @@ int cmd_generate(const std::string& circuit, const std::string& out) {
             << " modules, " << g.hypergraph.num_nets() << " nets) to " << out
             << '\n';
   return 0;
+}
+
+/// Write a partition to `out` (empty = skip); returns 0 / 1 like main.
+int write_partition_file(const Partition& p, const std::string& out) {
+  if (out.empty()) return 0;
+  std::ofstream stream(out);
+  if (!stream) {
+    std::cerr << "cannot open " << out << '\n';
+    return 1;
+  }
+  io::write_partition(stream, p);
+  std::cout << "  partition written to " << out << '\n';
+  return 0;
+}
+
+/// `partition --repartition <edits>`: incremental ECO repartitioning.
+int cmd_repartition(const std::string& input, const std::string& algorithm,
+                    const std::string& out, const std::string& edits) {
+  if (parse_algorithm(algorithm) != Algorithm::kIgMatch) {
+    std::cerr << "error: --repartition supports only the igmatch algorithm\n";
+    return 2;
+  }
+  const Hypergraph h = load(input);
+  const repart::EditScript script = repart::read_edit_script_file(edits);
+  repart::RepartitionSession session(h);
+  repart::EditScriptApplier applier(session.netlist());
+
+  repart::RepartitionResult r = session.repartition();
+  std::cout << "incremental IG-Match on " << input << " ("
+            << script.batches.size() << " edit batches from " << edits
+            << "):\n"
+            << "  initial   cut " << r.nets_cut << ", ratio "
+            << format_ratio(r.ratio) << " (cold, "
+            << r.lanczos_iterations << " Lanczos iters)\n";
+  for (std::size_t i = 0; i < script.batches.size(); ++i) {
+    applier.apply(script.batches[i]);
+    r = session.repartition();
+    std::cout << "  batch " << i + 1 << "   cut " << r.nets_cut << ", ratio "
+              << format_ratio(r.ratio) << " ("
+              << (r.warm_started ? "warm" : "cold") << ", "
+              << r.lanczos_iterations << " Lanczos iters, IG rows "
+              << r.ig_rows_rebuilt << " rebuilt / " << r.ig_rows_reused
+              << " reused, " << r.sweep_ranks_evaluated << "/"
+              << r.sweep_ranks_total << " splits"
+              << (r.used_previous_partition ? ", kept previous" : "")
+              << ")\n";
+  }
+  const Hypergraph& final_h = session.hypergraph();
+  std::cout << "  final     " << final_h.num_modules() << " modules, "
+            << final_h.num_nets() << " nets, areas "
+            << r.partition.size(Side::kLeft) << ":"
+            << r.partition.size(Side::kRight) << '\n';
+  return write_partition_file(r.partition, out);
 }
 
 int cmd_partition(const std::string& input, const std::string& algorithm,
@@ -244,6 +306,14 @@ int main(int argc, char** argv) {
       flags.metrics_out = raw[++i];
       continue;
     }
+    if (arg == "--repartition") {
+      if (i + 1 >= raw.size()) {
+        std::cerr << "error: --repartition requires an edit-script file\n";
+        return 2;
+      }
+      flags.repartition = raw[++i];
+      continue;
+    }
     if (arg == "--threads") {
       if (i + 1 >= raw.size()) {
         std::cerr << "error: --threads requires a count argument\n";
@@ -289,9 +359,13 @@ int main(int argc, char** argv) {
       rc = cmd_stats(args[1]);
     else if (command == "generate" && args.size() == 3)
       rc = cmd_generate(args[1], args[2]);
-    else if (command == "partition" && args.size() >= 2 && args.size() <= 4)
-      rc = cmd_partition(args[1], args.size() > 2 ? args[2] : "igmatch",
-                         args.size() > 3 ? args[3] : "");
+    else if (command == "partition" && args.size() >= 2 && args.size() <= 4) {
+      const std::string algorithm = args.size() > 2 ? args[2] : "igmatch";
+      const std::string out = args.size() > 3 ? args[3] : "";
+      rc = flags.repartition.empty()
+               ? cmd_partition(args[1], algorithm, out)
+               : cmd_repartition(args[1], algorithm, out, flags.repartition);
+    }
     else if (command == "multiway" && args.size() >= 3 && args.size() <= 4)
       rc = cmd_multiway(args[1], std::stoi(args[2]),
                         args.size() > 3 ? args[3] : "igmatch");
