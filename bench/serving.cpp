@@ -1,0 +1,367 @@
+/// Serving benchmark: drives >= 1000 mixed requests (cold loads, repeat
+/// partitions, ECO edit+repartition cycles, pings) through a live netpartd
+/// instance over its real Unix socket, and holds it to the PR's two
+/// acceptance bars:
+///  - responses are bit-identical to direct in-process RepartitionSession
+///    calls (the server adds zero numeric noise: %.17g doubles, verbatim
+///    assignment strings);
+///  - repeat-request cache hits are >= 10x faster than cold computes.
+/// Exports BENCH_serving.json; the exit code enforces both bars.
+///
+/// Usage: serving [out.json] [modules] [circuits] [hit-rounds] [eco-steps]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "circuits/generator.hpp"
+#include "io/netlist_io.hpp"
+#include "obs/metrics.hpp"
+#include "repart/edit_script.hpp"
+#include "repart/session.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using namespace netpart;
+using server::Client;
+using server::JsonValue;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+std::string get_string(const JsonValue& v, std::string_view key) {
+  const JsonValue* f = v.find(key);
+  return (f != nullptr && f->is_string()) ? f->string : std::string();
+}
+
+double get_number(const JsonValue& v, std::string_view key) {
+  const JsonValue* f = v.find(key);
+  return (f != nullptr && f->is_number()) ? f->number : -1.0;
+}
+
+bool is_ok(const JsonValue& v) {
+  const JsonValue* f = v.find("ok");
+  return f != nullptr && f->is_bool() && f->boolean;
+}
+
+std::string assignment_of(const Partition& p) {
+  std::string out;
+  for (const Side s : p.sides()) out.push_back(s == Side::kLeft ? 'L' : 'R');
+  return out;
+}
+
+/// One timed request; exits the bench on any transport failure.
+JsonValue timed_rpc(Client& client, const std::string& request, double& ms) {
+  const auto start = Clock::now();
+  JsonValue response;
+  if (!client.round_trip_json(request, response)) {
+    std::cerr << "FAIL: transport error: " << client.last_error() << '\n';
+    std::exit(1);
+  }
+  ms = ms_since(start);
+  return response;
+}
+
+JsonValue rpc(Client& client, const std::string& request) {
+  double ms = 0.0;
+  return timed_rpc(client, request, ms);
+}
+
+/// Deterministic ECO step k: add one 3-pin net, occasionally retire an
+/// earlier one.  Plain arithmetic, no RNG — the twin replays the same text.
+std::string eco_step_script(std::int32_t k, std::int32_t num_modules) {
+  const auto n = static_cast<std::int64_t>(num_modules);
+  std::string script = "add-net eco" + std::to_string(k) + " " +
+                       std::to_string((k * 37 + 1) % n) + " " +
+                       std::to_string((k * 101 + 7) % n) + " " +
+                       std::to_string((k * 53 + 13) % n) + "\n";
+  if (k >= 3 && k % 3 == 0)
+    script += "remove-net eco" + std::to_string(k - 2) + "\n";
+  return script;
+}
+
+struct CircuitFixture {
+  std::string name;
+  std::string hgr;         ///< serialized .hgr text
+  Hypergraph hypergraph;
+  std::string assignment;  ///< expected cold assignment (in-process oracle)
+  double ratio = 0.0;
+  std::int32_t cut = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serving.json";
+  const std::int32_t modules =
+      argc > 2 ? static_cast<std::int32_t>(std::atoi(argv[2])) : 1200;
+  const std::int32_t num_circuits =
+      argc > 3 ? static_cast<std::int32_t>(std::atoi(argv[3])) : 12;
+  const std::int32_t hit_rounds =
+      argc > 4 ? static_cast<std::int32_t>(std::atoi(argv[4])) : 400;
+  const std::int32_t eco_steps =
+      argc > 5 ? static_cast<std::int32_t>(std::atoi(argv[5])) : 100;
+
+  // --- the server under test, on its real socket ---
+  server::ServerOptions options;
+  options.socket_path =
+      "@netpart-serving-bench-" + std::to_string(::getpid());
+  options.cache_capacity = 256;
+  server::Server srv(options);
+  std::string error;
+  if (!srv.start(error)) {
+    std::cerr << "FAIL: " << error << '\n';
+    return 1;
+  }
+  std::thread io_thread([&srv] { srv.run(); });
+
+  Client client;
+  if (!client.connect(options.socket_path)) {
+    std::cerr << "FAIL: " << client.last_error() << '\n';
+    return 1;
+  }
+
+  // --- fixtures: distinct circuits + their in-process cold oracles ---
+  std::cout << "serving bench: " << num_circuits << " circuits of " << modules
+            << " modules, " << hit_rounds << " hit rounds, " << eco_steps
+            << " ECO steps\n";
+  std::vector<CircuitFixture> circuits;
+  for (std::int32_t i = 0; i < num_circuits; ++i) {
+    CircuitFixture fixture;
+    fixture.name = "serve-bench-" + std::to_string(i);
+    GeneratorConfig config;
+    config.name = fixture.name;
+    config.num_modules = modules;
+    config.num_nets = modules + modules / 10;
+    fixture.hypergraph = generate_circuit(config).hypergraph;
+    std::ostringstream hgr;
+    io::write_hgr(hgr, fixture.hypergraph);
+    fixture.hgr = hgr.str();
+
+    repart::RepartitionSession oracle(fixture.hypergraph);
+    const repart::RepartitionResult r = oracle.repartition();
+    fixture.assignment = assignment_of(r.partition);
+    fixture.ratio = r.ratio;
+    fixture.cut = r.nets_cut;
+    circuits.push_back(std::move(fixture));
+  }
+
+  std::int64_t requests = 0;
+  std::int64_t identity_failures = 0;
+  auto check_identity = [&](const JsonValue& response,
+                            const CircuitFixture& fixture, const char* what) {
+    if (get_string(response, "assignment") != fixture.assignment ||
+        static_cast<std::int32_t>(get_number(response, "cut")) !=
+            fixture.cut ||
+        get_number(response, "ratio") != fixture.ratio) {
+      ++identity_failures;
+      std::cerr << "FAIL: " << what << " response for " << fixture.name
+                << " differs from in-process result\n";
+    }
+  };
+
+  auto load_request = [&](const std::string& session,
+                          const CircuitFixture& fixture) {
+    return "{\"id\":1,\"op\":\"load\",\"session\":\"" + session +
+           "\",\"hgr\":\"" + obs::json_escape(fixture.hgr) + "\"}";
+  };
+
+  // --- phase 1: cold computes (cache bypassed) ---
+  std::vector<double> cold_ms;
+  for (std::int32_t i = 0; i < num_circuits; ++i) {
+    rpc(client, load_request("cold-" + std::to_string(i), circuits[
+        static_cast<std::size_t>(i)]));
+    double ms = 0.0;
+    const JsonValue response = timed_rpc(
+        client,
+        "{\"id\":2,\"op\":\"partition\",\"session\":\"cold-" +
+            std::to_string(i) + "\",\"use_cache\":false}",
+        ms);
+    requests += 2;
+    if (!is_ok(response)) {
+      std::cerr << "FAIL: cold partition rejected\n";
+      return 1;
+    }
+    cold_ms.push_back(ms);
+    check_identity(response, circuits[static_cast<std::size_t>(i)], "cold");
+  }
+
+  // --- phase 2: populate the cache (cold compute + memoize) ---
+  for (std::int32_t i = 0; i < num_circuits; ++i) {
+    rpc(client, load_request("seed-" + std::to_string(i),
+                             circuits[static_cast<std::size_t>(i)]));
+    const JsonValue response =
+        rpc(client, "{\"id\":3,\"op\":\"partition\",\"session\":\"seed-" +
+                        std::to_string(i) + "\"}");
+    requests += 2;
+    check_identity(response, circuits[static_cast<std::size_t>(i)], "seed");
+  }
+
+  // --- phase 3: repeat requests served from the result cache ---
+  std::vector<double> hit_ms;
+  std::int64_t cache_served = 0;
+  for (std::int32_t round = 0; round < hit_rounds; ++round) {
+    const auto index =
+        static_cast<std::size_t>(round % num_circuits);
+    const std::string session = "hit-" + std::to_string(round);
+    rpc(client, load_request(session, circuits[index]));
+    double ms = 0.0;
+    const JsonValue response = timed_rpc(
+        client,
+        "{\"id\":4,\"op\":\"partition\",\"session\":\"" + session + "\"}",
+        ms);
+    requests += 2;
+    hit_ms.push_back(ms);
+    if (get_string(response, "served_from") == "cache") ++cache_served;
+    check_identity(response, circuits[index], "cache-hit");
+    rpc(client, "{\"id\":5,\"op\":\"unload\",\"session\":\"" + session +
+                    "\"}");
+    ++requests;
+  }
+
+  // --- phase 4: ECO edit + repartition, verified against a twin ---
+  const CircuitFixture& eco = circuits.front();
+  rpc(client, load_request("eco", eco));
+  rpc(client, "{\"id\":6,\"op\":\"partition\",\"session\":\"eco\"}");
+  requests += 2;
+  repart::RepartitionSession twin(eco.hypergraph);
+  repart::EditScriptApplier applier(twin.netlist());
+  (void)twin.repartition();
+
+  std::vector<double> eco_ms;
+  std::int64_t warm_steps = 0;
+  for (std::int32_t k = 0; k < eco_steps; ++k) {
+    const std::string script = eco_step_script(k, modules);
+    rpc(client, "{\"id\":7,\"op\":\"edit\",\"session\":\"eco\",\"script\":\"" +
+                    obs::json_escape(script) + "\"}");
+    double ms = 0.0;
+    const JsonValue response = timed_rpc(
+        client, "{\"id\":8,\"op\":\"repartition\",\"session\":\"eco\"}", ms);
+    requests += 2;
+    eco_ms.push_back(ms);
+
+    std::istringstream script_in(script);
+    const repart::EditScript parsed = repart::read_edit_script(script_in);
+    for (const repart::EditBatch& batch : parsed.batches)
+      applier.apply(batch);
+    const repart::RepartitionResult expected = twin.repartition();
+    if (expected.warm_started) ++warm_steps;
+    if (get_string(response, "assignment") !=
+            assignment_of(expected.partition) ||
+        static_cast<std::int32_t>(get_number(response, "cut")) !=
+            expected.nets_cut ||
+        get_number(response, "ratio") != expected.ratio) {
+      ++identity_failures;
+      std::cerr << "FAIL: ECO step " << k
+                << " diverged from the in-process twin\n";
+    }
+  }
+
+  // --- filler pings so the mixed-load total passes 1000 requests ---
+  while (requests < 1000) {
+    rpc(client, "{\"id\":9,\"op\":\"ping\"}");
+    ++requests;
+  }
+
+  const JsonValue metrics = rpc(client, "{\"id\":10,\"op\":\"metrics\"}");
+  ++requests;
+  rpc(client, "{\"id\":11,\"op\":\"shutdown\"}");
+  ++requests;
+  io_thread.join();
+
+  const double cold_median = median(cold_ms);
+  const double hit_median = median(hit_ms);
+  const double speedup = hit_median > 0.0 ? cold_median / hit_median : 0.0;
+
+  std::cout << "\nrequests          " << requests << "\n"
+            << "cold median       " << cold_median << " ms\n"
+            << "cache-hit median  " << hit_median << " ms (" << cache_served
+            << "/" << hit_rounds << " served from cache)\n"
+            << "hit speedup       " << speedup << "x\n"
+            << "ECO median        " << median(eco_ms) << " ms (" << warm_steps
+            << "/" << eco_steps << " warm)\n"
+            << "identity failures " << identity_failures << "\n"
+            << "server cache      " << get_number(metrics, "cache_hits")
+            << " hits / " << get_number(metrics, "cache_misses")
+            << " misses\n";
+
+  char buffer[64];
+  std::string json = "{\n  \"bench\": \"serving\",\n";
+  json += "  \"modules\": " + std::to_string(modules) + ",\n";
+  json += "  \"circuits\": " + std::to_string(num_circuits) + ",\n";
+  json += "  \"requests\": " + std::to_string(requests) + ",\n";
+  std::snprintf(buffer, sizeof buffer, "%.4f", cold_median);
+  json += "  \"cold_median_ms\": " + std::string(buffer) + ",\n";
+  std::snprintf(buffer, sizeof buffer, "%.4f", hit_median);
+  json += "  \"hit_median_ms\": " + std::string(buffer) + ",\n";
+  std::snprintf(buffer, sizeof buffer, "%.2f", speedup);
+  json += "  \"hit_speedup\": " + std::string(buffer) + ",\n";
+  std::snprintf(buffer, sizeof buffer, "%.4f", median(eco_ms));
+  json += "  \"eco_median_ms\": " + std::string(buffer) + ",\n";
+  json += "  \"eco_steps\": " + std::to_string(eco_steps) + ",\n";
+  json += "  \"eco_warm_steps\": " + std::to_string(warm_steps) + ",\n";
+  json += "  \"cache_served\": " + std::to_string(cache_served) + ",\n";
+  json += "  \"hit_rounds\": " + std::to_string(hit_rounds) + ",\n";
+  json += "  \"identity_failures\": " + std::to_string(identity_failures) +
+          ",\n";
+  json += "  \"server_cache_hits\": " +
+          std::to_string(static_cast<std::int64_t>(
+              get_number(metrics, "cache_hits"))) +
+          ",\n";
+  json += "  \"server_requests_total\": " +
+          std::to_string(static_cast<std::int64_t>(
+              get_number(metrics, "requests_total"))) +
+          "\n}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << '\n';
+    return 1;
+  }
+  out << json;
+  std::cout << "wrote " << out_path << '\n';
+
+  bool failed = false;
+  if (identity_failures > 0) {
+    std::cerr << "FAIL: " << identity_failures
+              << " responses differed from in-process results\n";
+    failed = true;
+  }
+  if (cache_served != hit_rounds) {
+    std::cerr << "FAIL: only " << cache_served << "/" << hit_rounds
+              << " repeat requests were served from the cache\n";
+    failed = true;
+  }
+  if (speedup < 10.0) {
+    std::cerr << "FAIL: cache-hit speedup " << speedup
+              << "x below the 10x target\n";
+    failed = true;
+  }
+  if (requests < 1000) {
+    std::cerr << "FAIL: drove only " << requests << " requests\n";
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

@@ -6,9 +6,10 @@
 # The test suite runs twice: once with the observability layer compiled in
 # (the default) and once with -DNETPART_OBS=OFF, so a change can never pass
 # while the macro-disabled configuration fails to build or regresses.
-# A third, ThreadSanitizer-instrumented build then runs the parallel-runtime,
-# observability, and repartitioning tests at several lane counts to
-# race-check the pool.
+# Each full-suite configuration also boots a live netpartd and drives it
+# with netpartc (server_smoke below).  A third, ThreadSanitizer-instrumented
+# build then runs the parallel-runtime, observability, server, and
+# repartitioning tests at several lane counts to race-check the pool.
 #
 # Usage: check.sh [--fast]
 #   --fast  Tier-1 loop only: single OBS=ON configuration, tests not labeled
@@ -21,6 +22,33 @@ if [ "${1:-}" = "--fast" ]; then
   FAST=1
 fi
 
+# End-to-end smoke of the partition server: boot netpartd on an abstract
+# socket, drive a load/partition/cache-hit/metrics sequence with netpartc,
+# and shut it down cleanly.  Run against both OBS configurations below.
+server_smoke() {
+  local bindir="$1"
+  local sock="@netpart-check-$$-${bindir//\//-}"
+  "$bindir/tools/netpartd" --socket "$sock" &
+  local pid=$!
+  trap 'kill "$pid" 2>/dev/null || true' RETURN
+  local i
+  for i in $(seq 1 50); do
+    if "$bindir/tools/netpartc" --socket "$sock" ping >/dev/null 2>&1; then
+      break
+    fi
+    sleep 0.1
+  done
+  "$bindir/tools/netpartc" --socket "$sock" load smoke bm1
+  "$bindir/tools/netpartc" --socket "$sock" partition smoke
+  "$bindir/tools/netpartc" --socket "$sock" unload smoke
+  "$bindir/tools/netpartc" --socket "$sock" load smoke2 bm1
+  "$bindir/tools/netpartc" --socket "$sock" partition smoke2
+  "$bindir/tools/netpartc" --socket "$sock" metrics
+  "$bindir/tools/netpartc" --socket "$sock" shutdown
+  wait "$pid"
+  echo "server smoke ($bindir): ok"
+}
+
 cmake -B build -G Ninja -DNETPART_WARNINGS_AS_ERRORS=ON -DNETPART_OBS=ON
 cmake --build build
 if [ "$FAST" -eq 1 ]; then
@@ -28,10 +56,12 @@ if [ "$FAST" -eq 1 ]; then
   exit 0
 fi
 ctest --test-dir build --output-on-failure
+server_smoke build
 
 cmake -B build-noobs -G Ninja -DNETPART_WARNINGS_AS_ERRORS=ON -DNETPART_OBS=OFF
 cmake --build build-noobs
 ctest --test-dir build-noobs --output-on-failure
+server_smoke build-noobs
 
 # ThreadSanitizer pass over the concurrency-sensitive binaries.  Only the
 # targets that exercise the pool, the shared metrics registry, and the
@@ -40,9 +70,10 @@ ctest --test-dir build-noobs --output-on-failure
 cmake -B build-tsan -G Ninja -DNETPART_SANITIZE=thread \
   -DNETPART_BUILD_BENCHMARKS=OFF -DNETPART_BUILD_EXAMPLES=OFF
 cmake --build build-tsan --target parallel_test obs_test fm_partition_test \
-  repart_property_test igmatch_oracle_test
+  repart_property_test igmatch_oracle_test server_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/obs_test
+./build-tsan/tests/server_test
 NETPART_THREADS=4 ./build-tsan/tests/fm_partition_test
 NETPART_THREADS=4 ./build-tsan/tests/repart_property_test
 NETPART_THREADS=4 ./build-tsan/tests/igmatch_oracle_test

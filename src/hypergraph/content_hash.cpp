@@ -1,0 +1,49 @@
+#include "hypergraph/content_hash.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace netpart {
+
+void Fnv1a::add_bytes(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < len; ++i) add_byte(bytes[i]);
+}
+
+void Fnv1a::add_u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    add_byte(static_cast<std::uint8_t>((v >> shift) & 0xFFU));
+}
+
+void Fnv1a::add_u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    add_byte(static_cast<std::uint8_t>((v >> shift) & 0xFFU));
+}
+
+void Fnv1a::add_double(double v) { add_u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Fnv1a::add_string(std::string_view s) {
+  add_u64(static_cast<std::uint64_t>(s.size()));
+  add_bytes(s.data(), s.size());
+}
+
+std::uint64_t netlist_content_hash(const Hypergraph& h) {
+  Fnv1a fnv;
+  fnv.add_i32(h.num_modules());
+  fnv.add_i32(h.num_nets());
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    fnv.add_i32(h.net_weight(n));
+    fnv.add_i32(h.net_size(n));
+    for (const ModuleId m : h.pins(n)) fnv.add_i32(m);
+  }
+  return fnv.digest();
+}
+
+std::string format_content_hash(std::uint64_t hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "fnv1a:%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+}  // namespace netpart

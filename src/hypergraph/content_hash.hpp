@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hypergraph/hypergraph.hpp"
+
+/// \file content_hash.hpp
+/// Canonical content hashing of netlists (FNV-1a, 64-bit).
+///
+/// Two hypergraphs hash equal exactly when they are bit-identical inputs to
+/// the partitioning pipeline: same module count and, per net in id order,
+/// same weight and same sorted pin list.  The design name is deliberately
+/// excluded — renaming a design must not invalidate cached results.  The
+/// hash is the key of the server's result cache and the reproducibility
+/// fingerprint printed by `netpart --hash`, so its byte layout is part of
+/// the tool's stable surface: integers are folded little-endian at fixed
+/// width, independent of the host.
+///
+/// FNV-1a is not collision resistant; consumers (the result cache) treat a
+/// collision as returning a stale-but-well-formed result, never as memory
+/// unsafety.
+
+namespace netpart {
+
+/// Incremental 64-bit FNV-1a folder with fixed-width little-endian
+/// encodings for the primitive types the canonical forms are built from.
+class Fnv1a {
+ public:
+  void add_byte(std::uint8_t b) {
+    hash_ = (hash_ ^ b) * 0x100000001B3ULL;
+  }
+  void add_bytes(const void* data, std::size_t len);
+  void add_u32(std::uint32_t v);
+  void add_u64(std::uint64_t v);
+  void add_i32(std::int32_t v) { add_u32(static_cast<std::uint32_t>(v)); }
+  void add_i64(std::int64_t v) { add_u64(static_cast<std::uint64_t>(v)); }
+  /// IEEE-754 bit pattern, so -0.0 != +0.0 and NaNs are distinguished.
+  void add_double(double v);
+  /// Length-prefixed, so "ab"+"c" and "a"+"bc" fold differently.
+  void add_string(std::string_view s);
+
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;  // FNV offset basis
+};
+
+/// Hash the canonical netlist content of `h` (see the file comment).
+[[nodiscard]] std::uint64_t netlist_content_hash(const Hypergraph& h);
+
+/// Render a content hash the way the CLI and server report it:
+/// "fnv1a:" + 16 lowercase hex digits.
+[[nodiscard]] std::string format_content_hash(std::uint64_t hash);
+
+}  // namespace netpart

@@ -18,6 +18,29 @@ RepartitionSession::RepartitionSession(const Hypergraph& initial,
       inc_ig_(initial, options_.weighting),
       ig_(inc_ig_.snapshot(initial)) {}
 
+SessionWarmState RepartitionSession::export_warm_state() const {
+  SessionWarmState state;
+  state.valid = cache_valid_;
+  state.fiedler = prev_fiedler_;
+  state.order = prev_order_;
+  state.best_rank = prev_best_rank_;
+  state.partition = prev_partition_;
+  state.cold_iterations = cold_iterations_;
+  return state;
+}
+
+void RepartitionSession::import_warm_state(SessionWarmState state) {
+  prev_fiedler_ = std::move(state.fiedler);
+  prev_order_ = std::move(state.order);
+  prev_best_rank_ = state.best_rank;
+  prev_partition_ = std::move(state.partition);
+  cold_iterations_ = state.cold_iterations;
+  cache_valid_ =
+      state.valid &&
+      prev_fiedler_.size() == static_cast<std::size_t>(h_.num_nets()) &&
+      prev_partition_.num_modules() == h_.num_modules();
+}
+
 std::vector<char> RepartitionSession::build_rank_mask(
     const ChangeSet& changes, const std::vector<std::int32_t>& order) {
   const auto m = static_cast<std::int32_t>(order.size());

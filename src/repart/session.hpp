@@ -55,6 +55,22 @@ struct RepartitionOptions {
   bool warm_start = true;
 };
 
+/// Portable snapshot of a session's warm-start cache (Fiedler vector, net
+/// ordering, winning split, previous partition).  The server's result cache
+/// stores one of these per cold run so that a *different* session over a
+/// bit-identical netlist can adopt it and behave — bit for bit — as if it
+/// had performed the cold run itself.  Vectors are indexed by the dense
+/// net/module ids of the netlist the state was exported from; callers must
+/// guarantee content identity (the server keys by `netlist_content_hash`).
+struct SessionWarmState {
+  bool valid = false;
+  std::vector<double> fiedler;           // per net id
+  std::vector<std::int32_t> order;       // net ids by Fiedler rank
+  std::int32_t best_rank = 0;
+  Partition partition;                   // module space
+  std::int32_t cold_iterations = 0;
+};
+
 struct RepartitionResult {
   Partition partition;
   std::int32_t nets_cut = 0;
@@ -91,6 +107,19 @@ class RepartitionSession {
   [[nodiscard]] const WeightedGraph& intersection_graph() const { return ig_; }
 
   [[nodiscard]] const RepartitionOptions& options() const { return options_; }
+
+  /// Snapshot the warm-start cache for reuse by another session over a
+  /// bit-identical netlist.  `valid` mirrors the internal cache validity
+  /// (false until the first successful repartition()).
+  [[nodiscard]] SessionWarmState export_warm_state() const;
+
+  /// Adopt a warm state exported after a repartition() of a netlist whose
+  /// content is bit-identical to this session's *current* netlist.  The next
+  /// repartition() then takes the exact warm path the exporting session
+  /// would have taken.  Call only on a session with no pending edits; a
+  /// dimension mismatch degrades to an (exact) cold run instead of
+  /// producing wrong answers.
+  void import_warm_state(SessionWarmState state);
 
  private:
   std::vector<char> build_rank_mask(const ChangeSet& changes,

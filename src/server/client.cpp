@@ -1,0 +1,108 @@
+#include "server/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "server/socket_util.hpp"
+
+namespace netpart::server {
+
+Client::~Client() { close(); }
+
+bool Client::connect(const std::string& socket_path) {
+  close();
+  sockaddr_un addr{};
+  socklen_t addr_len = 0;
+  if (!make_unix_address(socket_path, addr, addr_len, error_)) return false;
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), addr_len) < 0) {
+    error_ = std::string("connect ") + socket_path + ": " +
+             std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+bool Client::send_line(std::string_view line) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  std::string frame(line);
+  frame.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::read_line(std::string& out) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  while (true) {
+    const std::size_t nl = inbuf_.find('\n');
+    if (nl != std::string::npos) {
+      out.assign(inbuf_, 0, nl);
+      if (!out.empty() && out.back() == '\r') out.pop_back();
+      inbuf_.erase(0, nl + 1);
+      return true;
+    }
+    char buf[65536];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n == 0) {
+      error_ = "connection closed by server";
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("read: ") + std::strerror(errno);
+      return false;
+    }
+    inbuf_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+bool Client::round_trip(std::string_view request, std::string& response) {
+  return send_line(request) && read_line(response);
+}
+
+bool Client::round_trip_json(std::string_view request, JsonValue& out) {
+  std::string response;
+  if (!round_trip(request, response)) return false;
+  std::string parse_error;
+  if (!parse_json(response, out, parse_error)) {
+    error_ = "bad response JSON: " + parse_error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace netpart::server

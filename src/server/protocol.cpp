@@ -1,0 +1,466 @@
+#include "server/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.hpp"  // obs::json_escape
+
+namespace netpart::server {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, value] : object)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+/// Recursive-descent JSON parser over a string_view.  Every path that can
+/// fail returns false after recording a message; nothing throws.
+struct JsonParser {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+  std::string* error = nullptr;
+
+  bool fail(const char* message) {
+    if (error->empty())
+      *error = std::string(message) + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  [[nodiscard]] bool at_end() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool expect(char c, const char* message) {
+    if (at_end() || peek() != c) return fail(message);
+    ++pos;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.size() - pos < word.size() ||
+        text.substr(pos, word.size()) != word)
+      return fail("invalid literal");
+    pos += word.size();
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0U | (cp >> 6));
+      out += static_cast<char>(0x80U | (cp & 0x3FU));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0U | (cp >> 12));
+      out += static_cast<char>(0x80U | ((cp >> 6) & 0x3FU));
+      out += static_cast<char>(0x80U | (cp & 0x3FU));
+    } else {
+      out += static_cast<char>(0xF0U | (cp >> 18));
+      out += static_cast<char>(0x80U | ((cp >> 12) & 0x3FU));
+      out += static_cast<char>(0x80U | ((cp >> 6) & 0x3FU));
+      out += static_cast<char>(0x80U | (cp & 0x3FU));
+    }
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (text.size() - pos < 4) return fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9')
+        value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        return fail("bad \\u escape");
+    }
+    pos += 4;
+    out = value;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"', "expected string")) return false;
+    out.clear();
+    for (;;) {
+      if (at_end()) return fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) return fail("truncated escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require a matching low surrogate.
+            if (text.size() - pos < 2 || text[pos] != '\\' ||
+                text[pos + 1] != 'u')
+              return fail("lone high surrogate");
+            pos += 2;
+            std::uint32_t low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF)
+              return fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos;
+    if (!at_end() && peek() == '-') ++pos;
+    while (!at_end()) {
+      const char c = peek();
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-')
+        ++pos;
+      else
+        break;
+    }
+    const std::size_t len = pos - start;
+    if (len == 0 || len > 63) return fail("bad number");
+    char buf[64];
+    text.substr(start, len).copy(buf, len);
+    buf[len] = '\0';
+    char* tail = nullptr;
+    const double value = std::strtod(buf, &tail);
+    if (tail != buf + len) return fail("bad number");
+    out.type = JsonValue::Type::kNumber;
+    out.number = value;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (++depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    bool ok = false;
+    switch (peek()) {
+      case 'n':
+        ok = literal("null");
+        out.type = JsonValue::Type::kNull;
+        break;
+      case 't':
+        ok = literal("true");
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        break;
+      case 'f':
+        ok = literal("false");
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        break;
+      case '"':
+        out.type = JsonValue::Type::kString;
+        ok = parse_string(out.string);
+        break;
+      case '[': {
+        ++pos;
+        out.type = JsonValue::Type::kArray;
+        skip_ws();
+        if (!at_end() && peek() == ']') {
+          ++pos;
+          ok = true;
+          break;
+        }
+        for (;;) {
+          JsonValue element;
+          if (!parse_value(element)) return false;
+          out.array.push_back(std::move(element));
+          skip_ws();
+          if (at_end()) return fail("unterminated array");
+          const char c = text[pos++];
+          if (c == ']') {
+            ok = true;
+            break;
+          }
+          if (c != ',') return fail("expected ',' in array");
+        }
+        break;
+      }
+      case '{': {
+        ++pos;
+        out.type = JsonValue::Type::kObject;
+        skip_ws();
+        if (!at_end() && peek() == '}') {
+          ++pos;
+          ok = true;
+          break;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (!expect(':', "expected ':'")) return false;
+          JsonValue value;
+          if (!parse_value(value)) return false;
+          out.object.emplace_back(std::move(key), std::move(value));
+          skip_ws();
+          if (at_end()) return fail("unterminated object");
+          const char c = text[pos++];
+          if (c == '}') {
+            ok = true;
+            break;
+          }
+          if (c != ',') return fail("expected ',' in object");
+        }
+        break;
+      }
+      default:
+        ok = parse_number(out);
+        break;
+    }
+    --depth;
+    return ok;
+  }
+};
+
+/// Extract an optional string field with a type check.
+bool take_string(const JsonValue& doc, std::string_view key, std::string& out,
+                 std::string& error) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_string()) {
+    error = std::string(key) + " must be a string";
+    return false;
+  }
+  out = v->string;
+  return true;
+}
+
+/// Extract an optional non-negative integer field with a type check.
+bool take_nonneg_int(const JsonValue& doc, std::string_view key,
+                     std::int64_t& out, std::string& error) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_number() || v->number < 0 || v->number > 9.007199254740992e15 ||
+      v->number != std::floor(v->number)) {
+    error = std::string(key) + " must be a non-negative integer";
+    return false;
+  }
+  out = static_cast<std::int64_t>(v->number);
+  return true;
+}
+
+bool take_bool(const JsonValue& doc, std::string_view key, bool& out,
+               std::string& error) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_bool()) {
+    error = std::string(key) + " must be a boolean";
+    return false;
+  }
+  out = v->boolean;
+  return true;
+}
+
+}  // namespace
+
+bool parse_json(std::string_view text, JsonValue& out, std::string& error) {
+  error.clear();
+  out = JsonValue{};
+  JsonParser parser{text, 0, 0, &error};
+  if (!parser.parse_value(out)) return false;
+  parser.skip_ws();
+  if (parser.pos != text.size()) return parser.fail("trailing content");
+  return true;
+}
+
+ParseResult parse_request(std::string_view line, Request& out,
+                          std::string& error) {
+  out = Request{};
+  error.clear();
+
+  JsonValue doc;
+  if (!parse_json(line, doc, error)) return ParseResult::kMalformed;
+  if (!doc.is_object()) {
+    error = "request must be a JSON object";
+    return ParseResult::kMalformed;
+  }
+
+  // Recover the id first so even schema errors echo it.
+  std::int64_t id = -1;
+  if (!take_nonneg_int(doc, "id", id, error)) return ParseResult::kInvalid;
+  out.id = id;
+
+  const JsonValue* op = doc.find("op");
+  if (op == nullptr || !op->is_string()) {
+    error = "missing string field 'op'";
+    return ParseResult::kInvalid;
+  }
+  out.op_name = op->string;
+  if (op->string == "ping")
+    out.op = Op::kPing;
+  else if (op->string == "load")
+    out.op = Op::kLoad;
+  else if (op->string == "partition")
+    out.op = Op::kPartition;
+  else if (op->string == "repartition")
+    out.op = Op::kRepartition;
+  else if (op->string == "edit")
+    out.op = Op::kEdit;
+  else if (op->string == "unload")
+    out.op = Op::kUnload;
+  else if (op->string == "sessions")
+    out.op = Op::kSessions;
+  else if (op->string == "metrics")
+    out.op = Op::kMetrics;
+  else if (op->string == "shutdown")
+    out.op = Op::kShutdown;
+  else if (op->string == "sleep")
+    out.op = Op::kSleep;
+  else {
+    error = "unknown op '" + op->string + "'";
+    return ParseResult::kUnknownOp;
+  }
+
+  if (!take_string(doc, "session", out.session, error) ||
+      !take_string(doc, "circuit", out.circuit, error) ||
+      !take_string(doc, "path", out.path, error) ||
+      !take_string(doc, "hgr", out.hgr, error) ||
+      !take_string(doc, "script", out.script, error) ||
+      !take_nonneg_int(doc, "timeout_ms", out.timeout_ms, error) ||
+      !take_nonneg_int(doc, "sleep_ms", out.sleep_ms, error) ||
+      !take_bool(doc, "use_cache", out.use_cache, error) ||
+      !take_bool(doc, "trace", out.trace, error))
+    return ParseResult::kInvalid;
+
+  const bool needs_session = out.op == Op::kLoad || out.op == Op::kPartition ||
+                             out.op == Op::kRepartition ||
+                             out.op == Op::kEdit || out.op == Op::kUnload;
+  if (needs_session && out.session.empty()) {
+    error = "op '" + out.op_name + "' requires a session name";
+    return ParseResult::kInvalid;
+  }
+  if (out.op == Op::kLoad) {
+    const int sources = (out.circuit.empty() ? 0 : 1) +
+                        (out.path.empty() ? 0 : 1) + (out.hgr.empty() ? 0 : 1);
+    if (sources != 1) {
+      error = "load requires exactly one of circuit/path/hgr";
+      return ParseResult::kInvalid;
+    }
+  }
+  if (out.op == Op::kEdit && out.script.empty()) {
+    error = "edit requires a script";
+    return ParseResult::kInvalid;
+  }
+  return ParseResult::kOk;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+ResponseBuilder::ResponseBuilder(std::int64_t id, bool ok) {
+  out_ = "{\"id\":";
+  out_ += id >= 0 ? std::to_string(id) : "null";
+  out_ += ",\"ok\":";
+  out_ += ok ? "true" : "false";
+}
+
+ResponseBuilder& ResponseBuilder::add_string(std::string_view key,
+                                             std::string_view value) {
+  out_ += ",\"";
+  out_ += key;
+  out_ += "\":\"";
+  out_ += obs::json_escape(value);
+  out_ += '"';
+  return *this;
+}
+
+ResponseBuilder& ResponseBuilder::add_int(std::string_view key,
+                                          std::int64_t value) {
+  out_ += ",\"";
+  out_ += key;
+  out_ += "\":";
+  out_ += std::to_string(value);
+  return *this;
+}
+
+ResponseBuilder& ResponseBuilder::add_double(std::string_view key,
+                                             double value) {
+  out_ += ",\"";
+  out_ += key;
+  out_ += "\":";
+  out_ += json_number(value);
+  return *this;
+}
+
+ResponseBuilder& ResponseBuilder::add_bool(std::string_view key, bool value) {
+  out_ += ",\"";
+  out_ += key;
+  out_ += "\":";
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+ResponseBuilder& ResponseBuilder::add_raw(std::string_view key,
+                                          std::string_view json) {
+  out_ += ",\"";
+  out_ += key;
+  out_ += "\":";
+  out_ += json;
+  return *this;
+}
+
+std::string ResponseBuilder::finish() && {
+  out_ += '}';
+  return std::move(out_);
+}
+
+std::string error_response(std::int64_t id, std::string_view code,
+                           std::string_view message) {
+  std::string out = "{\"id\":";
+  out += id >= 0 ? std::to_string(id) : "null";
+  out += ",\"ok\":false,\"error\":{\"code\":\"";
+  out += code;
+  out += "\",\"message\":\"";
+  out += obs::json_escape(message);
+  out += "\"}}";
+  return out;
+}
+
+}  // namespace netpart::server

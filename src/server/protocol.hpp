@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file protocol.hpp
+/// The netpartd wire protocol (docs/SERVER.md): newline-delimited JSON over
+/// a Unix-domain socket.  One request line in, one response line out, with
+/// an `id` echoed so clients may pipeline.
+///
+/// Everything here is defensive by construction: the JSON parser and the
+/// request validator report failures through return values — never by
+/// throwing — and bound their recursion depth, so arbitrary byte soup from
+/// the socket can at worst produce a structured `parse_error` response
+/// (io_fuzz_test hammers exactly this entry point).  Frame-size limits are
+/// enforced one layer up, in the server's connection reader.
+
+namespace netpart::server {
+
+/// A parsed JSON document.  Deliberately plain: a tagged record with public
+/// fields, cheap to traverse, no exceptions anywhere.
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member with the given key, or nullptr.  Valid only for objects.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_bool() const { return type == Type::kBool; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed, trailing
+/// content rejected).  Returns false and fills `error` on malformed input;
+/// never throws.  Nesting is limited to 64 levels.
+bool parse_json(std::string_view text, JsonValue& out, std::string& error);
+
+/// Request operations the server understands.
+enum class Op : std::uint8_t {
+  kPing,
+  kLoad,        ///< create/replace a named session from a netlist source
+  kPartition,   ///< partition the session's current netlist (cached/warm)
+  kRepartition, ///< alias of kPartition (reads better after an edit)
+  kEdit,        ///< apply an inline ECO edit script to the session
+  kUnload,      ///< drop a session
+  kSessions,    ///< list live sessions
+  kMetrics,     ///< server counters + obs registry snapshot
+  kShutdown,    ///< drain in-flight work, then exit the serve loop
+  kSleep,       ///< debug only: hold the executor (backpressure tests)
+};
+
+/// One validated request.  Field relevance depends on `op`; see
+/// docs/SERVER.md for the wire schema.
+struct Request {
+  std::int64_t id = -1;  ///< echoed in the response; -1 = absent
+  Op op = Op::kPing;
+  std::string op_name;
+  std::string session;
+  // load: exactly one source.
+  std::string circuit;  ///< built-in benchmark name
+  std::string path;     ///< .hgr file path, resolved server-side
+  std::string hgr;      ///< inline .hgr text
+  // edit.
+  std::string script;   ///< inline edit-script text
+  std::int64_t timeout_ms = 0;  ///< queue deadline; 0 = server default
+  bool use_cache = true;        ///< partition: consult the result cache
+  bool trace = false;           ///< attach a per-request obs snapshot
+  std::int64_t sleep_ms = 0;    ///< kSleep duration
+};
+
+enum class ParseResult : std::uint8_t {
+  kOk,
+  kMalformed,  ///< not a JSON object -> error code "parse_error"
+  kInvalid,    ///< schema violation   -> error code "bad_request"
+  kUnknownOp,  ///< unrecognized op    -> error code "unknown_op"
+};
+
+/// Parse and validate one request line.  Never throws.  On failure `error`
+/// describes the problem; `out.id` is still recovered whenever the frame
+/// was a JSON object carrying a numeric id, so error responses can echo it.
+ParseResult parse_request(std::string_view line, Request& out,
+                          std::string& error);
+
+/// Format a double as a JSON number token; non-finite values become null
+/// (JSON has no inf/nan).  %.17g, so finite doubles round-trip exactly.
+[[nodiscard]] std::string json_number(double v);
+
+/// Incremental JSON object writer for responses.  Keys are trusted
+/// literals; string values are escaped.
+class ResponseBuilder {
+ public:
+  /// Starts `{"id":<id>,"ok":<ok>` (id -1 renders as null).
+  ResponseBuilder(std::int64_t id, bool ok);
+
+  ResponseBuilder& add_string(std::string_view key, std::string_view value);
+  ResponseBuilder& add_int(std::string_view key, std::int64_t value);
+  ResponseBuilder& add_double(std::string_view key, double value);
+  ResponseBuilder& add_bool(std::string_view key, bool value);
+  /// Append a pre-serialized JSON value verbatim.
+  ResponseBuilder& add_raw(std::string_view key, std::string_view json);
+
+  /// Close the object and return the line (no trailing newline).
+  [[nodiscard]] std::string finish() &&;
+
+ private:
+  std::string out_;
+};
+
+/// One-line structured error response:
+/// {"id":N,"ok":false,"error":{"code":"...","message":"..."}}.
+[[nodiscard]] std::string error_response(std::int64_t id,
+                                         std::string_view code,
+                                         std::string_view message);
+
+}  // namespace netpart::server

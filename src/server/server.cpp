@@ -1,0 +1,704 @@
+#include "server/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "circuits/benchmarks.hpp"
+#include "hypergraph/content_hash.hpp"
+#include "io/netlist_io.hpp"
+#include "obs/metrics.hpp"
+#include "repart/edit_script.hpp"
+#include "server/socket_util.hpp"
+
+namespace netpart::server {
+
+namespace {
+
+/// Self-pipe written by the SIGTERM/SIGINT handler; the I/O loop of the
+/// server currently inside run() polls the read end.  One per process.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void netpartd_signal_handler(int) {
+  // async-signal-safe: one write, result ignored (pipe full is fine — the
+  // loop only cares that the fd is readable).
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Serialize a partition as one 'L'/'R' per module — the wire form of an
+/// assignment, diffable against `netpart partition` output.
+std::string assignment_string(const Partition& p) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(p.num_modules()));
+  for (const Side s : p.sides()) out.push_back(s == Side::kLeft ? 'L' : 'R');
+  return out;
+}
+
+}  // namespace
+
+Server::Conn::~Conn() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      config_hash_(repartition_config_hash(options_.repartition)) {}
+
+Server::~Server() {
+  request_stop();
+  if (executor_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      draining_ = true;
+    }
+    queue_cv_.notify_all();
+    executor_.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (int fd : wake_pipe_)
+    if (fd >= 0) ::close(fd);
+}
+
+bool Server::start(std::string& error) {
+  if (started_) {
+    error = "server already started";
+    return false;
+  }
+  sockaddr_un addr{};
+  socklen_t addr_len = 0;
+  if (!make_unix_address(options_.socket_path, addr, addr_len, error))
+    return false;
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (options_.socket_path[0] != '@') ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), addr_len) <
+      0) {
+    error = std::string("bind ") + options_.socket_path + ": " +
+            std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  set_nonblocking(listen_fd_);
+
+  if (::pipe(wake_pipe_) < 0) {
+    error = std::string("pipe: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+
+  executor_ = std::thread([this] { executor_loop(); });
+  started_ = true;
+  return true;
+}
+
+bool Server::install_signal_handlers(std::string& error) {
+  if (g_signal_pipe[0] < 0) {
+    if (::pipe(g_signal_pipe) < 0) {
+      error = std::string("pipe: ") + std::strerror(errno);
+      return false;
+    }
+    set_nonblocking(g_signal_pipe[0]);
+    set_nonblocking(g_signal_pipe[1]);
+  }
+  struct sigaction sa{};
+  sa.sa_handler = netpartd_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  if (::sigaction(SIGTERM, &sa, nullptr) < 0 ||
+      ::sigaction(SIGINT, &sa, nullptr) < 0) {
+    error = std::string("sigaction: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+void Server::request_stop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::run() {
+  io_loop();
+
+  // Drain: no new frames arrive (poll loop exited, listen fd about to
+  // close); everything already queued still gets its answer.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  if (executor_.joinable()) executor_.join();
+  conns_.clear();  // destructors close the fds
+  if (options_.socket_path[0] != '@') ::unlink(options_.socket_path.c_str());
+}
+
+void Server::io_loop() {
+  std::vector<pollfd> fds;
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({g_signal_pipe[0] >= 0 ? g_signal_pipe[0] : -1, POLLIN, 0});
+    const std::size_t first_conn = fds.size();
+    for (const auto& conn : conns_)
+      fds.push_back({conn->fd, POLLIN, 0});
+
+    const int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 200);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if (options_.idle_timeout_ms > 0) {
+      const std::int32_t evicted = sessions_.evict_idle(
+          steady_now_ms(), options_.idle_timeout_ms);
+      if (evicted > 0) {
+        sessions_evicted_.fetch_add(evicted, std::memory_order_relaxed);
+        NETPART_COUNTER_ADD("server.sessions_evicted", evicted);
+      }
+    }
+    if (n == 0) continue;
+
+    if (fds[0].revents & POLLIN) accept_ready();
+    if (fds[1].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (fds[2].revents & POLLIN) {
+      char buf[64];
+      while (::read(g_signal_pipe[0], buf, sizeof(buf)) > 0) {
+      }
+      request_stop();
+    }
+
+    for (std::size_t i = first_conn; i < fds.size(); ++i) {
+      const auto& conn = conns_[i - first_conn];
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+        handle_readable(conn);
+    }
+    std::erase_if(conns_, [](const std::shared_ptr<Conn>& c) {
+      return c->closed.load(std::memory_order_relaxed);
+    });
+  }
+}
+
+void Server::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN/EMFILE/...: try again next poll round
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    NETPART_COUNTER_ADD("server.connections", 1);
+    conns_.push_back(std::make_shared<Conn>(fd));
+  }
+}
+
+void Server::handle_readable(const std::shared_ptr<Conn>& conn) {
+  char buf[65536];
+  const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+  if (n <= 0) {
+    if (n < 0 && (errno == EAGAIN || errno == EINTR)) return;
+    conn->closed.store(true, std::memory_order_relaxed);
+    return;
+  }
+  conn->inbuf.append(buf, static_cast<std::size_t>(n));
+
+  const auto reject_oversized = [this, &conn] {
+    // An over-long line can never be trusted to resync; refuse and hang up.
+    rejected_oversized_.fetch_add(1, std::memory_order_relaxed);
+    NETPART_COUNTER_ADD("server.rejected_oversized", 1);
+    write_response(conn,
+                   error_response(-1, "frame_too_large",
+                                  "request line exceeds max_frame_bytes"));
+    conn->closed.store(true, std::memory_order_relaxed);
+  };
+
+  std::size_t start = 0;
+  while (!conn->closed.load(std::memory_order_relaxed)) {
+    const std::size_t nl = conn->inbuf.find('\n', start);
+    if (nl == std::string::npos) break;
+    if (nl - start > options_.max_frame_bytes) {
+      reject_oversized();
+      break;
+    }
+    std::string_view line(conn->inbuf.data() + start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) process_line(conn, line);
+    start = nl + 1;
+  }
+  conn->inbuf.erase(0, start);
+
+  // A partial line already past the limit can never complete legally.
+  if (!conn->closed.load(std::memory_order_relaxed) &&
+      conn->inbuf.size() > options_.max_frame_bytes) {
+    reject_oversized();
+  }
+}
+
+void Server::process_line(const std::shared_ptr<Conn>& conn,
+                          std::string_view line) {
+  Request req;
+  std::string error;
+  switch (parse_request(line, req, error)) {
+    case ParseResult::kOk:
+      break;
+    case ParseResult::kMalformed:
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      NETPART_COUNTER_ADD("server.parse_errors", 1);
+      write_response(conn, error_response(req.id, "parse_error", error));
+      return;
+    case ParseResult::kInvalid:
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      NETPART_COUNTER_ADD("server.parse_errors", 1);
+      write_response(conn, error_response(req.id, "bad_request", error));
+      return;
+    case ParseResult::kUnknownOp:
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      NETPART_COUNTER_ADD("server.parse_errors", 1);
+      write_response(conn, error_response(req.id, "unknown_op", error));
+      return;
+  }
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  NETPART_COUNTER_ADD("server.requests", 1);
+  enqueue(conn, std::move(req));
+}
+
+void Server::enqueue(const std::shared_ptr<Conn>& conn, Request req) {
+  if (stop_requested_.load(std::memory_order_relaxed)) {
+    write_response(conn, error_response(req.id, "shutting_down",
+                                        "server is draining"));
+    return;
+  }
+  QueueItem item;
+  item.conn = conn;
+  item.enqueue_ms = steady_now_ms();
+  const std::int64_t effective_timeout =
+      req.timeout_ms > 0 ? req.timeout_ms : options_.default_timeout_ms;
+  if (effective_timeout > 0)
+    item.deadline_ms = item.enqueue_ms + effective_timeout;
+  item.req = std::move(req);
+
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.size() >= options_.queue_capacity) {
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      NETPART_COUNTER_ADD("server.rejected_overload", 1);
+      write_response(item.conn,
+                     error_response(item.req.id, "overloaded",
+                                    "request queue is full; retry later"));
+      return;
+    }
+    queue_.push_back(std::move(item));
+    NETPART_GAUGE_SET("server.queue_depth",
+                      static_cast<double>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::executor_loop() {
+#if NETPART_OBS_ENABLED
+  if (options_.enable_obs) {
+    obs::MetricsRegistry::instance().set_enabled(true);
+    obs::MetricsRegistry::instance().set_run_label("netpartd");
+  }
+#endif
+  while (true) {
+    QueueItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) break;  // draining_ && empty -> done
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    handle_item(item);
+  }
+}
+
+void Server::handle_item(QueueItem& item) {
+  const std::int64_t begin_ms = steady_now_ms();
+  NETPART_HISTOGRAM_RECORD("server.queue_wait_ms",
+                           static_cast<double>(begin_ms - item.enqueue_ms));
+  if (item.deadline_ms > 0 && begin_ms > item.deadline_ms) {
+    rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+    NETPART_COUNTER_ADD("server.rejected_deadline", 1);
+    write_response(item.conn,
+                   error_response(item.req.id, "deadline_exceeded",
+                                  "request expired while queued"));
+    return;
+  }
+
+  const bool trace = item.req.trace;
+#if NETPART_OBS_ENABLED
+  auto& reg = obs::MetricsRegistry::instance();
+  // A traced request gets a private observation window: reset, run,
+  // snapshot.  This clears the registry's cumulative window — documented in
+  // docs/SERVER.md as the cost of per-request traces.
+  if (trace && reg.enabled()) reg.reset();
+#endif
+
+  std::string response = dispatch(item.req);
+
+#if NETPART_OBS_ENABLED
+  if (trace && reg.enabled() && !response.empty() &&
+      response.back() == '}') {
+    const std::string trace_json = reg.snapshot().to_json();
+    response.pop_back();
+    response += ",\"trace\":";
+    response += trace_json;
+    response += '}';
+  }
+#else
+  (void)trace;
+#endif
+
+  NETPART_HISTOGRAM_RECORD(
+      "server.handle_ms", static_cast<double>(steady_now_ms() - begin_ms));
+  write_response(item.conn, std::move(response));
+}
+
+std::string Server::dispatch(const Request& req) {
+  try {
+    switch (req.op) {
+      case Op::kPing:
+        return do_ping(req);
+      case Op::kLoad:
+        return do_load(req);
+      case Op::kPartition:
+      case Op::kRepartition:
+        return do_partition(req);
+      case Op::kEdit:
+        return do_edit(req);
+      case Op::kUnload:
+        return do_unload(req);
+      case Op::kSessions:
+        return do_sessions(req);
+      case Op::kMetrics:
+        return do_metrics(req);
+      case Op::kSleep:
+        return do_sleep(req);
+      case Op::kShutdown:
+        return do_shutdown(req);
+    }
+    return error_response(req.id, "internal", "unhandled op");
+  } catch (const io::ParseError& e) {
+    return error_response(req.id, "parse_error", e.what());
+  } catch (const std::invalid_argument& e) {
+    return error_response(req.id, "bad_request", e.what());
+  } catch (const std::out_of_range& e) {
+    return error_response(req.id, "bad_request", e.what());
+  } catch (const std::exception& e) {
+    return error_response(req.id, "internal", e.what());
+  }
+}
+
+std::string Server::do_ping(const Request& req) {
+  return std::move(ResponseBuilder(req.id, true).add_string("op", "ping"))
+      .finish();
+}
+
+std::string Server::do_load(const Request& req) {
+  NETPART_SPAN("server.load");
+  Hypergraph h;
+  if (!req.circuit.empty()) {
+    h = make_benchmark(req.circuit).hypergraph;
+  } else if (!req.path.empty()) {
+    h = io::read_hgr_file(req.path);
+  } else {
+    std::istringstream in(req.hgr);
+    h = io::read_hgr(in);
+  }
+  const std::uint64_t hash = netlist_content_hash(h);
+  const std::int32_t modules = h.num_modules();
+  const std::int32_t nets = h.num_nets();
+  sessions_.create(req.session, h, hash, steady_now_ms());
+  NETPART_COUNTER_ADD("server.loads", 1);
+  return std::move(ResponseBuilder(req.id, true)
+                       .add_string("session", req.session)
+                       .add_int("modules", modules)
+                       .add_int("nets", nets)
+                       .add_string("hash", format_content_hash(hash)))
+      .finish();
+}
+
+void Server::add_result_fields(ResponseBuilder& rb,
+                               const repart::RepartitionResult& r) {
+  rb.add_int("cut", r.nets_cut)
+      .add_double("ratio", r.ratio)
+      .add_double("lambda2", r.lambda2)
+      .add_bool("eigen_converged", r.eigen_converged)
+      .add_int("lanczos_iterations", r.lanczos_iterations)
+      .add_bool("warm_started", r.warm_started)
+      .add_string("assignment", assignment_string(r.partition));
+}
+
+std::string Server::do_partition(const Request& req) {
+  NETPART_SPAN("server.partition");
+  const auto s = sessions_.find(req.session, steady_now_ms());
+  if (!s) {
+    return error_response(req.id, "no_session",
+                          "unknown session '" + req.session + "'");
+  }
+
+  // Idempotent repeat: the session already holds the answer for its
+  // current netlist.
+  if (s->primed && !s->pending_edits) {
+    ResponseBuilder rb(req.id, true);
+    rb.add_string("session", s->name)
+        .add_string("served_from", "session")
+        .add_bool("cached", false);
+    add_result_fields(rb, s->last);
+    rb.add_string("hash", format_content_hash(s->netlist_hash));
+    return std::move(rb).finish();
+  }
+
+  // Cache lookup: only sound for an unprimed session with no pending
+  // edits — i.e. exactly the cold-run-as-pure-function case.
+  if (!s->primed && !s->pending_edits && req.use_cache &&
+      cache_.capacity() > 0) {
+    const CacheKey key{s->netlist_hash, config_hash_};
+    if (const auto hit = cache_.find(key)) {
+      NETPART_COUNTER_ADD("server.cache_hits", 1);
+      s->session.import_warm_state(hit->warm);
+      s->last = hit->result;
+      s->last_was_warm = false;
+      s->primed = true;
+      ResponseBuilder rb(req.id, true);
+      rb.add_string("session", s->name)
+          .add_string("served_from", "cache")
+          .add_bool("cached", true);
+      add_result_fields(rb, s->last);
+      rb.add_string("hash", format_content_hash(s->netlist_hash));
+      return std::move(rb).finish();
+    }
+    NETPART_COUNTER_ADD("server.cache_misses", 1);
+  }
+
+  const repart::RepartitionResult r = s->session.repartition();
+  const bool had_edits = s->pending_edits;
+  s->last = r;
+  s->last_was_warm = r.warm_started;
+  s->primed = true;
+  s->pending_edits = false;
+  if (had_edits)
+    s->netlist_hash = netlist_content_hash(s->session.hypergraph());
+
+  // Memoize cold runs only: a cold result (and its warm state) is a pure
+  // function of (netlist content, config); warm ECO results are
+  // history-dependent (see result_cache.hpp).
+  if (!r.warm_started && req.use_cache && cache_.capacity() > 0) {
+    cache_.insert(CacheKey{s->netlist_hash, config_hash_},
+                  CachedResult{r, s->session.export_warm_state()});
+  }
+
+  ResponseBuilder rb(req.id, true);
+  rb.add_string("session", s->name)
+      .add_string("served_from", "compute")
+      .add_bool("cached", false);
+  add_result_fields(rb, r);
+  rb.add_string("hash", format_content_hash(s->netlist_hash));
+  return std::move(rb).finish();
+}
+
+std::string Server::do_edit(const Request& req) {
+  NETPART_SPAN("server.edit");
+  const auto s = sessions_.find(req.session, steady_now_ms());
+  if (!s) {
+    return error_response(req.id, "no_session",
+                          "unknown session '" + req.session + "'");
+  }
+  std::istringstream in(req.script);
+  const repart::EditScript script = repart::read_edit_script(in);
+  std::int64_t ops = 0;
+  for (const auto& batch : script.batches) {
+    if (batch.empty()) continue;
+    // Any op may have landed before a failure below, so flag first: the
+    // session must not serve a stale `last` after a half-applied batch.
+    s->pending_edits = true;
+    s->applier.apply(batch);
+    ops += static_cast<std::int64_t>(batch.size());
+  }
+  NETPART_COUNTER_ADD("server.edits", ops);
+  return std::move(ResponseBuilder(req.id, true)
+                       .add_string("session", s->name)
+                       .add_int("batches",
+                                static_cast<std::int64_t>(script.batches.size()))
+                       .add_int("ops", ops)
+                       .add_int("modules", s->session.netlist().num_modules())
+                       .add_int("nets", s->session.netlist().num_nets()))
+      .finish();
+}
+
+std::string Server::do_unload(const Request& req) {
+  const bool existed = sessions_.erase(req.session);
+  return std::move(ResponseBuilder(req.id, true)
+                       .add_string("session", req.session)
+                       .add_bool("existed", existed))
+      .finish();
+}
+
+std::string Server::do_sessions(const Request& req) {
+  std::string arr = "[";
+  bool first = true;
+  for (const auto& s : sessions_.snapshot()) {
+    if (!first) arr += ',';
+    first = false;
+    arr += "{\"name\":\"";
+    arr += obs::json_escape(s->name);
+    arr += "\",\"modules\":";
+    arr += std::to_string(s->session.netlist().num_modules());
+    arr += ",\"nets\":";
+    arr += std::to_string(s->session.netlist().num_nets());
+    arr += ",\"primed\":";
+    arr += s->primed ? "true" : "false";
+    arr += ",\"pending_edits\":";
+    arr += s->pending_edits ? "true" : "false";
+    arr += '}';
+  }
+  arr += ']';
+  return std::move(ResponseBuilder(req.id, true).add_raw("sessions", arr))
+      .finish();
+}
+
+std::string Server::do_metrics(const Request& req) {
+  const ServerStatsSnapshot st = stats();
+  ResponseBuilder rb(req.id, true);
+  rb.add_int("connections_accepted", st.connections_accepted)
+      .add_int("requests_total", st.requests_total)
+      .add_int("responses_ok", st.responses_ok)
+      .add_int("responses_error", st.responses_error)
+      .add_int("parse_errors", st.parse_errors)
+      .add_int("rejected_overload", st.rejected_overload)
+      .add_int("rejected_deadline", st.rejected_deadline)
+      .add_int("rejected_oversized", st.rejected_oversized)
+      .add_int("cache_hits", st.cache_hits)
+      .add_int("cache_misses", st.cache_misses)
+      .add_int("cache_evictions", cache_.evictions())
+      .add_int("cache_size", st.cache_size)
+      .add_int("cache_capacity",
+               static_cast<std::int64_t>(cache_.capacity()))
+      .add_int("sessions_live", st.sessions_live)
+      .add_int("sessions_evicted", st.sessions_evicted)
+      .add_int("queue_depth", st.queue_depth)
+      .add_int("queue_capacity",
+               static_cast<std::int64_t>(options_.queue_capacity));
+#if NETPART_OBS_ENABLED
+  if (obs::MetricsRegistry::instance().enabled()) {
+    rb.add_raw("obs", obs::MetricsRegistry::instance().snapshot().to_json());
+  }
+#endif
+  return std::move(rb).finish();
+}
+
+std::string Server::do_sleep(const Request& req) {
+  if (!options_.enable_debug_ops) {
+    return error_response(req.id, "bad_request",
+                          "debug ops are disabled on this server");
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(req.sleep_ms));
+  return std::move(
+             ResponseBuilder(req.id, true).add_int("slept_ms", req.sleep_ms))
+      .finish();
+}
+
+std::string Server::do_shutdown(const Request& req) {
+  request_stop();
+  return std::move(ResponseBuilder(req.id, true)
+                       .add_string("op", "shutdown")
+                       .add_bool("draining", true))
+      .finish();
+}
+
+void Server::write_response(const std::shared_ptr<Conn>& conn,
+                            std::string line) {
+  if (line.empty()) return;
+  const bool is_error = line.find("\"ok\":false") != std::string::npos;
+  if (is_error)
+    responses_error_.fetch_add(1, std::memory_order_relaxed);
+  else
+    responses_ok_.fetch_add(1, std::memory_order_relaxed);
+
+  if (conn->closed.load(std::memory_order_relaxed)) return;
+  line.push_back('\n');
+  const std::lock_guard<std::mutex> lock(conn->write_mutex);
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(conn->fd, line.data() + sent, line.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Blocking fd, so this only happens if a test made it nonblocking;
+        // busy-wait briefly rather than drop the response.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      conn->closed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+ServerStatsSnapshot Server::stats() const {
+  ServerStatsSnapshot st;
+  st.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  st.requests_total = requests_total_.load(std::memory_order_relaxed);
+  st.responses_ok = responses_ok_.load(std::memory_order_relaxed);
+  st.responses_error = responses_error_.load(std::memory_order_relaxed);
+  st.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  st.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  st.rejected_deadline = rejected_deadline_.load(std::memory_order_relaxed);
+  st.rejected_oversized = rejected_oversized_.load(std::memory_order_relaxed);
+  st.cache_hits = cache_.hits();
+  st.cache_misses = cache_.misses();
+  st.sessions_evicted = sessions_evicted_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    st.queue_depth = static_cast<std::int64_t>(queue_.size());
+  }
+  st.sessions_live = static_cast<std::int64_t>(sessions_.size());
+  st.cache_size = static_cast<std::int64_t>(cache_.size());
+  return st;
+}
+
+}  // namespace netpart::server

@@ -1,0 +1,194 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "repart/session.hpp"
+#include "server/protocol.hpp"
+#include "server/result_cache.hpp"
+#include "server/session_manager.hpp"
+
+/// \file server.hpp
+/// netpartd: the concurrent partition server (docs/SERVER.md).
+///
+/// Two threads:
+///  - the *I/O thread* (the caller of run()) accepts connections, splits
+///    newline-delimited frames, parses and validates requests, applies
+///    backpressure, and evicts idle sessions;
+///  - the *executor thread* owns all partitioning work.  Funnelling every
+///    compute request through one thread is a feature twice over: the
+///    process-wide parallel::ThreadPool supports a single top-level
+///    run_chunks() caller, and serial execution makes every response a
+///    deterministic function of the request sequence — concurrent clients
+///    can never perturb each other's answers.
+///
+/// Backpressure is a bounded queue between the two: when it is full the I/O
+/// thread answers `overloaded` immediately instead of buffering unbounded
+/// work.  Requests may carry a deadline; the executor rejects items whose
+/// deadline passed while queued (`deadline_exceeded`).  Graceful shutdown
+/// (SIGTERM / `shutdown` op / request_stop()) stops accepting, drains the
+/// queue — every accepted request still gets its response — then exits.
+
+namespace netpart::server {
+
+struct ServerOptions {
+  /// Unix-domain socket path; '@' prefix selects the Linux abstract
+  /// namespace (no filesystem presence, vanishes with the process).
+  std::string socket_path = "@netpartd";
+  /// Bounded request queue; a full queue rejects with `overloaded`.
+  std::size_t queue_capacity = 64;
+  /// Result-cache entries (cold runs); 0 disables caching.
+  std::size_t cache_capacity = 128;
+  /// Sessions idle longer than this are evicted; 0 = never.
+  std::int64_t idle_timeout_ms = 0;
+  /// Default per-request deadline applied when the request carries no
+  /// `timeout_ms`; 0 = no deadline.
+  std::int64_t default_timeout_ms = 0;
+  /// A request line longer than this closes the connection.
+  std::size_t max_frame_bytes = 1 << 20;
+  /// Accept the debug `sleep` op (tests use it to wedge the executor).
+  bool enable_debug_ops = false;
+  /// Enable the process-wide obs registry on the executor thread, so
+  /// `metrics` / `trace:true` responses carry span trees.  Off by default:
+  /// embedding processes (tests, benches) own the registry otherwise.
+  bool enable_obs = false;
+  /// Partitioner configuration used by every session.
+  repart::RepartitionOptions repartition;
+};
+
+/// Monotonic server counters, safe to read from any thread.  These are
+/// always live (unlike obs counters, which compile out under
+/// -DNETPART_OBS=OFF) because the tests assert on them.
+struct ServerStatsSnapshot {
+  std::int64_t connections_accepted = 0;
+  std::int64_t requests_total = 0;     ///< frames parsed into valid requests
+  std::int64_t responses_ok = 0;
+  std::int64_t responses_error = 0;
+  std::int64_t parse_errors = 0;       ///< malformed/invalid/unknown-op frames
+  std::int64_t rejected_overload = 0;
+  std::int64_t rejected_deadline = 0;
+  std::int64_t rejected_oversized = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t sessions_evicted = 0;
+  std::int64_t queue_depth = 0;        ///< at snapshot time
+  std::int64_t sessions_live = 0;      ///< at snapshot time
+  std::int64_t cache_size = 0;         ///< at snapshot time
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the executor thread.  Returns false (with
+  /// `error`) on socket failures.  After a successful start() the socket
+  /// accepts connections even before run() is entered.
+  bool start(std::string& error);
+
+  /// Serve until request_stop() (or a `shutdown` request, or an installed
+  /// signal).  Blocks; call from the thread that should do I/O.  Returns
+  /// after the drain completes.
+  void run();
+
+  /// Begin graceful shutdown from any thread: stop accepting, drain the
+  /// queue, answer everything in flight, then return from run().
+  void request_stop();
+
+  /// Route SIGTERM/SIGINT to request_stop() of the server currently inside
+  /// run(), via a self-pipe.  Install once per process, before run().
+  static bool install_signal_handlers(std::string& error);
+
+  [[nodiscard]] ServerStatsSnapshot stats() const;
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+ private:
+  /// One client connection.  The fd stays open until the last reference
+  /// (I/O thread or queued work) drops, so the executor can never write to
+  /// a recycled descriptor; `closed` just stops further reads/writes.
+  struct Conn {
+    explicit Conn(int fd_in) : fd(fd_in) {}
+    ~Conn();
+    Conn(const Conn&) = delete;
+    Conn& operator=(const Conn&) = delete;
+
+    int fd;
+    std::string inbuf;            ///< I/O thread only
+    std::mutex write_mutex;       ///< serializes response writes
+    std::atomic<bool> closed{false};
+  };
+
+  struct QueueItem {
+    std::shared_ptr<Conn> conn;
+    Request req;
+    std::int64_t enqueue_ms = 0;
+    std::int64_t deadline_ms = 0;  ///< 0 = none
+  };
+
+  // --- I/O thread ---
+  void io_loop();
+  void accept_ready();
+  void handle_readable(const std::shared_ptr<Conn>& conn);
+  void process_line(const std::shared_ptr<Conn>& conn, std::string_view line);
+  void enqueue(const std::shared_ptr<Conn>& conn, Request req);
+
+  // --- executor thread ---
+  void executor_loop();
+  void handle_item(QueueItem& item);
+  std::string dispatch(const Request& req);
+  std::string do_ping(const Request& req);
+  std::string do_load(const Request& req);
+  std::string do_partition(const Request& req);
+  std::string do_edit(const Request& req);
+  std::string do_unload(const Request& req);
+  std::string do_sessions(const Request& req);
+  std::string do_metrics(const Request& req);
+  std::string do_sleep(const Request& req);
+  std::string do_shutdown(const Request& req);
+
+  /// Fill partition-result fields on a response under construction.
+  static void add_result_fields(ResponseBuilder& rb,
+                                const repart::RepartitionResult& r);
+
+  void write_response(const std::shared_ptr<Conn>& conn, std::string line);
+
+  ServerOptions options_;
+  SessionManager sessions_;
+  ResultCache cache_;
+  std::uint64_t config_hash_ = 0;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::atomic<bool> stop_requested_{false};
+  bool started_ = false;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<QueueItem> queue_;
+  bool draining_ = false;  ///< under queue_mutex_
+  std::thread executor_;
+
+  // Stats (see ServerStatsSnapshot).
+  std::atomic<std::int64_t> connections_accepted_{0};
+  std::atomic<std::int64_t> requests_total_{0};
+  std::atomic<std::int64_t> responses_ok_{0};
+  std::atomic<std::int64_t> responses_error_{0};
+  std::atomic<std::int64_t> parse_errors_{0};
+  std::atomic<std::int64_t> rejected_overload_{0};
+  std::atomic<std::int64_t> rejected_deadline_{0};
+  std::atomic<std::int64_t> rejected_oversized_{0};
+  std::atomic<std::int64_t> sessions_evicted_{0};
+};
+
+}  // namespace netpart::server

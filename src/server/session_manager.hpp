@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+#include "repart/edit_script.hpp"
+#include "repart/session.hpp"
+
+/// \file session_manager.hpp
+/// Named long-lived partitioning sessions held hot by the server.
+///
+/// A session is the server-side unit of state reuse: one RepartitionSession
+/// (evolving netlist + incremental IG + warm spectral cache) plus an
+/// EditScriptApplier resolving the wire protocol's net names.  All session
+/// *mutation* happens on the server's single executor thread; the manager's
+/// lock only guards the name -> session map, which the I/O thread also
+/// touches for idle eviction.  Eviction of a session the executor is
+/// currently driving is safe — the executor holds a shared_ptr, so the
+/// session outlives the request and simply ceases to be addressable.
+
+namespace netpart::server {
+
+/// One live session.  Fields other than `last_used_ms` are owned by the
+/// executor thread.
+struct ServerSession {
+  ServerSession(std::string session_name, const Hypergraph& initial,
+                std::uint64_t content_hash)
+      : name(std::move(session_name)),
+        session(initial),
+        applier(session.netlist()),
+        netlist_hash(content_hash) {}
+
+  ServerSession(const ServerSession&) = delete;
+  ServerSession& operator=(const ServerSession&) = delete;
+
+  std::string name;
+  repart::RepartitionSession session;
+  repart::EditScriptApplier applier;
+  /// Content hash of the session's current netlist; stale while
+  /// `pending_edits` (recomputed after the next repartition folds them in).
+  std::uint64_t netlist_hash;
+  /// True once the session holds a valid answer for its current netlist —
+  /// either it computed one or it imported a cached cold run.
+  bool primed = false;
+  /// Edits applied since the last repartition (or load).
+  bool pending_edits = false;
+  /// Last answer; meaningful when primed && !pending_edits.
+  repart::RepartitionResult last;
+  /// Whether `last` was computed by a warm (history-dependent) run; warm
+  /// results must never enter the result cache.
+  bool last_was_warm = false;
+
+  std::atomic<std::int64_t> last_used_ms{0};
+};
+
+class SessionManager {
+ public:
+  SessionManager() = default;
+
+  /// Create (or replace) the named session.  Returns the new session.
+  std::shared_ptr<ServerSession> create(const std::string& name,
+                                        const Hypergraph& initial,
+                                        std::uint64_t content_hash,
+                                        std::int64_t now_ms);
+
+  /// Look up a session and touch its last-used time; nullptr when absent.
+  [[nodiscard]] std::shared_ptr<ServerSession> find(const std::string& name,
+                                                    std::int64_t now_ms);
+
+  /// Drop a session; returns false when it did not exist.
+  bool erase(const std::string& name);
+
+  /// Remove every session idle for longer than `idle_timeout_ms`; returns
+  /// the number evicted.  Sessions currently executing a request stay alive
+  /// through the executor's shared_ptr even if evicted here.
+  std::int32_t evict_idle(std::int64_t now_ms, std::int64_t idle_timeout_ms);
+
+  /// Snapshot of the live sessions (shared_ptrs; callers on the executor
+  /// may read session fields safely).
+  [[nodiscard]] std::vector<std::shared_ptr<ServerSession>> snapshot() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<ServerSession>> sessions_;
+};
+
+}  // namespace netpart::server

@@ -1,0 +1,45 @@
+#include "server/socket_util.hpp"
+
+#include <chrono>
+#include <cstring>
+
+namespace netpart::server {
+
+bool make_unix_address(const std::string& path, sockaddr_un& addr,
+                       socklen_t& len_out, std::string& error) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.empty()) {
+    error = "socket path is empty";
+    return false;
+  }
+  const bool abstract_ns = path[0] == '@';
+  // Abstract names occupy sun_path[1..]; filesystem paths need room for a
+  // trailing NUL.
+  const std::size_t name_len = abstract_ns ? path.size() - 1 : path.size();
+  const std::size_t capacity =
+      sizeof(addr.sun_path) - (abstract_ns ? 1 : 0) - (abstract_ns ? 0 : 1);
+  if (name_len > capacity) {
+    error = "socket path too long for sun_path";
+    return false;
+  }
+  if (abstract_ns) {
+    addr.sun_path[0] = '\0';
+    std::memcpy(addr.sun_path + 1, path.data() + 1, name_len);
+    len_out = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + 1 +
+                                     name_len);
+  } else {
+    std::memcpy(addr.sun_path, path.data(), name_len);
+    len_out = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                     name_len + 1);
+  }
+  return true;
+}
+
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace netpart::server

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include <cstdint>
+#include <string>
+
+/// \file socket_util.hpp
+/// Small POSIX helpers shared by the server, the client library, and the
+/// tests: Unix-domain address construction (including Linux abstract
+/// namespace) and a monotonic millisecond clock.
+
+namespace netpart::server {
+
+/// Build a sockaddr_un from a path.  A leading '@' selects the Linux
+/// abstract namespace ("@name" -> sun_path starting with NUL), which needs
+/// no filesystem cleanup and is what the tests and the smoke scripts use.
+/// Returns false (with `error` filled) when the path is empty or too long
+/// for sun_path.  `len_out` is the exact address length to pass to
+/// bind/connect — abstract names are length-delimited, not NUL-terminated.
+bool make_unix_address(const std::string& path, sockaddr_un& addr,
+                       socklen_t& len_out, std::string& error);
+
+/// Monotonic clock in milliseconds (steady_clock based; origin arbitrary).
+[[nodiscard]] std::int64_t steady_now_ms();
+
+}  // namespace netpart::server

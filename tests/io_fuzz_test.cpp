@@ -10,6 +10,7 @@
 #include "io/blif_io.hpp"
 #include "io/netlist_io.hpp"
 #include "repart/edit_script.hpp"
+#include "server/protocol.hpp"
 
 namespace netpart::io {
 namespace {
@@ -224,3 +225,154 @@ TEST(IoEdgeCases, EmptyNetLineInHgrIsEmptyNet) {
 
 }  // namespace
 }  // namespace netpart::io
+
+// ---------------------------------------------------------------------------
+// netpartd protocol fuzzing: the request parser sits directly behind the
+// socket, so arbitrary byte soup must always come back as a structured
+// ParseResult — never an uncaught exception, crash, or over-read.
+// ---------------------------------------------------------------------------
+
+namespace netpart::server {
+namespace {
+
+std::string random_protocol_garbage(std::uint64_t seed, std::size_t length) {
+  Xoshiro256 rng(seed);
+  std::string out;
+  // JSON-adjacent alphabet (plus real field names) so some inputs get deep
+  // into the parser and validator before failing.
+  const std::string alphabet =
+      "{}[]\":,0123456789.-+eE \\untrflips"
+      "\"op\" \"id\" \"session\" \"load\" \"partition\" \"circuit\" ";
+  for (std::size_t i = 0; i < length; ++i)
+    out += alphabet[static_cast<std::size_t>(rng.below(alphabet.size()))];
+  return out;
+}
+
+class ProtocolGarbageTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolGarbageTest, RequestParserNeverThrows) {
+  const std::string line = random_protocol_garbage(GetParam(), 300);
+  Request req;
+  std::string error;
+  const ParseResult result = parse_request(line, req, error);
+  if (result != ParseResult::kOk) {
+    EXPECT_FALSE(error.empty()) << line;
+  } else {
+    // Accepted requests carry a validated op and any required fields.
+    EXPECT_FALSE(req.op_name.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolGarbageTest,
+                         ::testing::Range<std::uint64_t>(0, 32));
+
+TEST(ProtocolEdgeCases, EveryTruncationOfAValidRequestIsHandled) {
+  const std::string full =
+      R"({"id":7,"op":"load","session":"s","hgr":"2 3\n1 2\n2 3\n",)"
+      R"("timeout_ms":250,"use_cache":false,"trace":true})";
+  Request req;
+  std::string error;
+  ASSERT_EQ(parse_request(full, req, error), ParseResult::kOk) << error;
+  EXPECT_EQ(req.id, 7);
+  EXPECT_EQ(req.timeout_ms, 250);
+  EXPECT_FALSE(req.use_cache);
+  EXPECT_TRUE(req.trace);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const ParseResult r =
+        parse_request(std::string_view(full).substr(0, len), req, error);
+    EXPECT_NE(r, ParseResult::kOk) << "prefix length " << len;
+  }
+}
+
+TEST(ProtocolEdgeCases, DeepNestingIsBoundedNotStackOverflowed) {
+  std::string deep(1000, '[');
+  Request req;
+  std::string error;
+  EXPECT_EQ(parse_request(deep, req, error), ParseResult::kMalformed);
+  JsonValue v;
+  EXPECT_FALSE(parse_json(deep, v, error));
+  EXPECT_NE(error.find("nesting"), std::string::npos);
+  // Matched-but-deep nesting fails the same way (the depth limit, not the
+  // truncation, is what rejects it).
+  std::string matched = std::string(100, '[') + std::string(100, ']');
+  EXPECT_FALSE(parse_json(matched, v, error));
+}
+
+TEST(ProtocolEdgeCases, OversizedButValidFrameParses) {
+  // Frame-size enforcement lives in the server's reader, not the parser;
+  // the parser itself must stay linear and correct on megabyte inputs.
+  std::string big = R"({"id":1,"op":"load","session":"s","hgr":")";
+  big.append(1 << 20, 'x');
+  big += "\"}";
+  Request req;
+  std::string error;
+  EXPECT_EQ(parse_request(big, req, error), ParseResult::kOk) << error;
+  EXPECT_EQ(req.hgr.size(), std::size_t{1} << 20);
+}
+
+TEST(ProtocolEdgeCases, ValidationTable) {
+  const struct {
+    const char* label;
+    const char* line;
+    ParseResult expected;
+  } corpus[] = {
+      {"empty", "", ParseResult::kMalformed},
+      {"not json", "hello there", ParseResult::kMalformed},
+      {"bare number", "42", ParseResult::kMalformed},
+      {"array not object", "[1,2]", ParseResult::kMalformed},
+      {"trailing content", R"({"op":"ping"} extra)", ParseResult::kMalformed},
+      {"raw control char in string", "{\"op\":\"pi\x01ng\"}",
+       ParseResult::kMalformed},
+      {"lone high surrogate", R"({"op":"\ud800"})", ParseResult::kMalformed},
+      {"lone low surrogate", R"({"op":"\udc00"})", ParseResult::kMalformed},
+      {"bad escape", R"({"op":"\q"})", ParseResult::kMalformed},
+      {"unterminated string", R"({"op":"ping)", ParseResult::kMalformed},
+      {"missing op", R"({"id":1})", ParseResult::kInvalid},
+      {"op wrong type", R"({"op":3})", ParseResult::kInvalid},
+      {"unknown op", R"({"op":"frobnicate"})", ParseResult::kUnknownOp},
+      {"negative id", R"({"id":-5,"op":"ping"})", ParseResult::kInvalid},
+      {"fractional id", R"({"id":1.5,"op":"ping"})", ParseResult::kInvalid},
+      {"id beyond 2^53", R"({"id":1e300,"op":"ping"})", ParseResult::kInvalid},
+      {"load without session", R"({"op":"load","circuit":"bm1"})",
+       ParseResult::kInvalid},
+      {"load without source",
+       R"({"op":"load","session":"s"})", ParseResult::kInvalid},
+      {"load with two sources",
+       R"({"op":"load","session":"s","circuit":"bm1","path":"x.hgr"})",
+       ParseResult::kInvalid},
+      {"edit without script", R"({"op":"edit","session":"s"})",
+       ParseResult::kInvalid},
+      {"partition without session", R"({"op":"partition"})",
+       ParseResult::kInvalid},
+      {"timeout wrong type",
+       R"({"op":"ping","timeout_ms":"soon"})", ParseResult::kInvalid},
+      {"use_cache wrong type",
+       R"({"op":"partition","session":"s","use_cache":1})",
+       ParseResult::kInvalid},
+      {"valid ping", R"({"op":"ping"})", ParseResult::kOk},
+      {"valid unicode session",
+       R"({"op":"unload","session":"é😀"})", ParseResult::kOk},
+  };
+  for (const auto& entry : corpus) {
+    Request req;
+    std::string error;
+    EXPECT_EQ(parse_request(entry.line, req, error), entry.expected)
+        << entry.label << ": " << error;
+  }
+}
+
+TEST(ProtocolEdgeCases, ErrorResponsesEchoRecoverableIds) {
+  // Even an invalid request echoes its id when the frame was an object
+  // carrying a well-formed one, so clients can correlate failures.
+  Request req;
+  std::string error;
+  EXPECT_EQ(parse_request(R"({"id":9,"op":"edit","session":"s"})", req, error),
+            ParseResult::kInvalid);
+  EXPECT_EQ(req.id, 9);
+  const std::string response = error_response(req.id, "bad_request", error);
+  EXPECT_NE(response.find("\"id\":9"), std::string::npos);
+  EXPECT_NE(response.find("\"ok\":false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netpart::server

@@ -1,0 +1,508 @@
+/// End-to-end tests of netpartd: real Unix-socket round trips against an
+/// in-process Server, with responses compared bit-for-bit against direct
+/// RepartitionSession calls.  The server must add *zero* numeric noise: the
+/// protocol carries %.17g doubles and verbatim assignments, so equality
+/// here is exact string/int equality, never EXPECT_NEAR.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuits/benchmarks.hpp"
+#include "repart/edit_script.hpp"
+#include "repart/session.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+
+namespace netpart::server {
+namespace {
+
+std::atomic<int> g_socket_counter{0};
+
+std::string unique_socket() {
+  return "@netpart-test-" + std::to_string(::getpid()) + "-" +
+         std::to_string(g_socket_counter.fetch_add(1));
+}
+
+/// The ECO script every edit test uses; valid against any benchmark with a
+/// handful of modules (adds never reference pins of existing nets).
+constexpr const char* kEcoScript =
+    "add-module\n"
+    "add-net eco0 0 1 2\n"
+    "commit\n"
+    "remove-net n1\n"
+    "add-net eco1 3 4\n";
+
+std::string assignment_of(const Partition& p) {
+  std::string out;
+  for (const Side s : p.sides()) out.push_back(s == Side::kLeft ? 'L' : 'R');
+  return out;
+}
+
+/// Server running on its own I/O thread for the duration of a test.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerOptions options) : server_(std::move(options)) {
+    std::string error;
+    if (!server_.start(error)) ADD_FAILURE() << "start: " << error;
+    io_thread_ = std::thread([this] { server_.run(); });
+  }
+
+  ~ServerFixture() { stop(); }
+
+  void stop() {
+    server_.request_stop();
+    if (io_thread_.joinable()) io_thread_.join();
+  }
+
+  [[nodiscard]] Server& server() { return server_; }
+
+ private:
+  Server server_;
+  std::thread io_thread_;
+};
+
+ServerOptions test_options(const std::string& socket) {
+  ServerOptions options;
+  options.socket_path = socket;
+  options.enable_debug_ops = true;
+  return options;
+}
+
+/// round_trip_json with failure reporting.
+JsonValue rpc(Client& client, const std::string& request) {
+  JsonValue response;
+  EXPECT_TRUE(client.round_trip_json(request, response))
+      << request << " -> " << client.last_error();
+  return response;
+}
+
+std::string get_string(const JsonValue& v, std::string_view key) {
+  const JsonValue* f = v.find(key);
+  return (f != nullptr && f->is_string()) ? f->string : std::string();
+}
+
+double get_number(const JsonValue& v, std::string_view key) {
+  const JsonValue* f = v.find(key);
+  return (f != nullptr && f->is_number()) ? f->number : -1.0;
+}
+
+bool get_bool(const JsonValue& v, std::string_view key) {
+  const JsonValue* f = v.find(key);
+  return f != nullptr && f->is_bool() && f->boolean;
+}
+
+bool is_ok(const JsonValue& v) { return get_bool(v, "ok"); }
+
+std::string error_code(const JsonValue& v) {
+  const JsonValue* e = v.find("error");
+  return e != nullptr ? get_string(*e, "code") : std::string();
+}
+
+std::string json_quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+TEST(ServerTest, PingSessionsAndStructuredErrors) {
+  ServerFixture fixture(test_options(unique_socket()));
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.server().options().socket_path))
+      << client.last_error();
+
+  EXPECT_TRUE(is_ok(rpc(client, R"({"id":1,"op":"ping"})")));
+
+  const JsonValue garbage = rpc(client, "this is not json");
+  EXPECT_FALSE(is_ok(garbage));
+  EXPECT_EQ(error_code(garbage), "parse_error");
+
+  const JsonValue unknown = rpc(client, R"({"id":2,"op":"frobnicate"})");
+  EXPECT_EQ(error_code(unknown), "unknown_op");
+  EXPECT_EQ(get_number(unknown, "id"), 2.0);
+
+  const JsonValue invalid = rpc(client, R"({"id":3,"op":"load"})");
+  EXPECT_EQ(error_code(invalid), "bad_request");
+
+  const JsonValue no_session =
+      rpc(client, R"({"id":4,"op":"partition","session":"ghost"})");
+  EXPECT_EQ(error_code(no_session), "no_session");
+
+  const JsonValue sessions = rpc(client, R"({"id":5,"op":"sessions"})");
+  ASSERT_TRUE(is_ok(sessions));
+  const JsonValue* list = sessions.find("sessions");
+  ASSERT_NE(list, nullptr);
+  EXPECT_TRUE(list->array.empty());
+}
+
+TEST(ServerTest, PartitionMatchesInProcessSessionExactly) {
+  ServerFixture fixture(test_options(unique_socket()));
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+
+  const JsonValue loaded = rpc(
+      client, R"({"id":1,"op":"load","session":"s","circuit":"Prim1"})");
+  ASSERT_TRUE(is_ok(loaded));
+
+  const JsonValue served =
+      rpc(client, R"({"id":2,"op":"partition","session":"s"})");
+  ASSERT_TRUE(is_ok(served));
+  EXPECT_EQ(get_string(served, "served_from"), "compute");
+
+  repart::RepartitionSession twin(make_benchmark("Prim1").hypergraph);
+  const repart::RepartitionResult r = twin.repartition();
+
+  EXPECT_EQ(get_number(served, "cut"), static_cast<double>(r.nets_cut));
+  EXPECT_EQ(get_number(served, "ratio"), r.ratio);
+  EXPECT_EQ(get_number(served, "lambda2"), r.lambda2);
+  EXPECT_EQ(get_number(served, "lanczos_iterations"),
+            static_cast<double>(r.lanczos_iterations));
+  EXPECT_EQ(get_string(served, "assignment"), assignment_of(r.partition));
+  EXPECT_FALSE(get_bool(served, "warm_started"));
+
+  EXPECT_EQ(static_cast<std::int32_t>(get_number(loaded, "modules")),
+            twin.hypergraph().num_modules());
+  EXPECT_EQ(static_cast<std::int32_t>(get_number(loaded, "nets")),
+            twin.hypergraph().num_nets());
+}
+
+TEST(ServerTest, EditThenRepartitionIsBitIdenticalToInProcessEco) {
+  ServerFixture fixture(test_options(unique_socket()));
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+
+  ASSERT_TRUE(is_ok(rpc(
+      client, R"({"id":1,"op":"load","session":"s","circuit":"bm1"})")));
+  const JsonValue cold =
+      rpc(client, R"({"id":2,"op":"partition","session":"s"})");
+  ASSERT_TRUE(is_ok(cold));
+
+  const JsonValue edited =
+      rpc(client, std::string(R"({"id":3,"op":"edit","session":"s",)") +
+                      R"("script":)" + json_quoted(kEcoScript) + "}");
+  ASSERT_TRUE(is_ok(edited));
+  EXPECT_EQ(get_number(edited, "batches"), 2.0);
+
+  const JsonValue warm =
+      rpc(client, R"({"id":4,"op":"repartition","session":"s"})");
+  ASSERT_TRUE(is_ok(warm));
+  EXPECT_TRUE(get_bool(warm, "warm_started"));
+
+  // In-process twin: identical sequence, identical answers — bit for bit.
+  repart::RepartitionSession twin(make_benchmark("bm1").hypergraph);
+  repart::EditScriptApplier applier(twin.netlist());
+  const repart::RepartitionResult twin_cold = twin.repartition();
+  EXPECT_EQ(get_string(cold, "assignment"), assignment_of(twin_cold.partition));
+
+  std::istringstream script_in(kEcoScript);
+  const repart::EditScript script = repart::read_edit_script(script_in);
+  for (const repart::EditBatch& batch : script.batches) applier.apply(batch);
+  const repart::RepartitionResult twin_warm = twin.repartition();
+
+  EXPECT_TRUE(twin_warm.warm_started);
+  EXPECT_EQ(get_number(warm, "cut"), static_cast<double>(twin_warm.nets_cut));
+  EXPECT_EQ(get_number(warm, "ratio"), twin_warm.ratio);
+  EXPECT_EQ(get_string(warm, "assignment"),
+            assignment_of(twin_warm.partition));
+}
+
+TEST(ServerTest, CacheHitServesIdenticalResultAndPrimesWarmPath) {
+  ServerFixture fixture(test_options(unique_socket()));
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+
+  ASSERT_TRUE(is_ok(rpc(
+      client, R"({"id":1,"op":"load","session":"a","circuit":"bm1"})")));
+  const JsonValue computed =
+      rpc(client, R"({"id":2,"op":"partition","session":"a"})");
+  ASSERT_TRUE(is_ok(computed));
+  EXPECT_EQ(get_string(computed, "served_from"), "compute");
+  EXPECT_FALSE(get_bool(computed, "cached"));
+
+  // Identical content in a different session: cache hit, identical bits.
+  ASSERT_TRUE(is_ok(rpc(
+      client, R"({"id":3,"op":"load","session":"b","circuit":"bm1"})")));
+  const JsonValue hit =
+      rpc(client, R"({"id":4,"op":"partition","session":"b"})");
+  ASSERT_TRUE(is_ok(hit));
+  EXPECT_EQ(get_string(hit, "served_from"), "cache");
+  EXPECT_TRUE(get_bool(hit, "cached"));
+  EXPECT_EQ(get_string(hit, "assignment"), get_string(computed, "assignment"));
+  EXPECT_EQ(get_number(hit, "cut"), get_number(computed, "cut"));
+  EXPECT_EQ(get_number(hit, "ratio"), get_number(computed, "ratio"));
+  EXPECT_EQ(get_string(hit, "hash"), get_string(computed, "hash"));
+  EXPECT_GE(fixture.server().stats().cache_hits, 1);
+
+  // The hit must also prime session b's warm state: the same ECO sequence
+  // now takes the identical warm path in both sessions.
+  const std::string edit_a =
+      std::string(R"({"id":5,"op":"edit","session":"a","script":)") +
+      json_quoted(kEcoScript) + "}";
+  const std::string edit_b =
+      std::string(R"({"id":6,"op":"edit","session":"b","script":)") +
+      json_quoted(kEcoScript) + "}";
+  ASSERT_TRUE(is_ok(rpc(client, edit_a)));
+  ASSERT_TRUE(is_ok(rpc(client, edit_b)));
+  const JsonValue warm_a =
+      rpc(client, R"({"id":7,"op":"repartition","session":"a"})");
+  const JsonValue warm_b =
+      rpc(client, R"({"id":8,"op":"repartition","session":"b"})");
+  ASSERT_TRUE(is_ok(warm_a));
+  ASSERT_TRUE(is_ok(warm_b));
+  EXPECT_TRUE(get_bool(warm_a, "warm_started"));
+  EXPECT_TRUE(get_bool(warm_b, "warm_started"));
+  EXPECT_EQ(get_string(warm_a, "assignment"), get_string(warm_b, "assignment"));
+  EXPECT_EQ(get_number(warm_a, "cut"), get_number(warm_b, "cut"));
+  EXPECT_EQ(get_number(warm_a, "lanczos_iterations"),
+            get_number(warm_b, "lanczos_iterations"));
+}
+
+TEST(ServerTest, CacheBypassRecomputesButAgreesWithCachedAnswer) {
+  ServerFixture fixture(test_options(unique_socket()));
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+
+  ASSERT_TRUE(is_ok(rpc(
+      client, R"({"id":1,"op":"load","session":"a","circuit":"Prim1"})")));
+  const JsonValue first = rpc(
+      client, R"({"id":2,"op":"partition","session":"a","use_cache":false})");
+  ASSERT_TRUE(is_ok(first));
+  EXPECT_EQ(get_string(first, "served_from"), "compute");
+
+  ASSERT_TRUE(is_ok(rpc(
+      client, R"({"id":3,"op":"load","session":"b","circuit":"Prim1"})")));
+  const JsonValue second = rpc(
+      client, R"({"id":4,"op":"partition","session":"b","use_cache":false})");
+  ASSERT_TRUE(is_ok(second));
+  EXPECT_EQ(get_string(second, "served_from"), "compute");
+  // Determinism makes bypassed recomputation bit-identical anyway.
+  EXPECT_EQ(get_string(first, "assignment"), get_string(second, "assignment"));
+  EXPECT_EQ(fixture.server().stats().cache_hits, 0);
+}
+
+TEST(ServerTest, RepeatPartitionOnSameSessionIsIdempotent) {
+  ServerFixture fixture(test_options(unique_socket()));
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+
+  ASSERT_TRUE(is_ok(rpc(
+      client, R"({"id":1,"op":"load","session":"s","circuit":"Prim1"})")));
+  const JsonValue first =
+      rpc(client, R"({"id":2,"op":"partition","session":"s"})");
+  const JsonValue again =
+      rpc(client, R"({"id":3,"op":"partition","session":"s"})");
+  ASSERT_TRUE(is_ok(first));
+  ASSERT_TRUE(is_ok(again));
+  EXPECT_EQ(get_string(again, "served_from"), "session");
+  EXPECT_EQ(get_string(first, "assignment"), get_string(again, "assignment"));
+  EXPECT_EQ(get_number(first, "ratio"), get_number(again, "ratio"));
+}
+
+TEST(ServerTest, BackpressureRejectsWithStructuredErrorWhenQueueFull) {
+  ServerOptions options = test_options(unique_socket());
+  options.queue_capacity = 2;
+  ServerFixture fixture(options);
+  Client blocker;
+  Client burst;
+  ASSERT_TRUE(blocker.connect(options.socket_path));
+  ASSERT_TRUE(burst.connect(options.socket_path));
+
+  // Wedge the executor, give the I/O thread time to dequeue the sleep, then
+  // burst: 2 fit the queue, the rest must be rejected immediately.
+  ASSERT_TRUE(blocker.send_line(R"({"id":0,"op":"sleep","sleep_ms":400})"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const int kBurst = 8;
+  for (int i = 1; i <= kBurst; ++i)
+    ASSERT_TRUE(burst.send_line(R"({"id":)" + std::to_string(i) +
+                                R"(,"op":"ping"})"));
+
+  int overloaded = 0;
+  int ok = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    std::string line;
+    ASSERT_TRUE(burst.read_line(line)) << burst.last_error();
+    JsonValue response;
+    std::string error;
+    ASSERT_TRUE(parse_json(line, response, error)) << line;
+    if (is_ok(response))
+      ++ok;
+    else if (error_code(response) == "overloaded")
+      ++overloaded;
+  }
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(overloaded, kBurst - 2);
+  EXPECT_EQ(fixture.server().stats().rejected_overload, kBurst - 2);
+
+  std::string sleep_response;
+  EXPECT_TRUE(blocker.read_line(sleep_response));
+}
+
+TEST(ServerTest, QueueDeadlineExpiresWhileExecutorBusy) {
+  ServerFixture fixture(test_options(unique_socket()));
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+
+  ASSERT_TRUE(client.send_line(R"({"id":0,"op":"sleep","sleep_ms":300})"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(
+      client.send_line(R"({"id":1,"op":"ping","timeout_ms":50})"));
+
+  std::string line;
+  ASSERT_TRUE(client.read_line(line));  // sleep completes first
+  JsonValue sleep_response;
+  std::string error;
+  ASSERT_TRUE(parse_json(line, sleep_response, error));
+  EXPECT_TRUE(is_ok(sleep_response));
+
+  ASSERT_TRUE(client.read_line(line));
+  JsonValue expired;
+  ASSERT_TRUE(parse_json(line, expired, error));
+  EXPECT_EQ(error_code(expired), "deadline_exceeded");
+  EXPECT_EQ(fixture.server().stats().rejected_deadline, 1);
+}
+
+TEST(ServerTest, SigtermDrainsInFlightWorkBeforeExit) {
+  std::string error;
+  ASSERT_TRUE(Server::install_signal_handlers(error)) << error;
+
+  ServerOptions options = test_options(unique_socket());
+  Server server(options);
+  ASSERT_TRUE(server.start(error)) << error;
+  std::thread io([&server] { server.run(); });
+
+  Client client;
+  ASSERT_TRUE(client.connect(options.socket_path));
+  // Queue slow work, then SIGTERM: the drain must still answer it.
+  ASSERT_TRUE(client.send_line(R"({"id":1,"op":"sleep","sleep_ms":200})"));
+  ASSERT_TRUE(client.send_line(R"({"id":2,"op":"ping"})"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ::raise(SIGTERM);
+
+  std::string line;
+  ASSERT_TRUE(client.read_line(line)) << client.last_error();
+  JsonValue first;
+  ASSERT_TRUE(parse_json(line, first, error));
+  EXPECT_TRUE(is_ok(first));
+  ASSERT_TRUE(client.read_line(line)) << client.last_error();
+  JsonValue second;
+  ASSERT_TRUE(parse_json(line, second, error));
+  EXPECT_TRUE(is_ok(second));
+  EXPECT_EQ(get_number(second, "id"), 2.0);
+
+  io.join();  // run() must return on its own after the drain
+}
+
+TEST(ServerTest, ShutdownOpDrainsAndStopsTheServer) {
+  ServerOptions options = test_options(unique_socket());
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(error)) << error;
+  std::thread io([&server] { server.run(); });
+
+  Client client;
+  ASSERT_TRUE(client.connect(options.socket_path));
+  JsonValue response;
+  ASSERT_TRUE(
+      client.round_trip_json(R"({"id":1,"op":"shutdown"})", response));
+  EXPECT_TRUE(is_ok(response));
+  io.join();
+}
+
+TEST(ServerTest, IdleSessionsAreEvicted) {
+  ServerOptions options = test_options(unique_socket());
+  options.idle_timeout_ms = 100;
+  ServerFixture fixture(options);
+  Client client;
+  ASSERT_TRUE(client.connect(options.socket_path));
+
+  ASSERT_TRUE(is_ok(rpc(
+      client, R"({"id":1,"op":"load","session":"s","circuit":"Prim1"})")));
+  EXPECT_EQ(fixture.server().stats().sessions_live, 1);
+
+  // The I/O loop sweeps on its 200 ms poll tick; wait past timeout + tick.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  const JsonValue gone =
+      rpc(client, R"({"id":2,"op":"partition","session":"s"})");
+  EXPECT_EQ(error_code(gone), "no_session");
+  EXPECT_GE(fixture.server().stats().sessions_evicted, 1);
+  EXPECT_EQ(fixture.server().stats().sessions_live, 0);
+}
+
+TEST(ServerTest, OversizedFrameIsRefusedAndConnectionClosed) {
+  ServerOptions options = test_options(unique_socket());
+  options.max_frame_bytes = 1024;
+  ServerFixture fixture(options);
+  Client client;
+  ASSERT_TRUE(client.connect(options.socket_path));
+
+  // 4 KiB with no newline: can never resync, must be refused.
+  ASSERT_TRUE(client.send_line(std::string(4096, 'x')));
+  std::string line;
+  ASSERT_TRUE(client.read_line(line)) << client.last_error();
+  JsonValue response;
+  std::string error;
+  ASSERT_TRUE(parse_json(line, response, error));
+  EXPECT_EQ(error_code(response), "frame_too_large");
+  EXPECT_EQ(fixture.server().stats().rejected_oversized, 1);
+  // The server hangs up afterwards.
+  EXPECT_FALSE(client.read_line(line));
+}
+
+TEST(ServerTest, MetricsOpReportsServerCounters) {
+  ServerFixture fixture(test_options(unique_socket()));
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+
+  ASSERT_TRUE(is_ok(rpc(client, R"({"id":1,"op":"ping"})")));
+  rpc(client, "garbage");  // one parse error
+  const JsonValue metrics = rpc(client, R"({"id":2,"op":"metrics"})");
+  ASSERT_TRUE(is_ok(metrics));
+  EXPECT_GE(get_number(metrics, "requests_total"), 2.0);
+  EXPECT_GE(get_number(metrics, "parse_errors"), 1.0);
+  EXPECT_EQ(get_number(metrics, "queue_capacity"), 64.0);
+  EXPECT_GE(get_number(metrics, "connections_accepted"), 1.0);
+}
+
+TEST(ServerTest, LoadFromInlineHgrAndHashMatchesContent) {
+  ServerFixture fixture(test_options(unique_socket()));
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+
+  // 4 nets over 6 modules, inline .hgr (1-based pins).
+  const JsonValue loaded = rpc(
+      client,
+      R"({"id":1,"op":"load","session":"tiny","hgr":"4 6\n1 2\n2 3 4\n4 5\n5 6\n"})");
+  ASSERT_TRUE(is_ok(loaded));
+  EXPECT_EQ(get_number(loaded, "modules"), 6.0);
+  EXPECT_EQ(get_number(loaded, "nets"), 4.0);
+  const std::string hash = get_string(loaded, "hash");
+  EXPECT_EQ(hash.rfind("fnv1a:", 0), 0u);
+
+  // Same content, different session: identical hash.
+  const JsonValue reload = rpc(
+      client,
+      R"({"id":2,"op":"load","session":"tiny2","hgr":"4 6\n1 2\n2 3 4\n4 5\n5 6\n"})");
+  EXPECT_EQ(get_string(reload, "hash"), hash);
+
+  const JsonValue bad = rpc(
+      client, R"({"id":3,"op":"load","session":"bad","hgr":"not an hgr"})");
+  EXPECT_EQ(error_code(bad), "parse_error");
+}
+
+}  // namespace
+}  // namespace netpart::server

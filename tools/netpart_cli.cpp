@@ -29,6 +29,7 @@
 
 #include "circuits/benchmarks.hpp"
 #include "core/metrics_report.hpp"
+#include "hypergraph/content_hash.hpp"
 #include "core/multiway.hpp"
 #include "core/partitioner.hpp"
 #include "core/table.hpp"
@@ -50,6 +51,14 @@ namespace {
 
 using namespace netpart;
 
+// Exit codes (documented in --help): distinct classes so scripts and the
+// server smoke stage can tell *why* a run failed without scraping stderr.
+constexpr int kExitOk = 0;          ///< success
+constexpr int kExitRuntime = 1;     ///< I/O failure, unknown circuit, ...
+constexpr int kExitUsage = 2;       ///< bad command line
+constexpr int kExitParse = 3;       ///< malformed input file
+constexpr int kExitInfeasible = 4;  ///< improper partition / failed verify
+
 void print_usage(std::ostream& os) {
   os << "usage: netpart <command> [args] [flags]\n"
         "  stats     <input>\n"
@@ -69,14 +78,23 @@ void print_usage(std::ostream& os) {
         "                        at each 'commit'\n"
         "  --trace               print phase trace tree and metrics tables\n"
         "  --metrics-out <file>  append one JSON metrics record per run\n"
+        "  --hash                print the input's canonical content hash\n"
+        "                        (FNV-1a over pins/nets; the netpartd result\n"
+        "                        cache keys by this)\n"
         "  --version             print version and exit\n"
         "  --help                print this message and exit\n"
-        "<input> = built-in circuit name or .hgr file path\n";
+        "<input> = built-in circuit name or .hgr file path\n"
+        "exit codes:\n"
+        "  0  success\n"
+        "  1  runtime error (unreadable file, unknown circuit, failed edit)\n"
+        "  2  usage error (bad command, flag, or argument)\n"
+        "  3  parse error (malformed .hgr / partition / edit script)\n"
+        "  4  infeasible result (improper partition, verify mismatch)\n";
 }
 
 int usage() {
   print_usage(std::cerr);
-  return 2;
+  return kExitUsage;
 }
 
 /// Flags extracted from the command line before positional dispatch.
@@ -86,11 +104,20 @@ struct CliFlags {
   std::string repartition;
 };
 
+/// --hash: every load() announces the input's content hash.
+bool g_print_hash = false;
+
 /// Load a built-in circuit by name, or an .hgr file by path.
 Hypergraph load(const std::string& input) {
-  for (const BenchmarkSpec& spec : benchmark_suite())
-    if (spec.name == input) return make_benchmark(input).hypergraph;
-  return io::read_hgr_file(input);
+  Hypergraph h = [&input] {
+    for (const BenchmarkSpec& spec : benchmark_suite())
+      if (spec.name == input) return make_benchmark(input).hypergraph;
+    return io::read_hgr_file(input);
+  }();
+  if (g_print_hash)
+    std::cout << "content-hash " << format_content_hash(netlist_content_hash(h))
+              << " (" << input << ")\n";
+  return h;
 }
 
 int cmd_stats(const std::string& input) {
@@ -159,6 +186,10 @@ int cmd_repartition(const std::string& input, const std::string& algorithm,
             << final_h.num_nets() << " nets, areas "
             << r.partition.size(Side::kLeft) << ":"
             << r.partition.size(Side::kRight) << '\n';
+  if (!r.partition.is_proper()) {
+    std::cerr << "error: final partition is improper (one side empty)\n";
+    return kExitInfeasible;
+  }
   return write_partition_file(r.partition, out);
 }
 
@@ -175,6 +206,10 @@ int cmd_partition(const std::string& input, const std::string& algorithm,
             << "  runtime   " << r.runtime_ms << " ms\n";
   if (r.matching_bound >= 0)
     std::cout << "  MM bound  " << r.matching_bound << '\n';
+  if (!r.partition.is_proper()) {
+    std::cerr << "error: partition is improper (one side empty)\n";
+    return kExitInfeasible;
+  }
   if (!out.empty()) {
     std::ofstream stream(out);
     if (!stream) {
@@ -246,7 +281,7 @@ int cmd_verify(const std::string& input, const std::string& part_path) {
   if (p.num_modules() != h.num_modules()) {
     std::cerr << "partition has " << p.num_modules() << " entries but "
               << input << " has " << h.num_modules() << " modules\n";
-    return 1;
+    return kExitInfeasible;
   }
   const std::int32_t cut = net_cut(h, p);
   std::cout << "partition of " << input << " from " << part_path << ":\n"
@@ -258,7 +293,7 @@ int cmd_verify(const std::string& input, const std::string& part_path) {
                                             p.size(Side::kRight)))
             << '\n'
             << "  proper    " << (p.is_proper() ? "yes" : "NO") << '\n';
-  return 0;
+  return p.is_proper() ? kExitOk : kExitInfeasible;
 }
 
 int cmd_list() {
@@ -296,6 +331,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--trace") {
       flags.trace = true;
+      continue;
+    }
+    if (arg == "--hash") {
+      g_print_hash = true;
       continue;
     }
     if (arg == "--metrics-out") {
@@ -379,9 +418,12 @@ int main(int argc, char** argv) {
       rc = cmd_list();
     else
       dispatched = false;
+  } catch (const io::ParseError& e) {
+    std::cerr << "parse error: " << e.what() << '\n';
+    return kExitParse;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    return kExitRuntime;
   }
   if (!dispatched) return usage();
 

@@ -1,0 +1,147 @@
+/// netpartc — command-line client for netpartd (docs/SERVER.md).
+///
+/// usage: netpartc [--socket <path>] <op> [args] [flags]
+///   ping
+///   load      <session> <circuit-or-hgr-path>
+///   partition <session> [--no-cache] [--trace] [--timeout <ms>]
+///   edit      <session> <edit-script-file>
+///   unload    <session>
+///   sessions
+///   metrics
+///   shutdown
+///   raw       <json-request-line>        (sent verbatim)
+///
+/// Prints the server's JSON response line to stdout.  Exit codes: 0 when
+/// the response carries "ok":true, 1 on transport failure or an error
+/// response, 2 on usage errors.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: netpartc [--socket <path>] <op> [args] [flags]\n"
+        "  ping | sessions | metrics | shutdown\n"
+        "  load <session> <circuit-or-hgr-path>\n"
+        "  partition <session> [--no-cache] [--trace] [--timeout <ms>]\n"
+        "  edit <session> <edit-script-file>\n"
+        "  unload <session>\n"
+        "  raw <json-request-line>\n"
+        "default socket: @netpartd ('@' = abstract namespace)\n";
+}
+
+std::string quoted(const std::string& s) {
+  return "\"" + netpart::obs::json_escape(s) + "\"";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "@netpartd";
+  bool no_cache = false;
+  bool trace = false;
+  std::string timeout_ms;
+  std::vector<std::string> args;
+
+  const std::vector<std::string> raw(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::string& arg = raw[i];
+    if (arg == "--help") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg == "--socket") {
+      if (i + 1 >= raw.size()) {
+        std::cerr << "error: --socket requires a path\n";
+        return 2;
+      }
+      socket_path = raw[++i];
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--timeout") {
+      if (i + 1 >= raw.size()) {
+        std::cerr << "error: --timeout requires a count\n";
+        return 2;
+      }
+      timeout_ms = raw[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
+      return 2;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) {
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  const std::string& op = args[0];
+  std::string request;
+  if (op == "ping" || op == "sessions" || op == "metrics" ||
+      op == "shutdown") {
+    if (args.size() != 1) {
+      print_usage(std::cerr);
+      return 2;
+    }
+    request = "{\"id\":1,\"op\":" + quoted(op) + "}";
+  } else if (op == "load" && args.size() == 3) {
+    // A readable file is a path; anything else is a built-in circuit name.
+    const std::ifstream probe(args[2]);
+    const std::string source_key = probe.good() ? "path" : "circuit";
+    request = "{\"id\":1,\"op\":\"load\",\"session\":" + quoted(args[1]) +
+              ",\"" + source_key + "\":" + quoted(args[2]) + "}";
+  } else if (op == "partition" && args.size() == 2) {
+    request = "{\"id\":1,\"op\":\"partition\",\"session\":" + quoted(args[1]);
+    if (no_cache) request += ",\"use_cache\":false";
+    if (trace) request += ",\"trace\":true";
+    if (!timeout_ms.empty()) request += ",\"timeout_ms\":" + timeout_ms;
+    request += "}";
+  } else if (op == "edit" && args.size() == 3) {
+    std::ifstream in(args[2]);
+    if (!in) {
+      std::cerr << "error: cannot open " << args[2] << '\n';
+      return 1;
+    }
+    std::ostringstream script;
+    script << in.rdbuf();
+    request = "{\"id\":1,\"op\":\"edit\",\"session\":" + quoted(args[1]) +
+              ",\"script\":" + quoted(script.str()) + "}";
+  } else if (op == "unload" && args.size() == 2) {
+    request = "{\"id\":1,\"op\":\"unload\",\"session\":" + quoted(args[1]) + "}";
+  } else if (op == "raw" && args.size() == 2) {
+    request = args[1];
+  } else {
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  netpart::server::Client client;
+  if (!client.connect(socket_path)) {
+    std::cerr << "netpartc: " << client.last_error() << '\n';
+    return 1;
+  }
+  std::string response;
+  if (!client.round_trip(request, response)) {
+    std::cerr << "netpartc: " << client.last_error() << '\n';
+    return 1;
+  }
+  std::cout << response << '\n';
+
+  netpart::server::JsonValue parsed;
+  std::string parse_error;
+  if (netpart::server::parse_json(response, parsed, parse_error)) {
+    const auto* ok = parsed.find("ok");
+    if (ok != nullptr && ok->is_bool() && ok->boolean) return 0;
+  }
+  return 1;
+}

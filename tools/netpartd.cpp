@@ -1,0 +1,140 @@
+/// netpartd — the long-running partition server (docs/SERVER.md).
+///
+/// Speaks newline-delimited JSON over a Unix-domain socket.  Clients load
+/// netlists into named sessions, partition them (cold runs are memoized in
+/// a content-addressed result cache), apply ECO edit scripts, and
+/// repartition incrementally with warm-started spectral solves — the whole
+/// PR 3 incremental path, over the wire.
+///
+/// usage: netpartd [flags]
+///   --socket <path>        listen address; '@' prefix = Linux abstract
+///                          namespace (default: @netpartd)
+///   --queue <n>            request-queue capacity (default 64); a full
+///                          queue answers `overloaded` immediately
+///   --cache <n>            result-cache entries, 0 disables (default 128)
+///   --idle-timeout <ms>    evict sessions idle this long, 0 = never
+///   --default-timeout <ms> deadline for requests without timeout_ms
+///   --max-frame <bytes>    per-request line limit (default 1 MiB)
+///   --threads <n>          worker threads for the compute pool (0 = auto)
+///   --debug-ops            accept the debug `sleep` op (tests only)
+///   --no-obs               do not enable the metrics registry
+///   --help                 print this message and exit
+///
+/// SIGTERM/SIGINT drain in-flight work before exiting.  Exit codes follow
+/// the netpart CLI scheme: 0 clean shutdown, 1 runtime failure, 2 usage.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: netpartd [--socket <path>] [--queue <n>] [--cache <n>]\n"
+        "                [--idle-timeout <ms>] [--default-timeout <ms>]\n"
+        "                [--max-frame <bytes>] [--threads <n>]\n"
+        "                [--debug-ops] [--no-obs] [--help]\n"
+        "'@'-prefixed socket paths use the Linux abstract namespace.\n"
+        "See docs/SERVER.md for the wire protocol.\n";
+}
+
+/// Parse the argument of a flag expecting a non-negative integer; exits
+/// with the usage code on failure.
+bool parse_nonneg(const std::string& flag, const std::string& text,
+                  std::int64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoll(text, &used);
+    if (used != text.size() || out < 0) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    std::cerr << "error: " << flag << " requires a non-negative integer\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using netpart::server::Server;
+  using netpart::server::ServerOptions;
+
+  ServerOptions options;
+  bool enable_obs = true;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&](std::int64_t& out) {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: " << arg << " requires an argument\n";
+        return false;
+      }
+      return parse_nonneg(arg, args[++i], out);
+    };
+    std::int64_t n = 0;
+    if (arg == "--help") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg == "--socket") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: --socket requires a path\n";
+        return 2;
+      }
+      options.socket_path = args[++i];
+    } else if (arg == "--queue") {
+      if (!value(n)) return 2;
+      options.queue_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--cache") {
+      if (!value(n)) return 2;
+      options.cache_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--idle-timeout") {
+      if (!value(n)) return 2;
+      options.idle_timeout_ms = n;
+    } else if (arg == "--default-timeout") {
+      if (!value(n)) return 2;
+      options.default_timeout_ms = n;
+    } else if (arg == "--max-frame") {
+      if (!value(n)) return 2;
+      options.max_frame_bytes = static_cast<std::size_t>(n);
+    } else if (arg == "--threads") {
+      if (!value(n)) return 2;
+      netpart::parallel::ThreadPool::instance().configure(
+          static_cast<std::int32_t>(n));
+    } else if (arg == "--debug-ops") {
+      options.enable_debug_ops = true;
+    } else if (arg == "--no-obs") {
+      enable_obs = false;
+    } else {
+      std::cerr << "error: unknown flag '" << arg
+                << "' (see netpartd --help)\n";
+      return 2;
+    }
+  }
+  options.enable_obs = enable_obs;
+
+  std::string error;
+  if (!Server::install_signal_handlers(error)) {
+    std::cerr << "netpartd: " << error << '\n';
+    return 1;
+  }
+  Server server(options);
+  if (!server.start(error)) {
+    std::cerr << "netpartd: " << error << '\n';
+    return 1;
+  }
+  // The smoke scripts wait for this line before connecting.
+  std::cout << "netpartd listening on " << options.socket_path << std::endl;
+
+  server.run();
+
+  const auto st = server.stats();
+  std::cout << "netpartd: drained and stopped (" << st.requests_total
+            << " requests, " << st.responses_ok << " ok, "
+            << st.responses_error << " errors, " << st.cache_hits
+            << " cache hits)\n";
+  return 0;
+}
