@@ -46,6 +46,25 @@ void BM_IgMatchObsEnabled(benchmark::State& state) {
 }
 BENCHMARK(BM_IgMatchObsEnabled)->Unit(benchmark::kMillisecond);
 
+/// The netpartd configuration: registry enabled AND every closed span feeds
+/// a rolling phase histogram.  The < 2% overhead bar applies here too.
+void BM_IgMatchObsEnabledRolling(benchmark::State& state) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.set_enabled(true);
+  registry.set_rolling_spans(true);
+  const Hypergraph& h = prim2();
+  for (auto _ : state) {
+    registry.reset();
+    benchmark::DoNotOptimize(igmatch_partition(h));
+  }
+  state.counters["rolling_recorded"] =
+      static_cast<double>(registry.snapshot().rolling.size());
+  registry.set_rolling_spans(false);
+  registry.set_enabled(false);
+  registry.reset();
+}
+BENCHMARK(BM_IgMatchObsEnabledRolling)->Unit(benchmark::kMillisecond);
+
 void BM_CounterSiteDisabled(benchmark::State& state) {
   obs::MetricsRegistry::instance().set_enabled(false);
   for (auto _ : state) {
@@ -65,6 +84,18 @@ void BM_CounterSiteEnabled(benchmark::State& state) {
   registry.reset();
 }
 BENCHMARK(BM_CounterSiteEnabled);
+
+void BM_RollingSiteEnabled(benchmark::State& state) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.reset();
+  registry.set_enabled(true);
+  for (auto _ : state) {
+    NETPART_ROLLING_RECORD("bench.rolling", 1.0);
+  }
+  registry.set_enabled(false);
+  registry.reset();
+}
+BENCHMARK(BM_RollingSiteEnabled);
 
 void BM_SpanSiteDisabled(benchmark::State& state) {
   obs::MetricsRegistry::instance().set_enabled(false);

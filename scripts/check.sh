@@ -23,12 +23,16 @@ if [ "${1:-}" = "--fast" ]; then
 fi
 
 # End-to-end smoke of the partition server: boot netpartd on an abstract
-# socket, drive a load/partition/cache-hit/metrics sequence with netpartc,
-# and shut it down cleanly.  Run against both OBS configurations below.
+# socket, drive a load/partition/cache-hit/metrics/stats sequence with
+# netpartc, and shut it down cleanly.  Run against both OBS configurations
+# below — the `stats` telemetry (rolling percentiles, Prometheus body,
+# access log) must stay live even when the obs layer is compiled out.
 server_smoke() {
   local bindir="$1"
   local sock="@netpart-check-$$-${bindir//\//-}"
-  "$bindir/tools/netpartd" --socket "$sock" &
+  local access_log="$bindir/access-smoke.ndjson"
+  rm -f "$access_log"
+  "$bindir/tools/netpartd" --socket "$sock" --access-log "$access_log" &
   local pid=$!
   trap 'kill "$pid" 2>/dev/null || true' RETURN
   local i
@@ -44,9 +48,41 @@ server_smoke() {
   "$bindir/tools/netpartc" --socket "$sock" load smoke2 bm1
   "$bindir/tools/netpartc" --socket "$sock" partition smoke2
   "$bindir/tools/netpartc" --socket "$sock" metrics
+  "$bindir/tools/netpartc" --socket "$sock" stats
+  # Capture to a file rather than piping into grep -q: an early grep exit
+  # would SIGPIPE the client mid-body and trip pipefail.
+  "$bindir/tools/netpartc" --socket "$sock" stats --prom \
+    > "$bindir/stats-smoke.prom"
+  grep -q '^# TYPE netpartd_request_latency_ms summary' \
+    "$bindir/stats-smoke.prom"
   "$bindir/tools/netpartc" --socket "$sock" shutdown
   wait "$pid"
+  # Every executed request must have produced one parseable NDJSON line.
+  python3 - "$access_log" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+assert len(lines) >= 8, f"expected >= 8 access-log lines, got {len(lines)}"
+for entry in lines:
+    for key in ("ts_ms", "op", "ok", "bytes_in", "bytes_out", "queue_ms",
+                "exec_ms", "cache_hit", "slow"):
+        assert key in entry, f"access-log line missing {key}: {entry}"
+print(f"access log ok ({len(lines)} lines)")
+EOF
   echo "server smoke ($bindir): ok"
+}
+
+# Telemetry exporters, driven through the CLI: a real partition run must
+# produce a parseable, properly-nested Chrome trace and a Prometheus
+# exposition.  Also self-tests the bench regression gate.
+telemetry_smoke() {
+  local bindir="$1"
+  "$bindir/tools/netpart" partition bm1 igmatch \
+    --trace-out "$bindir/trace-smoke.json" \
+    --metrics-out "$bindir/metrics-smoke.prom" --metrics-format prom
+  python3 scripts/validate_trace.py "$bindir/trace-smoke.json" --min-events 5
+  grep -q '^# TYPE netpart_run_info gauge' "$bindir/metrics-smoke.prom"
+  python3 scripts/bench_gate.py --self-test
+  echo "telemetry smoke ($bindir): ok"
 }
 
 cmake -B build -G Ninja -DNETPART_WARNINGS_AS_ERRORS=ON -DNETPART_OBS=ON
@@ -57,27 +93,60 @@ if [ "$FAST" -eq 1 ]; then
 fi
 ctest --test-dir build --output-on-failure
 server_smoke build
+telemetry_smoke build
 
 cmake -B build-noobs -G Ninja -DNETPART_WARNINGS_AS_ERRORS=ON -DNETPART_OBS=OFF
 cmake --build build-noobs
 ctest --test-dir build-noobs --output-on-failure
 server_smoke build-noobs
+# With obs compiled out the exporters must still run (and emit an empty
+# span tree), so only the event floor differs from the OBS=ON stage.
+./build-noobs/tools/netpart partition bm1 igmatch \
+  --trace-out build-noobs/trace-smoke.json
+python3 scripts/validate_trace.py build-noobs/trace-smoke.json --min-events 0
 
 # ThreadSanitizer pass over the concurrency-sensitive binaries.  Only the
 # targets that exercise the pool, the shared metrics registry, and the
 # incremental repartitioning session (warm Lanczos restarts on the pool) are
 # built and run — a full TSan suite would be prohibitively slow.
+# io_fuzz_test rides along for the exporters: to_prometheus/to_chrome_trace
+# must stay race-free against a live registry.
 cmake -B build-tsan -G Ninja -DNETPART_SANITIZE=thread \
   -DNETPART_BUILD_BENCHMARKS=OFF -DNETPART_BUILD_EXAMPLES=OFF
 cmake --build build-tsan --target parallel_test obs_test fm_partition_test \
-  repart_property_test igmatch_oracle_test server_test
+  repart_property_test igmatch_oracle_test server_test io_fuzz_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/server_test
+./build-tsan/tests/io_fuzz_test
 NETPART_THREADS=4 ./build-tsan/tests/fm_partition_test
 NETPART_THREADS=4 ./build-tsan/tests/repart_property_test
 NETPART_THREADS=4 ./build-tsan/tests/igmatch_oracle_test
 
+# Bench loop.  The JSON-exporting benches write into build/bench-out/ so a
+# local run never clobbers the committed BENCH_*.json baselines; the gate
+# below then compares fresh results against those baselines.
+mkdir -p build/bench-out
 for b in build/bench/*; do
-  [ -x "$b" ] && [ -f "$b" ] && echo "==== $b ====" && "$b"
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "==== $b ===="
+  case "$(basename "$b")" in
+    repartition|scaling|serving)
+      "$b" "build/bench-out/BENCH_$(basename "$b").json" ;;
+    *)
+      "$b" ;;
+  esac
 done
+
+# Regression gate: fail the check when a headline number slid by more than
+# the allowance (machines differ; correctness booleans get no allowance).
+if [ -f build/bench-out/BENCH_repartition.json ]; then
+  python3 scripts/bench_gate.py \
+    BENCH_repartition.json build/bench-out/BENCH_repartition.json \
+    --key speedup:higher:25 --require-true all_ig_identical
+fi
+if [ -f build/bench-out/BENCH_scaling.json ]; then
+  python3 scripts/bench_gate.py \
+    BENCH_scaling.json build/bench-out/BENCH_scaling.json \
+    --require-true all_identical_to_serial
+fi

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by --trace-out or the
+server's trace_format:"chrome" (src/obs/trace_export.cpp).
+
+Checks that the file parses, that every event carries the fields the
+trace-event format requires for its phase, and that complete (`ph:"X"`)
+events on one thread strictly nest: any two either don't overlap or one
+contains the other.  The exporter synthesizes the layout, so a partial
+overlap is always a bug, never a scheduling artifact.
+
+Usage: validate_trace.py TRACE.json [--min-events N]
+Exit codes: 0 valid, 1 invalid, 2 usage/I/O error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"trace INVALID: {message}")
+    sys.exit(1)
+
+
+def validate(doc, min_events):
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not an array")
+
+    complete = []
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "C"):
+            fail(f"event {i}: unexpected phase {ph!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                fail(f"event {i}: missing integer {field}")
+        if not isinstance(ev.get("name"), str) and ph != "M":
+            fail(f"event {i}: missing name")
+        if ph == "X":
+            for field in ("ts", "dur"):
+                if not isinstance(ev.get(field), int) or ev[field] < 0:
+                    fail(f"event {i}: ph=X needs non-negative integer {field}")
+            complete.append((ev["tid"], ev["ts"], ev["ts"] + ev["dur"],
+                             ev.get("name", "?")))
+
+    if len(complete) < min_events:
+        fail(f"only {len(complete)} complete events, expected >= {min_events}")
+
+    # Nesting: on each thread, any two spans are disjoint or one contains
+    # the other.  Sorting by (start, -end) puts a container right before its
+    # contents, so a stack sweep suffices.
+    by_tid = {}
+    for tid, start, end, name in complete:
+        by_tid.setdefault(tid, []).append((start, -end, name))
+    for tid, spans in by_tid.items():
+        spans.sort()
+        stack = []  # (start, end, name) of currently-open containers
+        for start, neg_end, name in spans:
+            end = -neg_end
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                fail(f"tid {tid}: '{name}' [{start},{end}) partially overlaps "
+                     f"'{stack[-1][2]}' [{stack[-1][0]},{stack[-1][1]})")
+            stack.append((start, end, name))
+
+    names = sorted({name for _, _, _, name in complete})
+    print(f"trace ok: {len(events)} events, {len(complete)} spans over "
+          f"{len(by_tid)} thread(s); phases: {', '.join(names[:8])}"
+          + (" ..." if len(names) > 8 else ""))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate Chrome trace-event JSON (nesting included).")
+    parser.add_argument("trace")
+    parser.add_argument("--min-events", type=int, default=1)
+    args = parser.parse_args()
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {args.trace}: {e}", file=sys.stderr)
+        sys.exit(2)
+    validate(doc, args.min_events)
+
+
+if __name__ == "__main__":
+    main()

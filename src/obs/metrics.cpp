@@ -8,6 +8,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/rolling.hpp"
+
 namespace netpart::obs {
 
 namespace {
@@ -24,6 +26,11 @@ std::size_t bucket_index(double value) {
   if (!(value >= 1.0)) return 0;  // also catches NaN
   const auto exponent = static_cast<std::size_t>(std::floor(std::log2(value)));
   return std::min(exponent + 1, kHistogramBuckets - 1);
+}
+
+/// Nominal lower bound of bucket b (before clamping to observed min/max).
+double bucket_lower(std::size_t b) {
+  return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
 }
 
 /// Shortest round-trippable representation of a double that is still valid
@@ -45,6 +52,28 @@ void append_json_number(std::string& out, double value) {
     }
   }
   out += buffer;
+}
+
+/// `{"count":N,"sum":...,"min":...,"max":...,"buckets":[...]}` — shared by
+/// the cumulative-histogram and rolling-window sections of to_json().
+void append_histogram_body(std::string& out, const HistogramEntry& h) {
+  out += "{\"count\":";
+  out += std::to_string(h.count);
+  out += ",\"sum\":";
+  append_json_number(out, h.sum);
+  out += ",\"min\":";
+  append_json_number(out, h.min);
+  out += ",\"max\":";
+  append_json_number(out, h.max);
+  out += ",\"buckets\":[";
+  // Trailing empty buckets are elided to keep records compact.
+  std::size_t last = h.buckets.size();
+  while (last > 0 && h.buckets[last - 1] == 0) --last;
+  for (std::size_t b = 0; b < last; ++b) {
+    if (b > 0) out += ',';
+    out += std::to_string(h.buckets[b]);
+  }
+  out += "]}";
 }
 
 void append_span_json(std::string& out, const SpanNode& node) {
@@ -88,6 +117,42 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+double HistogramEntry::quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double remaining = q * static_cast<double>(count);
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    const double in_bucket = static_cast<double>(buckets[b]);
+    if (in_bucket <= 0.0) continue;
+    if (remaining > in_bucket) {
+      remaining -= in_bucket;
+      continue;
+    }
+    // Interpolate linearly inside the bucket, with its nominal [lo, hi)
+    // range tightened by the observed min/max.
+    double lo = std::max(bucket_lower(b), min);
+    double hi = b + 1 < kHistogramBuckets ? bucket_lower(b + 1) : max;
+    hi = std::min(hi, max);
+    lo = std::min(lo, hi);
+    const double fraction = remaining / in_bucket;
+    return std::clamp(lo + fraction * (hi - lo), min, max);
+  }
+  return max;
+}
+
+void histogram_record(HistogramEntry& h, double value) {
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+  ++h.buckets[bucket_index(value)];
+}
+
 std::int64_t MetricsSnapshot::counter(std::string_view name) const {
   for (const CounterEntry& entry : counters)
     if (entry.name == name) return entry.value;
@@ -125,27 +190,41 @@ std::string MetricsSnapshot::to_json() const {
     if (i > 0) out += ',';
     out += '"';
     out += json_escape(h.name);
-    out += R"(":{"count":)";
-    out += std::to_string(h.count);
-    out += ",\"sum\":";
-    append_json_number(out, h.sum);
-    out += ",\"min\":";
-    append_json_number(out, h.min);
-    out += ",\"max\":";
-    append_json_number(out, h.max);
-    out += ",\"buckets\":[";
-    // Trailing empty buckets are elided to keep records compact.
-    std::size_t last = h.buckets.size();
-    while (last > 0 && h.buckets[last - 1] == 0) --last;
-    for (std::size_t b = 0; b < last; ++b) {
-      if (b > 0) out += ',';
-      out += std::to_string(h.buckets[b]);
-    }
-    out += "]}";
+    out += "\":";
+    append_histogram_body(out, h);
+  }
+  out += R"(},"rolling":{)";
+  for (std::size_t i = 0; i < rolling.size(); ++i) {
+    const RollingEntry& r = rolling[i];
+    if (i > 0) out += ',';
+    out += '"';
+    out += json_escape(r.name);
+    out += R"(":{"window_ms":)";
+    out += std::to_string(r.window_ms);
+    out += ",\"p50\":";
+    append_json_number(out, r.window.quantile(0.50));
+    out += ",\"p90\":";
+    append_json_number(out, r.window.quantile(0.90));
+    out += ",\"p99\":";
+    append_json_number(out, r.window.quantile(0.99));
+    out += ",\"window\":";
+    append_histogram_body(out, r.window);
+    out += '}';
   }
   out += "}}";
   return out;
 }
+
+/// Rolling histograms plus the window geometry new ones are created with.
+struct MetricsRegistry::RollingState {
+  RollingConfig config;
+  std::map<std::string, RollingHistogram, std::less<>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry()
+    : rolling_(std::make_unique<RollingState>()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
 
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry registry;
@@ -171,6 +250,7 @@ void MetricsRegistry::reset() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  rolling_->histograms.clear();  // window geometry survives the reset
 }
 
 void MetricsRegistry::set_run_label(std::string label) {
@@ -203,17 +283,32 @@ void MetricsRegistry::record_histogram(std::string_view name, double value) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto [it, inserted] = histograms_.try_emplace(std::string(name));
   if (inserted) it->second.name = it->first;
-  HistogramEntry& h = it->second;
-  if (h.count == 0) {
-    h.min = value;
-    h.max = value;
-  } else {
-    h.min = std::min(h.min, value);
-    h.max = std::max(h.max, value);
-  }
-  ++h.count;
-  h.sum += value;
-  ++h.buckets[bucket_index(value)];
+  histogram_record(it->second, value);
+}
+
+void MetricsRegistry::record_rolling(std::string_view name, double value) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  record_rolling_locked(std::string(name), value);
+}
+
+void MetricsRegistry::record_rolling_locked(const std::string& name,
+                                            double value) {
+  const auto it =
+      rolling_->histograms.try_emplace(name, rolling_->config).first;
+  it->second.record(value, static_cast<std::int64_t>(now_ms()));
+}
+
+void MetricsRegistry::configure_rolling(std::int64_t window_ms,
+                                        std::size_t epochs) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rolling_->config = RollingConfig{window_ms, epochs};
+  rolling_->histograms.clear();  // old epochs no longer line up
+}
+
+void MetricsRegistry::set_rolling_spans(bool enabled) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rolling_spans_ = enabled;
 }
 
 void MetricsRegistry::begin_span(std::string_view name) {
@@ -253,10 +348,14 @@ void MetricsRegistry::end_span() {
     node = &(*children)[index];
     children = &node->children;
   }
-  node->wall_ms += now_ms() - open_start_ms_.back();
+  const double elapsed_ms = now_ms() - open_start_ms_.back();
+  node->wall_ms += elapsed_ms;
   ++node->count;
   open_path_.pop_back();
   open_start_ms_.pop_back();
+  // Windowed per-phase latency (see set_rolling_spans).
+  if (rolling_spans_ && enabled())
+    record_rolling_locked("phase." + node->name, elapsed_ms);
 }
 
 std::int64_t MetricsRegistry::counter(std::string_view name) const {
@@ -291,6 +390,10 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, entry] : histograms_)
     snap.histograms.push_back(entry);
+  snap.rolling.reserve(rolling_->histograms.size());
+  const auto now = static_cast<std::int64_t>(now_ms());
+  for (const auto& [name, hist] : rolling_->histograms)
+    snap.rolling.push_back({name, hist.window_ms(), hist.merged(now)});
   return snap;
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -72,19 +73,40 @@ struct HistogramEntry {
   [[nodiscard]] double mean() const {
     return count > 0 ? sum / static_cast<double>(count) : 0.0;
   }
+
+  /// Estimated value at quantile q in [0, 1], interpolated linearly inside
+  /// the log2 bucket holding the rank and clamped to [min, max].  The
+  /// estimate can never be off by more than one bucket, i.e. a factor of
+  /// two of the true sample quantile (tests/obs_test.cpp pins the bound).
+  [[nodiscard]] double quantile(double q) const;
 };
 
-/// Immutable copy of a registry's state.  Entries are sorted by name.
+/// Fold one sample into a HistogramEntry (count/sum/min/max + log2 bucket).
+/// Shared by the registry's cumulative histograms and RollingHistogram.
+void histogram_record(HistogramEntry& h, double value);
+
+/// One rolling histogram's windowed view at snapshot time: the merge of
+/// every epoch still inside the window (see rolling.hpp).
+struct RollingEntry {
+  std::string name;
+  std::int64_t window_ms = 0;
+  HistogramEntry window;
+};
+
+/// Immutable copy of a registry's state.  Entries are sorted by name — the
+/// export order (JSON and Prometheus alike) is deterministic and stable, so
+/// repeated exports of one snapshot are byte-identical.
 struct MetricsSnapshot {
   std::string run_label;
   std::vector<SpanNode> spans;
   std::vector<CounterEntry> counters;
   std::vector<GaugeEntry> gauges;
   std::vector<HistogramEntry> histograms;
+  std::vector<RollingEntry> rolling;
 
   [[nodiscard]] bool empty() const {
     return spans.empty() && counters.empty() && gauges.empty() &&
-           histograms.empty();
+           histograms.empty() && rolling.empty();
   }
   /// Value of a counter, or 0 if absent.
   [[nodiscard]] std::int64_t counter(std::string_view name) const;
@@ -119,6 +141,19 @@ class MetricsRegistry {
   void add_counter(std::string_view name, std::int64_t delta);
   void set_gauge(std::string_view name, double value);
   void record_histogram(std::string_view name, double value);
+  /// Record into a windowed (rolling) histogram — see rolling.hpp.  The
+  /// histogram is created on first use with the configured window.
+  void record_rolling(std::string_view name, double value);
+
+  /// Window geometry for rolling histograms created *after* this call;
+  /// existing ones are dropped (their epochs no longer line up).
+  void configure_rolling(std::int64_t window_ms, std::size_t epochs);
+
+  /// When on, every closed span also feeds a rolling histogram named
+  /// `phase.<span-name>` with its duration in ms, giving windowed latency
+  /// percentiles per pipeline phase.  Off by default (one map lookup per
+  /// span close); long-running drivers (netpartd) switch it on.
+  void set_rolling_spans(bool enabled);
 
   /// Open a span as a child of the innermost open span (or at top level).
   /// Spans with the same name under the same parent merge.  No-op when the
@@ -135,7 +170,14 @@ class MetricsRegistry {
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
-  MetricsRegistry() = default;
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  /// Holds the RollingHistogram map; defined in metrics.cpp so this header
+  /// does not depend on rolling.hpp (which includes it back).
+  struct RollingState;
+
+  void record_rolling_locked(const std::string& name, double value);
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;
@@ -149,6 +191,8 @@ class MetricsRegistry {
   std::map<std::string, std::int64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, HistogramEntry, std::less<>> histograms_;
+  std::unique_ptr<RollingState> rolling_;  ///< under mutex_
+  bool rolling_spans_ = false;             ///< under mutex_
 };
 
 /// RAII wrapper for begin_span/end_span.  Caches the enabled flag at
@@ -221,6 +265,13 @@ void export_to_env_file(std::string_view label);
       netpart_obs_reg_.record_histogram((name), (value));                  \
   } while (0)
 
+#define NETPART_ROLLING_RECORD(name, value)                                \
+  do {                                                                     \
+    auto& netpart_obs_reg_ = ::netpart::obs::MetricsRegistry::instance();  \
+    if (netpart_obs_reg_.enabled())                                        \
+      netpart_obs_reg_.record_rolling((name), (value));                    \
+  } while (0)
+
 #else  // NETPART_OBS_ENABLED == 0: everything compiles away.
 
 #define NETPART_SPAN(name)
@@ -232,6 +283,9 @@ void export_to_env_file(std::string_view label);
   } while (0)
 #define NETPART_HISTOGRAM_RECORD(name, value) \
   do {                                        \
+  } while (0)
+#define NETPART_ROLLING_RECORD(name, value) \
+  do {                                      \
   } while (0)
 
 #endif  // NETPART_OBS_ENABLED

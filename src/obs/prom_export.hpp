@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+/// \file prom_export.hpp
+/// Prometheus text-exposition (format 0.0.4) rendering of a
+/// MetricsSnapshot.  Pure function of the snapshot, so repeated exports are
+/// byte-identical; section and entry order is deterministic (counters,
+/// gauges, histograms, rolling windows, spans — each sorted by name, as
+/// snapshots already are).
+///
+/// Mapping (docs/OBSERVABILITY.md):
+///  - counters   -> `<prefix>_<name>_total` counter
+///  - gauges     -> `<prefix>_<name>` gauge
+///  - histograms -> `<prefix>_<name>` histogram: cumulative `_bucket`
+///                  samples with le="1","2","4",... (the log2 buckets),
+///                  then le="+Inf", `_sum` and `_count`
+///  - rolling    -> `<prefix>_<name>` summary: quantile="0.5"/"0.9"/"0.99"
+///                  over the window, `_sum` and `_count` (windowed)
+///  - spans      -> `<prefix>_phase_wall_ms` / `<prefix>_phase_runs` gauges
+///                  labelled with the slash-joined tree path
+///
+/// Metric names are sanitized to [a-zA-Z0-9_:]; if two distinct snapshot
+/// names collapse to one exposition name, the first (in snapshot order)
+/// wins and later ones are dropped — exposition forbids duplicates.
+
+namespace netpart::obs {
+
+/// Sanitize one metric name component: every character outside
+/// [a-zA-Z0-9_:] becomes '_', and a leading digit gains a '_' prefix.
+[[nodiscard]] std::string prom_sanitize(std::string_view name);
+
+/// Escape a label value (backslash, double quote, newline).
+[[nodiscard]] std::string prom_escape_label(std::string_view value);
+
+/// Render the whole snapshot.  `prefix` is prepended to every metric name
+/// (default "netpart").
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot,
+                                        std::string_view prefix = "netpart");
+
+}  // namespace netpart::obs

@@ -1,0 +1,119 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+namespace netpart::obs {
+
+namespace {
+
+/// Shortest decimal that round-trips to `value`; non-finite values are not
+/// valid JSON, so they degrade to 0 (trace args are informational only).
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += '0';
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof shorter, "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) {
+      out += shorter;
+      return;
+    }
+  }
+  out += buffer;
+}
+
+class TraceWriter {
+ public:
+  void metadata(std::string_view name, std::int64_t tid,
+                std::string_view value) {
+    separator();
+    out_ += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out_ += std::to_string(tid);
+    out_ += ",\"name\":\"";
+    out_ += name;
+    out_ += "\",\"args\":{\"name\":\"";
+    out_ += json_escape(value);
+    out_ += "\"}}";
+  }
+
+  void counter(std::string_view name, std::int64_t value) {
+    separator();
+    out_ += "{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":0,\"name\":\"";
+    out_ += json_escape(name);
+    out_ += "\",\"args\":{\"value\":";
+    out_ += std::to_string(value);
+    out_ += "}}";
+  }
+
+  void complete(const SpanNode& node, std::int64_t ts_us,
+                std::int64_t dur_us) {
+    separator();
+    out_ += "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":";
+    out_ += std::to_string(ts_us);
+    out_ += ",\"dur\":";
+    out_ += std::to_string(dur_us);
+    out_ += ",\"name\":\"";
+    out_ += json_escape(node.name);
+    out_ += "\",\"args\":{\"count\":";
+    out_ += std::to_string(node.count);
+    out_ += ",\"wall_ms\":";
+    append_number(out_, node.wall_ms);
+    out_ += "}}";
+  }
+
+  [[nodiscard]] std::string finish() && {
+    return "{\"traceEvents\":[" + std::move(out_) + "]}";
+  }
+
+ private:
+  void separator() {
+    if (!out_.empty()) out_ += ',';
+  }
+
+  std::string out_;
+};
+
+/// Synthesized layout (see trace_export.hpp): siblings pack left to right
+/// from `cursor_us`, each clipped to end by `end_us` so events nest.  Top
+/// level passes an unbounded budget.  Returns where the last sibling ended.
+std::int64_t emit_packed(TraceWriter& writer,
+                         const std::vector<SpanNode>& nodes,
+                         std::int64_t cursor_us, std::int64_t end_us) {
+  for (const SpanNode& node : nodes) {
+    std::int64_t dur_us = static_cast<std::int64_t>(
+        std::llround(std::max(node.wall_ms, 0.0) * 1000.0));
+    dur_us = std::min(dur_us, end_us - cursor_us);
+    if (dur_us < 0) dur_us = 0;
+    writer.complete(node, cursor_us, dur_us);
+    emit_packed(writer, node.children, cursor_us, cursor_us + dur_us);
+    cursor_us += dur_us;
+  }
+  return cursor_us;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const MetricsSnapshot& snapshot,
+                            std::string_view process_name) {
+  TraceWriter writer;
+  std::string process = std::string(process_name);
+  if (!snapshot.run_label.empty()) process += " [" + snapshot.run_label + "]";
+  writer.metadata("process_name", 0, process);
+  writer.metadata("thread_name", 1, "pipeline");
+  for (const CounterEntry& c : snapshot.counters) writer.counter(c.name, c.value);
+  emit_packed(writer, snapshot.spans, 0,
+              std::numeric_limits<std::int64_t>::max());
+  return std::move(writer).finish();
+}
+
+}  // namespace netpart::obs

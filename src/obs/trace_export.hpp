@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+/// \file trace_export.hpp
+/// Chrome trace-event (Perfetto-loadable) rendering of a MetricsSnapshot's
+/// span tree.  Output is a JSON object `{"traceEvents":[...]}` holding
+/// `ph:"X"` complete events (one per span node, ts/dur in microseconds),
+/// `ph:"M"` process/thread metadata, and `ph:"C"` counter events for the
+/// snapshot's counters.  Load it at https://ui.perfetto.dev or
+/// chrome://tracing.
+///
+/// The registry merges repeated spans into one node per (parent, name), so
+/// a snapshot has accumulated durations but no real timestamps.  The
+/// exporter synthesizes a canonical layout instead: each node starts where
+/// its previous sibling ended (the first child at its parent's start) and
+/// children are clipped into their parent so events always nest.  The
+/// result is a *profile* — "where did the time go" — not a timeline of
+/// when phases actually ran; docs/OBSERVABILITY.md says so too.
+///
+/// Like to_prometheus(), this is a pure function of the snapshot: repeated
+/// exports are byte-identical.
+
+namespace netpart::obs {
+
+/// Render the snapshot as Chrome trace-event JSON.  `process_name` fills
+/// the process metadata event (default "netpart").
+[[nodiscard]] std::string to_chrome_trace(
+    const MetricsSnapshot& snapshot, std::string_view process_name = "netpart");
+
+}  // namespace netpart::obs

@@ -345,6 +345,8 @@ ParseResult parse_request(std::string_view line, Request& out,
     out.op = Op::kSessions;
   else if (op->string == "metrics")
     out.op = Op::kMetrics;
+  else if (op->string == "stats")
+    out.op = Op::kStats;
   else if (op->string == "shutdown")
     out.op = Op::kShutdown;
   else if (op->string == "sleep")
@@ -362,8 +364,21 @@ ParseResult parse_request(std::string_view line, Request& out,
       !take_nonneg_int(doc, "timeout_ms", out.timeout_ms, error) ||
       !take_nonneg_int(doc, "sleep_ms", out.sleep_ms, error) ||
       !take_bool(doc, "use_cache", out.use_cache, error) ||
-      !take_bool(doc, "trace", out.trace, error))
+      !take_bool(doc, "trace", out.trace, error) ||
+      !take_string(doc, "format", out.format, error) ||
+      !take_string(doc, "trace_format", out.trace_format, error))
     return ParseResult::kInvalid;
+
+  if (!out.format.empty() && out.format != "json" &&
+      out.format != "prometheus") {
+    error = "format must be \"json\" or \"prometheus\"";
+    return ParseResult::kInvalid;
+  }
+  if (!out.trace_format.empty() && out.trace_format != "obs" &&
+      out.trace_format != "chrome") {
+    error = "trace_format must be \"obs\" or \"chrome\"";
+    return ParseResult::kInvalid;
+  }
 
   const bool needs_session = out.op == Op::kLoad || out.op == Op::kPartition ||
                              out.op == Op::kRepartition ||

@@ -64,6 +64,7 @@ enum class Op : std::uint8_t {
   kUnload,      ///< drop a session
   kSessions,    ///< list live sessions
   kMetrics,     ///< server counters + obs registry snapshot
+  kStats,       ///< live telemetry: uptime, qps, latency quantiles per op
   kShutdown,    ///< drain in-flight work, then exit the serve loop
   kSleep,       ///< debug only: hold the executor (backpressure tests)
 };
@@ -85,6 +86,11 @@ struct Request {
   bool use_cache = true;        ///< partition: consult the result cache
   bool trace = false;           ///< attach a per-request obs snapshot
   std::int64_t sleep_ms = 0;    ///< kSleep duration
+  /// stats: response encoding, "json" (default) or "prometheus".
+  std::string format;
+  /// with trace:true: snapshot encoding, "obs" (default, the registry's
+  /// JSON schema) or "chrome" (trace-event JSON for Perfetto).
+  std::string trace_format;
 };
 
 enum class ParseResult : std::uint8_t {

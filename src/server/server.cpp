@@ -7,8 +7,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
@@ -18,6 +20,8 @@
 #include "hypergraph/content_hash.hpp"
 #include "io/netlist_io.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prom_export.hpp"
+#include "obs/trace_export.hpp"
 #include "repart/edit_script.hpp"
 #include "server/socket_util.hpp"
 
@@ -50,6 +54,36 @@ std::string assignment_string(const Partition& p) {
   return out;
 }
 
+/// Wall-clock milliseconds since the epoch, for access-log timestamps (the
+/// rest of the server runs on the steady clock).
+std::int64_t wall_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One windowed-latency view as a JSON object fragment:
+/// {"window_ms":N,"count":C,"mean":..,"p50":..,"p90":..,"p99":..,"max":..}.
+std::string latency_json(const obs::HistogramEntry& h,
+                         std::int64_t window_ms) {
+  std::string out = "{\"window_ms\":";
+  out += std::to_string(window_ms);
+  out += ",\"count\":";
+  out += std::to_string(h.count);
+  out += ",\"mean\":";
+  out += json_number(h.mean());
+  out += ",\"p50\":";
+  out += json_number(h.quantile(0.5));
+  out += ",\"p90\":";
+  out += json_number(h.quantile(0.9));
+  out += ",\"p99\":";
+  out += json_number(h.quantile(0.99));
+  out += ",\"max\":";
+  out += json_number(h.max);
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
 Server::Conn::~Conn() {
@@ -59,7 +93,8 @@ Server::Conn::~Conn() {
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_capacity),
-      config_hash_(repartition_config_hash(options_.repartition)) {}
+      config_hash_(repartition_config_hash(options_.repartition)),
+      all_latency_(obs::RollingConfig{options_.latency_window_ms, 6}) {}
 
 Server::~Server() {
   request_stop();
@@ -117,6 +152,21 @@ bool Server::start(std::string& error) {
   set_nonblocking(wake_pipe_[0]);
   set_nonblocking(wake_pipe_[1]);
 
+  if (!options_.access_log_path.empty()) {
+    access_log_.open(options_.access_log_path, std::ios::app);
+    if (!access_log_.is_open()) {
+      error = "cannot open access log " + options_.access_log_path;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      for (int& fd : wake_pipe_) {
+        ::close(fd);
+        fd = -1;
+      }
+      return false;
+    }
+  }
+
+  start_ms_ = steady_now_ms();
   executor_ = std::thread([this] { executor_loop(); });
   started_ = true;
   return true;
@@ -298,10 +348,11 @@ void Server::process_line(const std::shared_ptr<Conn>& conn,
   }
   requests_total_.fetch_add(1, std::memory_order_relaxed);
   NETPART_COUNTER_ADD("server.requests", 1);
-  enqueue(conn, std::move(req));
+  enqueue(conn, std::move(req), static_cast<std::int64_t>(line.size()));
 }
 
-void Server::enqueue(const std::shared_ptr<Conn>& conn, Request req) {
+void Server::enqueue(const std::shared_ptr<Conn>& conn, Request req,
+                     std::int64_t wire_bytes) {
   if (stop_requested_.load(std::memory_order_relaxed)) {
     write_response(conn, error_response(req.id, "shutting_down",
                                         "server is draining"));
@@ -309,6 +360,7 @@ void Server::enqueue(const std::shared_ptr<Conn>& conn, Request req) {
   }
   QueueItem item;
   item.conn = conn;
+  item.wire_bytes = wire_bytes;
   item.enqueue_ms = steady_now_ms();
   const std::int64_t effective_timeout =
       req.timeout_ms > 0 ? req.timeout_ms : options_.default_timeout_ms;
@@ -336,8 +388,12 @@ void Server::enqueue(const std::shared_ptr<Conn>& conn, Request req) {
 void Server::executor_loop() {
 #if NETPART_OBS_ENABLED
   if (options_.enable_obs) {
-    obs::MetricsRegistry::instance().set_enabled(true);
-    obs::MetricsRegistry::instance().set_run_label("netpartd");
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.set_enabled(true);
+    reg.set_run_label("netpartd");
+    // Long-running process: windowed percentiles per pipeline phase.
+    reg.configure_rolling(options_.latency_window_ms, 6);
+    reg.set_rolling_spans(true);
   }
 #endif
   while (true) {
@@ -360,9 +416,13 @@ void Server::handle_item(QueueItem& item) {
   if (item.deadline_ms > 0 && begin_ms > item.deadline_ms) {
     rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
     NETPART_COUNTER_ADD("server.rejected_deadline", 1);
-    write_response(item.conn,
-                   error_response(item.req.id, "deadline_exceeded",
-                                  "request expired while queued"));
+    std::string response = error_response(item.req.id, "deadline_exceeded",
+                                          "request expired while queued");
+    const auto bytes_out = static_cast<std::int64_t>(response.size());
+    write_response(item.conn, std::move(response));
+    exec_cache_hit_ = false;
+    observe_request(item, begin_ms, begin_ms, /*ok=*/false, bytes_out,
+                    "deadline_exceeded");
     return;
   }
 
@@ -370,17 +430,22 @@ void Server::handle_item(QueueItem& item) {
 #if NETPART_OBS_ENABLED
   auto& reg = obs::MetricsRegistry::instance();
   // A traced request gets a private observation window: reset, run,
-  // snapshot.  This clears the registry's cumulative window — documented in
-  // docs/SERVER.md as the cost of per-request traces.
+  // snapshot.  This clears the registry's cumulative window (rolling phase
+  // histograms included) — documented in docs/SERVER.md as the cost of
+  // per-request traces.
   if (trace && reg.enabled()) reg.reset();
 #endif
 
+  exec_cache_hit_ = false;
   std::string response = dispatch(item.req);
 
 #if NETPART_OBS_ENABLED
   if (trace && reg.enabled() && !response.empty() &&
       response.back() == '}') {
-    const std::string trace_json = reg.snapshot().to_json();
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    const std::string trace_json = item.req.trace_format == "chrome"
+                                       ? obs::to_chrome_trace(snap)
+                                       : snap.to_json();
     response.pop_back();
     response += ",\"trace\":";
     response += trace_json;
@@ -390,9 +455,90 @@ void Server::handle_item(QueueItem& item) {
   (void)trace;
 #endif
 
-  NETPART_HISTOGRAM_RECORD(
-      "server.handle_ms", static_cast<double>(steady_now_ms() - begin_ms));
+  const std::int64_t end_ms = steady_now_ms();
+  const double exec_ms = static_cast<double>(end_ms - begin_ms);
+  NETPART_HISTOGRAM_RECORD("server.handle_ms", exec_ms);
+  NETPART_ROLLING_RECORD("server.request_ms", exec_ms);
+  op_latency_
+      .try_emplace(item.req.op_name,
+                   obs::RollingConfig{options_.latency_window_ms, 6})
+      .first->second.record(exec_ms, end_ms);
+  all_latency_.record(exec_ms, end_ms);
+  sample_process_gauges(end_ms);
+
+  const bool ok = response.find("\"ok\":false") == std::string::npos;
+  const auto bytes_out = static_cast<std::int64_t>(response.size());
   write_response(item.conn, std::move(response));
+  observe_request(item, begin_ms, end_ms, ok, bytes_out, ok ? "ok" : "error");
+}
+
+void Server::observe_request(const QueueItem& item, std::int64_t begin_ms,
+                             std::int64_t end_ms, bool ok,
+                             std::int64_t bytes_out,
+                             std::string_view outcome) {
+  const std::int64_t exec_ms = end_ms - begin_ms;
+  const bool slow = options_.slow_ms > 0 && exec_ms >= options_.slow_ms;
+  if (!access_log_.is_open() && !slow) return;
+
+  std::string line = "{\"ts_ms\":";
+  line += std::to_string(wall_now_ms());
+  line += ",\"op\":\"";
+  line += obs::json_escape(item.req.op_name);
+  line += "\",\"id\":";
+  line += item.req.id >= 0 ? std::to_string(item.req.id) : "null";
+  line += ",\"session\":\"";
+  line += obs::json_escape(item.req.session);
+  line += "\",\"ok\":";
+  line += ok ? "true" : "false";
+  line += ",\"outcome\":\"";
+  line += outcome;
+  line += "\",\"bytes_in\":";
+  line += std::to_string(item.wire_bytes);
+  line += ",\"bytes_out\":";
+  line += std::to_string(bytes_out);
+  line += ",\"queue_ms\":";
+  line += std::to_string(begin_ms - item.enqueue_ms);
+  line += ",\"exec_ms\":";
+  line += std::to_string(exec_ms);
+  line += ",\"cache_hit\":";
+  line += exec_cache_hit_ ? "true" : "false";
+  line += ",\"deadline_slack_ms\":";
+  line += item.deadline_ms > 0 ? std::to_string(item.deadline_ms - end_ms)
+                               : std::string("null");
+  line += ",\"slow\":";
+  line += slow ? "true" : "false";
+  line += '}';
+
+  if (access_log_.is_open()) {
+    access_log_ << line << '\n';
+    access_log_.flush();  // tests and tail -f read the log while we serve
+  }
+  if (slow) std::fprintf(stderr, "netpartd slow request: %s\n", line.c_str());
+}
+
+void Server::sample_process_gauges(std::int64_t now_ms) {
+  if (last_gauge_sample_ms_ != 0 && now_ms - last_gauge_sample_ms_ < 1000)
+    return;
+  last_gauge_sample_ms_ = now_ms;
+#if defined(__linux__)
+  if (FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long total_pages = 0;
+    long resident_pages = 0;
+    if (std::fscanf(f, "%ld %ld", &total_pages, &resident_pages) == 2) {
+      const long page = ::sysconf(_SC_PAGESIZE);
+      const std::int64_t rss =
+          static_cast<std::int64_t>(resident_pages) * page;
+      rss_bytes_.store(rss, std::memory_order_relaxed);
+      NETPART_GAUGE_SET("server.rss_bytes", static_cast<double>(rss));
+    }
+    std::fclose(f);
+  }
+#endif
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    NETPART_GAUGE_SET("server.queue_depth",
+                      static_cast<double>(queue_.size()));
+  }
 }
 
 std::string Server::dispatch(const Request& req) {
@@ -413,6 +559,8 @@ std::string Server::dispatch(const Request& req) {
         return do_sessions(req);
       case Op::kMetrics:
         return do_metrics(req);
+      case Op::kStats:
+        return do_stats(req);
       case Op::kSleep:
         return do_sleep(req);
       case Op::kShutdown:
@@ -497,6 +645,7 @@ std::string Server::do_partition(const Request& req) {
     const CacheKey key{s->netlist_hash, config_hash_};
     if (const auto hit = cache_.find(key)) {
       NETPART_COUNTER_ADD("server.cache_hits", 1);
+      exec_cache_hit_ = true;
       s->session.import_warm_state(hit->warm);
       s->last = hit->result;
       s->last_was_warm = false;
@@ -628,6 +777,111 @@ std::string Server::do_metrics(const Request& req) {
   return std::move(rb).finish();
 }
 
+std::string Server::do_stats(const Request& req) {
+  const std::int64_t now = steady_now_ms();
+  const ServerStatsSnapshot st = stats();
+  const obs::HistogramEntry all = all_latency_.merged(now);
+
+  const std::int64_t lookups = st.cache_hits + st.cache_misses;
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(st.cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  // Recent throughput: samples in the rolling window over the window span
+  // (clamped to uptime so a fresh server is not under-reported).
+  const std::int64_t window_span =
+      std::min(all_latency_.window_ms(),
+               std::max<std::int64_t>(st.uptime_ms, 1));
+  const double qps = static_cast<double>(all.count) * 1000.0 /
+                     static_cast<double>(window_span);
+
+  if (req.format == "prometheus") {
+    // Synthesize a snapshot of the always-live server telemetry; obs
+    // compiles out, this does not.  Entries are appended in sorted order —
+    // to_prometheus keeps snapshot order, so the exposition is stable.
+    obs::MetricsSnapshot synth;
+    const auto counter = [&synth](const char* name, std::int64_t v) {
+      synth.counters.push_back({name, v});
+    };
+    counter("cache_hits", st.cache_hits);
+    counter("cache_misses", st.cache_misses);
+    counter("connections", st.connections_accepted);
+    counter("parse_errors", st.parse_errors);
+    counter("rejected_deadline", st.rejected_deadline);
+    counter("rejected_overload", st.rejected_overload);
+    counter("rejected_oversized", st.rejected_oversized);
+    counter("requests", st.requests_total);
+    counter("responses_error", st.responses_error);
+    counter("responses_ok", st.responses_ok);
+    counter("sessions_evicted", st.sessions_evicted);
+    const auto gauge = [&synth](const char* name, double v) {
+      synth.gauges.push_back({name, v});
+    };
+    gauge("cache_size", static_cast<double>(st.cache_size));
+    gauge("queue_capacity", static_cast<double>(options_.queue_capacity));
+    gauge("queue_depth", static_cast<double>(st.queue_depth));
+    gauge("rss_bytes", static_cast<double>(st.rss_bytes));
+    gauge("sessions_live", static_cast<double>(st.sessions_live));
+    gauge("uptime_seconds", static_cast<double>(st.uptime_ms) / 1000.0);
+    for (const auto& [op_name, hist] : op_latency_) {
+      obs::RollingEntry entry;
+      entry.name = "op_latency_ms." + op_name;
+      entry.window_ms = hist.window_ms();
+      entry.window = hist.merged(now);
+      synth.rolling.push_back(std::move(entry));
+    }
+    obs::RollingEntry overall;
+    overall.name = "request_latency_ms";
+    overall.window_ms = all_latency_.window_ms();
+    overall.window = all;
+    synth.rolling.push_back(std::move(overall));
+
+    std::string body = obs::to_prometheus(synth, "netpartd");
+#if NETPART_OBS_ENABLED
+    // The pipeline's own registry (phase timings, counters, rolling span
+    // latencies) rides along under the distinct `netpart_` prefix.
+    if (obs::MetricsRegistry::instance().enabled())
+      body += obs::to_prometheus(obs::MetricsRegistry::instance().snapshot());
+#endif
+    return std::move(
+               ResponseBuilder(req.id, true)
+                   .add_string("format", "prometheus")
+                   .add_string("content_type", "text/plain; version=0.0.4")
+                   .add_string("body", body))
+        .finish();
+  }
+
+  std::string per_op = "{";
+  bool first = true;
+  for (const auto& [op_name, hist] : op_latency_) {
+    if (!first) per_op += ',';
+    first = false;
+    per_op += '"';
+    per_op += obs::json_escape(op_name);
+    per_op += "\":";
+    per_op += latency_json(hist.merged(now), hist.window_ms());
+  }
+  per_op += '}';
+
+  ResponseBuilder rb(req.id, true);
+  rb.add_int("uptime_ms", st.uptime_ms)
+      .add_double("qps", qps)
+      .add_int("requests_total", st.requests_total)
+      .add_int("responses_ok", st.responses_ok)
+      .add_int("responses_error", st.responses_error)
+      .add_double("cache_hit_rate", hit_rate)
+      .add_int("cache_hits", st.cache_hits)
+      .add_int("cache_misses", st.cache_misses)
+      .add_int("queue_depth", st.queue_depth)
+      .add_int("queue_capacity",
+               static_cast<std::int64_t>(options_.queue_capacity))
+      .add_int("sessions_live", st.sessions_live)
+      .add_int("rss_bytes", st.rss_bytes)
+      .add_raw("latency_ms", latency_json(all, all_latency_.window_ms()))
+      .add_raw("op_latency_ms", per_op);
+  return std::move(rb).finish();
+}
+
 std::string Server::do_sleep(const Request& req) {
   if (!options_.enable_debug_ops) {
     return error_response(req.id, "bad_request",
@@ -698,6 +952,8 @@ ServerStatsSnapshot Server::stats() const {
   }
   st.sessions_live = static_cast<std::int64_t>(sessions_.size());
   st.cache_size = static_cast<std::int64_t>(cache_.size());
+  st.uptime_ms = start_ms_ > 0 ? steady_now_ms() - start_ms_ : 0;
+  st.rss_bytes = rss_bytes_.load(std::memory_order_relaxed);
   return st;
 }
 

@@ -4,12 +4,15 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/rolling.hpp"
 #include "repart/session.hpp"
 #include "server/protocol.hpp"
 #include "server/result_cache.hpp"
@@ -59,6 +62,14 @@ struct ServerOptions {
   /// `metrics` / `trace:true` responses carry span trees.  Off by default:
   /// embedding processes (tests, benches) own the registry otherwise.
   bool enable_obs = false;
+  /// Append one NDJSON access-log line per executed request to this file
+  /// (docs/SERVER.md lists the schema); empty = no access log.
+  std::string access_log_path;
+  /// Requests whose handler ran at least this long are flagged
+  /// `"slow":true` in the access log and echoed to stderr; 0 = never.
+  std::int64_t slow_ms = 0;
+  /// Rolling-latency window for per-op percentiles served by `stats`.
+  std::int64_t latency_window_ms = 60000;
   /// Partitioner configuration used by every session.
   repart::RepartitionOptions repartition;
 };
@@ -81,6 +92,8 @@ struct ServerStatsSnapshot {
   std::int64_t queue_depth = 0;        ///< at snapshot time
   std::int64_t sessions_live = 0;      ///< at snapshot time
   std::int64_t cache_size = 0;         ///< at snapshot time
+  std::int64_t uptime_ms = 0;          ///< since start()
+  std::int64_t rss_bytes = 0;          ///< last executor sample; 0 = unknown
 };
 
 class Server {
@@ -132,7 +145,8 @@ class Server {
     std::shared_ptr<Conn> conn;
     Request req;
     std::int64_t enqueue_ms = 0;
-    std::int64_t deadline_ms = 0;  ///< 0 = none
+    std::int64_t deadline_ms = 0;   ///< 0 = none
+    std::int64_t wire_bytes = 0;    ///< request line length (access log)
   };
 
   // --- I/O thread ---
@@ -140,7 +154,8 @@ class Server {
   void accept_ready();
   void handle_readable(const std::shared_ptr<Conn>& conn);
   void process_line(const std::shared_ptr<Conn>& conn, std::string_view line);
-  void enqueue(const std::shared_ptr<Conn>& conn, Request req);
+  void enqueue(const std::shared_ptr<Conn>& conn, Request req,
+               std::int64_t wire_bytes);
 
   // --- executor thread ---
   void executor_loop();
@@ -153,8 +168,17 @@ class Server {
   std::string do_unload(const Request& req);
   std::string do_sessions(const Request& req);
   std::string do_metrics(const Request& req);
+  std::string do_stats(const Request& req);
   std::string do_sleep(const Request& req);
   std::string do_shutdown(const Request& req);
+
+  /// Executor-thread only: fold one executed request into the per-op
+  /// rolling latency map and (when configured) the access/slow logs.
+  void observe_request(const QueueItem& item, std::int64_t end_ms,
+                       std::int64_t exec_ms, bool ok,
+                       std::int64_t bytes_out, std::string_view outcome);
+  /// Executor-thread only: refresh the RSS gauge at most once per second.
+  void sample_process_gauges(std::int64_t now_ms);
 
   /// Fill partition-result fields on a response under construction.
   static void add_result_fields(ResponseBuilder& rb,
@@ -178,6 +202,17 @@ class Server {
   std::deque<QueueItem> queue_;
   bool draining_ = false;  ///< under queue_mutex_
   std::thread executor_;
+
+  // Live telemetry.  The rolling-latency map and the log stream are touched
+  // only from the executor thread (single-writer, no lock); always live so
+  // `stats` answers even under -DNETPART_OBS=OFF.
+  std::map<std::string, obs::RollingHistogram> op_latency_;
+  obs::RollingHistogram all_latency_{obs::RollingConfig{}};
+  std::ofstream access_log_;
+  bool exec_cache_hit_ = false;  ///< set by do_partition, read by the log
+  std::int64_t start_ms_ = 0;
+  std::int64_t last_gauge_sample_ms_ = 0;
+  std::atomic<std::int64_t> rss_bytes_{0};
 
   // Stats (see ServerStatsSnapshot).
   std::atomic<std::int64_t> connections_accepted_{0};

@@ -4,11 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
+#include <string_view>
 
 #include "circuits/rng.hpp"
 #include "io/blif_io.hpp"
 #include "io/netlist_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prom_export.hpp"
+#include "obs/trace_export.hpp"
 #include "repart/edit_script.hpp"
 #include "server/protocol.hpp"
 
@@ -376,3 +382,118 @@ TEST(ProtocolEdgeCases, ErrorResponsesEchoRecoverableIds) {
 
 }  // namespace
 }  // namespace netpart::server
+
+// ---------------------------------------------------------------------------
+// Exporter fuzzing: to_prometheus and to_chrome_trace are pure functions of
+// a snapshot, so however hostile the metric names and values, they must not
+// crash, and their Prometheus output must stay within the exposition
+// charset.  (Byte-level format checks live in obs_test; this is the
+// never-crash / always-well-formed sweep.)
+// ---------------------------------------------------------------------------
+
+namespace netpart::obs {
+namespace {
+
+std::string fuzz_name(Xoshiro256& rng) {
+  static constexpr std::string_view alphabet =
+      "abz019._-:{}\"\\\n\t #/\xc3\xa9";
+  std::string out;
+  const std::uint64_t len = rng.below(24);
+  for (std::uint64_t i = 0; i < len; ++i)
+    out += alphabet[static_cast<std::size_t>(rng.below(alphabet.size()))];
+  return out;
+}
+
+double fuzz_value(Xoshiro256& rng) {
+  switch (rng.below(6)) {
+    case 0: return std::numeric_limits<double>::quiet_NaN();
+    case 1: return std::numeric_limits<double>::infinity();
+    case 2: return -std::numeric_limits<double>::infinity();
+    case 3: return -1e308;
+    case 4: return 0.0;
+    default:
+      return static_cast<double>(rng.below(1u << 30)) * 1e-3;
+  }
+}
+
+MetricsSnapshot fuzz_snapshot(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  MetricsSnapshot snap;
+  snap.run_label = fuzz_name(rng);
+  for (std::uint64_t i = 0, n = rng.below(16); i < n; ++i)
+    snap.counters.push_back(
+        {fuzz_name(rng), static_cast<std::int64_t>(rng.below(1u << 20))});
+  for (std::uint64_t i = 0, n = rng.below(16); i < n; ++i)
+    snap.gauges.push_back({fuzz_name(rng), fuzz_value(rng)});
+  for (std::uint64_t i = 0, n = rng.below(8); i < n; ++i) {
+    HistogramEntry h;
+    h.name = fuzz_name(rng);
+    for (std::uint64_t s = 0, m = rng.below(64); s < m; ++s)
+      histogram_record(h, fuzz_value(rng));
+    snap.histograms.push_back(std::move(h));
+  }
+  for (std::uint64_t i = 0, n = rng.below(8); i < n; ++i) {
+    RollingEntry entry;
+    entry.name = fuzz_name(rng);
+    entry.window_ms = static_cast<std::int64_t>(rng.below(100000));
+    for (std::uint64_t s = 0, m = rng.below(64); s < m; ++s)
+      histogram_record(entry.window, fuzz_value(rng));
+    snap.rolling.push_back(std::move(entry));
+  }
+  // A deep, branching span tree with hostile names and non-finite timings.
+  SpanNode* cursor = nullptr;
+  for (int depth = 0; depth < 40; ++depth) {
+    SpanNode node;
+    node.name = fuzz_name(rng);
+    node.wall_ms = fuzz_value(rng);
+    node.count = static_cast<std::int64_t>(rng.below(5));
+    if (cursor == nullptr) {
+      snap.spans.push_back(std::move(node));
+      cursor = &snap.spans.back();
+    } else {
+      cursor->children.push_back(std::move(node));
+      if (rng.below(4) != 0) cursor = &cursor->children.back();
+    }
+  }
+  return snap;
+}
+
+class ExporterFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExporterFuzzTest, PrometheusOutputStaysInCharset) {
+  const MetricsSnapshot snap = fuzz_snapshot(GetParam());
+  const std::string body = to_prometheus(snap);
+  EXPECT_EQ(body, to_prometheus(snap));  // deterministic on hostile input too
+  // Metric-name tokens (first token of every non-comment line) must only
+  // contain exposition-legal characters, whatever we fed in.
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    const std::string name = line.substr(0, line.find_first_of(" {"));
+    ASSERT_FALSE(name.empty()) << line;
+    for (const char c : name) {
+      const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                         (c >= '0' && c <= '9') || c == '_' || c == ':';
+      ASSERT_TRUE(legal) << "illegal char in metric name: " << line;
+    }
+  }
+}
+
+TEST_P(ExporterFuzzTest, ChromeTraceNeverEmitsRawControlBytes) {
+  const MetricsSnapshot snap = fuzz_snapshot(GetParam());
+  const std::string trace = to_chrome_trace(snap);
+  EXPECT_EQ(trace, to_chrome_trace(snap));
+  EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(trace.back(), '}');
+  for (const char c : trace)
+    ASSERT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\0')
+        << "unescaped control byte in trace output";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExporterFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 48));
+
+}  // namespace
+}  // namespace netpart::obs

@@ -2,12 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <limits>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "obs/prom_export.hpp"
+#include "obs/rolling.hpp"
+#include "obs/trace_export.hpp"
 
 namespace netpart::obs {
 namespace {
@@ -483,6 +488,285 @@ TEST_F(RegistryFixture, NonFiniteGaugesSerializeAsNull) {
   r.set_gauge("bad", std::numeric_limits<double>::infinity());
   const JsonValue root = JsonParser(r.snapshot().to_json()).parse();
   EXPECT_EQ(root.at("gauges").at("bad").kind, JsonValue::Kind::kNull);
+}
+
+// ---------------------------------------------------------------------------
+// Quantile estimation
+// ---------------------------------------------------------------------------
+
+TEST(HistogramQuantile, PointMassIsExact) {
+  // One repeated value: min == max clamp the interpolation to the value
+  // itself, so every quantile is exact regardless of its bucket.
+  HistogramEntry h;
+  for (int i = 0; i < 100; ++i) histogram_record(h, 5.0);
+  for (const double q : {0.0, 0.01, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), 5.0) << "q=" << q;
+}
+
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  const HistogramEntry h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramQuantile, UniformDistributionWithinOneBucketOfTruth) {
+  // Uniform over 1..1000: the log2 estimate may be off by at most one
+  // bucket, i.e. a factor of two of the true sample quantile.
+  HistogramEntry h;
+  for (int v = 1; v <= 1000; ++v) histogram_record(h, static_cast<double>(v));
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double truth = q * 1000.0;
+    const double estimate = h.quantile(q);
+    EXPECT_GE(estimate, truth / 2.0) << "q=" << q;
+    EXPECT_LE(estimate, truth * 2.0) << "q=" << q;
+  }
+  // Monotone in q, clamped to the observed range at the ends.
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+  EXPECT_GE(h.quantile(0.0), h.min);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max);
+}
+
+TEST(HistogramQuantile, ClampsOutOfRangeArguments) {
+  HistogramEntry h;
+  histogram_record(h, 3.0);
+  histogram_record(h, 9.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+// ---------------------------------------------------------------------------
+// Rolling histograms
+// ---------------------------------------------------------------------------
+
+TEST(RollingHistogram, WindowDropsOldEpochs) {
+  // 1000 ms window in 4 epochs of 250 ms, driven by an explicit clock.
+  RollingHistogram rh(RollingConfig{1000, 4});
+  rh.record(1.0, 0);
+  rh.record(2.0, 300);
+  EXPECT_EQ(rh.merged(300).count, 2);
+  // At t=1100 the epoch holding t=0 has aged out; t=300 is still inside.
+  EXPECT_EQ(rh.merged(1100).count, 1);
+  EXPECT_DOUBLE_EQ(rh.merged(1100).sum, 2.0);
+  // Far future: everything aged out.
+  EXPECT_EQ(rh.merged(5000).count, 0);
+}
+
+TEST(RollingHistogram, RecordRecyclesStaleSlots) {
+  RollingHistogram rh(RollingConfig{1000, 4});
+  rh.record(1.0, 0);
+  // t=1001 maps to epoch 4 — the same ring slot as epoch 0; the stale
+  // contents must be discarded, not merged.
+  rh.record(7.0, 1001);
+  const HistogramEntry m = rh.merged(1001);
+  EXPECT_EQ(m.count, 1);
+  EXPECT_DOUBLE_EQ(m.sum, 7.0);
+}
+
+TEST(RollingHistogram, MergedTracksMinMaxAcrossEpochs) {
+  RollingHistogram rh(RollingConfig{1000, 4});
+  rh.record(10.0, 0);
+  rh.record(3.0, 300);
+  rh.record(90.0, 600);
+  const HistogramEntry m = rh.merged(600);
+  EXPECT_EQ(m.count, 3);
+  EXPECT_DOUBLE_EQ(m.min, 3.0);
+  EXPECT_DOUBLE_EQ(m.max, 90.0);
+}
+
+TEST_F(RegistryFixture, RecordRollingAppearsInSnapshot) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.configure_rolling(60000, 6);
+  r.record_rolling("req.latency", 12.0);
+  r.record_rolling("req.latency", 48.0);
+  const MetricsSnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.rolling.size(), 1u);
+  EXPECT_EQ(snap.rolling[0].name, "req.latency");
+  EXPECT_EQ(snap.rolling[0].window_ms, 60000);
+  EXPECT_EQ(snap.rolling[0].window.count, 2);
+  const JsonValue root = JsonParser(snap.to_json()).parse();
+  const JsonValue& entry = root.at("rolling").at("req.latency");
+  EXPECT_EQ(entry.at("window").at("count").number, 2.0);
+  EXPECT_GT(entry.at("p99").number, 0.0);
+}
+
+TEST_F(RegistryFixture, RollingSpansRecordPhaseLatency) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.set_rolling_spans(true);
+  { ScopedSpan span("solve"); }
+  const MetricsSnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.rolling.size(), 1u);
+  EXPECT_EQ(snap.rolling[0].name, "phase.solve");
+  EXPECT_EQ(snap.rolling[0].window.count, 1);
+  r.set_rolling_spans(false);
+}
+
+TEST_F(RegistryFixture, RollingSpansOffByDefault) {
+  { ScopedSpan span("solve"); }
+  EXPECT_TRUE(MetricsRegistry::instance().snapshot().rolling.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic exports
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryFixture, RepeatedExportsAreByteIdentical) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.set_run_label("determinism");
+  r.add_counter("z.last", 3);
+  r.add_counter("a.first", 1);
+  r.set_gauge("mid.gauge", 2.5);
+  r.record_histogram("hist", 7.0);
+  r.record_rolling("roll", 4.0);
+  { ScopedSpan outer("outer"); ScopedSpan inner("inner"); }
+
+  const MetricsSnapshot snap = r.snapshot();
+  EXPECT_EQ(snap.to_json(), snap.to_json());
+  EXPECT_EQ(to_prometheus(snap), to_prometheus(snap));
+  EXPECT_EQ(to_chrome_trace(snap), to_chrome_trace(snap));
+  // A second snapshot of the unchanged registry exports identically too.
+  const MetricsSnapshot again = r.snapshot();
+  EXPECT_EQ(snap.to_json(), again.to_json());
+  EXPECT_EQ(to_prometheus(snap), to_prometheus(again));
+  // Sorted sections: the counter added last sorts first.
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.first");
+  EXPECT_EQ(snap.counters[1].name, "z.last");
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------------
+
+TEST(PromExport, SanitizeAndEscape) {
+  EXPECT_EQ(prom_sanitize("fm.passes"), "fm_passes");
+  EXPECT_EQ(prom_sanitize("ok_name:sub"), "ok_name:sub");
+  EXPECT_EQ(prom_sanitize("1bad"), "_1bad");
+  EXPECT_EQ(prom_sanitize(""), "_");
+  EXPECT_EQ(prom_sanitize("sp ace\n"), "sp_ace_");
+  EXPECT_EQ(prom_escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST_F(RegistryFixture, PrometheusCountersAndGauges) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.add_counter("fm.passes", 4);
+  r.set_gauge("queue.depth", 2.0);
+  const std::string body = to_prometheus(r.snapshot());
+  EXPECT_NE(body.find("# TYPE netpart_fm_passes_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("netpart_fm_passes_total 4\n"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE netpart_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("netpart_queue_depth 2\n"), std::string::npos);
+}
+
+TEST_F(RegistryFixture, PrometheusHistogramIsCumulative) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.record_histogram("cost", 0.5);  // bucket le="1"
+  r.record_histogram("cost", 3.0);  // bucket le="4"
+  r.record_histogram("cost", 3.5);  // bucket le="4"
+  const std::string body = to_prometheus(r.snapshot());
+  EXPECT_NE(body.find("netpart_cost_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("netpart_cost_bucket{le=\"2\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("netpart_cost_bucket{le=\"4\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("netpart_cost_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("netpart_cost_count 3\n"), std::string::npos);
+}
+
+TEST_F(RegistryFixture, PrometheusRollingBecomesSummary) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  for (int i = 0; i < 10; ++i) r.record_rolling("lat", 8.0);
+  const std::string body = to_prometheus(r.snapshot());
+  EXPECT_NE(body.find("# TYPE netpart_lat summary\n"), std::string::npos);
+  EXPECT_NE(body.find("netpart_lat{quantile=\"0.5\"} 8\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("netpart_lat{quantile=\"0.99\"} 8\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("netpart_lat_count 10\n"), std::string::npos);
+}
+
+TEST_F(RegistryFixture, PrometheusNameCollisionFirstWins) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.add_counter("a.b", 1);
+  r.add_counter("a_b", 2);  // sanitizes to the same family name
+  const std::string body = to_prometheus(r.snapshot());
+  std::size_t type_lines = 0;
+  for (std::size_t at = body.find("# TYPE netpart_a_b_total");
+       at != std::string::npos;
+       at = body.find("# TYPE netpart_a_b_total", at + 1))
+    ++type_lines;
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_NE(body.find("netpart_a_b_total 1\n"), std::string::npos);
+  EXPECT_EQ(body.find("netpart_a_b_total 2\n"), std::string::npos);
+}
+
+TEST_F(RegistryFixture, PrometheusSpansBecomePathLabelledGauges) {
+  { ScopedSpan outer("solve"); ScopedSpan inner("lanczos"); }
+  const std::string body = to_prometheus(MetricsRegistry::instance().snapshot());
+  EXPECT_NE(body.find("netpart_phase_runs{path=\"solve\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("netpart_phase_runs{path=\"solve/lanczos\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(PromExport, EmptySnapshotIsEmptyBody) {
+  EXPECT_TRUE(to_prometheus(MetricsSnapshot{}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryFixture, ChromeTraceEventsNest) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  r.add_counter("work.items", 5);
+  {
+    ScopedSpan outer("outer");
+    { ScopedSpan a("a"); }
+    { ScopedSpan b("b"); }
+  }
+  const std::string trace = to_chrome_trace(r.snapshot());
+  const JsonValue root = JsonParser(trace).parse();
+  const std::vector<JsonValue>& events = root.at("traceEvents").array;
+
+  struct Interval { double ts, end; std::string name; };
+  std::vector<Interval> spans;
+  bool saw_counter = false;
+  bool saw_metadata = false;
+  for (const JsonValue& ev : events) {
+    const std::string& ph = ev.at("ph").string;
+    if (ph == "X")
+      spans.push_back({ev.at("ts").number,
+                       ev.at("ts").number + ev.at("dur").number,
+                       ev.at("name").string});
+    if (ph == "C") saw_counter = true;
+    if (ph == "M") saw_metadata = true;
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_metadata);
+  ASSERT_EQ(spans.size(), 3u);
+  const auto find = [&spans](const std::string& name) {
+    return *std::find_if(spans.begin(), spans.end(),
+                         [&name](const Interval& s) { return s.name == name; });
+  };
+  const Interval outer = find("outer");
+  const Interval a = find("a");
+  const Interval b = find("b");
+  // Children are contained in the parent and packed without overlap.
+  EXPECT_GE(a.ts, outer.ts);
+  EXPECT_LE(a.end, outer.end);
+  EXPECT_GE(b.ts, outer.ts);
+  EXPECT_LE(b.end, outer.end);
+  EXPECT_TRUE(a.end <= b.ts || b.end <= a.ts);
+}
+
+TEST(TraceExport, EmptySnapshotStillValidJson) {
+  const JsonValue root = JsonParser(to_chrome_trace(MetricsSnapshot{})).parse();
+  // Only the two metadata records.
+  EXPECT_EQ(root.at("traceEvents").array.size(), 2u);
 }
 
 }  // namespace

@@ -9,12 +9,15 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "circuits/benchmarks.hpp"
+#include "obs/metrics.hpp"
 #include "repart/edit_script.hpp"
 #include "repart/session.hpp"
 #include "server/client.hpp"
@@ -503,6 +506,168 @@ TEST(ServerTest, LoadFromInlineHgrAndHashMatchesContent) {
       client, R"({"id":3,"op":"load","session":"bad","hgr":"not an hgr"})");
   EXPECT_EQ(error_code(bad), "parse_error");
 }
+
+TEST(ServerTest, StatsOpReportsRollingLatencyPerOp) {
+  ServerFixture fixture(test_options(unique_socket()));
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(is_ok(rpc(client, R"({"id":1,"op":"ping"})")));
+  ASSERT_TRUE(is_ok(rpc(client, R"({"id":2,"op":"load","session":"s","circuit":"Prim1"})")));
+  ASSERT_TRUE(is_ok(rpc(client, R"({"id":3,"op":"partition","session":"s"})")));
+
+  const JsonValue stats = rpc(client, R"({"id":4,"op":"stats"})");
+  ASSERT_TRUE(is_ok(stats));
+  EXPECT_GE(get_number(stats, "uptime_ms"), 0.0);
+  EXPECT_GT(get_number(stats, "qps"), 0.0);
+  EXPECT_GE(get_number(stats, "requests_total"), 5.0);
+  EXPECT_GE(get_number(stats, "rss_bytes"), 0.0);
+
+  // The overall window has seen every executed request; its percentiles
+  // are monotone and bounded by the observed max.
+  const JsonValue* all = stats.find("latency_ms");
+  ASSERT_NE(all, nullptr);
+  EXPECT_GE(get_number(*all, "count"), 5.0);
+  EXPECT_LE(get_number(*all, "p50"), get_number(*all, "p90"));
+  EXPECT_LE(get_number(*all, "p90"), get_number(*all, "p99"));
+  EXPECT_LE(get_number(*all, "p99"), get_number(*all, "max"));
+
+  // Per-op windows keyed by wire op name.
+  const JsonValue* per_op = stats.find("op_latency_ms");
+  ASSERT_NE(per_op, nullptr);
+  const JsonValue* ping = per_op->find("ping");
+  ASSERT_NE(ping, nullptr);
+  EXPECT_EQ(get_number(*ping, "count"), 3.0);
+  const JsonValue* part = per_op->find("partition");
+  ASSERT_NE(part, nullptr);
+  EXPECT_EQ(get_number(*part, "count"), 1.0);
+}
+
+TEST(ServerTest, StatsPrometheusBodyExposesServerFamilies) {
+  ServerFixture fixture(test_options(unique_socket()));
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+
+  ASSERT_TRUE(is_ok(rpc(client, R"({"id":1,"op":"ping"})")));
+  const JsonValue stats =
+      rpc(client, R"({"id":2,"op":"stats","format":"prometheus"})");
+  ASSERT_TRUE(is_ok(stats));
+  EXPECT_EQ(get_string(stats, "format"), "prometheus");
+  EXPECT_EQ(get_string(stats, "content_type"), "text/plain; version=0.0.4");
+  const std::string body = get_string(stats, "body");
+  EXPECT_NE(body.find("# TYPE netpartd_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE netpartd_request_latency_ms summary\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE netpartd_op_latency_ms_ping summary\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("netpartd_queue_depth "), std::string::npos);
+
+  const JsonValue bad = rpc(client, R"({"id":3,"op":"stats","format":"xml"})");
+  EXPECT_EQ(error_code(bad), "bad_request");
+}
+
+TEST(ServerTest, InvalidTraceFormatIsRejected) {
+  ServerFixture fixture(test_options(unique_socket()));
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+  const JsonValue bad = rpc(
+      client, R"({"id":1,"op":"ping","trace":true,"trace_format":"svg"})");
+  EXPECT_EQ(error_code(bad), "bad_request");
+}
+
+TEST(ServerTest, AccessLogWritesOneNdjsonLinePerExecutedRequest) {
+  const std::string log_path =
+      "access-log-test-" + std::to_string(::getpid()) + ".ndjson";
+  std::remove(log_path.c_str());
+  ServerOptions options = test_options(unique_socket());
+  options.access_log_path = log_path;
+  {
+    ServerFixture fixture(options);
+    Client client;
+    ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+    ASSERT_TRUE(is_ok(rpc(client, R"({"id":1,"op":"ping"})")));
+    ASSERT_TRUE(is_ok(
+        rpc(client, R"({"id":2,"op":"load","session":"s","circuit":"Prim1"})")));
+    EXPECT_EQ(error_code(rpc(client, R"({"id":3,"op":"partition","session":"ghost"})")),
+              "no_session");
+    fixture.stop();
+  }
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<JsonValue> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    JsonValue entry;
+    std::string error;
+    ASSERT_TRUE(parse_json(line, entry, error)) << error << ": " << line;
+    lines.push_back(std::move(entry));
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  for (const JsonValue& entry : lines) {
+    EXPECT_GT(get_number(entry, "ts_ms"), 0.0);
+    EXPECT_FALSE(get_string(entry, "op").empty());
+    ASSERT_NE(entry.find("ok"), nullptr);
+    EXPECT_GE(get_number(entry, "bytes_in"), 0.0);
+    EXPECT_GT(get_number(entry, "bytes_out"), 0.0);
+    EXPECT_GE(get_number(entry, "queue_ms"), 0.0);
+    EXPECT_GE(get_number(entry, "exec_ms"), 0.0);
+    ASSERT_NE(entry.find("cache_hit"), nullptr);
+    ASSERT_NE(entry.find("slow"), nullptr);
+    EXPECT_FALSE(get_bool(entry, "slow"));  // slow_ms unset: never flagged
+  }
+  EXPECT_EQ(get_string(lines[0], "op"), "ping");
+  EXPECT_TRUE(get_bool(lines[0], "ok"));
+  EXPECT_EQ(get_string(lines[2], "op"), "partition");
+  EXPECT_FALSE(get_bool(lines[2], "ok"));
+  EXPECT_EQ(get_string(lines[2], "outcome"), "error");
+  std::remove(log_path.c_str());
+}
+
+#if NETPART_OBS_ENABLED
+TEST(ServerTest, ChromeTraceRoundTripsThroughTheWire) {
+  ServerOptions options = test_options(unique_socket());
+  options.enable_obs = true;
+  {
+    ServerFixture fixture(options);
+    Client client;
+    ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+    ASSERT_TRUE(is_ok(
+        rpc(client, R"({"id":1,"op":"load","session":"s","circuit":"Prim1"})")));
+    const JsonValue traced = rpc(
+        client,
+        R"({"id":2,"op":"partition","session":"s","trace":true,"trace_format":"chrome"})");
+    ASSERT_TRUE(is_ok(traced));
+    const JsonValue* trace = traced.find("trace");
+    ASSERT_NE(trace, nullptr);
+    const JsonValue* events = trace->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    EXPECT_GT(events->array.size(), 2u);  // metadata plus at least one span
+    bool saw_complete = false;
+    for (const JsonValue& ev : events->array) {
+      const std::string ph = get_string(ev, "ph");
+      EXPECT_TRUE(ph == "X" || ph == "M" || ph == "C") << ph;
+      if (ph == "X") saw_complete = true;
+    }
+    EXPECT_TRUE(saw_complete);
+
+    // Default trace_format: the obs snapshot JSON, not a trace-event array.
+    const JsonValue obs_traced = rpc(
+        client, R"({"id":3,"op":"partition","session":"s","trace":true})");
+    ASSERT_TRUE(is_ok(obs_traced));
+    const JsonValue* snap = obs_traced.find("trace");
+    ASSERT_NE(snap, nullptr);
+    EXPECT_NE(snap->find("spans"), nullptr);
+  }
+  // The executor enabled the process-wide registry; restore it so later
+  // tests in this binary see the default-disabled state.
+  obs::MetricsRegistry::instance().set_rolling_spans(false);
+  obs::MetricsRegistry::instance().set_enabled(false);
+  obs::MetricsRegistry::instance().reset();
+}
+#endif
 
 }  // namespace
 }  // namespace netpart::server

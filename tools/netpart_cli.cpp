@@ -18,7 +18,12 @@
 ///                         script and repartition incrementally at each
 ///                         `commit` (warm-start spectral cache + IG deltas)
 ///   --trace               print the phase trace tree and metrics tables
-///   --metrics-out <file>  append one JSON metrics record for this run
+///   --trace-out <file>    write the run's span tree as Chrome trace-event
+///                         JSON (load in ui.perfetto.dev / chrome://tracing)
+///   --metrics-out <file>  export one metrics record for this run
+///   --metrics-format <f>  encoding for --metrics-out: `json` (default,
+///                         appends one NDJSON record) or `prom` (rewrites
+///                         the file as a Prometheus text exposition)
 ///   --version             print the library version and exit
 ///   --help                print usage and exit
 
@@ -39,6 +44,8 @@
 #include "io/dot_io.hpp"
 #include "io/netlist_io.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prom_export.hpp"
+#include "obs/trace_export.hpp"
 #include "parallel/thread_pool.hpp"
 #include "repart/edit_script.hpp"
 #include "repart/session.hpp"
@@ -77,7 +84,11 @@ void print_usage(std::ostream& os) {
         "                        edit script, repartitioning incrementally\n"
         "                        at each 'commit'\n"
         "  --trace               print phase trace tree and metrics tables\n"
-        "  --metrics-out <file>  append one JSON metrics record per run\n"
+        "  --trace-out <file>    write Chrome trace-event JSON for the run\n"
+        "                        (open in ui.perfetto.dev)\n"
+        "  --metrics-out <file>  export one metrics record per run\n"
+        "  --metrics-format <f>  json (default, append NDJSON) or prom\n"
+        "                        (rewrite as Prometheus text exposition)\n"
         "  --hash                print the input's canonical content hash\n"
         "                        (FNV-1a over pins/nets; the netpartd result\n"
         "                        cache keys by this)\n"
@@ -100,7 +111,9 @@ int usage() {
 /// Flags extracted from the command line before positional dispatch.
 struct CliFlags {
   bool trace = false;
+  std::string trace_out;
   std::string metrics_out;
+  std::string metrics_format = "json";
   std::string repartition;
 };
 
@@ -345,6 +358,26 @@ int main(int argc, char** argv) {
       flags.metrics_out = raw[++i];
       continue;
     }
+    if (arg == "--metrics-format") {
+      if (i + 1 >= raw.size()) {
+        std::cerr << "error: --metrics-format requires 'json' or 'prom'\n";
+        return 2;
+      }
+      flags.metrics_format = raw[++i];
+      if (flags.metrics_format != "json" && flags.metrics_format != "prom") {
+        std::cerr << "error: --metrics-format must be 'json' or 'prom'\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--trace-out") {
+      if (i + 1 >= raw.size()) {
+        std::cerr << "error: --trace-out requires a file argument\n";
+        return 2;
+      }
+      flags.trace_out = raw[++i];
+      continue;
+    }
     if (arg == "--repartition") {
       if (i + 1 >= raw.size()) {
         std::cerr << "error: --repartition requires an edit-script file\n";
@@ -377,7 +410,8 @@ int main(int argc, char** argv) {
   }
   if (args.empty()) return usage();
 
-  const bool collect = flags.trace || !flags.metrics_out.empty();
+  const bool collect = flags.trace || !flags.metrics_out.empty() ||
+                       !flags.trace_out.empty();
   obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
   if (collect) {
     registry.set_enabled(true);
@@ -435,12 +469,29 @@ int main(int argc, char** argv) {
       print_metrics_tables(snapshot, std::cout);
     }
     if (!flags.metrics_out.empty()) {
-      std::ofstream out(flags.metrics_out, std::ios::app);
+      // JSON records append (many runs per file); a Prometheus exposition
+      // is a complete scrape body, so prom mode rewrites the file.
+      const bool prom = flags.metrics_format == "prom";
+      std::ofstream out(flags.metrics_out,
+                        prom ? std::ios::trunc : std::ios::app);
       if (!out) {
         std::cerr << "cannot open " << flags.metrics_out << '\n';
         return 1;
       }
-      out << snapshot.to_json() << '\n';
+      if (prom)
+        out << obs::to_prometheus(snapshot);
+      else
+        out << snapshot.to_json() << '\n';
+    }
+    if (!flags.trace_out.empty()) {
+      std::ofstream out(flags.trace_out, std::ios::trunc);
+      if (!out) {
+        std::cerr << "cannot open " << flags.trace_out << '\n';
+        return 1;
+      }
+      out << obs::to_chrome_trace(snapshot) << '\n';
+      std::cout << "trace written to " << flags.trace_out
+                << " (open in ui.perfetto.dev)\n";
     }
   }
   return rc;

@@ -8,13 +8,19 @@
 ///   unload    <session>
 ///   sessions
 ///   metrics
+///   stats     [--prom | --json]
 ///   shutdown
 ///   raw       <json-request-line>        (sent verbatim)
 ///
-/// Prints the server's JSON response line to stdout.  Exit codes: 0 when
-/// the response carries "ok":true, 1 on transport failure or an error
-/// response, 2 on usage errors.
+/// Prints the server's JSON response line to stdout.  `stats` instead
+/// pretty-prints the live telemetry (uptime, qps, latency percentiles per
+/// op, cache hit rate, queue depth); `stats --prom` prints the Prometheus
+/// text exposition verbatim (pipe into `promtool check metrics`), and
+/// `stats --json` the raw response line.  Exit codes: 0 when the response
+/// carries "ok":true, 1 on transport failure or an error response, 2 on
+/// usage errors.
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -34,6 +40,7 @@ void print_usage(std::ostream& os) {
         "  partition <session> [--no-cache] [--trace] [--timeout <ms>]\n"
         "  edit <session> <edit-script-file>\n"
         "  unload <session>\n"
+        "  stats [--prom | --json]\n"
         "  raw <json-request-line>\n"
         "default socket: @netpartd ('@' = abstract namespace)\n";
 }
@@ -42,12 +49,64 @@ std::string quoted(const std::string& s) {
   return "\"" + netpart::obs::json_escape(s) + "\"";
 }
 
+using netpart::server::JsonValue;
+
+double field_number(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->number : 0.0;
+}
+
+/// One latency line of the pretty `stats` report, e.g.
+/// "  partition    n=12    p50=3.2ms  p90=8.1ms  p99=9.8ms".
+void print_latency_row(const std::string& label, const JsonValue& lat) {
+  std::printf("  %-12s n=%-6.0f p50=%.1fms  p90=%.1fms  p99=%.1fms\n",
+              label.c_str(), field_number(lat, "count"),
+              field_number(lat, "p50"), field_number(lat, "p90"),
+              field_number(lat, "p99"));
+}
+
+/// Human-readable rendering of a `stats` response; falls back to the raw
+/// line when the shape is unexpected (old server, error response).
+bool print_stats_pretty(const JsonValue& doc) {
+  const JsonValue* ok = doc.find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->boolean) return false;
+  const double uptime_s = field_number(doc, "uptime_ms") / 1000.0;
+  std::printf("uptime:    %.1f s\n", uptime_s);
+  std::printf("requests:  %.0f total, %.0f ok, %.0f error (%.2f req/s)\n",
+              field_number(doc, "requests_total"),
+              field_number(doc, "responses_ok"),
+              field_number(doc, "responses_error"), field_number(doc, "qps"));
+  std::printf("cache:     %.1f%% hit rate (%.0f hits, %.0f misses)\n",
+              field_number(doc, "cache_hit_rate") * 100.0,
+              field_number(doc, "cache_hits"),
+              field_number(doc, "cache_misses"));
+  std::printf("queue:     %.0f / %.0f\n", field_number(doc, "queue_depth"),
+              field_number(doc, "queue_capacity"));
+  std::printf("sessions:  %.0f live\n", field_number(doc, "sessions_live"));
+  const double rss = field_number(doc, "rss_bytes");
+  if (rss > 0) std::printf("rss:       %.1f MB\n", rss / (1024.0 * 1024.0));
+  const JsonValue* all = doc.find("latency_ms");
+  if (all != nullptr && all->is_object()) {
+    std::printf("latency (last %.0f s):\n",
+                field_number(*all, "window_ms") / 1000.0);
+    print_latency_row("all", *all);
+  }
+  const JsonValue* per_op = doc.find("op_latency_ms");
+  if (per_op != nullptr && per_op->is_object()) {
+    for (const auto& [name, lat] : per_op->object)
+      if (lat.is_object()) print_latency_row(name, lat);
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path = "@netpartd";
   bool no_cache = false;
   bool trace = false;
+  bool prom = false;
+  bool raw_json = false;
   std::string timeout_ms;
   std::vector<std::string> args;
 
@@ -67,6 +126,10 @@ int main(int argc, char** argv) {
       no_cache = true;
     } else if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--prom") {
+      prom = true;
+    } else if (arg == "--json") {
+      raw_json = true;
     } else if (arg == "--timeout") {
       if (i + 1 >= raw.size()) {
         std::cerr << "error: --timeout requires a count\n";
@@ -118,6 +181,10 @@ int main(int argc, char** argv) {
               ",\"script\":" + quoted(script.str()) + "}";
   } else if (op == "unload" && args.size() == 2) {
     request = "{\"id\":1,\"op\":\"unload\",\"session\":" + quoted(args[1]) + "}";
+  } else if (op == "stats" && args.size() == 1) {
+    request = "{\"id\":1,\"op\":\"stats\"";
+    if (prom) request += ",\"format\":\"prometheus\"";
+    request += "}";
   } else if (op == "raw" && args.size() == 2) {
     request = args[1];
   } else {
@@ -135,13 +202,28 @@ int main(int argc, char** argv) {
     std::cerr << "netpartc: " << client.last_error() << '\n';
     return 1;
   }
-  std::cout << response << '\n';
 
   netpart::server::JsonValue parsed;
   std::string parse_error;
-  if (netpart::server::parse_json(response, parsed, parse_error)) {
-    const auto* ok = parsed.find("ok");
-    if (ok != nullptr && ok->is_bool() && ok->boolean) return 0;
+  const bool parse_ok =
+      netpart::server::parse_json(response, parsed, parse_error);
+  const auto* ok_field = parse_ok ? parsed.find("ok") : nullptr;
+  const bool ok =
+      ok_field != nullptr && ok_field->is_bool() && ok_field->boolean;
+
+  if (op == "stats" && ok && !raw_json) {
+    if (prom) {
+      // Print the exposition body verbatim (it ends with its own newline),
+      // ready for `| promtool check metrics` or a file_sd scrape bridge.
+      const auto* body = parsed.find("body");
+      if (body != nullptr && body->is_string()) {
+        std::fputs(body->string.c_str(), stdout);
+        return 0;
+      }
+    } else if (print_stats_pretty(parsed)) {
+      return 0;
+    }
   }
-  return 1;
+  std::cout << response << '\n';
+  return ok ? 0 : 1;
 }

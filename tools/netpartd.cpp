@@ -18,6 +18,11 @@
 ///   --threads <n>          worker threads for the compute pool (0 = auto)
 ///   --debug-ops            accept the debug `sleep` op (tests only)
 ///   --no-obs               do not enable the metrics registry
+///   --access-log <path>    append one NDJSON line per executed request
+///   --slow-ms <ms>         flag handlers at least this slow (also echoed
+///                          to stderr); 0 = never (default)
+///   --latency-window <ms>  rolling window for `stats` latency percentiles
+///                          (default 60000)
 ///   --help                 print this message and exit
 ///
 /// SIGTERM/SIGINT drain in-flight work before exiting.  Exit codes follow
@@ -37,6 +42,8 @@ void print_usage(std::ostream& os) {
   os << "usage: netpartd [--socket <path>] [--queue <n>] [--cache <n>]\n"
         "                [--idle-timeout <ms>] [--default-timeout <ms>]\n"
         "                [--max-frame <bytes>] [--threads <n>]\n"
+        "                [--access-log <path>] [--slow-ms <ms>]\n"
+        "                [--latency-window <ms>]\n"
         "                [--debug-ops] [--no-obs] [--help]\n"
         "'@'-prefixed socket paths use the Linux abstract namespace.\n"
         "See docs/SERVER.md for the wire protocol.\n";
@@ -104,6 +111,18 @@ int main(int argc, char** argv) {
       if (!value(n)) return 2;
       netpart::parallel::ThreadPool::instance().configure(
           static_cast<std::int32_t>(n));
+    } else if (arg == "--access-log") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: --access-log requires a path\n";
+        return 2;
+      }
+      options.access_log_path = args[++i];
+    } else if (arg == "--slow-ms") {
+      if (!value(n)) return 2;
+      options.slow_ms = n;
+    } else if (arg == "--latency-window") {
+      if (!value(n)) return 2;
+      options.latency_window_ms = n > 0 ? n : 60000;
     } else if (arg == "--debug-ops") {
       options.enable_debug_ops = true;
     } else if (arg == "--no-obs") {
