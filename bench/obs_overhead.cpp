@@ -10,7 +10,9 @@
 
 #include "circuits/benchmarks.hpp"
 #include "igmatch/igmatch.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace {
 
@@ -64,6 +66,55 @@ void BM_IgMatchObsEnabledRolling(benchmark::State& state) {
   registry.reset();
 }
 BENCHMARK(BM_IgMatchObsEnabledRolling)->Unit(benchmark::kMillisecond);
+
+/// The `--profile-out` configuration: the per-thread span-stack hooks are
+/// armed (every ScopedSpan push/pops a seqlock-guarded frame) but no timer
+/// fires, isolating the pure bookkeeping cost from sampling itself.  The
+/// < 2% overhead bar applies here too.
+void BM_IgMatchObsEnabledSamplerArmed(benchmark::State& state) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.set_enabled(true);
+  obs::Profiler::instance().start(0);  // hooks armed, no SIGPROF
+  const Hypergraph& h = prim2();
+  for (auto _ : state) {
+    registry.reset();
+    benchmark::DoNotOptimize(igmatch_partition(h));
+  }
+  obs::Profiler::instance().stop();
+  registry.set_enabled(false);
+  registry.reset();
+  obs::Profiler::instance().start(0);  // clear the sample table
+  obs::Profiler::instance().stop();
+}
+BENCHMARK(BM_IgMatchObsEnabledSamplerArmed)->Unit(benchmark::kMillisecond);
+
+/// Full-observation worst case: registry on, span-stack hooks armed, live
+/// 1 ms SIGPROF ticks, and the convergence-event ring armed, all at once.
+void BM_IgMatchFullyObserved(benchmark::State& state) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.set_enabled(true);
+  obs::Profiler::instance().start(1000);
+  obs::EventRing::instance().arm();
+  const Hypergraph& h = prim2();
+  for (auto _ : state) {
+    registry.reset();
+    benchmark::DoNotOptimize(igmatch_partition(h));
+  }
+  const obs::ProfileSnapshot profile = obs::Profiler::instance().snapshot();
+  state.counters["samples"] = static_cast<double>(profile.total_samples);
+  state.counters["attribution"] = profile.attribution();
+  state.counters["events"] =
+      static_cast<double>(obs::EventRing::instance().recorded());
+  obs::EventRing::instance().disarm();
+  obs::Profiler::instance().stop();
+  registry.set_enabled(false);
+  registry.reset();
+  obs::EventRing::instance().arm();
+  obs::EventRing::instance().disarm();
+  obs::Profiler::instance().start(0);
+  obs::Profiler::instance().stop();
+}
+BENCHMARK(BM_IgMatchFullyObserved)->Unit(benchmark::kMillisecond);
 
 void BM_CounterSiteDisabled(benchmark::State& state) {
   obs::MetricsRegistry::instance().set_enabled(false);

@@ -7,7 +7,13 @@ by more than the allowed percentage, or when a required boolean is false.
 
 Usage:
   bench_gate.py BASELINE CANDIDATE [--key NAME:DIR:PCT]... [--require-true NAME]...
+  bench_gate.py --update-baselines BENCH_OUT_DIR
   bench_gate.py --self-test
+
+`--update-baselines DIR` regenerates the committed baselines: every
+BENCH_*.json in DIR (e.g. build/bench-out/ after a check.sh run) is
+validated as JSON and copied over the file of the same name in the repo
+root.  Run the benches on a quiet machine first, then commit the diff.
 
 Key specs are NAME:DIR:PCT where DIR is `higher` (bigger is better; fail
 when candidate < baseline * (1 - PCT/100)) or `lower` (smaller is better;
@@ -18,7 +24,10 @@ Exit codes: 0 gate passed, 1 regression detected, 2 usage or I/O error.
 """
 
 import argparse
+import glob
 import json
+import os
+import shutil
 import sys
 
 
@@ -79,6 +88,30 @@ def run_gate(baseline, candidate, key_specs, require_true):
     return failures
 
 
+def update_baselines(bench_out_dir, repo_root):
+    """Copy every valid BENCH_*.json from a bench-out run over the committed
+    baseline of the same name.  Returns the number of problems found."""
+    fresh = sorted(glob.glob(os.path.join(bench_out_dir, "BENCH_*.json")))
+    if not fresh:
+        print(f"error: no BENCH_*.json in {bench_out_dir}", file=sys.stderr)
+        return 1
+    problems = 0
+    for path in fresh:
+        name = os.path.basename(path)
+        try:
+            with open(path) as f:
+                json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"SKIP  {name}: not valid JSON ({e})")
+            problems += 1
+            continue
+        dest = os.path.join(repo_root, name)
+        verb = "updated" if os.path.exists(dest) else "created"
+        shutil.copyfile(path, dest)
+        print(f"OK    {name}: {verb} {dest}")
+    return problems
+
+
 def self_test():
     """Exercise the gate logic on synthetic documents; exits nonzero on bug."""
     base = {"speedup": 5.0, "total_ms": 100.0, "zero": 0.0, "ok": True}
@@ -104,6 +137,30 @@ def self_test():
         ({}, [], ["ok"], 1),
     ]
     bugs = 0
+    # update_baselines: one good file copied, one broken file skipped,
+    # an empty directory reported as an error.
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        out_dir = os.path.join(tmp, "bench-out")
+        root = os.path.join(tmp, "root")
+        os.makedirs(out_dir)
+        os.makedirs(root)
+        if update_baselines(out_dir, root) == 0:
+            print("SELF-TEST BUG: empty bench-out dir accepted")
+            bugs += 1
+        with open(os.path.join(out_dir, "BENCH_good.json"), "w") as f:
+            json.dump({"speedup": 5.0}, f)
+        with open(os.path.join(out_dir, "BENCH_broken.json"), "w") as f:
+            f.write("{not json")
+        if update_baselines(out_dir, root) != 1:
+            print("SELF-TEST BUG: expected exactly 1 skipped baseline")
+            bugs += 1
+        if not os.path.exists(os.path.join(root, "BENCH_good.json")):
+            print("SELF-TEST BUG: valid baseline was not copied")
+            bugs += 1
+        if os.path.exists(os.path.join(root, "BENCH_broken.json")):
+            print("SELF-TEST BUG: invalid baseline was copied")
+            bugs += 1
     for candidate, keys, req, expected in cases:
         got = gate(candidate, keys, req)
         if got != expected:
@@ -130,11 +187,15 @@ def main():
                         metavar="NAME:higher|lower:PCT")
     parser.add_argument("--require-true", action="append", default=[],
                         metavar="NAME")
+    parser.add_argument("--update-baselines", metavar="BENCH_OUT_DIR")
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
 
     if args.self_test:
         sys.exit(self_test())
+    if args.update_baselines:
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        sys.exit(1 if update_baselines(args.update_baselines, repo_root) else 0)
     if not args.baseline or not args.candidate:
         parser.error("baseline and candidate files are required")
     if not args.key and not args.require_true:

@@ -55,6 +55,22 @@ server_smoke() {
     > "$bindir/stats-smoke.prom"
   grep -q '^# TYPE netpartd_request_latency_ms summary' \
     "$bindir/stats-smoke.prom"
+  # Sampling profiler round trip: start, run a compute request with the
+  # convergence-event splice, dump the folded stacks, stop.  Under OBS=OFF
+  # the ops still succeed (empty profile, empty event array), so the same
+  # sequence validates both configurations.
+  "$bindir/tools/netpartc" --socket "$sock" profile start
+  "$bindir/tools/netpartc" --socket "$sock" raw \
+    '{"id":9,"op":"load","session":"smoke3","circuit":"bm1"}'
+  "$bindir/tools/netpartc" --socket "$sock" raw \
+    '{"id":10,"op":"partition","session":"smoke3","use_cache":false,"events":true}' \
+    > "$bindir/events-smoke.json"
+  grep -q '"events"' "$bindir/events-smoke.json"
+  "$bindir/tools/netpartc" --socket "$sock" profile dump \
+    > "$bindir/profile-smoke.folded"
+  "$bindir/tools/netpartc" --socket "$sock" profile stop
+  python3 scripts/validate_folded.py "$bindir/profile-smoke.folded" \
+    --min-samples 0
   "$bindir/tools/netpartc" --socket "$sock" shutdown
   wait "$pid"
   # Every executed request must have produced one parseable NDJSON line.
@@ -82,6 +98,25 @@ telemetry_smoke() {
   python3 scripts/validate_trace.py "$bindir/trace-smoke.json" --min-events 5
   grep -q '^# TYPE netpart_run_info gauge' "$bindir/metrics-smoke.prom"
   python3 scripts/bench_gate.py --self-test
+  # Sampling profiler + convergence events end to end: a real run on a
+  # non-toy circuit must yield valid, well-attributed folded stacks and an
+  # NDJSON stream carrying the Lanczos-residual and FM-gain series.
+  "$bindir/tools/netpart" partition 19ks igmatch-refined \
+    --profile-out "$bindir/profile-smoke.folded" \
+    --events-out "$bindir/events-smoke.ndjson" > /dev/null
+  python3 scripts/validate_folded.py "$bindir/profile-smoke.folded" \
+    --min-samples 10
+  python3 - "$bindir/events-smoke.ndjson" <<'EOF'
+import json, sys
+kinds = {}
+for line in open(sys.argv[1]):
+    ev = json.loads(line)
+    assert isinstance(ev["seq"], int) and isinstance(ev["kind"], str), ev
+    kinds[ev["kind"]] = kinds.get(ev["kind"], 0) + 1
+for kind in ("lanczos.iteration", "fm.pass"):
+    assert kinds.get(kind), f"no {kind} events: {kinds}"
+print(f"events ok ({sum(kinds.values())} events, {len(kinds)} kinds)")
+EOF
   echo "telemetry smoke ($bindir): ok"
 }
 
@@ -100,10 +135,16 @@ cmake --build build-noobs
 ctest --test-dir build-noobs --output-on-failure
 server_smoke build-noobs
 # With obs compiled out the exporters must still run (and emit an empty
-# span tree), so only the event floor differs from the OBS=ON stage.
+# span tree / empty profile / empty event stream), so only the floors
+# differ from the OBS=ON stage.
 ./build-noobs/tools/netpart partition bm1 igmatch \
-  --trace-out build-noobs/trace-smoke.json
+  --trace-out build-noobs/trace-smoke.json \
+  --profile-out build-noobs/profile-smoke.folded \
+  --events-out build-noobs/events-smoke.ndjson
 python3 scripts/validate_trace.py build-noobs/trace-smoke.json --min-events 0
+python3 scripts/validate_folded.py build-noobs/profile-smoke.folded \
+  --min-samples 0
+test ! -s build-noobs/events-smoke.ndjson
 
 # ThreadSanitizer pass over the concurrency-sensitive binaries.  Only the
 # targets that exercise the pool, the shared metrics registry, and the

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Validate a folded-stacks file produced by --profile-out or the server's
+`profile dump` op (src/obs/profiler.cpp, ProfileSnapshot::to_folded).
+
+The folded format is Brendan Gregg's flamegraph input: one
+`frame;frame;frame COUNT` line per distinct span path.  The exporter
+guarantees more than the format requires, and this validator checks all of
+it: exactly one space per line (separating path from count), no empty
+frames, counts are positive integers, lines are unique and sorted, and the
+only parenthesized pseudo-frame is `(unattributed)`.
+
+Usage: validate_folded.py PROFILE.folded [--min-samples N]
+Exit codes: 0 valid, 1 invalid, 2 usage/I/O error.
+"""
+
+import argparse
+import sys
+
+
+def fail(message):
+    print(f"folded INVALID: {message}")
+    sys.exit(1)
+
+
+def validate(lines, min_samples):
+    total = 0
+    paths = []
+    for i, line in enumerate(lines, start=1):
+        if line != line.strip():
+            fail(f"line {i}: leading/trailing whitespace")
+        if line.count(" ") != 1:
+            fail(f"line {i}: expected exactly one space ('path count'): "
+                 f"{line!r}")
+        path, count_text = line.split(" ")
+        if not count_text.isdigit() or int(count_text) <= 0:
+            fail(f"line {i}: count must be a positive integer, got "
+                 f"{count_text!r}")
+        if not path:
+            fail(f"line {i}: empty path")
+        if path != "(unattributed)":
+            for frame in path.split(";"):
+                if not frame:
+                    fail(f"line {i}: empty frame in path {path!r}")
+                if "(" in frame or ")" in frame:
+                    fail(f"line {i}: unexpected parenthesized frame "
+                         f"{frame!r} (only '(unattributed)' is allowed)")
+        paths.append(path)
+        total += int(count_text)
+
+    if len(set(paths)) != len(paths):
+        dupes = sorted({p for p in paths if paths.count(p) > 1})
+        fail(f"duplicate paths: {', '.join(dupes[:4])}")
+    if paths != sorted(paths):
+        fail("lines are not sorted by path")
+    if total < min_samples:
+        fail(f"only {total} samples, expected >= {min_samples}")
+
+    unattributed = sum(int(l.split(" ")[1]) for l in lines
+                       if l.split(" ")[0] == "(unattributed)")
+    attributed_pct = (100.0 * (total - unattributed) / total) if total else 0.0
+    print(f"folded ok: {len(lines)} paths, {total} samples, "
+          f"{attributed_pct:.0f}% attributed")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate folded flamegraph stacks from the profiler.")
+    parser.add_argument("folded")
+    parser.add_argument("--min-samples", type=int, default=1)
+    args = parser.parse_args()
+    try:
+        with open(args.folded) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"error: {args.folded}: {e}", file=sys.stderr)
+        sys.exit(2)
+    validate(lines, args.min_samples)
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "hypergraph/cut_metrics.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 
 namespace netpart {
@@ -162,6 +163,9 @@ FmPassResult FmEngine::run_pass(bool use_ratio, std::int32_t min_left,
 
   std::vector<ModuleId> moves;
   moves.reserve(static_cast<std::size_t>(n));
+  // [[maybe_unused]]: consumed only by NETPART_EVENT below, which expands
+  // to nothing under -DNETPART_OBS=OFF.
+  [[maybe_unused]] const std::int64_t start_cut = weighted_cut_;
   std::int64_t best_cut = weighted_cut_;
   double best_ratio = ratio();
   std::size_t best_prefix = 0;
@@ -232,6 +236,12 @@ FmPassResult FmEngine::run_pass(bool use_ratio, std::int32_t min_left,
   NETPART_COUNTER_ADD("fm.moves_tried", result.moves_tried);
   NETPART_COUNTER_ADD("fm.moves_rejected",
                       result.moves_tried - result.prefix_kept);
+  // Per-pass convergence record: total weighted gain kept by this pass.
+  // Wait-free, so it is safe from FM worker threads.
+  NETPART_EVENT("fm.pass", {"start_cut", static_cast<double>(start_cut)},
+                {"end_cut", static_cast<double>(weighted_cut_)},
+                {"gain", static_cast<double>(start_cut - weighted_cut_)},
+                {"moves_tried", static_cast<double>(result.moves_tried)});
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 
 namespace netpart {
@@ -38,16 +39,24 @@ bool DynamicBipartiteMatcher::augment_from_right(std::int32_t root) {
       if (next == -1) {
         // Free L-vertex found: flip the alternating path back to the root.
         std::int32_t cur = x;
+        std::int32_t flipped = 0;  // matched pairs along the path
         for (;;) {
           const std::int32_t via = from_right_[static_cast<std::size_t>(cur)];
           const std::int32_t prev = match_[static_cast<std::size_t>(via)];
           match_[static_cast<std::size_t>(cur)] = via;
           match_[static_cast<std::size_t>(via)] = cur;
+          ++flipped;
           if (prev == -1) break;  // reached the (previously free) root
           cur = prev;
         }
         ++matching_size_;
         ++augmenting_paths_found_;
+        // An alternating path flipping `flipped` pairs has 2*flipped - 1
+        // edges; the length distribution shows how local matching repairs
+        // stay as the sweep progresses.
+        NETPART_EVENT("igmatch.augmenting_path",
+                      {"length", static_cast<double>(2 * flipped - 1)});
+        static_cast<void>(flipped);  // consumed only by the macro above
         return true;
       }
       if (visit_stamp_[static_cast<std::size_t>(next)] != stamp_) {

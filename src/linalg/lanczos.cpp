@@ -7,6 +7,7 @@
 
 #include "linalg/tridiagonal.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 
 namespace netpart::linalg {
@@ -145,10 +146,17 @@ LanczosResult smallest_eigenpair(
       previous_theta = theta;
       if (theta_stable || last_step || breakdown) {
         assemble_ritz(solve_tridiagonal(alpha, beta));
+        NETPART_EVENT("lanczos.iteration",
+                      {"j", static_cast<double>(j + 1)}, {"theta", theta},
+                      {"residual", result.residual});
         if (result.residual <= convergence_bound) {
           result.converged = true;
           return result;
         }
+      } else {
+        // Ritz vector not assembled at this check: no residual yet.
+        NETPART_EVENT("lanczos.iteration",
+                      {"j", static_cast<double>(j + 1)}, {"theta", theta});
       }
     }
     if (last_step) break;

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+/// \file events.hpp
+/// Solver convergence event stream.  Kernels emit small numeric records —
+/// one per Lanczos check, FM pass, sweep point, augmenting path — through
+/// `NETPART_EVENT(...)`, into a lock-free bounded ring.  A run driver arms
+/// the ring, runs, and drains it to NDJSON (one JSON object per line) for
+/// offline convergence analysis.
+///
+/// Design constraints:
+///  - Emission is wait-free and allocation-free (kernels emit from pool
+///    worker threads, e.g. FM passes), using a fetch_add ticket plus a
+///    per-slot ready flag.  Field names and kinds must be string literals.
+///  - The ring is bounded and *drop-new*: once full, later events are
+///    counted as dropped rather than overwriting earlier ones, so the head
+///    of a convergence series (the interesting part) always survives.
+///  - Disarmed cost is one relaxed atomic load per site; with
+///    -DNETPART_OBS=OFF the macro expands to nothing.
+
+#ifndef NETPART_OBS_ENABLED
+#define NETPART_OBS_ENABLED 1
+#endif
+
+namespace netpart::obs {
+
+/// One named numeric payload of an event.  `name` must be a string literal
+/// (or otherwise outlive the ring); values are always doubles — cast
+/// integers at the call site.
+struct EventField {
+  const char* name;
+  double value;
+};
+
+inline constexpr std::size_t kEventRingCapacity = 1u << 15;
+inline constexpr std::size_t kMaxEventFields = 4;
+
+#if NETPART_OBS_ENABLED
+
+/// Process-wide bounded event ring.  arm() clears it and opens emission;
+/// drain_*() serialize everything recorded since, in emission order.
+class EventRing {
+ public:
+  static EventRing& instance();
+
+  /// Clear the ring and open it for emission.  Allocates the slot array on
+  /// first use (it is kept for the process lifetime afterwards).
+  void arm();
+  /// Close emission; recorded events stay drainable.
+  void disarm();
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Record one event.  Wait-free; silently counts the event as dropped
+  /// when the ring is full.  `kind` must be a string literal; at most
+  /// kMaxEventFields fields are kept.
+  void emit(const char* kind, std::initializer_list<EventField> fields);
+
+  /// Events recorded since the last arm() (including dropped ones).
+  [[nodiscard]] std::int64_t recorded() const;
+  /// Events that did not fit in the ring since the last arm().
+  [[nodiscard]] std::int64_t dropped() const;
+
+  /// One `{"seq":N,"t_ms":...,"kind":"...",<fields>}` line per event,
+  /// newline-terminated.  Call from a single thread once emitters are
+  /// quiescent (between pipeline runs).
+  [[nodiscard]] std::string drain_ndjson() const;
+  /// The same records as a JSON array (for splicing into responses).
+  [[nodiscard]] std::string drain_json_array() const;
+
+ private:
+  EventRing() = default;
+
+  struct Slot;
+  void append_records(std::string& out, char separator) const;
+
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> head_{0};
+  Slot* slots_ = nullptr;  ///< allocated on first arm(), never freed
+};
+
+#else  // NETPART_OBS_ENABLED == 0: inline no-op stubs.
+
+class EventRing {
+ public:
+  static EventRing& instance() {
+    static EventRing ring;
+    return ring;
+  }
+  void arm() {}
+  void disarm() {}
+  [[nodiscard]] bool armed() const { return false; }
+  void emit(const char*, std::initializer_list<EventField>) {}
+  [[nodiscard]] std::int64_t recorded() const { return 0; }
+  [[nodiscard]] std::int64_t dropped() const { return 0; }
+  [[nodiscard]] std::string drain_ndjson() const { return {}; }
+  [[nodiscard]] std::string drain_json_array() const { return "[]"; }
+};
+
+#endif  // NETPART_OBS_ENABLED
+
+}  // namespace netpart::obs
+
+#if NETPART_OBS_ENABLED
+
+/// Emit one convergence event, e.g.
+///   NETPART_EVENT("lanczos.iteration", {"j", j}, {"residual", r});
+/// Field values must already be doubles (cast integers at the site).
+/// Disarmed cost: one relaxed load and a branch.
+#define NETPART_EVENT(kind, ...)                                        \
+  do {                                                                  \
+    auto& netpart_obs_ring_ = ::netpart::obs::EventRing::instance();    \
+    if (netpart_obs_ring_.armed())                                      \
+      netpart_obs_ring_.emit((kind), {__VA_ARGS__});                    \
+  } while (0)
+
+#else
+
+#define NETPART_EVENT(kind, ...) \
+  do {                           \
+  } while (0)
+
+#endif  // NETPART_OBS_ENABLED

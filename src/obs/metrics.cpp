@@ -33,38 +33,17 @@ double bucket_lower(std::size_t b) {
   return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
 }
 
-/// Shortest round-trippable representation of a double that is still valid
-/// JSON (no bare NaN/Inf — those become null).
-void append_json_number(std::string& out, double value) {
-  if (!std::isfinite(value)) {
-    out += "null";
-    return;
-  }
-  char buffer[32];
-  std::snprintf(buffer, sizeof buffer, "%.17g", value);
-  // Trim to the shortest form that parses back exactly.
-  for (int precision = 1; precision < 17; ++precision) {
-    char shorter[32];
-    std::snprintf(shorter, sizeof shorter, "%.*g", precision, value);
-    if (std::strtod(shorter, nullptr) == value) {
-      out += shorter;
-      return;
-    }
-  }
-  out += buffer;
-}
-
 /// `{"count":N,"sum":...,"min":...,"max":...,"buckets":[...]}` — shared by
 /// the cumulative-histogram and rolling-window sections of to_json().
 void append_histogram_body(std::string& out, const HistogramEntry& h) {
   out += "{\"count\":";
   out += std::to_string(h.count);
   out += ",\"sum\":";
-  append_json_number(out, h.sum);
+  json_append_number(out, h.sum);
   out += ",\"min\":";
-  append_json_number(out, h.min);
+  json_append_number(out, h.min);
   out += ",\"max\":";
-  append_json_number(out, h.max);
+  json_append_number(out, h.max);
   out += ",\"buckets\":[";
   // Trailing empty buckets are elided to keep records compact.
   std::size_t last = h.buckets.size();
@@ -80,7 +59,7 @@ void append_span_json(std::string& out, const SpanNode& node) {
   out += R"({"name":")";
   out += json_escape(node.name);
   out += R"(","wall_ms":)";
-  append_json_number(out, node.wall_ms);
+  json_append_number(out, node.wall_ms);
   out += ",\"count\":";
   out += std::to_string(node.count);
   out += ",\"children\":[";
@@ -115,6 +94,27 @@ std::string json_escape(std::string_view s) {
     }
   }
   return out;
+}
+
+void json_append_number(std::string& out, double value) {
+  // Shortest round-trippable representation of a double that is still valid
+  // JSON (no bare NaN/Inf — those become null).
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  // Trim to the shortest form that parses back exactly.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof shorter, "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) {
+      out += shorter;
+      return;
+    }
+  }
+  out += buffer;
 }
 
 double HistogramEntry::quantile(double q) const {
@@ -182,7 +182,7 @@ std::string MetricsSnapshot::to_json() const {
     out += '"';
     out += json_escape(gauges[i].name);
     out += "\":";
-    append_json_number(out, gauges[i].value);
+    json_append_number(out, gauges[i].value);
   }
   out += R"(},"histograms":{)";
   for (std::size_t i = 0; i < histograms.size(); ++i) {
@@ -202,16 +202,21 @@ std::string MetricsSnapshot::to_json() const {
     out += R"(":{"window_ms":)";
     out += std::to_string(r.window_ms);
     out += ",\"p50\":";
-    append_json_number(out, r.window.quantile(0.50));
+    json_append_number(out, r.window.quantile(0.50));
     out += ",\"p90\":";
-    append_json_number(out, r.window.quantile(0.90));
+    json_append_number(out, r.window.quantile(0.90));
     out += ",\"p99\":";
-    append_json_number(out, r.window.quantile(0.99));
+    json_append_number(out, r.window.quantile(0.99));
     out += ",\"window\":";
     append_histogram_body(out, r.window);
     out += '}';
   }
-  out += "}}";
+  out += '}';
+  if (!profile.empty()) {
+    out += ",\"profile\":";
+    out += profile.to_json();
+  }
+  out += '}';
   return out;
 }
 
@@ -314,7 +319,13 @@ void MetricsRegistry::set_rolling_spans(bool enabled) {
 void MetricsRegistry::begin_span(std::string_view name) {
   if (!enabled()) return;
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (std::this_thread::get_id() != span_owner_) return;  // worker thread
+  if (std::this_thread::get_id() != span_owner_) {
+    // Worker-thread spans are dropped to keep the tree deterministic, but
+    // never silently: the count surfaces in every JSON/Prometheus export.
+    // (The matching end_span is not counted — one drop per span.)
+    ++counters_["obs.dropped_spans"];
+    return;
+  }
   // Walk to the innermost open node.
   std::vector<SpanNode>* children = &roots_;
   for (const std::size_t index : open_path_)
@@ -394,6 +405,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   const auto now = static_cast<std::int64_t>(now_ms());
   for (const auto& [name, hist] : rolling_->histograms)
     snap.rolling.push_back({name, hist.window_ms(), hist.merged(now)});
+  snap.profile = Profiler::instance().snapshot();
   return snap;
 }
 

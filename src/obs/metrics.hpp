@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/profiler.hpp"
+
 /// \file metrics.hpp
 /// Pipeline observability: scoped phase timers forming a trace tree, named
 /// monotonic counters, gauges, and log2-bucketed histograms, all collected
@@ -103,10 +105,13 @@ struct MetricsSnapshot {
   std::vector<GaugeEntry> gauges;
   std::vector<HistogramEntry> histograms;
   std::vector<RollingEntry> rolling;
+  /// Sampling-profiler aggregate (profiler.hpp); empty unless a profile
+  /// session ran, in which case to_json() gains a "profile" section.
+  ProfileSnapshot profile;
 
   [[nodiscard]] bool empty() const {
     return spans.empty() && counters.empty() && gauges.empty() &&
-           histograms.empty() && rolling.empty();
+           histograms.empty() && rolling.empty() && profile.empty();
   }
   /// Value of a counter, or 0 if absent.
   [[nodiscard]] std::int64_t counter(std::string_view name) const;
@@ -116,6 +121,10 @@ struct MetricsSnapshot {
 
 /// Escape a string for embedding in a JSON string literal (no quotes added).
 [[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Append the shortest round-trippable JSON rendering of `value` (non-finite
+/// values become null).  Shared by every obs exporter.
+void json_append_number(std::string& out, double value);
 
 /// Process-wide metrics sink.  Disabled (and empty) by default; a run
 /// driver (CLI, bench, test) enables it, resets it, runs, and snapshots.
@@ -197,13 +206,19 @@ class MetricsRegistry {
 
 /// RAII wrapper for begin_span/end_span.  Caches the enabled flag at
 /// construction so an enable/disable mid-scope cannot unbalance the stack.
+/// Also maintains the per-thread profiler span stack (profiler.hpp) while a
+/// profile session is armed — on every thread, including pool workers whose
+/// registry spans the owner-thread guard drops.
 class ScopedSpan {
  public:
   explicit ScopedSpan(std::string_view name)
-      : active_(MetricsRegistry::instance().enabled()) {
+      : active_(MetricsRegistry::instance().enabled()),
+        profiled_(Profiler::frames_armed()) {
     if (active_) MetricsRegistry::instance().begin_span(name);
+    if (profiled_) Profiler::push_frame(name);
   }
   ~ScopedSpan() {
+    if (profiled_) Profiler::pop_frame();
     if (active_) MetricsRegistry::instance().end_span();
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -211,6 +226,7 @@ class ScopedSpan {
 
  private:
   bool active_;
+  bool profiled_;
 };
 
 /// If the NETPART_METRICS_OUT environment variable names a file, enable the

@@ -347,6 +347,8 @@ ParseResult parse_request(std::string_view line, Request& out,
     out.op = Op::kMetrics;
   else if (op->string == "stats")
     out.op = Op::kStats;
+  else if (op->string == "profile")
+    out.op = Op::kProfile;
   else if (op->string == "shutdown")
     out.op = Op::kShutdown;
   else if (op->string == "sleep")
@@ -365,8 +367,10 @@ ParseResult parse_request(std::string_view line, Request& out,
       !take_nonneg_int(doc, "sleep_ms", out.sleep_ms, error) ||
       !take_bool(doc, "use_cache", out.use_cache, error) ||
       !take_bool(doc, "trace", out.trace, error) ||
+      !take_bool(doc, "events", out.events, error) ||
       !take_string(doc, "format", out.format, error) ||
-      !take_string(doc, "trace_format", out.trace_format, error))
+      !take_string(doc, "trace_format", out.trace_format, error) ||
+      !take_string(doc, "action", out.action, error))
     return ParseResult::kInvalid;
 
   if (!out.format.empty() && out.format != "json" &&
@@ -377,6 +381,11 @@ ParseResult parse_request(std::string_view line, Request& out,
   if (!out.trace_format.empty() && out.trace_format != "obs" &&
       out.trace_format != "chrome") {
     error = "trace_format must be \"obs\" or \"chrome\"";
+    return ParseResult::kInvalid;
+  }
+  if (out.op == Op::kProfile && out.action != "start" &&
+      out.action != "stop" && out.action != "dump") {
+    error = "profile requires action \"start\", \"stop\", or \"dump\"";
     return ParseResult::kInvalid;
   }
 

@@ -65,6 +65,7 @@ enum class Op : std::uint8_t {
   kSessions,    ///< list live sessions
   kMetrics,     ///< server counters + obs registry snapshot
   kStats,       ///< live telemetry: uptime, qps, latency quantiles per op
+  kProfile,     ///< sampling profiler control: action start/stop/dump
   kShutdown,    ///< drain in-flight work, then exit the serve loop
   kSleep,       ///< debug only: hold the executor (backpressure tests)
 };
@@ -85,7 +86,10 @@ struct Request {
   std::int64_t timeout_ms = 0;  ///< queue deadline; 0 = server default
   bool use_cache = true;        ///< partition: consult the result cache
   bool trace = false;           ///< attach a per-request obs snapshot
+  bool events = false;          ///< attach this request's convergence events
   std::int64_t sleep_ms = 0;    ///< kSleep duration
+  /// profile: "start", "stop", or "dump".
+  std::string action;
   /// stats: response encoding, "json" (default) or "prometheus".
   std::string format;
   /// with trace:true: snapshot encoding, "obs" (default, the registry's

@@ -19,7 +19,9 @@
 #include "circuits/benchmarks.hpp"
 #include "hypergraph/content_hash.hpp"
 #include "io/netlist_io.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/prom_export.hpp"
 #include "obs/trace_export.hpp"
 #include "repart/edit_script.hpp"
@@ -427,6 +429,13 @@ void Server::handle_item(QueueItem& item) {
   }
 
   const bool trace = item.req.trace;
+  // `events:true`: arm the convergence-event ring for this request only.
+  // The executor runs requests strictly serially, so everything drained
+  // below was emitted by this request's compute.  (Under -DNETPART_OBS=OFF
+  // the ring is a stub and the spliced array is always empty.)
+  const bool events = item.req.events;
+  auto& event_ring = obs::EventRing::instance();
+  if (events) event_ring.arm();
 #if NETPART_OBS_ENABLED
   auto& reg = obs::MetricsRegistry::instance();
   // A traced request gets a private observation window: reset, run,
@@ -454,6 +463,20 @@ void Server::handle_item(QueueItem& item) {
 #else
   (void)trace;
 #endif
+
+  if (events) {
+    event_ring.disarm();
+    if (!response.empty() && response.back() == '}') {
+      response.pop_back();
+      response += ",\"events\":";
+      response += event_ring.drain_json_array();
+      response += ",\"events_recorded\":";
+      response += std::to_string(event_ring.recorded());
+      response += ",\"events_dropped\":";
+      response += std::to_string(event_ring.dropped());
+      response += '}';
+    }
+  }
 
   const std::int64_t end_ms = steady_now_ms();
   const double exec_ms = static_cast<double>(end_ms - begin_ms);
@@ -561,6 +584,8 @@ std::string Server::dispatch(const Request& req) {
         return do_metrics(req);
       case Op::kStats:
         return do_stats(req);
+      case Op::kProfile:
+        return do_profile(req);
       case Op::kSleep:
         return do_sleep(req);
       case Op::kShutdown:
@@ -879,6 +904,46 @@ std::string Server::do_stats(const Request& req) {
       .add_int("rss_bytes", st.rss_bytes)
       .add_raw("latency_ms", latency_json(all, all_latency_.window_ms()))
       .add_raw("op_latency_ms", per_op);
+  return std::move(rb).finish();
+}
+
+std::string Server::do_profile(const Request& req) {
+  // The profiler's hot path is per-thread and lock-free, so controlling it
+  // from the executor while compute runs elsewhere is safe; the executor
+  // serializes requests anyway, so start/run/dump sequences are ordered.
+  // Under -DNETPART_OBS=OFF the stub accepts every action and dumps an
+  // empty profile, so clients behave identically in both configs.
+  auto& profiler = obs::Profiler::instance();
+  if (req.action == "start") {
+    if (!profiler.start()) {
+      return error_response(req.id, "bad_request",
+                            "profiler is already running");
+    }
+    return std::move(ResponseBuilder(req.id, true)
+                         .add_string("op", "profile")
+                         .add_string("action", "start")
+                         .add_bool("running", profiler.running()))
+        .finish();
+  }
+  if (req.action == "stop") {
+    profiler.stop();
+    return std::move(ResponseBuilder(req.id, true)
+                         .add_string("op", "profile")
+                         .add_string("action", "stop")
+                         .add_bool("running", false))
+        .finish();
+  }
+  const obs::ProfileSnapshot snap = profiler.snapshot();
+  ResponseBuilder rb(req.id, true);
+  rb.add_string("op", "profile")
+      .add_string("action", "dump")
+      .add_bool("running", profiler.running())
+      .add_int("samples", snap.total_samples)
+      .add_int("unattributed", snap.unattributed_samples)
+      .add_int("torn", snap.torn_samples)
+      .add_int("dropped", snap.dropped_samples)
+      .add_double("attribution", snap.attribution())
+      .add_string("folded", snap.to_folded());
   return std::move(rb).finish();
 }
 

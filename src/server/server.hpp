@@ -169,6 +169,7 @@ class Server {
   std::string do_sessions(const Request& req);
   std::string do_metrics(const Request& req);
   std::string do_stats(const Request& req);
+  std::string do_profile(const Request& req);
   std::string do_sleep(const Request& req);
   std::string do_shutdown(const Request& req);
 

@@ -1,7 +1,10 @@
 #include "spectral/split_sweep.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
+
+#include "obs/events.hpp"
 
 namespace netpart {
 
@@ -18,14 +21,23 @@ SweepResult best_ratio_cut_split(const Hypergraph& h,
   IncrementalCut tracker(h, Partition(n, Side::kRight));
   double best_ratio = std::numeric_limits<double>::infinity();
   std::int32_t best_rank = 0;
+  // Subsample the ratio-cut curve for the convergence event stream: at
+  // most ~512 points per sweep so large designs cannot crowd the bounded
+  // ring.
+  const std::int32_t stride = std::max(1, (n - 1) / 512);
   for (std::int32_t r = 1; r < n; ++r) {
     tracker.move(module_order[static_cast<std::size_t>(r - 1)], Side::kLeft);
     const double ratio = tracker.ratio();
+    if (r % stride == 0)
+      NETPART_EVENT("sweep.point", {"rank", static_cast<double>(r)},
+                    {"ratio", ratio});
     if (ratio < best_ratio) {
       best_ratio = ratio;
       best_rank = r;
     }
   }
+  NETPART_EVENT("sweep.best", {"rank", static_cast<double>(best_rank)},
+                {"ratio", best_ratio});
 
   Partition best(n, Side::kRight);
   for (std::int32_t r = 0; r < best_rank; ++r)

@@ -5,14 +5,18 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <sstream>
 #include <string_view>
+#include <vector>
 
 #include "circuits/rng.hpp"
 #include "io/blif_io.hpp"
 #include "io/netlist_io.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/prom_export.hpp"
 #include "obs/trace_export.hpp"
 #include "repart/edit_script.hpp"
@@ -490,6 +494,110 @@ TEST_P(ExporterFuzzTest, ChromeTraceNeverEmitsRawControlBytes) {
   for (const char c : trace)
     ASSERT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\0')
         << "unescaped control byte in trace output";
+}
+
+/// Hostile span names through the profiler must still yield a folded export
+/// that line-oriented consumers (flamegraph.pl, validate_folded.py) can
+/// split: exactly one space per line, positive integer count, sanitized
+/// frames with no separators or control bytes.
+TEST_P(ExporterFuzzTest, FoldedProfileStaysLineParseable) {
+#if NETPART_OBS_ENABLED
+  Profiler& profiler = Profiler::instance();
+  ASSERT_TRUE(profiler.start(0));
+  Xoshiro256 rng(GetParam() + 9000);
+  for (int round = 0; round < 8; ++round) {
+    // Random depth, sometimes past the profiler's frame-depth cap.
+    const auto depth = static_cast<int>(1 + rng.below(24));
+    for (int d = 0; d < depth; ++d) Profiler::push_frame(fuzz_name(rng));
+    profiler.sample_now();
+    for (int d = 0; d < depth; ++d) Profiler::pop_frame();
+  }
+  profiler.sample_now();  // one unattributed
+  profiler.stop();
+
+  const ProfileSnapshot snap = profiler.snapshot();
+  const std::string folded = snap.to_folded();
+  EXPECT_EQ(folded, snap.to_folded());  // deterministic on hostile input too
+  std::istringstream in(folded);
+  std::string line;
+  std::vector<std::string> paths;
+  std::int64_t total = 0;
+  while (std::getline(in, line)) {
+    const std::size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.find(' ', space + 1), std::string::npos) << line;
+    const std::string path = line.substr(0, space);
+    ASSERT_FALSE(path.empty()) << line;
+    const std::int64_t count = std::stoll(line.substr(space + 1));
+    EXPECT_GT(count, 0) << line;
+    total += count;
+    if (path != "(unattributed)") {
+      for (const char c : path) {
+        ASSERT_TRUE(static_cast<unsigned char>(c) >= 0x20 && c != ' ' &&
+                    c != '(' && c != ')')
+            << "unsanitized byte in folded path: " << line;
+      }
+      for (std::size_t at = 0; (at = path.find(';', at)) != std::string::npos;
+           ++at)
+        ASSERT_NE(path[at + 1], ';') << "empty frame in " << line;
+    }
+    paths.push_back(path);
+  }
+  EXPECT_EQ(total, snap.total_samples);
+  std::vector<std::string> sorted = paths;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(paths, sorted);
+  // The JSON form must parse whatever the span names were.
+  server::JsonValue parsed;
+  std::string error;
+  EXPECT_TRUE(server::parse_json(snap.to_json(), parsed, error)) << error;
+
+  profiler.start(0);  // leave the process-wide table empty
+  profiler.stop();
+#endif
+}
+
+/// Hostile kinds, field names, and non-finite values through the event
+/// ring: both drain formats must stay parseable JSON.
+TEST_P(ExporterFuzzTest, EventStreamStaysJsonParseable) {
+  EventRing& ring = EventRing::instance();
+  Xoshiro256 rng(GetParam() + 11000);
+  // The ring stores pointers, not copies; a deque keeps every hostile
+  // string at a stable address until after the drains.
+  std::deque<std::string> corpus;
+  ring.arm();
+  constexpr int kEmits = 64;
+  for (int i = 0; i < kEmits; ++i) {
+    const char* kind = corpus.emplace_back(fuzz_name(rng)).c_str();
+    const char* field = corpus.emplace_back(fuzz_name(rng)).c_str();
+    ring.emit(kind, {{field, fuzz_value(rng)},
+                     {"i", static_cast<double>(i)}});
+  }
+  ring.disarm();
+
+  server::JsonValue parsed;
+  std::string error;
+  const std::string array = ring.drain_json_array();
+  ASSERT_TRUE(server::parse_json(array, parsed, error)) << error;
+  const std::string ndjson = ring.drain_ndjson();
+  std::istringstream in(ndjson);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    server::JsonValue record;
+    ASSERT_TRUE(server::parse_json(line, record, error))
+        << error << ": " << line;
+    ++lines;
+  }
+#if NETPART_OBS_ENABLED
+  EXPECT_EQ(parsed.array.size(), static_cast<std::size_t>(kEmits));
+  EXPECT_EQ(lines, static_cast<std::size_t>(kEmits));
+#else
+  EXPECT_TRUE(parsed.array.empty());
+  EXPECT_EQ(lines, 0u);
+#endif
+  ring.arm();  // leave the ring empty
+  ring.disarm();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExporterFuzzTest,

@@ -8,8 +8,11 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/events.hpp"
+#include "obs/profiler.hpp"
 #include "obs/prom_export.hpp"
 #include "obs/rolling.hpp"
 #include "obs/trace_export.hpp"
@@ -768,6 +771,349 @@ TEST(TraceExport, EmptySnapshotStillValidJson) {
   // Only the two metadata records.
   EXPECT_EQ(root.at("traceEvents").array.size(), 2u);
 }
+
+// ---------------------------------------------------------------------------
+// Owner-thread span guard
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryFixture, CrossThreadSpansAreCountedAsDropped) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  // set_enabled(true) in SetUp made this thread the span owner; a worker
+  // thread's spans must be refused — but visibly, via obs.dropped_spans.
+  std::thread worker([] {
+    MetricsRegistry::instance().begin_span("worker-span");
+    MetricsRegistry::instance().end_span();
+    MetricsRegistry::instance().begin_span("worker-span-2");
+    MetricsRegistry::instance().end_span();
+  });
+  worker.join();
+  const MetricsSnapshot snap = r.snapshot();
+  EXPECT_TRUE(snap.spans.empty());
+  EXPECT_EQ(snap.counter("obs.dropped_spans"), 2);
+  // The counter surfaces through both exporters like any other counter.
+  const JsonValue root = JsonParser(snap.to_json()).parse();
+  EXPECT_EQ(root.at("counters").at("obs.dropped_spans").number, 2.0);
+  const std::string body = to_prometheus(snap);
+  EXPECT_NE(body.find("netpart_obs_dropped_spans_total 2\n"),
+            std::string::npos);
+}
+
+TEST_F(RegistryFixture, OwnerThreadSpansDropNothing) {
+  MetricsRegistry& r = MetricsRegistry::instance();
+  { ScopedSpan s("owned"); }
+  EXPECT_EQ(r.snapshot().counter("obs.dropped_spans"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling profiler
+// ---------------------------------------------------------------------------
+
+/// Stops the profiler and clears its sample table after each test (the
+/// table is process-wide and survives stop(), so a dirty teardown would
+/// leak a `profile` section into later snapshot tests).
+struct ProfilerFixture : RegistryFixture {
+  void TearDown() override {
+    Profiler::instance().stop();
+    Profiler::instance().start(0);  // start() clears the table...
+    Profiler::instance().stop();    // ...and stop() disarms the hooks
+    RegistryFixture::TearDown();
+  }
+};
+
+#if NETPART_OBS_ENABLED
+
+TEST_F(ProfilerFixture, ManualSamplesFoldSpanPaths) {
+  Profiler& p = Profiler::instance();
+  ASSERT_TRUE(p.start(0));  // hooks armed, no timer: fully deterministic
+  {
+    ScopedSpan solve("solve");
+    {
+      ScopedSpan lanczos("lanczos");
+      p.sample_now();
+      p.sample_now();
+    }
+    p.sample_now();
+  }
+  p.sample_now();  // no open span anywhere -> unattributed
+  p.stop();
+
+  const ProfileSnapshot snap = p.snapshot();
+  EXPECT_EQ(snap.total_samples, 4);
+  EXPECT_EQ(snap.unattributed_samples, 1);
+  EXPECT_EQ(snap.torn_samples, 0);
+  EXPECT_EQ(snap.dropped_samples, 0);
+  EXPECT_DOUBLE_EQ(snap.attribution(), 0.75);
+  ASSERT_EQ(snap.paths.size(), 2u);
+  EXPECT_EQ(snap.paths[0].first, "solve");
+  EXPECT_EQ(snap.paths[0].second, 1);
+  EXPECT_EQ(snap.paths[1].first, "solve;lanczos");
+  EXPECT_EQ(snap.paths[1].second, 2);
+}
+
+TEST_F(ProfilerFixture, FoldedExportIsSortedAndDeterministic) {
+  Profiler& p = Profiler::instance();
+  ASSERT_TRUE(p.start(0));
+  {
+    ScopedSpan z("zeta");
+    p.sample_now();
+  }
+  {
+    ScopedSpan a("alpha");
+    p.sample_now();
+  }
+  p.sample_now();  // unattributed
+  p.stop();
+
+  const ProfileSnapshot snap = p.snapshot();
+  // Globally sorted, unattributed bucket included in the sort; this is the
+  // round-trip contract scripts/validate_folded.py enforces.
+  EXPECT_EQ(snap.to_folded(), "(unattributed) 1\nalpha 1\nzeta 1\n");
+  EXPECT_EQ(snap.to_folded(), snap.to_folded());
+  EXPECT_EQ(snap.to_json(), snap.to_json());
+  const ProfileSnapshot again = p.snapshot();
+  EXPECT_EQ(snap.to_folded(), again.to_folded());
+}
+
+TEST_F(ProfilerFixture, FrameNamesAreSanitizedForTheFoldedFormat) {
+  Profiler& p = Profiler::instance();
+  ASSERT_TRUE(p.start(0));
+  {
+    // ';' and ' ' are the folded format's separators; control bytes would
+    // break line-oriented consumers.  All must collapse to '_' at push time.
+    ScopedSpan hostile("a;b c\nd");
+    p.sample_now();
+  }
+  p.stop();
+  const ProfileSnapshot snap = p.snapshot();
+  ASSERT_EQ(snap.paths.size(), 1u);
+  EXPECT_EQ(snap.paths[0].first, "a_b_c_d");
+}
+
+TEST_F(ProfilerFixture, WorkerThreadSpansAreAttributed) {
+  Profiler& p = Profiler::instance();
+  ASSERT_TRUE(p.start(0));
+  // The metrics registry drops worker-thread spans (owner guard above); the
+  // profiler must not — pool workers carry real samples.
+  std::thread worker([&p] {
+    ScopedSpan span("worker-phase");
+    p.sample_now();
+  });
+  worker.join();
+  p.stop();
+  const ProfileSnapshot snap = p.snapshot();
+  ASSERT_EQ(snap.paths.size(), 1u);
+  EXPECT_EQ(snap.paths[0].first, "worker-phase");
+  EXPECT_EQ(snap.unattributed_samples, 0);
+}
+
+TEST_F(ProfilerFixture, StartWhileRunningFailsAndRestartClears) {
+  Profiler& p = Profiler::instance();
+  ASSERT_TRUE(p.start(0));
+  EXPECT_FALSE(p.start(0));
+  {
+    ScopedSpan s("first-run");
+    p.sample_now();
+  }
+  p.stop();
+  EXPECT_EQ(p.snapshot().total_samples, 1);
+  // Samples survive stop() (dump-after-stop), but the next start() clears.
+  ASSERT_TRUE(p.start(0));
+  p.stop();
+  EXPECT_EQ(p.snapshot().total_samples, 0);
+  EXPECT_TRUE(p.snapshot().empty());
+}
+
+TEST_F(ProfilerFixture, ProfileSectionRidesInMetricsSnapshots) {
+  Profiler& p = Profiler::instance();
+  ASSERT_TRUE(p.start(0));
+  {
+    ScopedSpan s("phase");
+    p.sample_now();
+  }
+  p.stop();
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  EXPECT_FALSE(snap.profile.empty());
+  const JsonValue root = JsonParser(snap.to_json()).parse();
+  const JsonValue& profile = root.at("profile");
+  EXPECT_EQ(profile.at("total_samples").number, 1.0);
+  EXPECT_EQ(profile.at("unattributed_samples").number, 0.0);
+  EXPECT_EQ(profile.at("samples").at("phase").number, 1.0);
+}
+
+TEST_F(ProfilerFixture, NoProfileSectionWithoutSamples) {
+  // Byte-stability of existing exports: a snapshot with no profiler samples
+  // must serialize exactly as before the profiler existed.
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  EXPECT_TRUE(snap.profile.empty());
+  EXPECT_EQ(snap.to_json().find("\"profile\""), std::string::npos);
+}
+
+TEST_F(ProfilerFixture, TimerDrivenSamplingAttributesCpuWork) {
+  Profiler& p = Profiler::instance();
+  ASSERT_TRUE(p.start(1000));  // real ITIMER_PROF, 1 ms of CPU per tick
+  volatile double sink = 0.0;
+  {
+    ScopedSpan busy("busy-loop");
+    // Burn CPU until a few ticks land (bounded so a broken timer cannot
+    // hang the suite; the profiler asserts below will then fail loudly).
+    for (int outer = 0; outer < 5000 && p.snapshot().total_samples < 3;
+         ++outer)
+      for (int i = 0; i < 200'000; ++i)
+        sink = sink + static_cast<double>(i) * 1e-9;
+  }
+  p.stop();
+  const ProfileSnapshot snap = p.snapshot();
+  // CPU was burned inside the span, so ticks must have landed — and on the
+  // busy-loop path, not the unattributed bucket.
+  EXPECT_GT(snap.total_samples, 0);
+  bool saw_busy = false;
+  for (const auto& [path, count] : snap.paths)
+    if (path == "busy-loop" && count > 0) saw_busy = true;
+  EXPECT_TRUE(saw_busy);
+}
+
+#endif  // NETPART_OBS_ENABLED
+
+TEST_F(ProfilerFixture, StubProfilerIsTotalInBothConfigs) {
+  // This test runs in BOTH configurations: the OBS=OFF stub must accept the
+  // same call sequence the real profiler does (CLI/server code is written
+  // against that contract, with no #ifdefs).
+  Profiler& p = Profiler::instance();
+  EXPECT_TRUE(p.start(0));
+  Profiler::push_frame("x");
+  Profiler::pop_frame();
+  p.sample_now();
+  p.stop();
+  EXPECT_FALSE(p.running());
+  const ProfileSnapshot snap = p.snapshot();
+  EXPECT_EQ(snap.to_folded(), snap.to_folded());
+#if !NETPART_OBS_ENABLED
+  EXPECT_TRUE(snap.empty());
+  EXPECT_EQ(snap.to_folded(), "");
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Convergence event ring
+// ---------------------------------------------------------------------------
+
+TEST(EventRing, EmitDrainRoundTripPreservesOrder) {
+  EventRing& ring = EventRing::instance();
+  ring.arm();
+  NETPART_EVENT("test.alpha", {"j", 1.0}, {"residual", 0.25});
+  NETPART_EVENT("test.beta", {"gain", -3.0});
+  ring.disarm();
+#if NETPART_OBS_ENABLED
+  EXPECT_EQ(ring.recorded(), 2);
+  EXPECT_EQ(ring.dropped(), 0);
+
+  const std::string ndjson = ring.drain_ndjson();
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t nl = ndjson.find('\n'); nl != std::string::npos;
+       nl = ndjson.find('\n', start)) {
+    lines.push_back(ndjson.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  const JsonValue first = JsonParser(lines[0]).parse();
+  EXPECT_EQ(first.at("seq").number, 0.0);
+  EXPECT_EQ(first.at("kind").string, "test.alpha");
+  EXPECT_EQ(first.at("j").number, 1.0);
+  EXPECT_DOUBLE_EQ(first.at("residual").number, 0.25);
+  EXPECT_GE(first.at("t_ms").number, 0.0);
+  const JsonValue second = JsonParser(lines[1]).parse();
+  EXPECT_EQ(second.at("seq").number, 1.0);
+  EXPECT_EQ(second.at("kind").string, "test.beta");
+  EXPECT_EQ(second.at("gain").number, -3.0);
+
+  const JsonValue arr = JsonParser(ring.drain_json_array()).parse();
+  ASSERT_EQ(arr.array.size(), 2u);
+  EXPECT_EQ(arr.array[0].at("kind").string, "test.alpha");
+  EXPECT_EQ(arr.array[1].at("kind").string, "test.beta");
+#else
+  EXPECT_EQ(ring.recorded(), 0);
+  EXPECT_EQ(ring.drain_ndjson(), "");
+  EXPECT_EQ(ring.drain_json_array(), "[]");
+#endif
+}
+
+TEST(EventRing, DisarmedEmitsAreIgnored) {
+  EventRing& ring = EventRing::instance();
+  ring.arm();
+  ring.disarm();
+  NETPART_EVENT("test.ignored", {"v", 1.0});
+  EXPECT_EQ(ring.recorded(), 0);
+  EXPECT_EQ(ring.drain_json_array(), "[]");
+}
+
+TEST(EventRing, RearmClearsThePreviousRun) {
+  EventRing& ring = EventRing::instance();
+  ring.arm();
+  NETPART_EVENT("test.old", {"v", 1.0});
+  ring.disarm();
+  ring.arm();
+  ring.disarm();
+  EXPECT_EQ(ring.recorded(), 0);
+  EXPECT_EQ(ring.drain_json_array(), "[]");
+}
+
+#if NETPART_OBS_ENABLED
+TEST(EventRing, ConcurrentEmittersLoseNoEvents) {
+  EventRing& ring = EventRing::instance();
+  ring.arm();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i)
+        NETPART_EVENT("test.concurrent", {"thread", static_cast<double>(t)},
+                      {"i", static_cast<double>(i)});
+    });
+  for (auto& w : workers) w.join();
+  ring.disarm();
+  EXPECT_EQ(ring.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(ring.dropped(), 0);
+  const JsonValue arr = JsonParser(ring.drain_json_array()).parse();
+  EXPECT_EQ(arr.array.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(EventRing, FullRingDropsNewEventsNotOldOnes) {
+  EventRing& ring = EventRing::instance();
+  ring.arm();
+  const auto total = static_cast<std::int64_t>(kEventRingCapacity) + 100;
+  for (std::int64_t i = 0; i < total; ++i)
+    NETPART_EVENT("test.flood", {"i", static_cast<double>(i)});
+  ring.disarm();
+  EXPECT_EQ(ring.recorded(), total);
+  EXPECT_EQ(ring.dropped(), 100);
+  // Drop-new: the head of the series survives; the flood's tail is what
+  // went missing.  (The early Lanczos iterations are the interesting part.)
+  const std::string ndjson = ring.drain_ndjson();
+  const JsonValue first =
+      JsonParser(ndjson.substr(0, ndjson.find('\n'))).parse();
+  EXPECT_EQ(first.at("i").number, 0.0);
+  ring.arm();  // leave the ring empty for later tests
+  ring.disarm();
+}
+#endif  // NETPART_OBS_ENABLED
+
+#if !NETPART_OBS_ENABLED
+TEST(EventRing, CompiledOutEventMacroDoesNotEvaluateArguments) {
+  int evaluations = 0;
+  const auto touch = [&evaluations]() {
+    ++evaluations;
+    return 1.0;
+  };
+  (void)touch;  // only ever referenced inside the discarded macro arguments
+  EventRing::instance().arm();
+  NETPART_EVENT("x", {"v", touch()});
+  EventRing::instance().disarm();
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
 
 }  // namespace
 }  // namespace netpart::obs

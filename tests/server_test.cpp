@@ -18,6 +18,7 @@
 
 #include "circuits/benchmarks.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "repart/edit_script.hpp"
 #include "repart/session.hpp"
 #include "server/client.hpp"
@@ -668,6 +669,133 @@ TEST(ServerTest, ChromeTraceRoundTripsThroughTheWire) {
   obs::MetricsRegistry::instance().reset();
 }
 #endif
+
+TEST(ServerTest, ProfileOpControlsTheSamplingProfiler) {
+  ServerFixture fixture(test_options(unique_socket()));
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+
+  // Validation happens at parse time, before dispatch.
+  EXPECT_EQ(error_code(rpc(client, R"({"id":1,"op":"profile"})")),
+            "bad_request");
+  EXPECT_EQ(
+      error_code(rpc(client, R"({"id":2,"op":"profile","action":"resume"})")),
+      "bad_request");
+
+  const JsonValue started =
+      rpc(client, R"({"id":3,"op":"profile","action":"start"})");
+  ASSERT_TRUE(is_ok(started));
+  EXPECT_EQ(get_string(started, "op"), "profile");
+#if NETPART_OBS_ENABLED
+  EXPECT_TRUE(get_bool(started, "running"));
+  // Double start is an error, and must not clobber the running session.
+  EXPECT_EQ(
+      error_code(rpc(client, R"({"id":4,"op":"profile","action":"start"})")),
+      "bad_request");
+#endif
+
+  // Run real work under the profiler, plus one deterministic manual sample
+  // (the server and this test share the process-wide profiler) so the dump
+  // below has a guaranteed floor even on a machine where the partition
+  // finishes between timer ticks.
+  ASSERT_TRUE(is_ok(rpc(
+      client, R"({"id":5,"op":"load","session":"p","circuit":"bm1"})")));
+  ASSERT_TRUE(is_ok(rpc(
+      client,
+      R"({"id":6,"op":"partition","session":"p","use_cache":false})")));
+  obs::Profiler::instance().sample_now();
+
+  const JsonValue dump =
+      rpc(client, R"({"id":7,"op":"profile","action":"dump"})");
+  ASSERT_TRUE(is_ok(dump));
+  const JsonValue* folded = dump.find("folded");
+  ASSERT_NE(folded, nullptr);
+  ASSERT_TRUE(folded->is_string());
+#if NETPART_OBS_ENABLED
+  EXPECT_GE(get_number(dump, "samples"), 1.0);
+  EXPECT_GE(get_number(dump, "attribution"), 0.0);
+  EXPECT_TRUE(get_bool(dump, "running"));
+  // Every folded line is `path count` — the wire carries the same text
+  // --profile-out writes.
+  std::istringstream folded_in(folded->string);
+  std::string folded_line;
+  while (std::getline(folded_in, folded_line)) {
+    const std::size_t space = folded_line.find(' ');
+    ASSERT_NE(space, std::string::npos) << folded_line;
+    EXPECT_GT(std::stoll(folded_line.substr(space + 1)), 0) << folded_line;
+  }
+#endif
+
+  const JsonValue stopped =
+      rpc(client, R"({"id":8,"op":"profile","action":"stop"})");
+  ASSERT_TRUE(is_ok(stopped));
+  EXPECT_FALSE(get_bool(stopped, "running"));
+  // Samples survive stop() so dump-after-stop still works.
+  const JsonValue after =
+      rpc(client, R"({"id":9,"op":"profile","action":"dump"})");
+  ASSERT_TRUE(is_ok(after));
+  EXPECT_EQ(get_number(after, "samples"), get_number(dump, "samples"));
+
+  // Clear the process-wide sample table for later tests in this binary.
+  obs::Profiler::instance().start(0);
+  obs::Profiler::instance().stop();
+}
+
+TEST(ServerTest, PartitionWithEventsSplicesTheConvergenceStream) {
+  ServerFixture fixture(test_options(unique_socket()));
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+
+  // Fresh session, cache bypassed: the events request below is a real
+  // compute (a session memo or cache hit would run no solver and leave the
+  // spliced array legitimately empty).
+  ASSERT_TRUE(is_ok(rpc(
+      client, R"({"id":1,"op":"load","session":"e1","circuit":"bm1"})")));
+  const JsonValue traced = rpc(
+      client,
+      R"({"id":2,"op":"partition","session":"e1","use_cache":false,"events":true})");
+  ASSERT_TRUE(is_ok(traced));
+  ASSERT_EQ(get_string(traced, "served_from"), "compute");
+  const JsonValue* events = traced.find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GE(get_number(traced, "events_recorded"), 0.0);
+  EXPECT_GE(get_number(traced, "events_dropped"), 0.0);
+#if NETPART_OBS_ENABLED
+  // The solver ran under an armed ring: the Lanczos iteration series must
+  // be present, in emission order.
+  ASSERT_FALSE(events->array.empty());
+  EXPECT_EQ(get_number(traced, "events_recorded"),
+            static_cast<double>(events->array.size()));
+  bool saw_lanczos = false;
+  double last_seq = -1.0;
+  for (const JsonValue& ev : events->array) {
+    EXPECT_GT(get_number(ev, "seq"), last_seq);
+    last_seq = get_number(ev, "seq");
+    if (get_string(ev, "kind") == "lanczos.iteration") {
+      saw_lanczos = true;
+      EXPECT_GE(get_number(ev, "j"), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_lanczos);
+#else
+  EXPECT_TRUE(events->array.empty());
+  EXPECT_EQ(get_number(traced, "events_recorded"), 0.0);
+#endif
+
+  // The splice must not perturb the result itself: an events-free compute
+  // of the same circuit yields identical bits (and no "events" key — the
+  // stream is strictly opt-in).
+  ASSERT_TRUE(is_ok(rpc(
+      client, R"({"id":3,"op":"load","session":"e2","circuit":"bm1"})")));
+  const JsonValue plain = rpc(
+      client, R"({"id":4,"op":"partition","session":"e2","use_cache":false})");
+  ASSERT_TRUE(is_ok(plain));
+  ASSERT_EQ(get_string(plain, "served_from"), "compute");
+  EXPECT_EQ(plain.find("events"), nullptr);
+  EXPECT_EQ(get_string(traced, "assignment"), get_string(plain, "assignment"));
+  EXPECT_EQ(get_number(traced, "cut"), get_number(plain, "cut"));
+  EXPECT_EQ(get_number(traced, "ratio"), get_number(plain, "ratio"));
+}
 
 }  // namespace
 }  // namespace netpart::server

@@ -20,6 +20,8 @@
 #include "graph/intersection_graph.hpp"
 #include "graph/weighted_graph.hpp"
 #include "linalg/fiedler.hpp"
+#include "obs/events.hpp"
+#include "obs/profiler.hpp"
 #include "parallel/thread_pool.hpp"
 #include "repart/session.hpp"
 
@@ -190,6 +192,41 @@ TEST_F(ThreadDeterminismTest, MultiwayBitIdenticalAcrossLaneCounts) {
     EXPECT_EQ(got.nets_spanning, reference.nets_spanning);
     EXPECT_EQ(got.connectivity_cost, reference.connectivity_cost);
   }
+}
+
+TEST_F(ThreadDeterminismTest, SamplerAndEventRingNeverPerturbResults) {
+  // The profiler's promise is that observing a run cannot change it: with
+  // live SIGPROF ticks landing mid-pipeline and every solver emitting into
+  // the armed event ring, all lane counts must still match the quiet serial
+  // reference bit for bit.
+  const Hypergraph h = circuit(1200, "det-obs");
+  const Algorithm algorithms[] = {Algorithm::kEig1, Algorithm::kIgMatch,
+                                  Algorithm::kRatioCutFm};
+  for (const Algorithm algorithm : algorithms) {
+    parallel::ThreadPool::instance().configure(1);
+    const RunRecord reference = record_run(h, algorithm);  // unobserved
+    ASSERT_TRUE(obs::Profiler::instance().start(1000));
+    obs::EventRing::instance().arm();
+    for (const std::int32_t lanes : kLaneCounts) {
+      parallel::ThreadPool::instance().configure(lanes);
+      const std::string context = std::string(to_string(algorithm)) +
+                                  " lanes=" + std::to_string(lanes) +
+                                  " (sampler armed)";
+      expect_identical(record_run(h, algorithm), reference, context);
+    }
+    obs::EventRing::instance().disarm();
+    obs::Profiler::instance().stop();
+#if NETPART_OBS_ENABLED
+    // The observation must have been real, not a disarmed no-op.
+    EXPECT_GT(obs::EventRing::instance().recorded(), 0)
+        << to_string(algorithm);
+#endif
+  }
+  // Leave the process-wide profiler table and ring empty for other tests.
+  obs::Profiler::instance().start(0);
+  obs::Profiler::instance().stop();
+  obs::EventRing::instance().arm();
+  obs::EventRing::instance().disarm();
 }
 
 /// One batch of the fixed repartitioning edit script.  The RNG is re-seeded

@@ -24,6 +24,12 @@
 ///   --metrics-format <f>  encoding for --metrics-out: `json` (default,
 ///                         appends one NDJSON record) or `prom` (rewrites
 ///                         the file as a Prometheus text exposition)
+///   --profile-out <file>  run the span-attributed sampling profiler for the
+///                         duration of the command and write folded stacks
+///                         (flamegraph.pl / speedscope input)
+///   --events-out <file>   record solver convergence events (Lanczos
+///                         residuals, FM pass gains, sweep curves,
+///                         augmenting-path lengths) as NDJSON
 ///   --version             print the library version and exit
 ///   --help                print usage and exit
 
@@ -43,7 +49,9 @@
 #include "hypergraph/stats.hpp"
 #include "io/dot_io.hpp"
 #include "io/netlist_io.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/prom_export.hpp"
 #include "obs/trace_export.hpp"
 #include "parallel/thread_pool.hpp"
@@ -89,6 +97,10 @@ void print_usage(std::ostream& os) {
         "  --metrics-out <file>  export one metrics record per run\n"
         "  --metrics-format <f>  json (default, append NDJSON) or prom\n"
         "                        (rewrite as Prometheus text exposition)\n"
+        "  --profile-out <file>  sample the run's span stacks and write\n"
+        "                        folded stacks (flamegraph.pl / speedscope)\n"
+        "  --events-out <file>   write solver convergence events (Lanczos\n"
+        "                        residuals, FM gains, sweep curves) as NDJSON\n"
         "  --hash                print the input's canonical content hash\n"
         "                        (FNV-1a over pins/nets; the netpartd result\n"
         "                        cache keys by this)\n"
@@ -114,6 +126,8 @@ struct CliFlags {
   std::string trace_out;
   std::string metrics_out;
   std::string metrics_format = "json";
+  std::string profile_out;
+  std::string events_out;
   std::string repartition;
 };
 
@@ -370,6 +384,22 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (arg == "--profile-out") {
+      if (i + 1 >= raw.size()) {
+        std::cerr << "error: --profile-out requires a file argument\n";
+        return 2;
+      }
+      flags.profile_out = raw[++i];
+      continue;
+    }
+    if (arg == "--events-out") {
+      if (i + 1 >= raw.size()) {
+        std::cerr << "error: --events-out requires a file argument\n";
+        return 2;
+      }
+      flags.events_out = raw[++i];
+      continue;
+    }
     if (arg == "--trace-out") {
       if (i + 1 >= raw.size()) {
         std::cerr << "error: --trace-out requires a file argument\n";
@@ -423,6 +453,14 @@ int main(int argc, char** argv) {
     }
     registry.set_run_label(label);
   }
+  // Arm the profiler / convergence-event ring around the whole command, so
+  // the folded profile and the NDJSON event series cover every phase.  Both
+  // are no-ops under -DNETPART_OBS=OFF (the output files end up empty).
+  if (!flags.profile_out.empty() && !obs::Profiler::instance().start()) {
+    std::cerr << "error: cannot start the sampling profiler\n";
+    return 1;
+  }
+  if (!flags.events_out.empty()) obs::EventRing::instance().arm();
 
   int rc = 2;
   bool dispatched = true;
@@ -460,6 +498,35 @@ int main(int argc, char** argv) {
     return kExitRuntime;
   }
   if (!dispatched) return usage();
+
+  if (!flags.profile_out.empty()) {
+    obs::Profiler& profiler = obs::Profiler::instance();
+    profiler.stop();
+    const obs::ProfileSnapshot profile = profiler.snapshot();
+    std::ofstream out(flags.profile_out, std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot open " << flags.profile_out << '\n';
+      return 1;
+    }
+    out << profile.to_folded();
+    std::cout << "profile written to " << flags.profile_out << " ("
+              << profile.total_samples << " samples, "
+              << static_cast<int>(profile.attribution() * 100.0 + 0.5)
+              << "% attributed; feed to flamegraph.pl or speedscope)\n";
+  }
+  if (!flags.events_out.empty()) {
+    obs::EventRing& ring = obs::EventRing::instance();
+    ring.disarm();
+    std::ofstream out(flags.events_out, std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot open " << flags.events_out << '\n';
+      return 1;
+    }
+    out << ring.drain_ndjson();
+    std::cout << "convergence events written to " << flags.events_out << " ("
+              << ring.recorded() << " recorded, " << ring.dropped()
+              << " dropped)\n";
+  }
 
   if (collect) {
     const obs::MetricsSnapshot snapshot = registry.snapshot();

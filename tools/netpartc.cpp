@@ -3,12 +3,13 @@
 /// usage: netpartc [--socket <path>] <op> [args] [flags]
 ///   ping
 ///   load      <session> <circuit-or-hgr-path>
-///   partition <session> [--no-cache] [--trace] [--timeout <ms>]
+///   partition <session> [--no-cache] [--trace] [--events] [--timeout <ms>]
 ///   edit      <session> <edit-script-file>
 ///   unload    <session>
 ///   sessions
 ///   metrics
 ///   stats     [--prom | --json]
+///   profile   start|stop|dump [--json]
 ///   shutdown
 ///   raw       <json-request-line>        (sent verbatim)
 ///
@@ -16,9 +17,10 @@
 /// pretty-prints the live telemetry (uptime, qps, latency percentiles per
 /// op, cache hit rate, queue depth); `stats --prom` prints the Prometheus
 /// text exposition verbatim (pipe into `promtool check metrics`), and
-/// `stats --json` the raw response line.  Exit codes: 0 when the response
-/// carries "ok":true, 1 on transport failure or an error response, 2 on
-/// usage errors.
+/// `stats --json` the raw response line.  `profile dump` prints the folded
+/// stacks verbatim (pipe into flamegraph.pl); `profile dump --json` the raw
+/// response line.  Exit codes: 0 when the response carries "ok":true, 1 on
+/// transport failure or an error response, 2 on usage errors.
 
 #include <cstdio>
 #include <fstream>
@@ -37,10 +39,12 @@ void print_usage(std::ostream& os) {
   os << "usage: netpartc [--socket <path>] <op> [args] [flags]\n"
         "  ping | sessions | metrics | shutdown\n"
         "  load <session> <circuit-or-hgr-path>\n"
-        "  partition <session> [--no-cache] [--trace] [--timeout <ms>]\n"
+        "  partition <session> [--no-cache] [--trace] [--events]"
+        " [--timeout <ms>]\n"
         "  edit <session> <edit-script-file>\n"
         "  unload <session>\n"
         "  stats [--prom | --json]\n"
+        "  profile start|stop|dump [--json]\n"
         "  raw <json-request-line>\n"
         "default socket: @netpartd ('@' = abstract namespace)\n";
 }
@@ -105,6 +109,7 @@ int main(int argc, char** argv) {
   std::string socket_path = "@netpartd";
   bool no_cache = false;
   bool trace = false;
+  bool events = false;
   bool prom = false;
   bool raw_json = false;
   std::string timeout_ms;
@@ -126,6 +131,8 @@ int main(int argc, char** argv) {
       no_cache = true;
     } else if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--events") {
+      events = true;
     } else if (arg == "--prom") {
       prom = true;
     } else if (arg == "--json") {
@@ -167,6 +174,7 @@ int main(int argc, char** argv) {
     request = "{\"id\":1,\"op\":\"partition\",\"session\":" + quoted(args[1]);
     if (no_cache) request += ",\"use_cache\":false";
     if (trace) request += ",\"trace\":true";
+    if (events) request += ",\"events\":true";
     if (!timeout_ms.empty()) request += ",\"timeout_ms\":" + timeout_ms;
     request += "}";
   } else if (op == "edit" && args.size() == 3) {
@@ -185,6 +193,8 @@ int main(int argc, char** argv) {
     request = "{\"id\":1,\"op\":\"stats\"";
     if (prom) request += ",\"format\":\"prometheus\"";
     request += "}";
+  } else if (op == "profile" && args.size() == 2) {
+    request = "{\"id\":1,\"op\":\"profile\",\"action\":" + quoted(args[1]) + "}";
   } else if (op == "raw" && args.size() == 2) {
     request = args[1];
   } else {
@@ -221,6 +231,24 @@ int main(int argc, char** argv) {
         return 0;
       }
     } else if (print_stats_pretty(parsed)) {
+      return 0;
+    }
+  }
+  if (op == "profile" && args.size() == 2 && args[1] == "dump" && ok &&
+      !raw_json) {
+    // Print the folded stacks verbatim (one `path count` line each), ready
+    // for `| flamegraph.pl > flame.svg` or speedscope.  The sample totals go
+    // to stderr so they never pollute the folded stream.
+    const auto* folded = parsed.find("folded");
+    if (folded != nullptr && folded->is_string()) {
+      std::fputs(folded->string.c_str(), stdout);
+      std::fprintf(stderr, "profile: %.0f samples, %.0f unattributed%s\n",
+                   field_number(parsed, "samples"),
+                   field_number(parsed, "unattributed"),
+                   parsed.find("running") != nullptr &&
+                           parsed.find("running")->boolean
+                       ? " (still running)"
+                       : "");
       return 0;
     }
   }
