@@ -1,0 +1,152 @@
+/// Hot-kernel microbenchmarks: times the three inner loops the partitioning
+/// pipeline actually spends its cycles in —
+///
+///   1. CSR SpMV (`CsrMatrix::multiply`) on the intersection-graph
+///      Laplacian, the Lanczos workhorse;
+///   2. `DynamicBipartiteMatcher::move_to_right` across a full L->R sweep,
+///      the matching-repair kernel of the IG-Match main loop;
+///   3. full sweep evaluation (moves + incremental classification +
+///      `SweepCutEvaluator::apply`), i.e. the per-split cost of testing all
+///      m-1 splits.
+///
+/// Each kernel reports the minimum over its repetitions (robust against
+/// scheduler noise, which is what a regression gate wants) and everything
+/// is exported as BENCH_kernels.json.
+///
+/// Usage: kernels [out.json] [--quick]
+///
+/// --quick cuts the repetition counts for the check.sh perf-smoke step;
+/// the problem size is unchanged, so the per-iteration keys stay
+/// comparable with a committed full-mode baseline (just noisier).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "circuits/generator.hpp"
+#include "graph/intersection_graph.hpp"
+#include "igmatch/dynamic_matcher.hpp"
+#include "igmatch/sweep_cut.hpp"
+#include "linalg/csr_matrix.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace {
+
+using namespace netpart;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Minimum wall time of `reps` calls to fn().
+template <typename Fn>
+double min_ms(std::int32_t reps, Fn&& fn) {
+  double best = 0.0;
+  for (std::int32_t rep = 0; rep < reps; ++rep) {
+    const auto start = Clock::now();
+    fn();
+    const double ms = ms_since(start);
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_kernels.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick")
+      quick = true;
+    else
+      out_path = arg;
+  }
+
+  GeneratorConfig config;
+  config.name = "kernels-bench";
+  config.num_modules = 8000;
+  config.num_nets = config.num_modules + config.num_modules / 10;
+  const Hypergraph h = generate_circuit(config).hypergraph;
+  const WeightedGraph ig = intersection_graph(h);
+  const linalg::CsrMatrix laplacian = ig.laplacian();
+
+  const std::int32_t m = h.num_nets();
+  std::cout << "kernel bench: " << h.num_modules() << " modules, " << m
+            << " nets, laplacian nnz "
+            << laplacian.nnz() << (quick ? " (quick)" : "")
+            << "\n";
+
+  // 1. SpMV: y = L x, repeated on the same vectors (x regenerated once).
+  // Not reduced in quick mode: a rep costs ~0.1 ms, and the min over a
+  // small sample runs high enough to trip the 20% perf-smoke gate.
+  const std::int32_t spmv_reps = 200;
+  std::vector<double> x(static_cast<std::size_t>(laplacian.dim()));
+  std::vector<double> y(x.size());
+  linalg::fill_random(x, 0x5EEDULL);
+  const double spmv_ms =
+      min_ms(spmv_reps, [&] { laplacian.multiply(x, y); });
+  const double nnz = static_cast<double>(laplacian.nnz());
+  const double spmv_mflops =
+      spmv_ms > 0.0 ? 2.0 * nnz / (spmv_ms * 1e3) : 0.0;
+
+  // 2. Matching repair: a fresh matcher moved through the full sweep.
+  // Construction is inside the timed region — a cold partition pays it too.
+  const std::int32_t sweep_reps = quick ? 3 : 5;
+  const double matcher_sweep_ms = min_ms(sweep_reps, [&] {
+    DynamicBipartiteMatcher matcher(ig);
+    for (std::int32_t v = 0; v < m - 1; ++v) matcher.move_to_right(v);
+  });
+
+  // 3. Sweep evaluation: moves + incremental Phase I + Phase II counters,
+  // i.e. everything igmatch_sweep does per split except the bookkeeping of
+  // the best result.
+  std::int64_t label_changes = 0;
+  const double sweep_eval_ms = min_ms(sweep_reps, [&] {
+    DynamicBipartiteMatcher matcher(ig);
+    SweepCutEvaluator evaluator(h);
+    std::vector<NetLabelChange> changes;
+    label_changes = 0;
+    for (std::int32_t v = 0; v < m - 1; ++v) {
+      matcher.move_to_right(v);
+      matcher.classify_incremental(changes);
+      evaluator.apply(changes);
+      label_changes += static_cast<std::int64_t>(changes.size());
+      (void)evaluator.evaluation();
+    }
+  });
+
+  std::cout << "  spmv           " << spmv_ms << " ms (" << spmv_mflops
+            << " MFLOP/s)\n"
+            << "  matcher sweep  " << matcher_sweep_ms << " ms (" << (m - 1)
+            << " moves)\n"
+            << "  sweep eval     " << sweep_eval_ms << " ms ("
+            << label_changes << " label changes)\n";
+
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "{\n  \"bench\": \"kernels\",\n  \"modules\": %d,\n  \"nets\": %d,\n"
+      "  \"quick\": %s,\n  \"spmv_ms\": %.4f,\n  \"spmv_mflops\": %.1f,\n"
+      "  \"matcher_sweep_ms\": %.3f,\n  \"sweep_eval_ms\": %.3f,\n"
+      "  \"label_changes\": %lld\n}\n",
+      h.num_modules(), m, quick ? "true" : "false", spmv_ms, spmv_mflops,
+      matcher_sweep_ms, sweep_eval_ms,
+      static_cast<long long>(label_changes));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << '\n';
+    return 1;
+  }
+  out << buffer;
+  std::cout << "wrote " << out_path << '\n';
+  return 0;
+}

@@ -212,12 +212,38 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Adding lanes must never slow the eigensolver down (anti-scaling was a
+  // real regression mode: tiny reduction regions paying the pool wake-up).
+  // 10% tolerance absorbs timer jitter; on a host without spare cores the
+  // contract is vacuous — every lane count runs the same serial inline
+  // path — so the violation is reported as expected oversubscription noise
+  // rather than a failure.
+  bool eig1_monotone = true;
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    eig1_monotone &= rows[i].eig1_ms <= rows[i - 1].eig1_ms * 1.10;
+  std::string eig1_note = "ok";
+  if (!eig1_monotone) {
+    if (hardware < static_cast<unsigned>(widest.threads)) {
+      eig1_note = "not monotone: host has " + std::to_string(hardware) +
+                  " hardware thread(s) for " +
+                  std::to_string(widest.threads) +
+                  " lanes; rows measure scheduler jitter, not scaling";
+      std::cout << "note: eig1 " << eig1_note << "\n";
+    } else {
+      std::cerr << "FAIL: eig1 slows down as lanes are added\n";
+      return 1;
+    }
+  }
+
   std::string json;
   json += "{\n  \"bench\": \"scaling\",\n";
   json += "  \"hardware_threads\": " + std::to_string(hardware) + ",\n";
   json += "  \"modules\": " + std::to_string(h.num_modules()) + ",\n";
   json += "  \"nets\": " + std::to_string(h.num_nets()) + ",\n";
   json += "  \"all_identical_to_serial\": true,\n";
+  json += "  \"eig1_monotone\": ";
+  json += eig1_monotone ? "true" : "false";
+  json += ",\n  \"eig1_monotone_note\": \"" + eig1_note + "\",\n";
   {
     char buffer[64];
     std::snprintf(buffer, sizeof buffer, "%.3f", speedup);

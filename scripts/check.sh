@@ -130,6 +130,19 @@ ctest --test-dir build --output-on-failure
 server_smoke build
 telemetry_smoke build
 
+# Perf smoke: quick-mode kernel microbenches gated against the committed
+# baseline, so a hot-loop regression fails fast instead of surfacing hours
+# later in the full bench loop.  Quick mode writes outside bench-out/ on
+# purpose — baselines are only ever recorded from full-mode runs.
+mkdir -p build/perf-smoke
+./build/bench/kernels build/perf-smoke/BENCH_kernels.json --quick
+if [ -f BENCH_kernels.json ]; then
+  python3 scripts/bench_gate.py \
+    BENCH_kernels.json build/perf-smoke/BENCH_kernels.json \
+    --key spmv_ms:lower:20 --key matcher_sweep_ms:lower:20 \
+    --key sweep_eval_ms:lower:20
+fi
+
 cmake -B build-noobs -G Ninja -DNETPART_WARNINGS_AS_ERRORS=ON -DNETPART_OBS=OFF
 cmake --build build-noobs
 ctest --test-dir build-noobs --output-on-failure
@@ -172,7 +185,7 @@ for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   echo "==== $b ===="
   case "$(basename "$b")" in
-    repartition|scaling|serving)
+    repartition|scaling|serving|kernels)
       "$b" "build/bench-out/BENCH_$(basename "$b").json" ;;
     *)
       "$b" ;;
@@ -184,10 +197,17 @@ done
 if [ -f build/bench-out/BENCH_repartition.json ]; then
   python3 scripts/bench_gate.py \
     BENCH_repartition.json build/bench-out/BENCH_repartition.json \
-    --key speedup:higher:25 --require-true all_ig_identical
+    --key speedup:higher:25 --key warm_final_ratio:lower:10 \
+    --require-true all_ig_identical
 fi
 if [ -f build/bench-out/BENCH_scaling.json ]; then
   python3 scripts/bench_gate.py \
     BENCH_scaling.json build/bench-out/BENCH_scaling.json \
     --require-true all_identical_to_serial
+fi
+if [ -f build/bench-out/BENCH_kernels.json ]; then
+  python3 scripts/bench_gate.py \
+    BENCH_kernels.json build/bench-out/BENCH_kernels.json \
+    --key spmv_ms:lower:20 --key matcher_sweep_ms:lower:20 \
+    --key sweep_eval_ms:lower:20
 fi

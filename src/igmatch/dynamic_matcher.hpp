@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/weighted_graph.hpp"
@@ -17,6 +19,18 @@
 /// maximum matching is *repaired* with at most two augmenting-path searches
 /// instead of being recomputed — this is what makes testing all |V|-1
 /// splits cost O(|V| * (|V| + |E|)) overall (Theorem 6).
+///
+/// Layout: all per-vertex state lives in one arena-allocated SoA block of
+/// int32 lanes (match, BFS stamps/parents, free-list and seed-list
+/// positions, section boundaries) plus a mutable copy of the CSR adjacency
+/// that is kept *section-partitioned*: each vertex's neighbor row stores
+/// its Left-side neighbors first, then its Right-side ones, with the
+/// boundary in `l_end`.  A parallel `mate` lane holds, for every directed
+/// adjacency slot, the index of the reverse slot, so moving a vertex
+/// across the split re-sections all its rows in O(deg) swaps.  The
+/// augmenting BFS then scans exactly the active (cross-side) slots —
+/// branch-light, no side test per edge — which is what makes
+/// `augment_from_right`, the hottest frame in the folded profiles, cheap.
 
 namespace netpart {
 
@@ -32,6 +46,15 @@ enum class NetLabel : std::uint8_t {
   kLoserRight,   ///< Odd(L): R-net in the vertex cover (counted as cut)
   kCoreLeft,     ///< L': residual matched L-net (Phase II decides its fate)
   kCoreRight,    ///< R': residual matched R-net
+};
+
+/// One net whose Phase-I label differs from the previous classified split.
+/// Emitted by `DynamicBipartiteMatcher::classify_incremental`; consumed by
+/// `SweepCutEvaluator` to maintain the Phase-II counters in O(Δpins).
+struct NetLabelChange {
+  std::int32_t vertex = 0;
+  NetLabel before = NetLabel::kCoreLeft;
+  NetLabel after = NetLabel::kCoreLeft;
 };
 
 /// Maximum matching in the conflict bipartite graph under one-directional
@@ -69,14 +92,32 @@ class DynamicBipartiteMatcher {
   /// Number of vertices currently on the Left.
   [[nodiscard]] std::int32_t left_count() const { return left_count_; }
 
-  [[nodiscard]] std::int32_t num_vertices() const {
-    return static_cast<std::int32_t>(side_.size());
-  }
+  [[nodiscard]] std::int32_t num_vertices() const { return n_; }
 
   /// Phase I of the IG-Match main loop: classify every net into
   /// winner/loser/core via alternating-path BFS from the unmatched
-  /// vertices of each side (Figure 5).
+  /// vertices of each side (Figure 5).  From-scratch, allocating; kept as
+  /// the reference implementation for the incremental path below.
   [[nodiscard]] std::vector<NetLabel> classify() const;
+
+  /// Incremental Phase I: updates the persistent label array to this
+  /// split's classification and appends one entry per *changed* net to
+  /// `changes` (cleared first).  Bit-identical to `classify()` — the
+  /// Even/Odd decomposition is canonical for any maximum matching — but
+  /// costs O(Δ): the loser sets are rebuilt by a BFS that is seeded from
+  /// incrementally maintained "free neighbor" counters and expands only
+  /// through matched loser vertices, and winner labels are implicit
+  /// (a vertex is a winner iff it is free or matched to a loser), so only
+  /// vertices whose free/match/loser status moved since the previous call
+  /// are re-examined.
+  void classify_incremental(std::vector<NetLabelChange>& changes);
+
+  /// The persistent label array maintained by `classify_incremental`.
+  /// Valid after each call; before the first call it reflects the rank-0
+  /// state (every vertex free on the Left, hence all winner-left).
+  [[nodiscard]] std::span<const NetLabel> labels() const {
+    return {label_.data(), label_.size()};
+  }
 
   // --- Repair-cost accounting (Theorem 6 empirics; see docs/OBSERVABILITY.md).
   // These tallies are always maintained (plain integer increments) so tests
@@ -92,7 +133,10 @@ class DynamicBipartiteMatcher {
     return augmenting_paths_found_;
   }
   /// Total adjacency entries scanned by all searches; the sweep-wide sum
-  /// is the O(|V| * (|V| + |E|)) quantity of Theorem 6.
+  /// is the O(|V| * (|V| + |E|)) quantity of Theorem 6.  The sectioned
+  /// adjacency scans only active (cross-side) slots, so this undershoots
+  /// the full-adjacency figure of earlier revisions while staying within
+  /// the same bound.
   [[nodiscard]] std::int64_t edges_scanned() const { return edges_scanned_; }
 
  private:
@@ -100,19 +144,59 @@ class DynamicBipartiteMatcher {
   /// augments the matching and returns true when one exists.
   bool augment_from_right(std::int32_t root);
 
+  // Free-list and seed-list maintenance.  `seed_count_[v]` is the number
+  // of *free opposite-side* neighbors of v; vertices with a positive count
+  // are exactly the roots the loser-set BFS of classify_incremental grows
+  // from, kept in seeds_left_/seeds_right_ by side.
+  void add_free(std::int32_t v);
+  void remove_free(std::int32_t v);
+  void seed_adjust(std::int32_t v, std::int32_t delta);
+  void set_match(std::int32_t a, std::int32_t b);
+
+  [[nodiscard]] NetLabel current_label(std::int32_t v) const;
+
   const WeightedGraph& graph_;
-  std::vector<NetSide> side_;
-  /// Transient marker for the vertex mid-move (neither side's edges live).
-  std::int32_t moving_vertex_ = -1;
-  std::vector<std::int32_t> match_;
+  std::int32_t n_ = 0;
   std::int32_t matching_size_ = 0;
   std::int32_t left_count_ = 0;
 
-  // BFS scratch with timestamp-based clearing (O(1) reset per search).
-  std::vector<std::int32_t> visit_stamp_;
-  std::vector<std::int32_t> from_right_;  // L-vertex -> R-vertex we came from
-  std::vector<std::int32_t> queue_;
+  // One allocation for every int32 per-vertex lane (SoA block); the spans
+  // below are carved out of it.
+  std::unique_ptr<std::int32_t[]> arena_;
+  std::span<std::int32_t> match_;
+  std::span<std::int32_t> visit_stamp_;
+  std::span<std::int32_t> from_right_;   // L-vertex -> R-vertex we came from
+  std::span<std::int32_t> l_end_;        // section boundary per row
+  std::span<std::int32_t> row_begin_;    // CSR offsets (int32 copy)
+  std::span<std::int32_t> row_end_;
+  std::span<std::int32_t> free_pos_;     // position in free list, -1 if none
+  std::span<std::int32_t> seed_count_;   // free opposite-side neighbors
+  std::span<std::int32_t> seed_pos_;     // position in seed list, -1 if none
+  std::span<std::int32_t> cand_stamp_;   // classify diff dedupe
+  std::span<std::int32_t> adj_;          // mutable sectioned adjacency
+  std::span<std::int32_t> mate_;         // reverse slot of each slot
+
+  std::vector<NetSide> side_;
+  std::vector<NetLabel> label_;          // persistent incremental labels
+  std::vector<std::uint8_t> in_loser_;   // membership in the current sets
+
+  std::vector<std::int32_t> free_left_;
+  std::vector<std::int32_t> free_right_;
+  std::vector<std::int32_t> seeds_left_;
+  std::vector<std::int32_t> seeds_right_;
+  std::vector<std::int32_t> loser_left_;
+  std::vector<std::int32_t> loser_right_;
+  std::vector<std::int32_t> prev_loser_left_;
+  std::vector<std::int32_t> prev_loser_right_;
+
+  // Vertices whose free status, match, or side changed since the last
+  // classify_incremental — the diff candidates (duplicates allowed, the
+  // stamp dedupes).
+  std::vector<std::int32_t> dirty_;
+
+  std::vector<std::int32_t> queue_;      // BFS scratch
   std::int32_t stamp_ = 0;
+  std::int32_t cand_round_ = 0;
 
   // Repair-cost tallies (see accessors above).
   std::int64_t augmenting_searches_ = 0;

@@ -7,94 +7,13 @@
 
 #include "hypergraph/cut_metrics.hpp"
 #include "igmatch/dynamic_matcher.hpp"
+#include "igmatch/sweep_cut.hpp"
 #include "obs/metrics.hpp"
 #include "spectral/eig1.hpp"
 
 namespace netpart {
 
 namespace {
-
-/// Module fate for one split before the wholesale choice: fixed Left
-/// (member of a left-winner net), fixed Right, or unresolved (V_N).
-enum class ModuleFate : std::uint8_t { kUnresolved, kLeft, kRight };
-
-/// Both Phase II completions of one split, evaluated without materializing
-/// partitions: counts pins per net on each of (V_L, V_R, V_N) in one pass.
-struct SplitEvaluation {
-  std::int32_t cut_none_left = 0;   ///< V_N joins the Left side
-  std::int32_t cut_none_right = 0;  ///< V_N joins the Right side
-  std::int32_t left_fixed = 0;      ///< |V_L|
-  std::int32_t right_fixed = 0;     ///< |V_R|
-  std::int32_t unresolved = 0;      ///< |V_N|
-
-  [[nodiscard]] double ratio_none_left() const {
-    return ratio_cut_value(cut_none_left, left_fixed + unresolved,
-                           right_fixed);
-  }
-  [[nodiscard]] double ratio_none_right() const {
-    return ratio_cut_value(cut_none_right, left_fixed,
-                           right_fixed + unresolved);
-  }
-  [[nodiscard]] bool none_left_is_better() const {
-    return ratio_none_left() <= ratio_none_right();
-  }
-  [[nodiscard]] double best_ratio() const {
-    return std::min(ratio_none_left(), ratio_none_right());
-  }
-  [[nodiscard]] std::int32_t best_cut() const {
-    return none_left_is_better() ? cut_none_left : cut_none_right;
-  }
-};
-
-/// Derive each module's fate from the Phase I net labels: modules of
-/// winner-left nets go Left, modules of winner-right nets go Right.  The
-/// two sets are provably disjoint (an edge between Even(L) and Even(R)
-/// would complete an augmenting path), which the unit tests verify.
-void compute_fates(const Hypergraph& h, const std::vector<NetLabel>& labels,
-                   std::vector<ModuleFate>& fate) {
-  std::fill(fate.begin(), fate.end(), ModuleFate::kUnresolved);
-  for (NetId n = 0; n < h.num_nets(); ++n) {
-    const NetLabel label = labels[static_cast<std::size_t>(n)];
-    if (label == NetLabel::kWinnerLeft) {
-      for (const ModuleId m : h.pins(n))
-        fate[static_cast<std::size_t>(m)] = ModuleFate::kLeft;
-    } else if (label == NetLabel::kWinnerRight) {
-      for (const ModuleId m : h.pins(n))
-        fate[static_cast<std::size_t>(m)] = ModuleFate::kRight;
-    }
-  }
-}
-
-/// Evaluate both wholesale completions for the current fates.
-SplitEvaluation evaluate_fates(const Hypergraph& h,
-                               const std::vector<ModuleFate>& fate) {
-  SplitEvaluation eval;
-  for (const ModuleFate f : fate) {
-    switch (f) {
-      case ModuleFate::kLeft: ++eval.left_fixed; break;
-      case ModuleFate::kRight: ++eval.right_fixed; break;
-      case ModuleFate::kUnresolved: ++eval.unresolved; break;
-    }
-  }
-  for (NetId n = 0; n < h.num_nets(); ++n) {
-    std::int32_t left = 0;
-    std::int32_t right = 0;
-    std::int32_t none = 0;
-    for (const ModuleId m : h.pins(n)) {
-      switch (fate[static_cast<std::size_t>(m)]) {
-        case ModuleFate::kLeft: ++left; break;
-        case ModuleFate::kRight: ++right; break;
-        case ModuleFate::kUnresolved: ++none; break;
-      }
-    }
-    const std::int32_t size = left + right + none;
-    const std::int32_t left_if_none_left = left + none;
-    if (left_if_none_left > 0 && left_if_none_left < size)
-      ++eval.cut_none_left;
-    if (left > 0 && left < size) ++eval.cut_none_right;
-  }
-  return eval;
-}
 
 /// Materialize the partition for the chosen completion.
 Partition materialize(const std::vector<ModuleFate>& fate, bool none_left) {
@@ -240,7 +159,8 @@ IgMatchResult igmatch_sweep(const Hypergraph& h, const WeightedGraph& ig,
 
   DynamicBipartiteMatcher matcher(ig);
 
-  std::vector<ModuleFate> fate(static_cast<std::size_t>(h.num_modules()));
+  SweepCutEvaluator evaluator(h);
+  std::vector<NetLabelChange> changes;
   std::vector<ModuleFate> best_fate;
   bool best_none_left = true;
   double best_ratio = std::numeric_limits<double>::infinity();
@@ -255,16 +175,18 @@ IgMatchResult igmatch_sweep(const Hypergraph& h, const WeightedGraph& ig,
       if (!rank_mask.empty() && !rank_mask[static_cast<std::size_t>(r)])
         continue;
       ++splits_evaluated;
-      std::vector<NetLabel> labels;
       {
-        // Phase I: winner/loser/core classification of every net.
+        // Phase I: winner/loser/core classification, as a delta against
+        // the previous evaluated split (skipped ranks accumulate into the
+        // same delta).
         NETPART_SPAN("phase-1");
-        labels = matcher.classify();
+        matcher.classify_incremental(changes);
       }
-      // Phase II: evaluate both wholesale completions of this split.
+      // Phase II: fold the label delta into the fate/cut counters and read
+      // off both wholesale completions in O(1).
       NETPART_SPAN("phase-2");
-      compute_fates(h, labels, fate);
-      const SplitEvaluation eval = evaluate_fates(h, fate);
+      evaluator.apply(changes);
+      const SplitEvaluation eval = evaluator.evaluation();
 
       if (options.record_splits) {
         IgMatchSplitRecord record;
@@ -281,7 +203,7 @@ IgMatchResult igmatch_sweep(const Hypergraph& h, const WeightedGraph& ig,
       if (ratio < best_ratio) {
         best_ratio = ratio;
         best_cut = eval.best_cut();
-        best_fate = fate;
+        best_fate = evaluator.fates();
         best_none_left = eval.none_left_is_better();
         result.best_rank = r;
         result.matching_bound_at_best = matcher.matching_size();
@@ -336,11 +258,14 @@ IgMatchResult igmatch_sweep(const Hypergraph& h, const WeightedGraph& ig,
 
     // Second sweep, stopping at the candidate ranks to rebuild their fates.
     DynamicBipartiteMatcher replay(ig);
+    SweepCutEvaluator replay_evaluator(h);
     for (std::int32_t r = 1; r <= last_rank; ++r) {
       replay.move_to_right(net_order[static_cast<std::size_t>(r - 1)]);
       if (!is_candidate[static_cast<std::size_t>(r)]) continue;
-      compute_fates(h, replay.classify(), fate);
-      const SplitEvaluation eval = evaluate_fates(h, fate);
+      replay.classify_incremental(changes);
+      replay_evaluator.apply(changes);
+      const std::vector<ModuleFate>& fate = replay_evaluator.fates();
+      const SplitEvaluation eval = replay_evaluator.evaluation();
       Partition candidate = materialize(fate, eval.none_left_is_better());
       std::int32_t candidate_cut = eval.best_cut();
       double candidate_ratio = eval.best_ratio();

@@ -1,0 +1,145 @@
+#include "igmatch/sweep_cut.hpp"
+
+#include <algorithm>
+
+namespace netpart {
+
+void compute_fates(const Hypergraph& h, std::span<const NetLabel> labels,
+                   std::vector<ModuleFate>& fate) {
+  fate.assign(static_cast<std::size_t>(h.num_modules()),
+              ModuleFate::kUnresolved);
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    const NetLabel label = labels[static_cast<std::size_t>(n)];
+    if (label == NetLabel::kWinnerLeft) {
+      for (const ModuleId m : h.pins(n))
+        fate[static_cast<std::size_t>(m)] = ModuleFate::kLeft;
+    } else if (label == NetLabel::kWinnerRight) {
+      for (const ModuleId m : h.pins(n))
+        fate[static_cast<std::size_t>(m)] = ModuleFate::kRight;
+    }
+  }
+}
+
+SplitEvaluation evaluate_fates(const Hypergraph& h,
+                               const std::vector<ModuleFate>& fate) {
+  SplitEvaluation eval;
+  for (const ModuleFate f : fate) {
+    switch (f) {
+      case ModuleFate::kLeft: ++eval.left_fixed; break;
+      case ModuleFate::kRight: ++eval.right_fixed; break;
+      case ModuleFate::kUnresolved: ++eval.unresolved; break;
+    }
+  }
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    std::int32_t left = 0;
+    std::int32_t right = 0;
+    std::int32_t none = 0;
+    for (const ModuleId m : h.pins(n)) {
+      switch (fate[static_cast<std::size_t>(m)]) {
+        case ModuleFate::kLeft: ++left; break;
+        case ModuleFate::kRight: ++right; break;
+        case ModuleFate::kUnresolved: ++none; break;
+      }
+    }
+    const std::int32_t size = left + right + none;
+    const std::int32_t left_if_none_left = left + none;
+    if (left_if_none_left > 0 && left_if_none_left < size)
+      ++eval.cut_none_left;
+    if (left > 0 && left < size) ++eval.cut_none_right;
+  }
+  return eval;
+}
+
+SweepCutEvaluator::SweepCutEvaluator(const Hypergraph& h)
+    : h_(&h),
+      fate_(static_cast<std::size_t>(h.num_modules()), ModuleFate::kLeft),
+      winner_left_nets_(static_cast<std::size_t>(h.num_modules())),
+      winner_right_nets_(static_cast<std::size_t>(h.num_modules()), 0),
+      left_pins_(static_cast<std::size_t>(h.num_nets())),
+      right_pins_(static_cast<std::size_t>(h.num_nets()), 0),
+      net_size_(static_cast<std::size_t>(h.num_nets())),
+      left_fixed_(h.num_modules()),
+      touch_stamp_(static_cast<std::size_t>(h.num_modules()), 0) {
+  // Rank-0 state: every net is implicitly winner-left (all vertices on the
+  // Left and free), so every module is fated Left and both cuts are 0.
+  for (ModuleId m = 0; m < h.num_modules(); ++m)
+    winner_left_nets_[static_cast<std::size_t>(m)] = h.module_degree(m);
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    net_size_[static_cast<std::size_t>(n)] = h.net_size(n);
+    left_pins_[static_cast<std::size_t>(n)] = h.net_size(n);
+  }
+}
+
+void SweepCutEvaluator::flip_fate(ModuleId m, ModuleFate next) {
+  const ModuleFate prev = fate_[static_cast<std::size_t>(m)];
+  fate_[static_cast<std::size_t>(m)] = next;
+  if (prev == ModuleFate::kLeft) --left_fixed_;
+  if (prev == ModuleFate::kRight) --right_fixed_;
+  if (next == ModuleFate::kLeft) ++left_fixed_;
+  if (next == ModuleFate::kRight) ++right_fixed_;
+
+  const std::int32_t dl = (next == ModuleFate::kLeft ? 1 : 0) -
+                          (prev == ModuleFate::kLeft ? 1 : 0);
+  const std::int32_t dr = (next == ModuleFate::kRight ? 1 : 0) -
+                          (prev == ModuleFate::kRight ? 1 : 0);
+  for (const NetId n : h_->nets_of(m)) {
+    const auto idx = static_cast<std::size_t>(n);
+    const std::int32_t size = net_size_[idx];
+    std::int32_t left = left_pins_[idx];
+    std::int32_t right = right_pins_[idx];
+    const bool was_cnl = right > 0 && right < size;
+    const bool was_cnr = left > 0 && left < size;
+    left += dl;
+    right += dr;
+    left_pins_[idx] = left;
+    right_pins_[idx] = right;
+    const bool is_cnl = right > 0 && right < size;
+    const bool is_cnr = left > 0 && left < size;
+    cut_none_left_ += static_cast<std::int32_t>(is_cnl) -
+                      static_cast<std::int32_t>(was_cnl);
+    cut_none_right_ += static_cast<std::int32_t>(is_cnr) -
+                       static_cast<std::int32_t>(was_cnr);
+  }
+}
+
+void SweepCutEvaluator::apply(std::span<const NetLabelChange> changes) {
+  if (changes.empty()) return;
+  touched_modules_.clear();
+  ++stamp_;
+
+  // Pass 1: fold every winner-status transition into the per-module
+  // counters before deciding any fate, so a module losing one winner net
+  // and gaining another in the same batch never flips transiently.
+  for (const NetLabelChange& change : changes) {
+    const std::int32_t dl =
+        static_cast<std::int32_t>(change.after == NetLabel::kWinnerLeft) -
+        static_cast<std::int32_t>(change.before == NetLabel::kWinnerLeft);
+    const std::int32_t dr =
+        static_cast<std::int32_t>(change.after == NetLabel::kWinnerRight) -
+        static_cast<std::int32_t>(change.before == NetLabel::kWinnerRight);
+    if (dl == 0 && dr == 0) continue;
+    for (const ModuleId m : h_->pins(change.vertex)) {
+      const auto idx = static_cast<std::size_t>(m);
+      winner_left_nets_[idx] += dl;
+      winner_right_nets_[idx] += dr;
+      if (touch_stamp_[idx] != stamp_) {
+        touch_stamp_[idx] = stamp_;
+        touched_modules_.push_back(m);
+      }
+    }
+  }
+
+  // Pass 2: re-fate the touched modules from their settled counters.  The
+  // winner sets are disjoint (tests assert it), so wl > 0 and wr > 0 never
+  // hold together here.
+  for (const ModuleId m : touched_modules_) {
+    const auto idx = static_cast<std::size_t>(m);
+    const ModuleFate next = winner_left_nets_[idx] > 0 ? ModuleFate::kLeft
+                            : winner_right_nets_[idx] > 0
+                                ? ModuleFate::kRight
+                                : ModuleFate::kUnresolved;
+    if (next != fate_[idx]) flip_fate(m, next);
+  }
+}
+
+}  // namespace netpart

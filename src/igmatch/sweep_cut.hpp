@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hypergraph/cut_metrics.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "igmatch/dynamic_matcher.hpp"
+
+/// \file sweep_cut.hpp
+/// Phase II of the IG-Match main loop: turning one split's net labels into
+/// module fates and evaluating both wholesale completions.
+///
+/// Two implementations live here.  The from-scratch pair
+/// (`compute_fates` / `evaluate_fates`) rescans every net's pins per split
+/// and is the reference the tests compare against.  `SweepCutEvaluator`
+/// maintains the same quantities incrementally from the matcher's label
+/// *changes*, so each of the m-1 sweep points costs O(Δpins) instead of
+/// O(total pins):
+///
+///   - per module: counters wl(m)/wr(m) of incident winner-left /
+///     winner-right nets.  The fate of a module is Left iff wl > 0, Right
+///     iff wr > 0 (the winner sets are provably disjoint, so never both),
+///     else Unresolved.
+///   - per net: counters left(n)/right(n) of pins whose fate is Left/Right.
+///   - global: |V_L|, |V_R| and the two completion cuts, maintained from
+///     the per-net counters via the invariants
+///         cut_none_left  = #nets with 0 < right(n) < size(n)
+///         cut_none_right = #nets with 0 < left(n)  < size(n)
+///     (moving V_N to the Left leaves a net cut exactly when some but not
+///     all of its pins are fixed Right, and symmetrically).
+///
+/// A label change only touches the pins of the changed net (wl/wr updates)
+/// plus the nets of any module whose fate flipped — the O(Δpins) bound.
+
+namespace netpart {
+
+/// Module fate for one split before the wholesale choice: fixed Left
+/// (member of a left-winner net), fixed Right, or unresolved (V_N).
+enum class ModuleFate : std::uint8_t { kUnresolved, kLeft, kRight };
+
+/// Both Phase II completions of one split, evaluated without materializing
+/// partitions: counts pins per net on each of (V_L, V_R, V_N) in one pass.
+struct SplitEvaluation {
+  std::int32_t cut_none_left = 0;   ///< V_N joins the Left side
+  std::int32_t cut_none_right = 0;  ///< V_N joins the Right side
+  std::int32_t left_fixed = 0;      ///< |V_L|
+  std::int32_t right_fixed = 0;     ///< |V_R|
+  std::int32_t unresolved = 0;      ///< |V_N|
+
+  [[nodiscard]] double ratio_none_left() const {
+    return ratio_cut_value(cut_none_left, left_fixed + unresolved,
+                           right_fixed);
+  }
+  [[nodiscard]] double ratio_none_right() const {
+    return ratio_cut_value(cut_none_right, left_fixed,
+                           right_fixed + unresolved);
+  }
+  [[nodiscard]] bool none_left_is_better() const {
+    return ratio_none_left() <= ratio_none_right();
+  }
+  [[nodiscard]] double best_ratio() const {
+    return ratio_none_left() < ratio_none_right() ? ratio_none_left()
+                                                  : ratio_none_right();
+  }
+  [[nodiscard]] std::int32_t best_cut() const {
+    return none_left_is_better() ? cut_none_left : cut_none_right;
+  }
+};
+
+/// Derive each module's fate from the Phase I net labels: modules of
+/// winner-left nets go Left, modules of winner-right nets go Right.  The
+/// two sets are provably disjoint (an edge between Even(L) and Even(R)
+/// would complete an augmenting path), which the unit tests verify.
+/// From-scratch reference: O(nets + winner pins) per call.
+void compute_fates(const Hypergraph& h, std::span<const NetLabel> labels,
+                   std::vector<ModuleFate>& fate);
+
+/// Evaluate both wholesale completions for the current fates.
+/// From-scratch reference: O(modules + total pins) per call.
+[[nodiscard]] SplitEvaluation evaluate_fates(
+    const Hypergraph& h, const std::vector<ModuleFate>& fate);
+
+/// Incremental Phase II state for one sweep.  Constructed in the rank-0
+/// state (every vertex on the Left and free, hence every net implicitly
+/// winner-left and every module fated Left), then advanced by feeding it
+/// the label deltas of `DynamicBipartiteMatcher::classify_incremental`.
+/// After each `apply`, `evaluation()` returns exactly what the from-scratch
+/// `compute_fates` + `evaluate_fates` pair would for the full label vector
+/// — the oracle and property tests assert bit-identity.
+class SweepCutEvaluator {
+ public:
+  explicit SweepCutEvaluator(const Hypergraph& h);
+
+  /// Fold one batch of net-label changes into the counters.  O(Δpins):
+  /// the pins of each changed net, plus the nets of each module whose
+  /// fate flipped.
+  void apply(std::span<const NetLabelChange> changes);
+
+  /// Current evaluation of both wholesale completions.  O(1).
+  [[nodiscard]] SplitEvaluation evaluation() const {
+    SplitEvaluation eval;
+    eval.cut_none_left = cut_none_left_;
+    eval.cut_none_right = cut_none_right_;
+    eval.left_fixed = left_fixed_;
+    eval.right_fixed = right_fixed_;
+    eval.unresolved =
+        h_->num_modules() - left_fixed_ - right_fixed_;
+    return eval;
+  }
+
+  /// Current module fates (same contents compute_fates would produce).
+  [[nodiscard]] const std::vector<ModuleFate>& fates() const { return fate_; }
+
+ private:
+  void flip_fate(ModuleId m, ModuleFate next);
+
+  const Hypergraph* h_;
+  std::vector<ModuleFate> fate_;
+  std::vector<std::int32_t> winner_left_nets_;   ///< wl(m) per module
+  std::vector<std::int32_t> winner_right_nets_;  ///< wr(m) per module
+  std::vector<std::int32_t> left_pins_;          ///< left(n) per net
+  std::vector<std::int32_t> right_pins_;         ///< right(n) per net
+  std::vector<std::int32_t> net_size_;           ///< size(n) cached
+  std::int32_t left_fixed_ = 0;
+  std::int32_t right_fixed_ = 0;
+  std::int32_t cut_none_left_ = 0;
+  std::int32_t cut_none_right_ = 0;
+
+  // Scratch for one apply(): modules whose wl/wr counters moved, deduped
+  // with a stamp so a module shared by several changed nets is re-fated
+  // once, after all counter deltas have landed.
+  std::vector<ModuleId> touched_modules_;
+  std::vector<std::int32_t> touch_stamp_;
+  std::int32_t stamp_ = 0;
+};
+
+}  // namespace netpart

@@ -14,6 +14,17 @@ namespace {
 /// so the product is bit-identical under any chunking.
 constexpr std::int64_t kRowGrain = 256;
 
+#if defined(__GNUC__) || defined(__clang__)
+inline void prefetch_read(const void* p) { __builtin_prefetch(p, 0, 1); }
+#else
+inline void prefetch_read(const void*) {}
+#endif
+
+/// How far ahead (in nonzeros) to prefetch the x gather targets.  The
+/// column stream itself is sequential and the hardware prefetcher covers
+/// it; the indexed x loads are the cache misses worth hiding.
+constexpr std::int64_t kGatherPrefetch = 16;
+
 }  // namespace
 
 CsrMatrix CsrMatrix::from_triplets(std::int32_t n,
@@ -56,15 +67,32 @@ void CsrMatrix::multiply(std::span<const double> x,
                          std::span<double> y) const {
   // Row-parallel: each row's accumulation is a self-contained serial loop,
   // so the result is bit-identical for any chunking and any thread count.
+  // The inner loop walks raw arrays with the gather targets prefetched a
+  // fixed distance ahead and four products folded per trip; the adds stay
+  // one sequential chain (acc + t0, then + t1, ...), preserving the exact
+  // floating-point order of the plain loop.
+  const std::int64_t* offsets = row_offsets_.data();
+  const std::int32_t* cols = cols_.data();
+  const double* vals = values_.data();
+  const double* xs = x.data();
+  double* ys = y.data();
   parallel::parallel_for(
-      0, dim(), kRowGrain, [&](std::int64_t lo, std::int64_t hi) {
+      0, dim(), kRowGrain, [=](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t r = lo; r < hi; ++r) {
+          std::int64_t k = offsets[r];
+          const std::int64_t row_end = offsets[r + 1];
+          const std::int64_t last = row_end - 1;
           double acc = 0.0;
-          const auto cols = row_cols(static_cast<std::int32_t>(r));
-          const auto vals = row_values(static_cast<std::int32_t>(r));
-          for (std::size_t k = 0; k < cols.size(); ++k)
-            acc += vals[k] * x[static_cast<std::size_t>(cols[k])];
-          y[static_cast<std::size_t>(r)] = acc;
+          for (; k + 4 <= row_end; k += 4) {
+            prefetch_read(&xs[cols[std::min(k + kGatherPrefetch, last)]]);
+            const double t0 = vals[k] * xs[cols[k]];
+            const double t1 = vals[k + 1] * xs[cols[k + 1]];
+            const double t2 = vals[k + 2] * xs[cols[k + 2]];
+            const double t3 = vals[k + 3] * xs[cols[k + 3]];
+            acc = ((((acc + t0) + t1) + t2) + t3);
+          }
+          for (; k < row_end; ++k) acc += vals[k] * xs[cols[k]];
+          ys[r] = acc;
         }
       });
 }

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
+#include "linalg/block_lanczos.hpp"
 #include "linalg/cg.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
@@ -29,7 +31,20 @@ FiedlerResult fiedler_pair(const CsrMatrix& q, const LanczosOptions& options) {
       1.0 / std::sqrt(static_cast<double>(n)));
   const std::vector<std::vector<double>> deflation{ones};
 
-  const LanczosResult lr = smallest_eigenpair(q, deflation, options);
+  LanczosResult lr = smallest_eigenpair(q, deflation, options);
+  if (!lr.converged) {
+    // Single-vector Lanczos resolves (nearly) degenerate small eigenvalues
+    // slowly — the spectrum shape hierarchical netlists produce, and the
+    // reason the paper used a block solver.  Fall back to it exactly where
+    // the single-vector run stalls; converged runs are untouched, so their
+    // eigenvectors (and every golden derived from them) keep their bits.
+    BlockLanczosOptions block;
+    block.tolerance = options.tolerance;
+    block.seed = options.seed;
+    LanczosResult blr = block_lanczos_smallest(q, deflation, block);
+    NETPART_COUNTER_ADD("fiedler.block_fallbacks", 1);
+    if (blr.converged || blr.residual < lr.residual) lr = std::move(blr);
+  }
   out.lambda2 = lr.eigenvalue;
   out.vector = lr.eigenvector;
   out.lanczos_iterations = lr.iterations;

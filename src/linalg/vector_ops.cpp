@@ -12,7 +12,11 @@ namespace {
 
 /// Elementwise grain: below this the pool is not worth waking.  Purely a
 /// scheduling knob — elementwise ops are bit-identical under any chunking.
-constexpr std::int64_t kElementGrain = 8192;
+/// Sized so that axpy/scale on benchmark-scale vectors (tens of thousands
+/// of elements, well inside L2) stay on the calling thread: the memory
+/// bandwidth of one core already saturates them, and the wake/sleep
+/// round-trip costs more than the loop.
+constexpr std::int64_t kElementGrain = 32768;
 
 }  // namespace
 
@@ -33,6 +37,30 @@ double dot(std::span<const double> x, std::span<const double> y) {
 }
 
 double norm(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double axpy_dot(double a, std::span<const double> x, std::span<double> y,
+                std::span<const double> z) {
+  assert(x.size() == y.size());
+  assert(z.size() == y.size());
+  // One pass replacing axpy(a, x, y) followed by dot(y, z).  Each chunk
+  // updates its y elements and immediately accumulates them against z in
+  // the same serial order the standalone dot uses, and the chunk partials
+  // combine over the same kReductionChunk boundaries — so both the updated
+  // y and the returned sum are bit-identical to the two-kernel sequence at
+  // every lane count.
+  return parallel::deterministic_sum(
+      static_cast<std::int64_t>(y.size()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        double acc = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto k = static_cast<std::size_t>(i);
+          const double yi = y[k] + a * x[k];
+          y[k] = yi;
+          acc += yi * z[k];
+        }
+        return acc;
+      });
+}
 
 void axpy(double a, std::span<const double> x, std::span<double> y) {
   assert(x.size() == y.size());

@@ -26,6 +26,17 @@ namespace netpart::linalg {
 /// y += a * x.
 void axpy(double a, std::span<const double> x, std::span<double> y);
 
+/// Fused update-then-project: y += a * x, then returns dot(y, z), in one
+/// pass over the operands.  Bit-identical (in both y and the returned sum)
+/// to calling axpy(a, x, y) followed by dot(y, z): every chunk applies its
+/// updates before accumulating, and partials combine over the same fixed
+/// reduction-chunk boundaries.  `z` may alias `y` (self inner product).
+/// This is the Gram-Schmidt workhorse: orthogonalizing against vector k
+/// while computing the projection onto vector k+1 halves the passes over
+/// the iterate.
+double axpy_dot(double a, std::span<const double> x, std::span<double> y,
+                std::span<const double> z);
+
 /// x *= a.
 void scale(std::span<double> x, double a);
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -12,8 +13,21 @@
 /// pure function of the iteration range, and reductions combine per-chunk
 /// partials in ascending chunk order on the calling thread, so results are
 /// bit-identical for every lane count.
+///
+/// The templates dispatch to the pool only when doing so can pay for the
+/// wake/sleep round-trip: a region that is serial (1 lane), nested inside
+/// another region, or too small to fill several chunks executes *directly*
+/// on the calling thread — no type-erased std::function, no Job, no partial
+/// buffer — so the 1-lane build pays zero scheduling tax.  Reductions walk
+/// the same fixed kReductionChunk boundaries in ascending order on both
+/// paths, which is what keeps the bits identical.
 
 namespace netpart::parallel {
+
+/// Fewest reduction chunks worth handing to the pool.  Below this the
+/// kernel runs on the calling thread over the same chunk boundaries; the
+/// constant only moves the dispatch decision, never the summation order.
+inline constexpr std::int64_t kMinChunksToParallelize = 16;
 
 /// Run body(lo, hi) over [begin, end) in chunks of `grain` elements.
 /// Elementwise bodies (each index writes only its own outputs) are
@@ -23,8 +37,12 @@ template <typename Body>
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   Body&& body) {
   if (end <= begin) return;
+  if (grain < 1) grain = 1;
   ThreadPool& pool = ThreadPool::instance();
-  if (end - begin <= grain || pool.lanes() == 1) {
+  // Direct call for serial, nested, and small regions: elementwise bodies
+  // are chunking-independent, so the whole range runs as one span.
+  if (pool.lanes() == 1 || ThreadPool::current_lane() >= 0 ||
+      end - begin <= grain * 2) {
     body(begin, end);
     return;
   }
@@ -41,11 +59,19 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
 template <typename Task>
 void parallel_tasks(std::int64_t n, std::int32_t max_lanes, Task&& task) {
   if (n <= 0) return;
-  ThreadPool::instance().run_chunks(
-      0, n, 1, max_lanes,
-      [&task](std::int64_t lo, std::int64_t, std::size_t lane) {
-        task(lo, lane);
-      });
+  ThreadPool& pool = ThreadPool::instance();
+  if (pool.lanes() == 1 || max_lanes == 1) {
+    // Serial: every task runs on the calling thread's lane slot.
+    const std::int32_t current = ThreadPool::current_lane();
+    const std::size_t lane =
+        current >= 0 ? static_cast<std::size_t>(current) : std::size_t{0};
+    for (std::int64_t i = 0; i < n; ++i) task(i, lane);
+    return;
+  }
+  pool.run_chunks(0, n, 1, max_lanes,
+                  [&task](std::int64_t lo, std::int64_t, std::size_t lane) {
+                    task(lo, lane);
+                  });
 }
 
 /// Deterministic reduction: combine(acc, f(lo, hi)) over fixed chunks of
@@ -57,8 +83,21 @@ T deterministic_reduce(std::int64_t n, ChunkFn&& f, Combine&& combine) {
   if (n <= kReductionChunk) return f(std::int64_t{0}, n);
   const std::int64_t num_chunks =
       (n + kReductionChunk - 1) / kReductionChunk;
+  ThreadPool& pool = ThreadPool::instance();
+  if (pool.lanes() == 1 || ThreadPool::current_lane() >= 0 ||
+      num_chunks < kMinChunksToParallelize) {
+    // Calling-thread walk over the identical chunk boundaries, combined in
+    // the identical ascending order: same bits, no dispatch, no buffer.
+    T acc = f(std::int64_t{0}, kReductionChunk);
+    for (std::int64_t c = 1; c < num_chunks; ++c) {
+      const std::int64_t lo = c * kReductionChunk;
+      const std::int64_t hi = std::min(lo + kReductionChunk, n);
+      acc = combine(std::move(acc), f(lo, hi));
+    }
+    return acc;
+  }
   std::vector<T> partials(static_cast<std::size_t>(num_chunks));
-  ThreadPool::instance().run_chunks(
+  pool.run_chunks(
       0, n, kReductionChunk, 0,
       [&](std::int64_t lo, std::int64_t hi, std::size_t) {
         partials[static_cast<std::size_t>(lo / kReductionChunk)] = f(lo, hi);

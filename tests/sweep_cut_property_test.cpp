@@ -1,0 +1,253 @@
+/// Property tests for the incremental Phase II state (`SweepCutEvaluator`)
+/// and the SoA matcher's incremental classification, both introduced by the
+/// hot-kernel rework.  The contract under test is *bit-identity*:
+///
+///  * after every one of the m-1 sweep moves, the evaluator's counters must
+///    equal what the from-scratch `compute_fates` + `evaluate_fates` pair
+///    produces for the full label vector — on random hypergraphs, under
+///    every IG weighting, for identity and shuffled move orders;
+///  * the completion cuts the counters claim must equal `net_cut` of the
+///    actually materialized wholesale partitions;
+///  * `classify_incremental` must agree element-wise with the from-scratch
+///    `classify()` at every split, and the repaired matching must stay the
+///    size of a from-scratch maximum matching (Kuhn) on the oracle corpus
+///    the IG-Match heuristic is validated on.
+
+#include "igmatch/sweep_cut.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "circuits/rng.hpp"
+#include "graph/intersection_graph.hpp"
+#include "hypergraph/cut_metrics.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "igmatch/dynamic_matcher.hpp"
+
+namespace netpart {
+namespace {
+
+/// Random connected circuit with `n` in [min_modules, max_modules]: a chain
+/// seed keeps it connected, extra nets of size 2..5 add overlap structure.
+Hypergraph random_circuit(std::uint64_t seed, std::int64_t min_modules,
+                          std::int64_t max_modules) {
+  Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  const auto n =
+      static_cast<std::int32_t>(rng.range(min_modules, max_modules));
+  HypergraphBuilder builder(n);
+  for (std::int32_t i = 0; i + 1 < n; i += 2) builder.add_net({i, i + 1});
+  const auto extra = static_cast<std::int32_t>(rng.range(n / 2, 2 * n));
+  for (std::int32_t e = 0; e < extra; ++e) {
+    const auto size = static_cast<std::int32_t>(
+        rng.range(2, std::min<std::int64_t>(5, n)));
+    std::vector<ModuleId> pins;
+    for (std::int32_t i = 0; i < size; ++i)
+      pins.push_back(
+          static_cast<ModuleId>(rng.below(static_cast<std::uint64_t>(n))));
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+    if (pins.size() >= 2) builder.add_net(pins);
+  }
+  return builder.build();
+}
+
+/// Seed-dependent permutation of 0..m-1 (the sweep's move order).
+std::vector<std::int32_t> shuffled_order(std::int32_t m, std::uint64_t seed) {
+  std::vector<std::int32_t> order(static_cast<std::size_t>(m));
+  std::iota(order.begin(), order.end(), 0);
+  Xoshiro256 rng(seed ^ 0xfeedfaceULL);
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[static_cast<std::size_t>(rng.below(i))]);
+  return order;
+}
+
+/// From-scratch maximum matching (Kuhn) under the current side split; the
+/// reference the incremental repair is checked against.
+std::int32_t reference_matching_size(const WeightedGraph& g,
+                                     const std::vector<NetSide>& side) {
+  const std::int32_t n = g.num_vertices();
+  std::vector<std::int32_t> match(static_cast<std::size_t>(n), -1);
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  const auto try_augment = [&](auto&& self, std::int32_t x) -> bool {
+    for (const std::int32_t y : g.neighbors(x)) {
+      if (side[static_cast<std::size_t>(y)] != NetSide::kRight) continue;
+      if (used[static_cast<std::size_t>(y)]) continue;
+      used[static_cast<std::size_t>(y)] = 1;
+      if (match[static_cast<std::size_t>(y)] == -1 ||
+          self(self, match[static_cast<std::size_t>(y)])) {
+        match[static_cast<std::size_t>(y)] = x;
+        return true;
+      }
+    }
+    return false;
+  };
+  std::int32_t size = 0;
+  for (std::int32_t x = 0; x < n; ++x) {
+    if (side[static_cast<std::size_t>(x)] != NetSide::kLeft) continue;
+    std::fill(used.begin(), used.end(), 0);
+    if (try_augment(try_augment, x)) ++size;
+  }
+  return size;
+}
+
+/// Materialize one wholesale completion of the given fates and count its
+/// cut with the plain `net_cut` metric — the ground truth the evaluator's
+/// O(1) counters must reproduce.
+std::int32_t materialized_cut(const Hypergraph& h,
+                              const std::vector<ModuleFate>& fate,
+                              Side unresolved_side) {
+  Partition p(h.num_modules(), Side::kLeft);
+  for (std::int32_t m = 0; m < h.num_modules(); ++m) {
+    const ModuleFate f = fate[static_cast<std::size_t>(m)];
+    const Side side = f == ModuleFate::kLeft    ? Side::kLeft
+                      : f == ModuleFate::kRight ? Side::kRight
+                                                : unresolved_side;
+    p.assign(m, side);
+  }
+  return net_cut(h, p);
+}
+
+constexpr IgWeighting kWeightings[] = {IgWeighting::kPaper,
+                                       IgWeighting::kUniform,
+                                       IgWeighting::kOverlap,
+                                       IgWeighting::kJaccard};
+
+/// The headline property: across random hypergraphs x all IG weightings,
+/// the incremental counters equal the from-scratch pair after EVERY move.
+TEST(SweepCutPropertyTest, IncrementalEqualsFromScratchEverySplit) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const Hypergraph h = random_circuit(seed, 8, 40);
+    for (const IgWeighting weighting : kWeightings) {
+      const WeightedGraph ig = intersection_graph(h, weighting);
+      const std::int32_t m = h.num_nets();
+      DynamicBipartiteMatcher matcher(ig);
+      SweepCutEvaluator evaluator(h);
+      std::vector<NetLabelChange> changes;
+      std::vector<ModuleFate> reference_fates;
+      const std::vector<std::int32_t> order =
+          shuffled_order(m, seed * 31 + static_cast<std::uint64_t>(weighting));
+
+      for (std::int32_t rank = 0; rank + 1 < m; ++rank) {
+        matcher.move_to_right(order[static_cast<std::size_t>(rank)]);
+        matcher.classify_incremental(changes);
+        evaluator.apply(changes);
+
+        compute_fates(h, matcher.labels(), reference_fates);
+        ASSERT_EQ(evaluator.fates(), reference_fates)
+            << "seed " << seed << " weighting " << to_string(weighting)
+            << " rank " << rank;
+        const SplitEvaluation expected = evaluate_fates(h, reference_fates);
+        const SplitEvaluation got = evaluator.evaluation();
+        ASSERT_EQ(got.cut_none_left, expected.cut_none_left)
+            << "seed " << seed << " rank " << rank;
+        ASSERT_EQ(got.cut_none_right, expected.cut_none_right)
+            << "seed " << seed << " rank " << rank;
+        ASSERT_EQ(got.left_fixed, expected.left_fixed);
+        ASSERT_EQ(got.right_fixed, expected.right_fixed);
+        ASSERT_EQ(got.unresolved, expected.unresolved);
+      }
+    }
+  }
+}
+
+/// The counters are not just internally consistent: the two completion
+/// cuts must equal `net_cut` of the partitions they describe.
+TEST(SweepCutPropertyTest, CountersMatchMaterializedCompletionCuts) {
+  for (std::uint64_t seed = 20; seed < 28; ++seed) {
+    const Hypergraph h = random_circuit(seed, 6, 24);
+    const WeightedGraph ig = intersection_graph(h);
+    const std::int32_t m = h.num_nets();
+    DynamicBipartiteMatcher matcher(ig);
+    SweepCutEvaluator evaluator(h);
+    std::vector<NetLabelChange> changes;
+    for (std::int32_t rank = 0; rank + 1 < m; ++rank) {
+      matcher.move_to_right(rank);
+      matcher.classify_incremental(changes);
+      evaluator.apply(changes);
+      const SplitEvaluation eval = evaluator.evaluation();
+      ASSERT_EQ(eval.cut_none_left,
+                materialized_cut(h, evaluator.fates(), Side::kLeft))
+          << "seed " << seed << " rank " << rank;
+      ASSERT_EQ(eval.cut_none_right,
+                materialized_cut(h, evaluator.fates(), Side::kRight))
+          << "seed " << seed << " rank " << rank;
+    }
+  }
+}
+
+/// SoA-matcher equivalence on the oracle corpus (the tiny instances the
+/// exhaustive IG-Match oracle runs on): at every split the incremental
+/// labels must equal the from-scratch `classify()`, and the repaired
+/// matching must have from-scratch-maximum size.
+TEST(SweepCutPropertyTest, SoaMatcherMatchesReferenceOnOracleCorpus) {
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const Hypergraph h = random_circuit(seed, 4, 12);
+    const WeightedGraph ig = intersection_graph(h);
+    const std::int32_t m = h.num_nets();
+    DynamicBipartiteMatcher matcher(ig);
+    std::vector<NetSide> side(static_cast<std::size_t>(m), NetSide::kLeft);
+    std::vector<NetLabelChange> changes;
+    const std::vector<std::int32_t> order = shuffled_order(m, seed);
+    for (std::int32_t rank = 0; rank < m; ++rank) {
+      const std::int32_t v = order[static_cast<std::size_t>(rank)];
+      matcher.move_to_right(v);
+      side[static_cast<std::size_t>(v)] = NetSide::kRight;
+      matcher.classify_incremental(changes);
+
+      ASSERT_EQ(matcher.matching_size(), reference_matching_size(ig, side))
+          << "seed " << seed << " rank " << rank;
+      const std::vector<NetLabel> reference = matcher.classify();
+      const std::span<const NetLabel> incremental = matcher.labels();
+      ASSERT_EQ(incremental.size(), reference.size());
+      for (std::size_t i = 0; i < reference.size(); ++i)
+        ASSERT_EQ(incremental[i], reference[i])
+            << "seed " << seed << " rank " << rank << " net " << i;
+    }
+  }
+}
+
+/// The IG adjacency pattern — and hence the matcher and the Phase II
+/// counters — is weighting-independent: all four weightings must evaluate
+/// every split identically.
+TEST(SweepCutPropertyTest, SplitEvaluationsAreWeightingInvariant) {
+  for (std::uint64_t seed = 40; seed < 46; ++seed) {
+    const Hypergraph h = random_circuit(seed, 8, 30);
+    const std::int32_t m = h.num_nets();
+    std::vector<std::vector<SplitEvaluation>> per_weighting;
+    for (const IgWeighting weighting : kWeightings) {
+      const WeightedGraph ig = intersection_graph(h, weighting);
+      DynamicBipartiteMatcher matcher(ig);
+      SweepCutEvaluator evaluator(h);
+      std::vector<NetLabelChange> changes;
+      std::vector<SplitEvaluation> evals;
+      for (std::int32_t rank = 0; rank + 1 < m; ++rank) {
+        matcher.move_to_right(rank);
+        matcher.classify_incremental(changes);
+        evaluator.apply(changes);
+        evals.push_back(evaluator.evaluation());
+      }
+      per_weighting.push_back(std::move(evals));
+    }
+    for (std::size_t w = 1; w < per_weighting.size(); ++w) {
+      ASSERT_EQ(per_weighting[w].size(), per_weighting[0].size());
+      for (std::size_t i = 0; i < per_weighting[0].size(); ++i) {
+        ASSERT_EQ(per_weighting[w][i].cut_none_left,
+                  per_weighting[0][i].cut_none_left)
+            << "seed " << seed << " weighting " << w << " rank " << i;
+        ASSERT_EQ(per_weighting[w][i].cut_none_right,
+                  per_weighting[0][i].cut_none_right);
+        ASSERT_EQ(per_weighting[w][i].left_fixed,
+                  per_weighting[0][i].left_fixed);
+        ASSERT_EQ(per_weighting[w][i].right_fixed,
+                  per_weighting[0][i].right_fixed);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netpart

@@ -98,9 +98,12 @@ void print_usage(std::ostream& os) {
         "  --metrics-format <f>  json (default, append NDJSON) or prom\n"
         "                        (rewrite as Prometheus text exposition)\n"
         "  --profile-out <file>  sample the run's span stacks and write\n"
-        "                        folded stacks (flamegraph.pl / speedscope)\n"
+        "                        folded stacks (flamegraph.pl / speedscope);\n"
+        "                        '-' streams them to stdout\n"
         "  --events-out <file>   write solver convergence events (Lanczos\n"
-        "                        residuals, FM gains, sweep curves) as NDJSON\n"
+        "                        residuals, FM gains, sweep curves) as NDJSON;\n"
+        "                        '-' streams to stdout (at most one of\n"
+        "                        --profile-out/--events-out may use '-')\n"
         "  --hash                print the input's canonical content hash\n"
         "                        (FNV-1a over pins/nets; the netpartd result\n"
         "                        cache keys by this)\n"
@@ -439,6 +442,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (args.empty()) return usage();
+  if (flags.profile_out == "-" && flags.events_out == "-") {
+    std::cerr << "error: --profile-out - and --events-out - both stream to "
+                 "stdout, interleaving folded stacks with NDJSON events; "
+                 "send at most one of them to -\n";
+    return 2;
+  }
 
   const bool collect = flags.trace || !flags.metrics_out.empty() ||
                        !flags.trace_out.empty();
@@ -503,29 +512,44 @@ int main(int argc, char** argv) {
     obs::Profiler& profiler = obs::Profiler::instance();
     profiler.stop();
     const obs::ProfileSnapshot profile = profiler.snapshot();
-    std::ofstream out(flags.profile_out, std::ios::trunc);
-    if (!out) {
-      std::cerr << "cannot open " << flags.profile_out << '\n';
-      return 1;
+    if (flags.profile_out == "-") {
+      // Stream the folded stacks verbatim; the summary goes to stderr so
+      // `netpart ... --profile-out - | flamegraph.pl` sees only the data.
+      std::cout << profile.to_folded();
+      std::cerr << "profile: " << profile.total_samples << " samples, "
+                << static_cast<int>(profile.attribution() * 100.0 + 0.5)
+                << "% attributed\n";
+    } else {
+      std::ofstream out(flags.profile_out, std::ios::trunc);
+      if (!out) {
+        std::cerr << "cannot open " << flags.profile_out << '\n';
+        return 1;
+      }
+      out << profile.to_folded();
+      std::cout << "profile written to " << flags.profile_out << " ("
+                << profile.total_samples << " samples, "
+                << static_cast<int>(profile.attribution() * 100.0 + 0.5)
+                << "% attributed; feed to flamegraph.pl or speedscope)\n";
     }
-    out << profile.to_folded();
-    std::cout << "profile written to " << flags.profile_out << " ("
-              << profile.total_samples << " samples, "
-              << static_cast<int>(profile.attribution() * 100.0 + 0.5)
-              << "% attributed; feed to flamegraph.pl or speedscope)\n";
   }
   if (!flags.events_out.empty()) {
     obs::EventRing& ring = obs::EventRing::instance();
     ring.disarm();
-    std::ofstream out(flags.events_out, std::ios::trunc);
-    if (!out) {
-      std::cerr << "cannot open " << flags.events_out << '\n';
-      return 1;
+    if (flags.events_out == "-") {
+      std::cout << ring.drain_ndjson();
+      std::cerr << "events: " << ring.recorded() << " recorded, "
+                << ring.dropped() << " dropped\n";
+    } else {
+      std::ofstream out(flags.events_out, std::ios::trunc);
+      if (!out) {
+        std::cerr << "cannot open " << flags.events_out << '\n';
+        return 1;
+      }
+      out << ring.drain_ndjson();
+      std::cout << "convergence events written to " << flags.events_out
+                << " (" << ring.recorded() << " recorded, " << ring.dropped()
+                << " dropped)\n";
     }
-    out << ring.drain_ndjson();
-    std::cout << "convergence events written to " << flags.events_out << " ("
-              << ring.recorded() << " recorded, " << ring.dropped()
-              << " dropped)\n";
   }
 
   if (collect) {
