@@ -142,6 +142,17 @@ if [ -f BENCH_kernels.json ]; then
     --key spmv_ms:lower:20 --key matcher_sweep_ms:lower:20 \
     --key sweep_eval_ms:lower:20
 fi
+# V-cycle perf smoke: quality suite + the 100k auto-route (quick mode skips
+# the 1M run; the committed baseline's 1M keys are gated in the full bench
+# loop below).  The correctness booleans get no allowance.
+./build/bench/vcycle build/perf-smoke/BENCH_vcycle.json --quick
+if [ -f BENCH_vcycle.json ]; then
+  python3 scripts/bench_gate.py \
+    BENCH_vcycle.json build/perf-smoke/BENCH_vcycle.json \
+    --key vcycle_100k_ms:lower:50 \
+    --require-true quality_all_within_5pct \
+    --require-true routed_100k --require-true proper_100k
+fi
 
 cmake -B build-noobs -G Ninja -DNETPART_WARNINGS_AS_ERRORS=ON -DNETPART_OBS=OFF
 cmake --build build-noobs
@@ -168,13 +179,15 @@ test ! -s build-noobs/events-smoke.ndjson
 cmake -B build-tsan -G Ninja -DNETPART_SANITIZE=thread \
   -DNETPART_BUILD_BENCHMARKS=OFF -DNETPART_BUILD_EXAMPLES=OFF
 cmake --build build-tsan --target parallel_test obs_test fm_partition_test \
-  repart_property_test igmatch_oracle_test server_test io_fuzz_test
+  repart_property_test coarsen_property_test igmatch_oracle_test \
+  server_test io_fuzz_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/server_test
 ./build-tsan/tests/io_fuzz_test
 NETPART_THREADS=4 ./build-tsan/tests/fm_partition_test
 NETPART_THREADS=4 ./build-tsan/tests/repart_property_test
+NETPART_THREADS=4 ./build-tsan/tests/coarsen_property_test
 NETPART_THREADS=4 ./build-tsan/tests/igmatch_oracle_test
 
 # Bench loop.  The JSON-exporting benches write into build/bench-out/ so a
@@ -185,7 +198,7 @@ for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   echo "==== $b ===="
   case "$(basename "$b")" in
-    repartition|scaling|serving|kernels)
+    repartition|scaling|serving|kernels|vcycle)
       "$b" "build/bench-out/BENCH_$(basename "$b").json" ;;
     *)
       "$b" ;;
@@ -210,4 +223,12 @@ if [ -f build/bench-out/BENCH_kernels.json ]; then
     BENCH_kernels.json build/bench-out/BENCH_kernels.json \
     --key spmv_ms:lower:20 --key matcher_sweep_ms:lower:20 \
     --key sweep_eval_ms:lower:20
+fi
+if [ -f build/bench-out/BENCH_vcycle.json ]; then
+  python3 scripts/bench_gate.py \
+    BENCH_vcycle.json build/bench-out/BENCH_vcycle.json \
+    --key vcycle_100k_ms:lower:50 --key vcycle_1m_ms:lower:50 \
+    --require-true quality_all_within_5pct \
+    --require-true routed_100k --require-true proper_100k \
+    --require-true proper_1m --require-true single_digit_seconds_1m
 fi

@@ -46,7 +46,13 @@ struct MultiwayOptions {
   std::int32_t max_block_size = 100;
   /// Hard cap on the number of blocks produced (0 = unlimited).
   std::int32_t max_blocks = 0;
-  /// The bipartitioner applied at each split.
+  /// The bipartitioner applied at each split.  Its vcycle_threshold is
+  /// honoured per block: giant blocks early in the recursion take the
+  /// multilevel V-cycle cold path, and once splits drop below the
+  /// threshold the flat algorithm takes over.  Each block re-coarsens its
+  /// own induced sub-hypergraph — cluster quality depends on the block's
+  /// internal connectivity, so a parent hierarchy restricted to a child
+  /// block would inherit merges justified only by nets the split severed.
   PartitionerConfig bipartitioner;
   /// Run the direct k-way refinement (kway_refine.hpp) after the recursive
   /// bisection, fixing modules the bisection stranded across blocks.

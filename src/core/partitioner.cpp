@@ -53,6 +53,27 @@ PartitionResult run_partitioner(const Hypergraph& h,
     case Algorithm::kIgMatch:
     case Algorithm::kIgMatchRecursive:
     case Algorithm::kIgMatchRefined: {
+      // Production cold path: above the threshold the flat spectral
+      // pipeline (full-graph Lanczos + the full m-1 sweep) is replaced by
+      // the multilevel V-cycle, which runs IG-Match only on the coarsest
+      // instance.  Callers holding a prebuilt IG want the flat sweep that
+      // consumes it, so the switch defers to them.
+      if (config.algorithm == Algorithm::kIgMatch &&
+          config.prebuilt_ig == nullptr && config.vcycle_threshold > 0 &&
+          h.num_modules() >= config.vcycle_threshold) {
+        MultilevelOptions options;
+        options.coarsen_to = config.multilevel_coarsen_to;
+        options.vcycles = config.multilevel_vcycles;
+        options.igmatch.weighting = config.weighting;
+        options.igmatch.lanczos = config.lanczos;
+        options.igmatch.threshold_net_size = config.threshold_net_size;
+        const MultilevelResult r = multilevel_partition(h, options);
+        out.partition = r.partition;
+        out.lambda2 = r.lambda2;
+        out.eigen_converged = r.eigen_converged;
+        out.via_multilevel = true;
+        break;
+      }
       IgMatchOptions options;
       options.weighting = config.weighting;
       options.lanczos = config.lanczos;
@@ -115,10 +136,15 @@ PartitionResult run_partitioner(const Hypergraph& h,
     case Algorithm::kMultilevel: {
       MultilevelOptions options;
       options.coarsen_to = config.multilevel_coarsen_to;
+      options.vcycles = config.multilevel_vcycles;
       options.igmatch.weighting = config.weighting;
       options.igmatch.lanczos = config.lanczos;
+      options.igmatch.threshold_net_size = config.threshold_net_size;
       const MultilevelResult r = multilevel_partition(h, options);
       out.partition = r.partition;
+      out.lambda2 = r.lambda2;
+      out.eigen_converged = r.eigen_converged;
+      out.via_multilevel = true;
       break;
     }
     case Algorithm::kAnnealing: {

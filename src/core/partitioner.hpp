@@ -58,8 +58,18 @@ struct PartitionerConfig {
   /// repartitioning session maintains one across netlist edits.  Ignored
   /// by every other algorithm.
   const WeightedGraph* prebuilt_ig = nullptr;
-  /// kMultilevel: stop coarsening at this many modules.
-  std::int32_t multilevel_coarsen_to = 200;
+  /// kMultilevel: stop coarsening at this many modules (instances within
+  /// the engine's direct-solve pair budget stop earlier).
+  std::int32_t multilevel_coarsen_to = 8;
+  /// kMultilevel (and the auto V-cycle path below): improvement-guarded
+  /// extra V-cycles after the first uncoarsening.
+  std::int32_t multilevel_vcycles = 1;
+  /// Production cold-path default: kIgMatch on instances with at least
+  /// this many modules routes through the multilevel V-cycle engine (flat
+  /// Lanczos + the full m-1 sweep stop scaling long before a million
+  /// modules).  The flat algorithm is preserved below the threshold, when
+  /// 0 disables the switch, and through every other Algorithm value.
+  std::int32_t vcycle_threshold = 100000;
 };
 
 /// Uniform result record.
@@ -77,6 +87,9 @@ struct PartitionResult {
   std::optional<double> lambda2;
   std::optional<bool> eigen_converged;
   std::int32_t matching_bound = -1;  ///< IG-Match: |MM| at the winning split
+  /// The run went through the multilevel V-cycle engine (always for
+  /// kMultilevel; for kIgMatch when the instance crossed vcycle_threshold).
+  bool via_multilevel = false;
   /// Observability snapshot of the run (spans, counters, gauges,
   /// histograms).  Empty unless the metrics registry is enabled; captures
   /// everything recorded since the caller's last registry reset.

@@ -56,13 +56,49 @@ void FmEngine::reset(const Partition& p) {
       weighted_cut_ += h_.net_weight(n);
     }
   }
+  if (!module_weight_.empty()) {
+    left_weight_ = 0;
+    for (ModuleId m = 0; m < h_.num_modules(); ++m)
+      if (partition_.side(m) == Side::kLeft)
+        left_weight_ += module_weight_[static_cast<std::size_t>(m)];
+  }
+}
+
+void FmEngine::set_module_weights(std::span<const std::int64_t> weights) {
+  if (weights.empty()) {
+    module_weight_.clear();
+    left_weight_ = 0;
+    total_weight_ = 0;
+    return;
+  }
+  if (weights.size() != static_cast<std::size_t>(h_.num_modules()))
+    throw std::invalid_argument(
+        "FmEngine::set_module_weights: size mismatch");
+  total_weight_ = 0;
+  for (const std::int64_t w : weights) {
+    if (w <= 0)
+      throw std::invalid_argument(
+          "FmEngine::set_module_weights: weights must be positive");
+    total_weight_ += w;
+  }
+  module_weight_.assign(weights.begin(), weights.end());
+  left_weight_ = 0;
+  for (ModuleId m = 0; m < h_.num_modules(); ++m)
+    if (partition_.side(m) == Side::kLeft)
+      left_weight_ += module_weight_[static_cast<std::size_t>(m)];
 }
 
 double FmEngine::ratio() const {
   if (!partition_.is_proper())
     return std::numeric_limits<double>::infinity();
+  if (module_weight_.empty())
+    return static_cast<double>(weighted_cut_) /
+           static_cast<double>(partition_.size_product());
+  // Positive weights make left_weight_ > 0 and right > 0 exactly when the
+  // partition is proper, so the product below is never zero here.
   return static_cast<double>(weighted_cut_) /
-         static_cast<double>(partition_.size_product());
+         (static_cast<double>(left_weight_) *
+          static_cast<double>(total_weight_ - left_weight_));
 }
 
 std::int32_t FmEngine::gain_of(ModuleId m) const {
@@ -128,6 +164,9 @@ void FmEngine::apply_move(ModuleId m, GainBuckets& left_bucket,
         }
     }
   }
+  if (!module_weight_.empty())
+    left_weight_ += (to == Side::kLeft ? 1 : -1) *
+                    module_weight_[static_cast<std::size_t>(m)];
   partition_.assign(m, to);
 }
 
@@ -145,6 +184,9 @@ void FmEngine::undo_move(ModuleId m) {
       weighted_cut_ += sign * static_cast<std::int64_t>(h_.net_weight(n));
     }
   }
+  if (!module_weight_.empty())
+    left_weight_ += (to == Side::kLeft ? 1 : -1) *
+                    module_weight_[static_cast<std::size_t>(m)];
   partition_.assign(m, to);
 }
 
@@ -220,6 +262,9 @@ FmPassResult FmEngine::run_pass(bool use_ratio, std::int32_t min_left,
       best_cut = weighted_cut_;
       best_prefix = moves.size();
     }
+    if (stall_limit_ > 0 &&
+        moves.size() - best_prefix >= static_cast<std::size_t>(stall_limit_))
+      break;
   }
 
   // Roll back to the best prefix.

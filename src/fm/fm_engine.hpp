@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "fm/gain_buckets.hpp"
@@ -30,8 +31,17 @@ class FmEngine {
  public:
   explicit FmEngine(const Hypergraph& h);
 
-  /// Load an initial partition (any balance).  Clears any fixed set.
+  /// Load an initial partition (any balance).  Clears any fixed set;
+  /// module weights (if any) are kept.
   void reset(const Partition& p);
+
+  /// Optional positive per-module weights for the ratio objective: ratio()
+  /// becomes weighted_cut / (left_weight * right_weight).  The multilevel
+  /// engine sets each coarse module's weight to the number of fine modules
+  /// it represents, which makes a coarse-level ratio pass optimize the
+  /// projected fine-level ratio exactly.  An empty span restores unit
+  /// weights.  Min-cut balance windows stay count-based.
+  void set_module_weights(std::span<const std::int64_t> weights);
 
   /// Pin `m` to its current side: no pass will ever move it.  Fixed
   /// modules ("terminals", Dunlop-Kernighan style) let callers refine a
@@ -50,6 +60,13 @@ class FmEngine {
   /// One ratio-cut pass: no balance window (sides only need to stay
   /// non-empty); best prefix = minimum ratio cut.
   FmPassResult pass_ratio_cut();
+
+  /// Abort a pass after this many consecutive moves without a new best
+  /// prefix (0 = walk the full move sequence, the classic FM behaviour).
+  /// Refinement passes over near-converged partitions find their best
+  /// prefix within the first few moves; the rest of the sequence is pure
+  /// apply/rollback cost.
+  void set_stall_limit(std::int32_t limit) { stall_limit_ = limit; }
 
   /// Current partition (valid after reset / passes).
   [[nodiscard]] const Partition& partition() const { return partition_; }
@@ -91,8 +108,14 @@ class FmEngine {
   std::int32_t cut_ = 0;
   std::int64_t weighted_cut_ = 0;
   std::int32_t max_gain_bound_ = 0;  ///< max weighted module degree
+  std::int32_t stall_limit_ = 0;     ///< 0 = no early pass abort
   std::vector<char> locked_;
   std::vector<char> fixed_;  ///< terminals excluded from every pass
+  // Module weights for the ratio objective (empty = unit weights); the
+  // left-side total is maintained incrementally across moves.
+  std::vector<std::int64_t> module_weight_;
+  std::int64_t left_weight_ = 0;
+  std::int64_t total_weight_ = 0;
 };
 
 }  // namespace netpart

@@ -39,6 +39,8 @@ void RepartitionSession::import_warm_state(SessionWarmState state) {
       state.valid &&
       prev_fiedler_.size() == static_cast<std::size_t>(h_.num_nets()) &&
       prev_partition_.num_modules() == h_.num_modules();
+  partition_cache_valid_ =
+      state.valid && prev_partition_.num_modules() == h_.num_modules();
 }
 
 std::vector<char> RepartitionSession::build_rank_mask(
@@ -117,8 +119,12 @@ RepartitionResult RepartitionSession::repartition() {
     out.partition = Partition(n);
     out.ratio = std::numeric_limits<double>::infinity();
     cache_valid_ = false;
+    partition_cache_valid_ = false;
     return out;
   }
+
+  if (options_.vcycle_threshold > 0 && n >= options_.vcycle_threshold)
+    return repartition_vcycle(changes, std::move(out));
 
   // A warm start additionally requires the cache to be of the epoch the
   // journal's remap tables refer to (they always are when edits flow
@@ -209,6 +215,70 @@ RepartitionResult RepartitionSession::repartition() {
   prev_best_rank_ = sweep.best_rank;
   prev_partition_ = out.partition;
   cache_valid_ = prev_fiedler_.size() == static_cast<std::size_t>(m);
+  partition_cache_valid_ = true;
+  return out;
+}
+
+RepartitionResult RepartitionSession::repartition_vcycle(
+    const ChangeSet& changes, RepartitionResult out) {
+  NETPART_SPAN("repart.vcycle");
+  NETPART_COUNTER_ADD("repart.vcycle_runs", 1);
+  out.used_vcycle = true;
+  const std::int32_t n = h_.num_modules();
+
+  MultilevelOptions ml = options_.vcycle;
+  ml.igmatch.weighting = options_.weighting;
+  ml.igmatch.lanczos = options_.lanczos;
+
+  // Warm start: the remapped previous partition seeds partition-constrained
+  // V-cycles.  vcycle_refine is improvement-guarded, so the result is never
+  // worse than carrying the old answer forward — the same contract the flat
+  // path enforces with its explicit prev-partition candidate.
+  const bool warm =
+      options_.warm_start && partition_cache_valid_ &&
+      static_cast<std::size_t>(prev_partition_.num_modules()) ==
+          changes.module_remap.size();
+  bool warm_used = false;
+  if (warm) {
+    Partition candidate(n);
+    for (std::size_t old_id = 0; old_id < changes.module_remap.size();
+         ++old_id) {
+      const std::int32_t id = changes.module_remap[old_id];
+      if (id >= 0)
+        candidate.assign(id,
+                         prev_partition_.side(static_cast<ModuleId>(old_id)));
+    }
+    if (candidate.is_proper()) {
+      NETPART_COUNTER_ADD("repart.cache_hits", 1);
+      out.warm_started = true;
+      out.partition = vcycle_refine(h_, candidate, ml, &out.vcycles_run);
+      out.used_previous_partition = out.vcycles_run == 0;
+      if (out.used_previous_partition)
+        NETPART_COUNTER_ADD("repart.prev_partition_wins", 1);
+      warm_used = true;
+    }
+  }
+  if (!warm_used) {
+    NETPART_COUNTER_ADD("repart.cache_misses", 1);
+    if (ml.vcycles < 1) ml.vcycles = 1;
+    const MultilevelResult r = multilevel_partition(h_, ml);
+    out.partition = r.partition;
+    out.lambda2 = r.lambda2;
+    out.eigen_converged = r.eigen_converged;
+    out.vcycles_run = r.vcycles_run;
+  }
+  out.nets_cut = net_cut(h_, out.partition);
+  out.ratio = ratio_cut(h_, out.partition);
+
+  // No Fiedler vector was computed on this path, so the flat path's
+  // spectral cache dies here; the partition cache survives and feeds the
+  // next warm V-cycle.
+  prev_fiedler_.clear();
+  prev_order_.clear();
+  prev_best_rank_ = 0;
+  cache_valid_ = false;
+  prev_partition_ = out.partition;
+  partition_cache_valid_ = true;
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cluster/multilevel.hpp"
 #include "graph/intersection_graph.hpp"
 #include "graph/weighted_graph.hpp"
 #include "hypergraph/hypergraph.hpp"
@@ -53,6 +54,16 @@ struct RepartitionOptions {
   /// no mask, no previous-partition candidate) while still exercising the
   /// incremental IG maintenance.
   bool warm_start = true;
+  /// Netlists with at least this many modules take the multilevel V-cycle
+  /// path: cold runs replace the flat spectral pipeline with
+  /// multilevel_partition, and warm runs refine the remapped previous
+  /// partition through partition-constrained V-cycles (guarded, so never
+  /// worse than carrying the old answer forward).  0 disables the path;
+  /// below the threshold behaviour is bit-identical to the flat session.
+  std::int32_t vcycle_threshold = 100000;
+  /// Multilevel engine settings for that path; weighting and lanczos are
+  /// overridden from the fields above so the two paths stay consistent.
+  MultilevelOptions vcycle;
 };
 
 /// Portable snapshot of a session's warm-start cache (Fiedler vector, net
@@ -79,8 +90,13 @@ struct RepartitionResult {
   bool eigen_converged = false;
   std::int32_t lanczos_iterations = 0;
   bool warm_started = false;
-  /// The remapped previous partition beat the masked sweep and was kept.
+  /// The remapped previous partition beat the masked sweep and was kept
+  /// (V-cycle path: no cycle improved on the remapped previous partition).
   bool used_previous_partition = false;
+  /// This run went through the multilevel V-cycle path.
+  bool used_vcycle = false;
+  /// V-cycle path: constrained cycles that strictly improved the ratio.
+  std::int32_t vcycles_run = 0;
   std::int32_t sweep_ranks_evaluated = 0;
   std::int32_t sweep_ranks_total = 0;
   std::int32_t ig_rows_rebuilt = 0;
@@ -125,14 +141,23 @@ class RepartitionSession {
   std::vector<char> build_rank_mask(const ChangeSet& changes,
                                     const std::vector<std::int32_t>& order);
 
+  /// The multilevel path: V-cycle cold solve, or partition-constrained
+  /// V-cycle refinement warm-started from the remapped previous partition.
+  RepartitionResult repartition_vcycle(const ChangeSet& changes,
+                                       RepartitionResult out);
+
   RepartitionOptions options_;
   EditableNetlist editor_;
   Hypergraph h_;
   IncrementalIntersectionGraph inc_ig_;
   WeightedGraph ig_;
 
-  // Warm-start cache (valid_ false until the first successful run).
+  // Warm-start cache (valid_ false until the first successful run).  The
+  // V-cycle path needs only the previous partition, so it keys off
+  // partition_cache_valid_; cache_valid_ additionally vouches for the
+  // Fiedler vector and ordering the flat path warm-starts from.
   bool cache_valid_ = false;
+  bool partition_cache_valid_ = false;
   std::vector<double> prev_fiedler_;        // per net id of the cached epoch
   std::vector<std::int32_t> prev_order_;    // net ids, cached epoch
   std::int32_t prev_best_rank_ = 0;

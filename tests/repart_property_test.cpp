@@ -26,6 +26,7 @@
 
 #include "circuits/generator.hpp"
 #include "circuits/rng.hpp"
+#include "cluster/multilevel.hpp"
 #include "graph/intersection_graph.hpp"
 #include "hypergraph/cut_metrics.hpp"
 #include "igmatch/igmatch.hpp"
@@ -285,6 +286,64 @@ TEST(RepartPropertyTest, WarmSessionWithinToleranceOfCold) {
   // The tolerance must not be doing all the work: warm matches or beats
   // cold in the overwhelming majority of batches.
   EXPECT_LE(cold_wins, 20) << "warm wins: " << warm_wins;
+}
+
+// Multilevel warm start: with the V-cycle threshold forced down to 1
+// module, every repartition takes the multilevel path — the cold run
+// through multilevel_partition, warm runs through partition-constrained
+// V-cycle refinement of the remapped previous answer.  Over a long ECO
+// trace the warm path must hold its own against a cold V-cycle re-solve
+// of each epoch: at least as many wins as losses, and a final answer
+// within 2% of cold.
+TEST(RepartPropertyTest, MultilevelWarmStartTracksColdVcycleOverEcoTrace) {
+  GeneratorConfig config;
+  config.name = "repart-vcycle-trace";
+  // Dense enough that the optimum cut is nonzero — at generator default
+  // density the best split cuts nothing and every comparison ties.
+  config.num_modules = 400;
+  config.num_nets = 1000;
+  const Hypergraph h = generate_circuit(config).hypergraph;
+
+  RepartitionOptions options;
+  options.vcycle_threshold = 1;         // every run takes the V-cycle path
+  options.vcycle.direct_pair_budget = 0;  // force real hierarchies
+  options.vcycle.coarsen_to = 64;
+  options.vcycle.vcycles = 1;
+  RepartitionSession session(h, options);
+  ShadowNetlist shadow(h);
+  Xoshiro256 rng(424243);
+
+  const RepartitionResult first = session.repartition();
+  ASSERT_TRUE(first.used_vcycle);
+  ASSERT_FALSE(first.warm_started);
+  ASSERT_TRUE(first.partition.is_proper());
+
+  std::int32_t warm_wins = 0, cold_wins = 0, warm_batches = 0;
+  double final_warm = 0.0, final_cold = 0.0;
+  for (std::int32_t batch = 0; batch < 20; ++batch) {
+    const auto edits = static_cast<std::int32_t>(rng.range(1, 5));
+    for (std::int32_t e = 0; e < edits; ++e)
+      random_edit(rng, session.netlist(), shadow);
+    const RepartitionResult warm = session.repartition();
+    ASSERT_TRUE(warm.used_vcycle) << "batch " << batch;
+    ASSERT_TRUE(warm.partition.is_proper()) << "batch " << batch;
+    warm_batches += warm.warm_started ? 1 : 0;
+    // Reported metrics must describe the returned partition.
+    ASSERT_EQ(net_cut(session.hypergraph(), warm.partition), warm.nets_cut)
+        << "batch " << batch;
+    const MultilevelResult cold =
+        multilevel_partition(session.hypergraph(), options.vcycle);
+    if (warm.ratio < cold.ratio) ++warm_wins;
+    if (warm.ratio > cold.ratio) ++cold_wins;
+    final_warm = warm.ratio;
+    final_cold = cold.ratio;
+  }
+  // The trace must genuinely exercise the warm path, the warm path must
+  // not lose to cold overall, and it must land within 2% at the end.
+  EXPECT_GE(warm_batches, 15);
+  EXPECT_GE(warm_wins, cold_wins);
+  EXPECT_LE(final_warm, final_cold * 1.02 + 1e-12)
+      << "warm drifted beyond 2% of a cold V-cycle re-solve";
 }
 
 TEST(RepartPropertyTest, EditApiValidation) {

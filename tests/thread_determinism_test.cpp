@@ -14,6 +14,7 @@
 
 #include "circuits/generator.hpp"
 #include "circuits/rng.hpp"
+#include "cluster/multilevel.hpp"
 #include "core/multiway.hpp"
 #include "core/partitioner.hpp"
 #include "fm/fm_partition.hpp"
@@ -191,6 +192,53 @@ TEST_F(ThreadDeterminismTest, MultiwayBitIdenticalAcrossLaneCounts) {
     EXPECT_EQ(got.splits_performed, reference.splits_performed);
     EXPECT_EQ(got.nets_spanning, reference.nets_spanning);
     EXPECT_EQ(got.connectivity_cost, reference.connectivity_cost);
+  }
+}
+
+TEST_F(ThreadDeterminismTest, VcycleEngineBitIdenticalAcrossLaneCounts) {
+  // The full multilevel path — community detection, heavy-edge clustering,
+  // contraction, coarsest IG-Match, per-level FM refinement, and two extra
+  // side-constrained V-cycles — must be one deterministic pipeline at any
+  // lane count.  Forced hierarchies (pair budget lifted) so every stage
+  // genuinely runs; the largest circuit crosses the reduction chunk.
+  const Hypergraph circuits[] = {
+      circuit(600, "det-vcycle-small"),
+      circuit(1200, "det-vcycle-medium"),
+      circuit(5000, "det-vcycle-large"),
+  };
+  MultilevelOptions options;
+  options.direct_pair_budget = 0;
+  options.coarsen_to = 64;
+  options.vcycles = 2;
+  for (const Hypergraph& h : circuits) {
+    parallel::ThreadPool::instance().configure(1);
+    const MultilevelResult reference = multilevel_partition(h, options);
+    ASSERT_GT(reference.levels, 0) << h.num_modules();
+    for (const std::int32_t lanes : kLaneCounts) {
+      if (lanes == 1) continue;
+      parallel::ThreadPool::instance().configure(lanes);
+      const MultilevelResult got = multilevel_partition(h, options);
+      const std::string context = "modules=" +
+                                  std::to_string(h.num_modules()) +
+                                  " lanes=" + std::to_string(lanes);
+      EXPECT_EQ(got.nets_cut, reference.nets_cut) << context;
+      EXPECT_EQ(got.ratio, reference.ratio) << context;  // bitwise
+      EXPECT_EQ(got.levels, reference.levels) << context;
+      EXPECT_EQ(got.coarsest_modules, reference.coarsest_modules) << context;
+      EXPECT_EQ(got.vcycles_run, reference.vcycles_run) << context;
+      EXPECT_EQ(got.lambda2, reference.lambda2) << context;  // bitwise
+      for (ModuleId m = 0; m < h.num_modules(); ++m)
+        ASSERT_EQ(got.partition.side(m), reference.partition.side(m))
+            << context << " module " << m;
+      ASSERT_EQ(got.coarsest_partition.num_modules(),
+                reference.coarsest_partition.num_modules())
+          << context;
+      for (ModuleId m = 0; m < reference.coarsest_partition.num_modules();
+           ++m)
+        ASSERT_EQ(got.coarsest_partition.side(m),
+                  reference.coarsest_partition.side(m))
+            << context << " coarse module " << m;
+    }
   }
 }
 

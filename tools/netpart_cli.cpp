@@ -104,6 +104,17 @@ void print_usage(std::ostream& os) {
         "                        residuals, FM gains, sweep curves) as NDJSON;\n"
         "                        '-' streams to stdout (at most one of\n"
         "                        --profile-out/--events-out may use '-')\n"
+        "  --ml-coarsen-to <n>   multilevel/V-cycle: stop coarsening once\n"
+        "                        the instance has at most n modules\n"
+        "                        (default 200)\n"
+        "  --ml-vcycles <n>      multilevel/V-cycle: improvement-guarded\n"
+        "                        extra V-cycles after the first\n"
+        "                        uncoarsening (default 1)\n"
+        "  --ml-threshold <n>    igmatch runs on inputs with at least n\n"
+        "                        modules take the multilevel V-cycle cold\n"
+        "                        path (default 100000; 0 = always flat).\n"
+        "                        Applies to partition, multiway splits, and\n"
+        "                        --repartition sessions\n"
         "  --hash                print the input's canonical content hash\n"
         "                        (FNV-1a over pins/nets; the netpartd result\n"
         "                        cache keys by this)\n"
@@ -136,6 +147,21 @@ struct CliFlags {
 
 /// --hash: every load() announces the input's content hash.
 bool g_print_hash = false;
+
+/// Multilevel V-cycle knobs (-1 = keep the library default).
+struct MlFlags {
+  int coarsen_to = -1;
+  int vcycles = -1;
+  int threshold = -1;
+};
+MlFlags g_ml;
+
+/// Fold the --ml-* flags into a partitioner config.
+void apply_ml_flags(PartitionerConfig& config) {
+  if (g_ml.coarsen_to >= 0) config.multilevel_coarsen_to = g_ml.coarsen_to;
+  if (g_ml.vcycles >= 0) config.multilevel_vcycles = g_ml.vcycles;
+  if (g_ml.threshold >= 0) config.vcycle_threshold = g_ml.threshold;
+}
 
 /// Load a built-in circuit by name, or an .hgr file by path.
 Hypergraph load(const std::string& input) {
@@ -188,7 +214,11 @@ int cmd_repartition(const std::string& input, const std::string& algorithm,
   }
   const Hypergraph h = load(input);
   const repart::EditScript script = repart::read_edit_script_file(edits);
-  repart::RepartitionSession session(h);
+  repart::RepartitionOptions options;
+  if (g_ml.coarsen_to >= 0) options.vcycle.coarsen_to = g_ml.coarsen_to;
+  if (g_ml.vcycles >= 0) options.vcycle.vcycles = g_ml.vcycles;
+  if (g_ml.threshold >= 0) options.vcycle_threshold = g_ml.threshold;
+  repart::RepartitionSession session(h, options);
   repart::EditScriptApplier applier(session.netlist());
 
   repart::RepartitionResult r = session.repartition();
@@ -228,8 +258,10 @@ int cmd_partition(const std::string& input, const std::string& algorithm,
   const Hypergraph h = load(input);
   PartitionerConfig config;
   config.algorithm = parse_algorithm(algorithm);
+  apply_ml_flags(config);
   const PartitionResult r = run_partitioner(h, config);
-  std::cout << r.algorithm_name << " on " << input << ":\n"
+  std::cout << r.algorithm_name << " on " << input
+            << (r.via_multilevel ? " (multilevel V-cycle)" : "") << ":\n"
             << "  areas     " << r.left_size << ":" << r.right_size << '\n'
             << "  nets cut  " << r.nets_cut << '\n'
             << "  ratio cut " << format_ratio(r.ratio) << '\n'
@@ -258,6 +290,7 @@ int cmd_multiway(const std::string& input, std::int32_t max_block,
   MultiwayOptions options;
   options.max_block_size = max_block;
   options.bipartitioner.algorithm = parse_algorithm(algorithm);
+  apply_ml_flags(options.bipartitioner);
   const MultiwayResult r = multiway_partition(h, options);
   std::cout << "multiway decomposition of " << input << " (blocks <= "
             << max_block << " modules, " << algorithm << " splits):\n"
@@ -435,6 +468,28 @@ int main(int argc, char** argv) {
         return 2;
       }
       parallel::ThreadPool::instance().configure(threads);
+      continue;
+    }
+    if (arg == "--ml-coarsen-to" || arg == "--ml-vcycles" ||
+        arg == "--ml-threshold") {
+      if (i + 1 >= raw.size()) {
+        std::cerr << "error: " << arg << " requires an integer argument\n";
+        return 2;
+      }
+      int value = -1;
+      try {
+        value = std::stoi(raw[++i]);
+      } catch (const std::exception&) {
+        value = -1;
+      }
+      if (value < 0 || (arg == "--ml-coarsen-to" && value < 4)) {
+        std::cerr << "error: " << arg << " requires a non-negative integer"
+                  << (arg == "--ml-coarsen-to" ? " >= 4" : "") << "\n";
+        return 2;
+      }
+      if (arg == "--ml-coarsen-to") g_ml.coarsen_to = value;
+      if (arg == "--ml-vcycles") g_ml.vcycles = value;
+      if (arg == "--ml-threshold") g_ml.threshold = value;
       continue;
     }
     std::cerr << "error: unknown flag '" << arg

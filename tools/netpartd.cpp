@@ -23,6 +23,11 @@
 ///                          to stderr); 0 = never (default)
 ///   --latency-window <ms>  rolling window for `stats` latency percentiles
 ///                          (default 60000)
+///   --vcycle-threshold <n> sessions with >= n modules repartition through
+///                          the multilevel V-cycle path (default 100000,
+///                          0 = always flat)
+///   --ml-coarsen-to <n>    V-cycle path: stop coarsening at n modules
+///   --ml-vcycles <n>       V-cycle path: improvement-guarded extra cycles
 ///   --help                 print this message and exit
 ///
 /// SIGTERM/SIGINT drain in-flight work before exiting.  Exit codes follow
@@ -43,7 +48,8 @@ void print_usage(std::ostream& os) {
         "                [--idle-timeout <ms>] [--default-timeout <ms>]\n"
         "                [--max-frame <bytes>] [--threads <n>]\n"
         "                [--access-log <path>] [--slow-ms <ms>]\n"
-        "                [--latency-window <ms>]\n"
+        "                [--latency-window <ms>] [--vcycle-threshold <n>]\n"
+        "                [--ml-coarsen-to <n>] [--ml-vcycles <n>]\n"
         "                [--debug-ops] [--no-obs] [--help]\n"
         "'@'-prefixed socket paths use the Linux abstract namespace.\n"
         "See docs/SERVER.md for the wire protocol.\n";
@@ -123,6 +129,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--latency-window") {
       if (!value(n)) return 2;
       options.latency_window_ms = n > 0 ? n : 60000;
+    } else if (arg == "--vcycle-threshold") {
+      if (!value(n)) return 2;
+      options.repartition.vcycle_threshold = static_cast<std::int32_t>(n);
+    } else if (arg == "--ml-coarsen-to") {
+      if (!value(n)) return 2;
+      if (n < 4) {
+        std::cerr << "error: --ml-coarsen-to requires an integer >= 4\n";
+        return 2;
+      }
+      options.repartition.vcycle.coarsen_to = static_cast<std::int32_t>(n);
+    } else if (arg == "--ml-vcycles") {
+      if (!value(n)) return 2;
+      options.repartition.vcycle.vcycles = static_cast<std::int32_t>(n);
     } else if (arg == "--debug-ops") {
       options.enable_debug_ops = true;
     } else if (arg == "--no-obs") {
