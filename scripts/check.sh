@@ -142,6 +142,10 @@ if [ -f BENCH_kernels.json ]; then
     --key spmv_ms:lower:20 --key matcher_sweep_ms:lower:20 \
     --key sweep_eval_ms:lower:20
 fi
+# Load-test smoke: the open-loop generator against a live 4-lane pool with
+# admission control — a low-QPS step must shed nothing, a past-saturation
+# step must shed (the binary enforces both and exits nonzero otherwise).
+./build/bench/loadtest build/perf-smoke/BENCH_loadtest.json --smoke
 # V-cycle perf smoke: quality suite + the 100k auto-route (quick mode skips
 # the 1M run; the committed baseline's 1M keys are gated in the full bench
 # loop below).  The correctness booleans get no allowance.
@@ -198,7 +202,7 @@ for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   echo "==== $b ===="
   case "$(basename "$b")" in
-    repartition|scaling|serving|kernels|vcycle)
+    repartition|scaling|serving|kernels|vcycle|loadtest)
       "$b" "build/bench-out/BENCH_$(basename "$b").json" ;;
     *)
       "$b" ;;
@@ -223,6 +227,12 @@ if [ -f build/bench-out/BENCH_kernels.json ]; then
     BENCH_kernels.json build/bench-out/BENCH_kernels.json \
     --key spmv_ms:lower:20 --key matcher_sweep_ms:lower:20 \
     --key sweep_eval_ms:lower:20
+fi
+if [ -f build/bench-out/BENCH_loadtest.json ]; then
+  python3 scripts/bench_gate.py \
+    BENCH_loadtest.json build/bench-out/BENCH_loadtest.json \
+    --key pool_max_qps:higher:34 \
+    --require-true pool_3x --require-true p99_no_worse
 fi
 if [ -f build/bench-out/BENCH_vcycle.json ]; then
   python3 scripts/bench_gate.py \

@@ -36,6 +36,8 @@ std::int32_t ThreadPool::default_lanes() {
 
 std::int32_t ThreadPool::current_lane() { return tl_lane; }
 
+void ThreadPool::mark_inline() { tl_lane = 0; }
+
 ThreadPool::ThreadPool() { spawn_workers(default_lanes() - 1); }
 
 ThreadPool::~ThreadPool() { stop_workers(); }

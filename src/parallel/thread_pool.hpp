@@ -74,6 +74,15 @@ class ThreadPool {
   /// Exposed for lane-local scratch (e.g. one FmEngine per lane).
   [[nodiscard]] static std::int32_t current_lane();
 
+  /// Permanently pin the calling thread to inline execution: every region
+  /// it enters runs serially on the caller, exactly as a nested region
+  /// would.  Executor pools that run several independent compute requests
+  /// concurrently use this — the shared pool supports only one top-level
+  /// run_chunks() caller, so each serving lane opts out of worker fan-out
+  /// instead of racing for it.  Results are unchanged: the fixed-chunk
+  /// contract makes the inline path bit-identical to any lane count.
+  static void mark_inline();
+
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;

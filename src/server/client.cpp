@@ -33,6 +33,15 @@ bool Client::connect(const std::string& socket_path) {
   return true;
 }
 
+bool Client::connect_tcp(const std::string& host_port) {
+  close();
+  std::string host;
+  std::string port;
+  if (!split_host_port(host_port, host, port, error_)) return false;
+  fd_ = tcp_connect_fd(host, port, error_);
+  return fd_ >= 0;
+}
+
 void Client::close() {
   if (fd_ >= 0) {
     ::close(fd_);

@@ -23,6 +23,10 @@ class Client {
 
   /// Connect to a server socket ('@' prefix = abstract namespace).
   [[nodiscard]] bool connect(const std::string& socket_path);
+
+  /// Connect over TCP to "host:port" (empty host -> 127.0.0.1).  The wire
+  /// protocol is identical to the unix-socket transport.
+  [[nodiscard]] bool connect_tcp(const std::string& host_port);
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
   void close();
 

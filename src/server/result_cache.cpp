@@ -37,6 +37,12 @@ std::shared_ptr<const CachedResult> ResultCache::find(const CacheKey& key) {
   return it->second->second;
 }
 
+bool ResultCache::contains(const CacheKey& key) const {
+  if (capacity_ == 0) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index_.find(key) != index_.end();
+}
+
 void ResultCache::insert(const CacheKey& key, CachedResult value) {
   if (capacity_ == 0) return;
   const std::lock_guard<std::mutex> lock(mutex_);

@@ -70,6 +70,12 @@ class ResultCache {
   /// immutable and safe to hold while other threads insert/evict.
   [[nodiscard]] std::shared_ptr<const CachedResult> find(const CacheKey& key);
 
+  /// Non-counting, non-promoting probe: is the key present right now?
+  /// Admission control uses this from the I/O thread to classify a
+  /// partition request as a prospective cache hit without perturbing the
+  /// hit/miss telemetry or the LRU order.
+  [[nodiscard]] bool contains(const CacheKey& key) const;
+
   /// Insert (or refresh) an entry, evicting the least-recently-used entry
   /// beyond capacity.  No-op when disabled.
   void insert(const CacheKey& key, CachedResult value);

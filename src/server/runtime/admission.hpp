@@ -1,0 +1,96 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+/// \file admission.hpp
+/// Admission control for the serving runtime (docs/SERVER.md#admission).
+///
+/// Every request is classified on the I/O thread into one of three cost
+/// classes before it may enter an executor lane:
+///
+///  - **hit**: control-plane ops and partitions the server can answer from
+///    a primed session or the result cache — microseconds of work;
+///  - **warm**: ECO repartitions of a primed-but-edited session — bounded,
+///    incremental compute;
+///  - **cold**: from-scratch partitions (and the `load`s that set them up)
+///    — the expensive, unbounded-latency tail.
+///
+/// Each class has its own occupancy bound, smallest for cold, so overload
+/// sheds the expensive class first while hits and warm ECO keep flowing:
+/// one badly-timed burst of cold traffic can no longer starve a thousand
+/// cache hits.  Shed responses carry the class and a retry-after hint
+/// derived from current occupancy and a smoothed per-class service time.
+///
+/// Accounting is deliberately asymmetric: hit occupancy counts *queued*
+/// requests only (released at dequeue — the classic bounded-queue
+/// semantics, since hits execute in microseconds), while warm and cold
+/// occupancy counts queued *and executing* requests (released at
+/// completion), so the bound also limits how much expensive work can be in
+/// flight at once, not just how much is waiting.
+
+namespace netpart::server::runtime {
+
+enum class RequestClass : std::uint8_t { kHit = 0, kWarm = 1, kCold = 2 };
+
+inline constexpr std::size_t kNumClasses = 3;
+
+[[nodiscard]] const char* class_name(RequestClass c);
+
+/// Per-class occupancy bounds.  A request whose class is at its bound is
+/// shed with a structured `overloaded` response instead of queued.
+struct AdmissionLimits {
+  std::size_t hit_pending = 64;  ///< queued hit-class requests
+  std::size_t warm_slots = 16;   ///< queued + executing warm requests
+  std::size_t cold_slots = 4;    ///< queued + executing cold requests
+};
+
+struct ClassSnapshot {
+  std::int64_t admitted = 0;
+  std::int64_t shed = 0;
+  std::int64_t occupancy = 0;
+  double ema_ms = 0.0;  ///< smoothed service time; 0 until the first sample
+  std::int64_t cap = 0;
+};
+
+/// Thread-safe: try_admit runs on the I/O thread while on_start/on_finish
+/// run on executor lanes.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionLimits limits);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Reserve one occupancy slot for `c`.  False = shed (the shed counter
+  /// is already bumped; the caller writes the overloaded response).
+  [[nodiscard]] bool try_admit(RequestClass c);
+
+  /// A lane dequeued an admitted request (releases hit occupancy).
+  void on_start(RequestClass c);
+
+  /// A lane finished an admitted request (releases warm/cold occupancy and
+  /// folds the service time into the per-class EMA).
+  void on_finish(RequestClass c, double exec_ms);
+
+  /// Suggested client backoff: occupancy ahead of the shed request times
+  /// the smoothed service time, clamped to [10 ms, 10 s].
+  [[nodiscard]] std::int64_t retry_after_ms(RequestClass c) const;
+
+  [[nodiscard]] ClassSnapshot snapshot(RequestClass c) const;
+  [[nodiscard]] std::int64_t shed_count(RequestClass c) const;
+  [[nodiscard]] const AdmissionLimits& limits() const { return limits_; }
+
+ private:
+  [[nodiscard]] std::size_t cap(RequestClass c) const;
+
+  AdmissionLimits limits_;
+  std::atomic<std::int64_t> occupancy_[kNumClasses]{};
+  std::atomic<std::int64_t> admitted_[kNumClasses]{};
+  std::atomic<std::int64_t> shed_[kNumClasses]{};
+  mutable std::mutex ema_mutex_;
+  double ema_ms_[kNumClasses]{};
+};
+
+}  // namespace netpart::server::runtime

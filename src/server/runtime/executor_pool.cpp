@@ -1,0 +1,102 @@
+#include "server/runtime/executor_pool.hpp"
+
+#include <utility>
+
+namespace netpart::server::runtime {
+
+ExecutorPool::~ExecutorPool() { drain_and_join(); }
+
+void ExecutorPool::start(std::size_t lanes,
+                         std::function<void(std::size_t)> on_lane_start) {
+  if (!lanes_.empty()) return;
+  if (lanes == 0) lanes = 1;
+  on_lane_start_ = std::move(on_lane_start);
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i)
+    lanes_.push_back(std::make_unique<Lane>());
+  // Threads start only after every Lane exists: a lane callback may take a
+  // pool-wide snapshot.
+  for (std::size_t i = 0; i < lanes; ++i)
+    lanes_[i]->thread = std::thread([this, i] { lane_main(i); });
+}
+
+void ExecutorPool::submit(std::size_t lane, Task task) {
+  Lane& l = *lanes_.at(lane);
+  {
+    const std::lock_guard<std::mutex> lock(l.mutex);
+    l.queue.push_back(std::move(task));
+    l.depth.store(static_cast<std::int64_t>(l.queue.size()),
+                  std::memory_order_relaxed);
+  }
+  l.cv.notify_one();
+}
+
+void ExecutorPool::lane_main(std::size_t index) {
+  Lane& l = *lanes_[index];
+  if (on_lane_start_) on_lane_start_(index);
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(l.mutex);
+      l.cv.wait(lock, [&l] { return !l.queue.empty() || l.draining; });
+      if (l.queue.empty()) break;  // draining && empty -> done
+      task = std::move(l.queue.front());
+      l.queue.pop_front();
+      l.depth.store(static_cast<std::int64_t>(l.queue.size()),
+                    std::memory_order_relaxed);
+    }
+    l.busy.store(true, std::memory_order_relaxed);
+    task();
+    l.busy.store(false, std::memory_order_relaxed);
+    l.executed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ExecutorPool::drain_and_join() {
+  for (auto& lane : lanes_) {
+    {
+      const std::lock_guard<std::mutex> lock(lane->mutex);
+      lane->draining = true;
+    }
+    lane->cv.notify_all();
+  }
+  for (auto& lane : lanes_)
+    if (lane->thread.joinable()) lane->thread.join();
+}
+
+std::int64_t ExecutorPool::queue_depth(std::size_t lane) const {
+  return lanes_.at(lane)->depth.load(std::memory_order_relaxed);
+}
+
+std::int64_t ExecutorPool::total_depth() const {
+  std::int64_t total = 0;
+  for (const auto& lane : lanes_)
+    total += lane->depth.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<ExecutorPool::LaneSnapshot> ExecutorPool::snapshot() const {
+  std::vector<LaneSnapshot> out;
+  out.reserve(lanes_.size());
+  for (const auto& lane : lanes_) {
+    LaneSnapshot snap;
+    snap.queue_depth = lane->depth.load(std::memory_order_relaxed);
+    snap.busy = lane->busy.load(std::memory_order_relaxed);
+    snap.executed = lane->executed.load(std::memory_order_relaxed);
+    out.push_back(snap);
+  }
+  return out;
+}
+
+std::size_t ExecutorPool::lane_for_session(std::string_view session,
+                                           std::size_t lanes) {
+  if (lanes <= 1 || session.empty()) return 0;
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : session) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h % lanes);
+}
+
+}  // namespace netpart::server::runtime

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+/// \file executor_pool.hpp
+/// The executor pool: N deterministic serving lanes with per-session
+/// pinning (docs/SERVER.md#executor-pool).
+///
+/// Each lane is one thread draining its own FIFO.  Requests are routed by
+/// `lane_for_session`: a session name always hashes to the same lane, so
+/// all state mutation for a session is serialized on one thread — exactly
+/// the single-executor discipline, replicated N times.  Sessionless
+/// (control-plane) requests run on lane 0.
+///
+/// Determinism contract: a session's responses are a function of its own
+/// request sequence only.  Per-lane FIFO preserves each connection's
+/// order; compute inside a lane is the library's deterministic serial
+/// path (lanes mark themselves inline on the shared parallel runtime, see
+/// ThreadPool::mark_inline), and results are bit-identical at any lane
+/// count by the fixed-chunk reduction contract.  N sessions on N lanes
+/// therefore answer byte-for-byte what the single-executor build answers.
+///
+/// The pool is deliberately unbounded: backpressure is the admission
+/// controller's job (admission.hpp), enforced before submit().
+
+namespace netpart::server::runtime {
+
+class ExecutorPool {
+ public:
+  using Task = std::function<void()>;
+
+  struct LaneSnapshot {
+    std::int64_t queue_depth = 0;  ///< queued, not counting the executing task
+    bool busy = false;
+    std::int64_t executed = 0;
+  };
+
+  ExecutorPool() = default;
+  ~ExecutorPool();
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  /// Spawn `lanes` (>= 1) lane threads.  `on_lane_start` runs once on each
+  /// lane thread before it drains work (obs registry setup, inline-compute
+  /// marking).
+  void start(std::size_t lanes, std::function<void(std::size_t)> on_lane_start);
+
+  /// Queue a task on a lane.  Safe from any thread; tasks on one lane run
+  /// in submission order.
+  void submit(std::size_t lane, Task task);
+
+  /// Finish every queued task, then stop and join all lanes.  Idempotent.
+  void drain_and_join();
+
+  [[nodiscard]] std::size_t lanes() const { return lanes_.size(); }
+  [[nodiscard]] std::int64_t queue_depth(std::size_t lane) const;
+  [[nodiscard]] std::int64_t total_depth() const;
+  [[nodiscard]] std::vector<LaneSnapshot> snapshot() const;
+
+  /// Pinning map: FNV-1a of the session name mod `lanes`.  Empty names
+  /// (sessionless/control ops) pin to lane 0.
+  [[nodiscard]] static std::size_t lane_for_session(std::string_view session,
+                                                    std::size_t lanes);
+
+ private:
+  struct Lane {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Task> queue;  ///< guarded by mutex
+    bool draining = false;   ///< guarded by mutex
+    std::atomic<std::int64_t> depth{0};
+    std::atomic<bool> busy{false};
+    std::atomic<std::int64_t> executed{0};
+    std::thread thread;
+  };
+
+  void lane_main(std::size_t index);
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::function<void(std::size_t)> on_lane_start_;
+};
+
+}  // namespace netpart::server::runtime

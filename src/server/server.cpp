@@ -24,6 +24,7 @@
 #include "obs/profiler.hpp"
 #include "obs/prom_export.hpp"
 #include "obs/trace_export.hpp"
+#include "parallel/thread_pool.hpp"
 #include "repart/edit_script.hpp"
 #include "server/socket_util.hpp"
 
@@ -86,6 +87,38 @@ std::string latency_json(const obs::HistogramEntry& h,
   return out;
 }
 
+/// Class occupancy bounds from the options: explicit values win, zeros
+/// derive from queue_capacity so one flag scales the whole admission
+/// surface.  hit_pending *is* queue_capacity — at 1 lane with admission on,
+/// hit-class backpressure behaves exactly like the legacy bounded queue.
+runtime::AdmissionLimits derive_limits(const ServerOptions& o) {
+  runtime::AdmissionLimits l;
+  l.hit_pending = std::max<std::size_t>(1, o.queue_capacity);
+  l.warm_slots = o.warm_slots > 0
+                     ? o.warm_slots
+                     : std::max<std::size_t>(4, o.queue_capacity / 4);
+  l.cold_slots = o.cold_slots > 0
+                     ? o.cold_slots
+                     : std::max<std::size_t>(2, o.queue_capacity / 16);
+  return l;
+}
+
+/// Structured shed response: the legacy `overloaded` error plus top-level
+/// `class` and `retry_after_ms` fields clients can back off on.
+std::string overloaded_response(std::int64_t id, runtime::RequestClass cls,
+                                std::int64_t retry_after_ms) {
+  std::string msg = std::string(runtime::class_name(cls)) +
+                    " admission capacity is full; retry later";
+  std::string out = error_response(id, "overloaded", msg);
+  out.pop_back();  // reopen the top-level object
+  out += ",\"class\":\"";
+  out += runtime::class_name(cls);
+  out += "\",\"retry_after_ms\":";
+  out += std::to_string(retry_after_ms);
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
 Server::Conn::~Conn() {
@@ -96,19 +129,19 @@ Server::Server(ServerOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_capacity),
       config_hash_(repartition_config_hash(options_.repartition)),
-      all_latency_(obs::RollingConfig{options_.latency_window_ms, 6}) {}
+      admission_(derive_limits(options_)),
+      all_latency_(obs::RollingConfig{options_.latency_window_ms, 6}) {
+  class_latency_.reserve(runtime::kNumClasses);
+  for (std::size_t i = 0; i < runtime::kNumClasses; ++i)
+    class_latency_.emplace_back(
+        obs::RollingConfig{options_.latency_window_ms, 6});
+}
 
 Server::~Server() {
   request_stop();
-  if (executor_.joinable()) {
-    {
-      const std::lock_guard<std::mutex> lock(queue_mutex_);
-      draining_ = true;
-    }
-    queue_cv_.notify_all();
-    executor_.join();
-  }
+  pool_.drain_and_join();
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
   for (int fd : wake_pipe_)
     if (fd >= 0) ::close(fd);
 }
@@ -145,10 +178,27 @@ bool Server::start(std::string& error) {
   }
   set_nonblocking(listen_fd_);
 
+  if (!options_.tcp_listen.empty()) {
+    std::string host;
+    std::string port;
+    if (!split_host_port(options_.tcp_listen, host, port, error) ||
+        (tcp_listen_fd_ = tcp_listen_fd(host, port, 64, error)) < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    set_nonblocking(tcp_listen_fd_);
+    tcp_port_ = tcp_local_port(tcp_listen_fd_);
+  }
+
   if (::pipe(wake_pipe_) < 0) {
     error = std::string("pipe: ") + std::strerror(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
+    if (tcp_listen_fd_ >= 0) {
+      ::close(tcp_listen_fd_);
+      tcp_listen_fd_ = -1;
+    }
     return false;
   }
   set_nonblocking(wake_pipe_[0]);
@@ -160,6 +210,10 @@ bool Server::start(std::string& error) {
       error = "cannot open access log " + options_.access_log_path;
       ::close(listen_fd_);
       listen_fd_ = -1;
+      if (tcp_listen_fd_ >= 0) {
+        ::close(tcp_listen_fd_);
+        tcp_listen_fd_ = -1;
+      }
       for (int& fd : wake_pipe_) {
         ::close(fd);
         fd = -1;
@@ -169,7 +223,29 @@ bool Server::start(std::string& error) {
   }
 
   start_ms_ = steady_now_ms();
-  executor_ = std::thread([this] { executor_loop(); });
+  const std::size_t lanes = std::max<std::size_t>(1, options_.executor_lanes);
+  const bool enable_obs = options_.enable_obs;
+  const std::int64_t window_ms = options_.latency_window_ms;
+  pool_.start(lanes, [lanes, enable_obs, window_ms](std::size_t lane) {
+    // With several lanes, each opts out of the shared parallel runtime's
+    // worker fan-out: the pool supports one top-level caller, and inline
+    // execution is bit-identical anyway (fixed-chunk contract).
+    if (lanes > 1) parallel::ThreadPool::mark_inline();
+#if NETPART_OBS_ENABLED
+    if (enable_obs && lane == 0) {
+      auto& reg = obs::MetricsRegistry::instance();
+      reg.set_enabled(true);
+      reg.set_run_label("netpartd");
+      // Long-running process: windowed percentiles per pipeline phase.
+      reg.configure_rolling(window_ms, 6);
+      reg.set_rolling_spans(true);
+    }
+#else
+    (void)enable_obs;
+    (void)window_ms;
+    (void)lane;
+#endif
+  });
   started_ = true;
   return true;
 }
@@ -206,18 +282,17 @@ void Server::request_stop() {
 void Server::run() {
   io_loop();
 
-  // Drain: no new frames arrive (poll loop exited, listen fd about to
+  // Drain: no new frames arrive (poll loop exited, listen fds about to
   // close); everything already queued still gets its answer.
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    draining_ = true;
+  if (tcp_listen_fd_ >= 0) {
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
   }
-  queue_cv_.notify_all();
-  if (executor_.joinable()) executor_.join();
+  pool_.drain_and_join();
   conns_.clear();  // destructors close the fds
   if (options_.socket_path[0] != '@') ::unlink(options_.socket_path.c_str());
 }
@@ -229,6 +304,7 @@ void Server::io_loop() {
     fds.push_back({listen_fd_, POLLIN, 0});
     fds.push_back({wake_pipe_[0], POLLIN, 0});
     fds.push_back({g_signal_pipe[0] >= 0 ? g_signal_pipe[0] : -1, POLLIN, 0});
+    fds.push_back({tcp_listen_fd_ >= 0 ? tcp_listen_fd_ : -1, POLLIN, 0});
     const std::size_t first_conn = fds.size();
     for (const auto& conn : conns_)
       fds.push_back({conn->fd, POLLIN, 0});
@@ -249,7 +325,7 @@ void Server::io_loop() {
     }
     if (n == 0) continue;
 
-    if (fds[0].revents & POLLIN) accept_ready();
+    if (fds[0].revents & POLLIN) accept_ready(listen_fd_, /*tcp=*/false);
     if (fds[1].revents & POLLIN) {
       char buf[64];
       while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
@@ -261,6 +337,7 @@ void Server::io_loop() {
       }
       request_stop();
     }
+    if (fds[3].revents & POLLIN) accept_ready(tcp_listen_fd_, /*tcp=*/true);
 
     for (std::size_t i = first_conn; i < fds.size(); ++i) {
       const auto& conn = conns_[i - first_conn];
@@ -273,10 +350,11 @@ void Server::io_loop() {
   }
 }
 
-void Server::accept_ready() {
+void Server::accept_ready(int listen_fd, bool tcp) {
   while (true) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN/EMFILE/...: try again next poll round
+    if (tcp) set_tcp_nodelay(fd);
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     NETPART_COUNTER_ADD("server.connections", 1);
     conns_.push_back(std::make_shared<Conn>(fd));
@@ -353,6 +431,38 @@ void Server::process_line(const std::shared_ptr<Conn>& conn,
   enqueue(conn, std::move(req), static_cast<std::int64_t>(line.size()));
 }
 
+runtime::RequestClass Server::classify(const Request& req) {
+  switch (req.op) {
+    case Op::kLoad:
+      // The first half of every cold run: building the session that the
+      // cold partition will then solve.  Shedding it before the work
+      // starts is the whole point of the cold class.
+      return runtime::RequestClass::kCold;
+    case Op::kPartition:
+    case Op::kRepartition:
+      break;
+    default:
+      // Control-plane ops answer in microseconds.
+      return runtime::RequestClass::kHit;
+  }
+  const auto s = sessions_.find(req.session, steady_now_ms());
+  if (!s) return runtime::RequestClass::kHit;  // cheap `no_session` error
+  switch (s->admission_hint.load(std::memory_order_relaxed)) {
+    case kHintPrimed:
+      return runtime::RequestClass::kHit;  // replay of the held answer
+    case kHintEdited:
+      return runtime::RequestClass::kWarm;  // incremental ECO repartition
+    default:
+      break;
+  }
+  // Unprimed: a result-cache hit still serves in microseconds.
+  if (req.use_cache &&
+      cache_.contains(CacheKey{
+          s->admission_hash.load(std::memory_order_relaxed), config_hash_}))
+    return runtime::RequestClass::kHit;
+  return runtime::RequestClass::kCold;
+}
+
 void Server::enqueue(const std::shared_ptr<Conn>& conn, Request req,
                      std::int64_t wire_bytes) {
   if (stop_requested_.load(std::memory_order_relaxed)) {
@@ -360,59 +470,58 @@ void Server::enqueue(const std::shared_ptr<Conn>& conn, Request req,
                                         "server is draining"));
     return;
   }
-  QueueItem item;
-  item.conn = conn;
-  item.wire_bytes = wire_bytes;
-  item.enqueue_ms = steady_now_ms();
+  auto item = std::make_shared<QueueItem>();
+  item->conn = conn;
+  item->wire_bytes = wire_bytes;
+  item->enqueue_ms = steady_now_ms();
   const std::int64_t effective_timeout =
       req.timeout_ms > 0 ? req.timeout_ms : options_.default_timeout_ms;
   if (effective_timeout > 0)
-    item.deadline_ms = item.enqueue_ms + effective_timeout;
-  item.req = std::move(req);
+    item->deadline_ms = item->enqueue_ms + effective_timeout;
+  item->req = std::move(req);
 
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (queue_.size() >= options_.queue_capacity) {
+  if (options_.admission_control) {
+    item->cls = classify(item->req);
+    if (!admission_.try_admit(item->cls)) {
       rejected_overload_.fetch_add(1, std::memory_order_relaxed);
       NETPART_COUNTER_ADD("server.rejected_overload", 1);
-      write_response(item.conn,
-                     error_response(item.req.id, "overloaded",
-                                    "request queue is full; retry later"));
+      switch (item->cls) {
+        case runtime::RequestClass::kCold:
+          NETPART_COUNTER_ADD("server.shed_cold", 1);
+          break;
+        case runtime::RequestClass::kWarm:
+          NETPART_COUNTER_ADD("server.shed_warm", 1);
+          break;
+        default:
+          break;
+      }
+      write_response(item->conn,
+                     overloaded_response(item->req.id, item->cls,
+                                         admission_.retry_after_ms(item->cls)));
       return;
     }
-    queue_.push_back(std::move(item));
-    NETPART_GAUGE_SET("server.queue_depth",
-                      static_cast<double>(queue_.size()));
+  } else if (pool_.total_depth() >=
+             static_cast<std::int64_t>(options_.queue_capacity)) {
+    // Legacy single-bound backpressure: every class shares one queue cap.
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    NETPART_COUNTER_ADD("server.rejected_overload", 1);
+    write_response(item->conn,
+                   error_response(item->req.id, "overloaded",
+                                  "request queue is full; retry later"));
+    return;
   }
-  queue_cv_.notify_one();
-}
 
-void Server::executor_loop() {
-#if NETPART_OBS_ENABLED
-  if (options_.enable_obs) {
-    auto& reg = obs::MetricsRegistry::instance();
-    reg.set_enabled(true);
-    reg.set_run_label("netpartd");
-    // Long-running process: windowed percentiles per pipeline phase.
-    reg.configure_rolling(options_.latency_window_ms, 6);
-    reg.set_rolling_spans(true);
-  }
-#endif
-  while (true) {
-    QueueItem item;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
-      if (queue_.empty()) break;  // draining_ && empty -> done
-      item = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    handle_item(item);
-  }
+  const std::size_t lane = runtime::ExecutorPool::lane_for_session(
+      item->req.session, pool_.lanes());
+  NETPART_GAUGE_SET("server.queue_depth",
+                    static_cast<double>(pool_.total_depth() + 1));
+  pool_.submit(lane, [this, item] { handle_item(*item); });
 }
 
 void Server::handle_item(QueueItem& item) {
   const std::int64_t begin_ms = steady_now_ms();
+  const bool admitted = options_.admission_control;
+  if (admitted) admission_.on_start(item.cls);
   NETPART_HISTOGRAM_RECORD("server.queue_wait_ms",
                            static_cast<double>(begin_ms - item.enqueue_ms));
   if (item.deadline_ms > 0 && begin_ms > item.deadline_ms) {
@@ -422,18 +531,23 @@ void Server::handle_item(QueueItem& item) {
                                           "request expired while queued");
     const auto bytes_out = static_cast<std::int64_t>(response.size());
     write_response(item.conn, std::move(response));
-    exec_cache_hit_ = false;
-    observe_request(item, begin_ms, begin_ms, /*ok=*/false, bytes_out,
-                    "deadline_exceeded");
+    if (admitted) admission_.on_finish(item.cls, 0.0);
+    observe_request(item, begin_ms, begin_ms, /*ok=*/false,
+                    /*cache_hit=*/false, bytes_out, "deadline_exceeded");
     return;
   }
 
-  const bool trace = item.req.trace;
+  // Per-request observation windows (trace/events) splice registry-wide
+  // state into one response; that is only coherent when a single lane runs
+  // all compute, so a multi-lane pool serves these requests without the
+  // extra arrays (documented in docs/SERVER.md).
+  const bool single_lane = pool_.lanes() == 1;
+  const bool trace = item.req.trace && single_lane;
   // `events:true`: arm the convergence-event ring for this request only.
-  // The executor runs requests strictly serially, so everything drained
-  // below was emitted by this request's compute.  (Under -DNETPART_OBS=OFF
-  // the ring is a stub and the spliced array is always empty.)
-  const bool events = item.req.events;
+  // One lane runs requests strictly serially, so everything drained below
+  // was emitted by this request's compute.  (Under -DNETPART_OBS=OFF the
+  // ring is a stub and the spliced array is always empty.)
+  const bool events = item.req.events && single_lane;
   auto& event_ring = obs::EventRing::instance();
   if (events) event_ring.arm();
 #if NETPART_OBS_ENABLED
@@ -445,8 +559,8 @@ void Server::handle_item(QueueItem& item) {
   if (trace && reg.enabled()) reg.reset();
 #endif
 
-  exec_cache_hit_ = false;
-  std::string response = dispatch(item.req);
+  bool cache_hit = false;
+  std::string response = dispatch(item.req, cache_hit);
 
 #if NETPART_OBS_ENABLED
   if (trace && reg.enabled() && !response.empty() &&
@@ -480,23 +594,29 @@ void Server::handle_item(QueueItem& item) {
 
   const std::int64_t end_ms = steady_now_ms();
   const double exec_ms = static_cast<double>(end_ms - begin_ms);
+  if (admitted) admission_.on_finish(item.cls, exec_ms);
   NETPART_HISTOGRAM_RECORD("server.handle_ms", exec_ms);
   NETPART_ROLLING_RECORD("server.request_ms", exec_ms);
-  op_latency_
-      .try_emplace(item.req.op_name,
-                   obs::RollingConfig{options_.latency_window_ms, 6})
-      .first->second.record(exec_ms, end_ms);
-  all_latency_.record(exec_ms, end_ms);
+  {
+    const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+    op_latency_
+        .try_emplace(item.req.op_name,
+                     obs::RollingConfig{options_.latency_window_ms, 6})
+        .first->second.record(exec_ms, end_ms);
+    all_latency_.record(exec_ms, end_ms);
+    class_latency_[static_cast<std::size_t>(item.cls)].record(exec_ms, end_ms);
+  }
   sample_process_gauges(end_ms);
 
   const bool ok = response.find("\"ok\":false") == std::string::npos;
   const auto bytes_out = static_cast<std::int64_t>(response.size());
   write_response(item.conn, std::move(response));
-  observe_request(item, begin_ms, end_ms, ok, bytes_out, ok ? "ok" : "error");
+  observe_request(item, begin_ms, end_ms, ok, cache_hit, bytes_out,
+                  ok ? "ok" : "error");
 }
 
 void Server::observe_request(const QueueItem& item, std::int64_t begin_ms,
-                             std::int64_t end_ms, bool ok,
+                             std::int64_t end_ms, bool ok, bool cache_hit,
                              std::int64_t bytes_out,
                              std::string_view outcome) {
   const std::int64_t exec_ms = end_ms - begin_ms;
@@ -515,6 +635,8 @@ void Server::observe_request(const QueueItem& item, std::int64_t begin_ms,
   line += ok ? "true" : "false";
   line += ",\"outcome\":\"";
   line += outcome;
+  line += "\",\"class\":\"";
+  line += runtime::class_name(item.cls);
   line += "\",\"bytes_in\":";
   line += std::to_string(item.wire_bytes);
   line += ",\"bytes_out\":";
@@ -524,7 +646,7 @@ void Server::observe_request(const QueueItem& item, std::int64_t begin_ms,
   line += ",\"exec_ms\":";
   line += std::to_string(exec_ms);
   line += ",\"cache_hit\":";
-  line += exec_cache_hit_ ? "true" : "false";
+  line += cache_hit ? "true" : "false";
   line += ",\"deadline_slack_ms\":";
   line += item.deadline_ms > 0 ? std::to_string(item.deadline_ms - end_ms)
                                : std::string("null");
@@ -532,17 +654,23 @@ void Server::observe_request(const QueueItem& item, std::int64_t begin_ms,
   line += slow ? "true" : "false";
   line += '}';
 
-  if (access_log_.is_open()) {
-    access_log_ << line << '\n';
-    access_log_.flush();  // tests and tail -f read the log while we serve
+  {
+    const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+    if (access_log_.is_open()) {
+      access_log_ << line << '\n';
+      access_log_.flush();  // tests and tail -f read the log while we serve
+    }
   }
   if (slow) std::fprintf(stderr, "netpartd slow request: %s\n", line.c_str());
 }
 
 void Server::sample_process_gauges(std::int64_t now_ms) {
-  if (last_gauge_sample_ms_ != 0 && now_ms - last_gauge_sample_ms_ < 1000)
+  // Lanes race for the sample; the CAS elects exactly one per second.
+  std::int64_t last = last_gauge_sample_ms_.load(std::memory_order_relaxed);
+  if (last != 0 && now_ms - last < 1000) return;
+  if (!last_gauge_sample_ms_.compare_exchange_strong(
+          last, now_ms, std::memory_order_relaxed))
     return;
-  last_gauge_sample_ms_ = now_ms;
 #if defined(__linux__)
   if (FILE* f = std::fopen("/proc/self/statm", "r")) {
     long total_pages = 0;
@@ -557,14 +685,11 @@ void Server::sample_process_gauges(std::int64_t now_ms) {
     std::fclose(f);
   }
 #endif
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    NETPART_GAUGE_SET("server.queue_depth",
-                      static_cast<double>(queue_.size()));
-  }
+  NETPART_GAUGE_SET("server.queue_depth",
+                    static_cast<double>(pool_.total_depth()));
 }
 
-std::string Server::dispatch(const Request& req) {
+std::string Server::dispatch(const Request& req, bool& cache_hit) {
   try {
     switch (req.op) {
       case Op::kPing:
@@ -573,7 +698,7 @@ std::string Server::dispatch(const Request& req) {
         return do_load(req);
       case Op::kPartition:
       case Op::kRepartition:
-        return do_partition(req);
+        return do_partition(req, cache_hit);
       case Op::kEdit:
         return do_edit(req);
       case Op::kUnload:
@@ -643,7 +768,7 @@ void Server::add_result_fields(ResponseBuilder& rb,
       .add_string("assignment", assignment_string(r.partition));
 }
 
-std::string Server::do_partition(const Request& req) {
+std::string Server::do_partition(const Request& req, bool& cache_hit) {
   NETPART_SPAN("server.partition");
   const auto s = sessions_.find(req.session, steady_now_ms());
   if (!s) {
@@ -670,11 +795,12 @@ std::string Server::do_partition(const Request& req) {
     const CacheKey key{s->netlist_hash, config_hash_};
     if (const auto hit = cache_.find(key)) {
       NETPART_COUNTER_ADD("server.cache_hits", 1);
-      exec_cache_hit_ = true;
+      cache_hit = true;
       s->session.import_warm_state(hit->warm);
       s->last = hit->result;
       s->last_was_warm = false;
       s->primed = true;
+      s->publish_admission_hint();
       ResponseBuilder rb(req.id, true);
       rb.add_string("session", s->name)
           .add_string("served_from", "cache")
@@ -694,6 +820,7 @@ std::string Server::do_partition(const Request& req) {
   s->pending_edits = false;
   if (had_edits)
     s->netlist_hash = netlist_content_hash(s->session.hypergraph());
+  s->publish_admission_hint();
 
   // Memoize cold runs only: a cold result (and its warm state) is a pure
   // function of (netlist content, config); warm ECO results are
@@ -722,13 +849,19 @@ std::string Server::do_edit(const Request& req) {
   std::istringstream in(req.script);
   const repart::EditScript script = repart::read_edit_script(in);
   std::int64_t ops = 0;
-  for (const auto& batch : script.batches) {
-    if (batch.empty()) continue;
-    // Any op may have landed before a failure below, so flag first: the
-    // session must not serve a stale `last` after a half-applied batch.
-    s->pending_edits = true;
-    s->applier.apply(batch);
-    ops += static_cast<std::int64_t>(batch.size());
+  try {
+    for (const auto& batch : script.batches) {
+      if (batch.empty()) continue;
+      // Any op may have landed before a failure below, so flag first: the
+      // session must not serve a stale `last` after a half-applied batch.
+      s->pending_edits = true;
+      s->publish_admission_hint();
+      s->applier.apply(batch);
+      ops += static_cast<std::int64_t>(batch.size());
+    }
+  } catch (...) {
+    s->publish_admission_hint();
+    throw;
   }
   NETPART_COUNTER_ADD("server.edits", ops);
   return std::move(ResponseBuilder(req.id, true)
@@ -783,6 +916,11 @@ std::string Server::do_metrics(const Request& req) {
       .add_int("rejected_overload", st.rejected_overload)
       .add_int("rejected_deadline", st.rejected_deadline)
       .add_int("rejected_oversized", st.rejected_oversized)
+      .add_int("shed_hit", st.shed_hit)
+      .add_int("shed_warm", st.shed_warm)
+      .add_int("shed_cold", st.shed_cold)
+      .add_int("write_failures", st.write_failures)
+      .add_int("executor_lanes", st.executor_lanes)
       .add_int("cache_hits", st.cache_hits)
       .add_int("cache_misses", st.cache_misses)
       .add_int("cache_evictions", cache_.evictions())
@@ -805,7 +943,11 @@ std::string Server::do_metrics(const Request& req) {
 std::string Server::do_stats(const Request& req) {
   const std::int64_t now = steady_now_ms();
   const ServerStatsSnapshot st = stats();
-  const obs::HistogramEntry all = all_latency_.merged(now);
+  obs::HistogramEntry all;
+  {
+    const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+    all = all_latency_.merged(now);
+  }
 
   const std::int64_t lookups = st.cache_hits + st.cache_misses;
   const double hit_rate =
@@ -820,17 +962,35 @@ std::string Server::do_stats(const Request& req) {
   const double qps = static_cast<double>(all.count) * 1000.0 /
                      static_cast<double>(window_span);
 
+  const auto admission_class_json = [this](runtime::RequestClass c) {
+    const runtime::ClassSnapshot snap = admission_.snapshot(c);
+    std::string out = "{\"admitted\":";
+    out += std::to_string(snap.admitted);
+    out += ",\"shed\":";
+    out += std::to_string(snap.shed);
+    out += ",\"occupancy\":";
+    out += std::to_string(snap.occupancy);
+    out += ",\"cap\":";
+    out += std::to_string(snap.cap);
+    out += ",\"ema_ms\":";
+    out += json_number(snap.ema_ms);
+    out += '}';
+    return out;
+  };
+
   if (req.format == "prometheus") {
     // Synthesize a snapshot of the always-live server telemetry; obs
     // compiles out, this does not.  Entries are appended in sorted order —
     // to_prometheus keeps snapshot order, so the exposition is stable.
     obs::MetricsSnapshot synth;
-    const auto counter = [&synth](const char* name, std::int64_t v) {
+    const auto counter = [&synth](const std::string& name, std::int64_t v) {
       synth.counters.push_back({name, v});
     };
     counter("cache_hits", st.cache_hits);
     counter("cache_misses", st.cache_misses);
     counter("connections", st.connections_accepted);
+    for (std::size_t i = 0; i < st.lanes.size(); ++i)
+      counter("lane_executed." + std::to_string(i), st.lanes[i].executed);
     counter("parse_errors", st.parse_errors);
     counter("rejected_deadline", st.rejected_deadline);
     counter("rejected_overload", st.rejected_overload);
@@ -839,21 +999,42 @@ std::string Server::do_stats(const Request& req) {
     counter("responses_error", st.responses_error);
     counter("responses_ok", st.responses_ok);
     counter("sessions_evicted", st.sessions_evicted);
-    const auto gauge = [&synth](const char* name, double v) {
+    counter("shed_cold", st.shed_cold);
+    counter("shed_hit", st.shed_hit);
+    counter("shed_warm", st.shed_warm);
+    counter("write_failures", st.write_failures);
+    const auto gauge = [&synth](const std::string& name, double v) {
       synth.gauges.push_back({name, v});
     };
     gauge("cache_size", static_cast<double>(st.cache_size));
+    gauge("executor_lanes", static_cast<double>(st.executor_lanes));
+    for (std::size_t i = 0; i < st.lanes.size(); ++i) {
+      gauge("lane_busy." + std::to_string(i), st.lanes[i].busy ? 1.0 : 0.0);
+      gauge("lane_queue_depth." + std::to_string(i),
+            static_cast<double>(st.lanes[i].queue_depth));
+    }
     gauge("queue_capacity", static_cast<double>(options_.queue_capacity));
     gauge("queue_depth", static_cast<double>(st.queue_depth));
     gauge("rss_bytes", static_cast<double>(st.rss_bytes));
     gauge("sessions_live", static_cast<double>(st.sessions_live));
     gauge("uptime_seconds", static_cast<double>(st.uptime_ms) / 1000.0);
-    for (const auto& [op_name, hist] : op_latency_) {
-      obs::RollingEntry entry;
-      entry.name = "op_latency_ms." + op_name;
-      entry.window_ms = hist.window_ms();
-      entry.window = hist.merged(now);
-      synth.rolling.push_back(std::move(entry));
+    {
+      const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+      for (std::size_t i = 0; i < class_latency_.size(); ++i) {
+        obs::RollingEntry entry;
+        entry.name = std::string("class_latency_ms.") +
+                     runtime::class_name(static_cast<runtime::RequestClass>(i));
+        entry.window_ms = class_latency_[i].window_ms();
+        entry.window = class_latency_[i].merged(now);
+        synth.rolling.push_back(std::move(entry));
+      }
+      for (const auto& [op_name, hist] : op_latency_) {
+        obs::RollingEntry entry;
+        entry.name = "op_latency_ms." + op_name;
+        entry.window_ms = hist.window_ms();
+        entry.window = hist.merged(now);
+        synth.rolling.push_back(std::move(entry));
+      }
     }
     obs::RollingEntry overall;
     overall.name = "request_latency_ms";
@@ -877,16 +1058,54 @@ std::string Server::do_stats(const Request& req) {
   }
 
   std::string per_op = "{";
-  bool first = true;
-  for (const auto& [op_name, hist] : op_latency_) {
-    if (!first) per_op += ',';
-    first = false;
-    per_op += '"';
-    per_op += obs::json_escape(op_name);
-    per_op += "\":";
-    per_op += latency_json(hist.merged(now), hist.window_ms());
+  std::string per_class = "{";
+  {
+    const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+    bool first = true;
+    for (const auto& [op_name, hist] : op_latency_) {
+      if (!first) per_op += ',';
+      first = false;
+      per_op += '"';
+      per_op += obs::json_escape(op_name);
+      per_op += "\":";
+      per_op += latency_json(hist.merged(now), hist.window_ms());
+    }
+    for (std::size_t i = 0; i < class_latency_.size(); ++i) {
+      if (i > 0) per_class += ',';
+      per_class += '"';
+      per_class += runtime::class_name(static_cast<runtime::RequestClass>(i));
+      per_class += "\":";
+      per_class += latency_json(class_latency_[i].merged(now),
+                                class_latency_[i].window_ms());
+    }
   }
   per_op += '}';
+  per_class += '}';
+
+  std::string lanes_arr = "[";
+  for (std::size_t i = 0; i < st.lanes.size(); ++i) {
+    if (i > 0) lanes_arr += ',';
+    lanes_arr += "{\"lane\":";
+    lanes_arr += std::to_string(i);
+    lanes_arr += ",\"queue_depth\":";
+    lanes_arr += std::to_string(st.lanes[i].queue_depth);
+    lanes_arr += ",\"busy\":";
+    lanes_arr += st.lanes[i].busy ? "true" : "false";
+    lanes_arr += ",\"executed\":";
+    lanes_arr += std::to_string(st.lanes[i].executed);
+    lanes_arr += '}';
+  }
+  lanes_arr += ']';
+
+  std::string admission = "{\"enabled\":";
+  admission += options_.admission_control ? "true" : "false";
+  admission += ",\"hit\":";
+  admission += admission_class_json(runtime::RequestClass::kHit);
+  admission += ",\"warm\":";
+  admission += admission_class_json(runtime::RequestClass::kWarm);
+  admission += ",\"cold\":";
+  admission += admission_class_json(runtime::RequestClass::kCold);
+  admission += '}';
 
   ResponseBuilder rb(req.id, true);
   rb.add_int("uptime_ms", st.uptime_ms)
@@ -902,15 +1121,20 @@ std::string Server::do_stats(const Request& req) {
                static_cast<std::int64_t>(options_.queue_capacity))
       .add_int("sessions_live", st.sessions_live)
       .add_int("rss_bytes", st.rss_bytes)
+      .add_int("executor_lanes", st.executor_lanes)
+      .add_int("write_failures", st.write_failures)
+      .add_raw("lanes", lanes_arr)
+      .add_raw("admission", admission)
       .add_raw("latency_ms", latency_json(all, all_latency_.window_ms()))
+      .add_raw("class_latency_ms", per_class)
       .add_raw("op_latency_ms", per_op);
   return std::move(rb).finish();
 }
 
 std::string Server::do_profile(const Request& req) {
   // The profiler's hot path is per-thread and lock-free, so controlling it
-  // from the executor while compute runs elsewhere is safe; the executor
-  // serializes requests anyway, so start/run/dump sequences are ordered.
+  // from a lane while compute runs elsewhere is safe; start/run/dump
+  // sequences from one connection stay ordered by that session's lane.
   // Under -DNETPART_OBS=OFF the stub accepts every action and dumps an
   // empty profile, so clients behave identically in both configs.
   auto& profiler = obs::Profiler::instance();
@@ -979,17 +1203,36 @@ void Server::write_response(const std::shared_ptr<Conn>& conn,
   line.push_back('\n');
   const std::lock_guard<std::mutex> lock(conn->write_mutex);
   std::size_t sent = 0;
+  int stalled_polls = 0;
   while (sent < line.size()) {
     const ssize_t n = ::send(conn->fd, line.data() + sent, line.size() - sent,
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        // Blocking fd, so this only happens if a test made it nonblocking;
-        // busy-wait briefly rather than drop the response.
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        // Nonblocking fd with a full socket buffer (or a test that made
+        // the fd nonblocking).  Wait for writability with a bounded total
+        // budget — a client that never drains gets evicted, not spun on.
+        if (++stalled_polls > 50) {
+          write_failures_.fetch_add(1, std::memory_order_relaxed);
+          NETPART_COUNTER_ADD("server.write_failures", 1);
+          std::fprintf(stderr,
+                       "netpartd: dropping stalled connection fd=%d "
+                       "(%zu/%zu bytes unsent)\n",
+                       conn->fd, line.size() - sent, line.size());
+          conn->closed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        pollfd pfd{conn->fd, POLLOUT, 0};
+        ::poll(&pfd, 1, 100);
         continue;
       }
+      // EPIPE/ECONNRESET and friends: the peer is gone.  Log and evict —
+      // the I/O loop reaps the closed connection on its next pass.
+      write_failures_.fetch_add(1, std::memory_order_relaxed);
+      NETPART_COUNTER_ADD("server.write_failures", 1);
+      std::fprintf(stderr, "netpartd: write to fd=%d failed: %s\n", conn->fd,
+                   std::strerror(errno));
       conn->closed.store(true, std::memory_order_relaxed);
       return;
     }
@@ -1008,17 +1251,22 @@ ServerStatsSnapshot Server::stats() const {
   st.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
   st.rejected_deadline = rejected_deadline_.load(std::memory_order_relaxed);
   st.rejected_oversized = rejected_oversized_.load(std::memory_order_relaxed);
+  st.shed_hit = admission_.shed_count(runtime::RequestClass::kHit);
+  st.shed_warm = admission_.shed_count(runtime::RequestClass::kWarm);
+  st.shed_cold = admission_.shed_count(runtime::RequestClass::kCold);
+  st.write_failures = write_failures_.load(std::memory_order_relaxed);
   st.cache_hits = cache_.hits();
   st.cache_misses = cache_.misses();
   st.sessions_evicted = sessions_evicted_.load(std::memory_order_relaxed);
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    st.queue_depth = static_cast<std::int64_t>(queue_.size());
-  }
+  st.queue_depth = pool_.total_depth();
   st.sessions_live = static_cast<std::int64_t>(sessions_.size());
   st.cache_size = static_cast<std::int64_t>(cache_.size());
   st.uptime_ms = start_ms_ > 0 ? steady_now_ms() - start_ms_ : 0;
   st.rss_bytes = rss_bytes_.load(std::memory_order_relaxed);
+  st.executor_lanes = static_cast<std::int64_t>(
+      pool_.lanes() > 0 ? pool_.lanes()
+                        : std::max<std::size_t>(1, options_.executor_lanes));
+  st.lanes = pool_.snapshot();
   return st;
 }
 

@@ -1,9 +1,7 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -16,28 +14,36 @@
 #include "repart/session.hpp"
 #include "server/protocol.hpp"
 #include "server/result_cache.hpp"
+#include "server/runtime/admission.hpp"
+#include "server/runtime/executor_pool.hpp"
 #include "server/session_manager.hpp"
 
 /// \file server.hpp
 /// netpartd: the concurrent partition server (docs/SERVER.md).
 ///
-/// Two threads:
-///  - the *I/O thread* (the caller of run()) accepts connections, splits
-///    newline-delimited frames, parses and validates requests, applies
-///    backpressure, and evicts idle sessions;
-///  - the *executor thread* owns all partitioning work.  Funnelling every
-///    compute request through one thread is a feature twice over: the
-///    process-wide parallel::ThreadPool supports a single top-level
-///    run_chunks() caller, and serial execution makes every response a
-///    deterministic function of the request sequence — concurrent clients
-///    can never perturb each other's answers.
+/// Thread structure:
+///  - the *I/O thread* (the caller of run()) accepts connections (unix
+///    socket and, optionally, TCP), splits newline-delimited frames, parses
+///    and validates requests, classifies and admits them, and evicts idle
+///    sessions;
+///  - an *executor pool* of N lanes (runtime/executor_pool.hpp) owns all
+///    partitioning work.  Each session is pinned to one lane by name hash,
+///    so per-session execution stays strictly serial — the discipline that
+///    makes every response a deterministic function of the session's own
+///    request sequence — while independent sessions proceed concurrently.
+///    With `executor_lanes == 1` the pool degenerates to the classic
+///    single-executor server.
 ///
-/// Backpressure is a bounded queue between the two: when it is full the I/O
-/// thread answers `overloaded` immediately instead of buffering unbounded
-/// work.  Requests may carry a deadline; the executor rejects items whose
-/// deadline passed while queued (`deadline_exceeded`).  Graceful shutdown
-/// (SIGTERM / `shutdown` op / request_stop()) stops accepting, drains the
-/// queue — every accepted request still gets its response — then exits.
+/// Backpressure is class-aware (runtime/admission.hpp): requests are
+/// classified cache-hit / warm-ECO / cold on the I/O thread and each class
+/// has its own occupancy bound, smallest for cold, so overload sheds the
+/// expensive class first.  Shed requests get a structured `overloaded`
+/// response carrying the class and a retry-after hint.  Setting
+/// `admission_control = false` restores the legacy single bounded queue.
+/// Requests may carry a deadline; a lane rejects items whose deadline
+/// passed while queued (`deadline_exceeded`).  Graceful shutdown (SIGTERM /
+/// `shutdown` op / request_stop()) stops accepting, drains every lane —
+/// every accepted request still gets its response — then exits.
 
 namespace netpart::server {
 
@@ -45,8 +51,26 @@ struct ServerOptions {
   /// Unix-domain socket path; '@' prefix selects the Linux abstract
   /// namespace (no filesystem presence, vanishes with the process).
   std::string socket_path = "@netpartd";
-  /// Bounded request queue; a full queue rejects with `overloaded`.
+  /// TCP listen spec "host:port" served *in addition to* the unix socket;
+  /// empty = unix only.  Port 0 binds an ephemeral port (see tcp_port()).
+  /// Same wire protocol, same admission/drain path.
+  std::string tcp_listen;
+  /// Executor lanes.  1 = the classic single-executor server; N > 1 pins
+  /// sessions to lanes by name hash and marks each lane inline on the
+  /// shared parallel runtime (responses stay bit-identical; see
+  /// runtime/executor_pool.hpp).
+  std::size_t executor_lanes = 1;
+  /// Class-aware admission control (hit/warm/cold occupancy bounds).
+  /// false = legacy behavior: one bounded FIFO over all classes.
+  bool admission_control = true;
+  /// Bounded request queue.  With admission control this is the hit-class
+  /// pending bound; without it, the single queue's capacity.
   std::size_t queue_capacity = 64;
+  /// Occupancy slots for cold (from-scratch) work under admission control;
+  /// 0 = derive from queue_capacity (max(2, capacity/16)).
+  std::size_t cold_slots = 0;
+  /// Occupancy slots for warm-ECO work; 0 = derive (max(4, capacity/4)).
+  std::size_t warm_slots = 0;
   /// Result-cache entries (cold runs); 0 disables caching.
   std::size_t cache_capacity = 128;
   /// Sessions idle longer than this are evicted; 0 = never.
@@ -56,11 +80,11 @@ struct ServerOptions {
   std::int64_t default_timeout_ms = 0;
   /// A request line longer than this closes the connection.
   std::size_t max_frame_bytes = 1 << 20;
-  /// Accept the debug `sleep` op (tests use it to wedge the executor).
+  /// Accept the debug `sleep` op (tests use it to wedge a lane).
   bool enable_debug_ops = false;
-  /// Enable the process-wide obs registry on the executor thread, so
-  /// `metrics` / `trace:true` responses carry span trees.  Off by default:
-  /// embedding processes (tests, benches) own the registry otherwise.
+  /// Enable the process-wide obs registry on lane 0, so `metrics` /
+  /// `trace:true` responses carry span trees.  Off by default: embedding
+  /// processes (tests, benches) own the registry otherwise.
   bool enable_obs = false;
   /// Append one NDJSON access-log line per executed request to this file
   /// (docs/SERVER.md lists the schema); empty = no access log.
@@ -83,17 +107,23 @@ struct ServerStatsSnapshot {
   std::int64_t responses_ok = 0;
   std::int64_t responses_error = 0;
   std::int64_t parse_errors = 0;       ///< malformed/invalid/unknown-op frames
-  std::int64_t rejected_overload = 0;
+  std::int64_t rejected_overload = 0;  ///< total sheds, every class
   std::int64_t rejected_deadline = 0;
   std::int64_t rejected_oversized = 0;
+  std::int64_t shed_hit = 0;           ///< admission sheds by class
+  std::int64_t shed_warm = 0;
+  std::int64_t shed_cold = 0;
+  std::int64_t write_failures = 0;     ///< responses lost to dead sockets
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
   std::int64_t sessions_evicted = 0;
-  std::int64_t queue_depth = 0;        ///< at snapshot time
+  std::int64_t queue_depth = 0;        ///< all lanes, at snapshot time
   std::int64_t sessions_live = 0;      ///< at snapshot time
   std::int64_t cache_size = 0;         ///< at snapshot time
   std::int64_t uptime_ms = 0;          ///< since start()
-  std::int64_t rss_bytes = 0;          ///< last executor sample; 0 = unknown
+  std::int64_t rss_bytes = 0;          ///< last sample; 0 = unknown
+  std::int64_t executor_lanes = 0;
+  std::vector<runtime::ExecutorPool::LaneSnapshot> lanes;
 };
 
 class Server {
@@ -104,9 +134,10 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind + listen + start the executor thread.  Returns false (with
-  /// `error`) on socket failures.  After a successful start() the socket
-  /// accepts connections even before run() is entered.
+  /// Bind + listen (unix, plus TCP when configured) + start the executor
+  /// pool.  Returns false (with `error`) on socket failures.  After a
+  /// successful start() the sockets accept connections even before run()
+  /// is entered.
   bool start(std::string& error);
 
   /// Serve until request_stop() (or a `shutdown` request, or an installed
@@ -114,8 +145,8 @@ class Server {
   /// after the drain completes.
   void run();
 
-  /// Begin graceful shutdown from any thread: stop accepting, drain the
-  /// queue, answer everything in flight, then return from run().
+  /// Begin graceful shutdown from any thread: stop accepting, drain every
+  /// lane, answer everything in flight, then return from run().
   void request_stop();
 
   /// Route SIGTERM/SIGINT to request_stop() of the server currently inside
@@ -125,10 +156,16 @@ class Server {
   [[nodiscard]] ServerStatsSnapshot stats() const;
   [[nodiscard]] const ServerOptions& options() const { return options_; }
 
+  /// The bound TCP port after start(), or 0 when no TCP listener is
+  /// configured.  With `tcp_listen` port 0 this reports the kernel-chosen
+  /// ephemeral port (tests bind port 0 to avoid collisions).
+  [[nodiscard]] int tcp_port() const { return tcp_port_; }
+
  private:
-  /// One client connection.  The fd stays open until the last reference
-  /// (I/O thread or queued work) drops, so the executor can never write to
-  /// a recycled descriptor; `closed` just stops further reads/writes.
+  /// One client connection (unix or TCP — identical from here on).  The fd
+  /// stays open until the last reference (I/O thread or queued work) drops,
+  /// so a lane can never write to a recycled descriptor; `closed` just
+  /// stops further reads/writes.
   struct Conn {
     explicit Conn(int fd_in) : fd(fd_in) {}
     ~Conn();
@@ -144,6 +181,7 @@ class Server {
   struct QueueItem {
     std::shared_ptr<Conn> conn;
     Request req;
+    runtime::RequestClass cls = runtime::RequestClass::kHit;
     std::int64_t enqueue_ms = 0;
     std::int64_t deadline_ms = 0;   ///< 0 = none
     std::int64_t wire_bytes = 0;    ///< request line length (access log)
@@ -151,19 +189,22 @@ class Server {
 
   // --- I/O thread ---
   void io_loop();
-  void accept_ready();
+  void accept_ready(int listen_fd, bool tcp);
   void handle_readable(const std::shared_ptr<Conn>& conn);
   void process_line(const std::shared_ptr<Conn>& conn, std::string_view line);
   void enqueue(const std::shared_ptr<Conn>& conn, Request req,
                std::int64_t wire_bytes);
+  /// Classify a request into an admission class from lock-free session
+  /// hints and a non-counting cache probe.  A stale hint mis-classifies
+  /// (sheds or admits sub-optimally) but never changes an answer.
+  [[nodiscard]] runtime::RequestClass classify(const Request& req);
 
-  // --- executor thread ---
-  void executor_loop();
+  // --- executor lanes ---
   void handle_item(QueueItem& item);
-  std::string dispatch(const Request& req);
+  std::string dispatch(const Request& req, bool& cache_hit);
   std::string do_ping(const Request& req);
   std::string do_load(const Request& req);
-  std::string do_partition(const Request& req);
+  std::string do_partition(const Request& req, bool& cache_hit);
   std::string do_edit(const Request& req);
   std::string do_unload(const Request& req);
   std::string do_sessions(const Request& req);
@@ -173,12 +214,12 @@ class Server {
   std::string do_sleep(const Request& req);
   std::string do_shutdown(const Request& req);
 
-  /// Executor-thread only: fold one executed request into the per-op
-  /// rolling latency map and (when configured) the access/slow logs.
-  void observe_request(const QueueItem& item, std::int64_t end_ms,
-                       std::int64_t exec_ms, bool ok,
+  /// Fold one executed request into the rolling latency maps and (when
+  /// configured) the access/slow logs.  Lane-safe: telemetry_mutex_.
+  void observe_request(const QueueItem& item, std::int64_t begin_ms,
+                       std::int64_t end_ms, bool ok, bool cache_hit,
                        std::int64_t bytes_out, std::string_view outcome);
-  /// Executor-thread only: refresh the RSS gauge at most once per second.
+  /// Refresh the RSS gauge at most once per second (any lane; CAS-elected).
   void sample_process_gauges(std::int64_t now_ms);
 
   /// Fill partition-result fields on a response under construction.
@@ -193,26 +234,27 @@ class Server {
   std::uint64_t config_hash_ = 0;
 
   int listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  int tcp_port_ = 0;
   int wake_pipe_[2] = {-1, -1};
   std::vector<std::shared_ptr<Conn>> conns_;
   std::atomic<bool> stop_requested_{false};
   bool started_ = false;
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<QueueItem> queue_;
-  bool draining_ = false;  ///< under queue_mutex_
-  std::thread executor_;
+  runtime::ExecutorPool pool_;
+  runtime::AdmissionController admission_;
 
-  // Live telemetry.  The rolling-latency map and the log stream are touched
-  // only from the executor thread (single-writer, no lock); always live so
-  // `stats` answers even under -DNETPART_OBS=OFF.
+  // Live telemetry.  The rolling maps and the log stream are shared by the
+  // lanes under telemetry_mutex_ (uncontended at 1 lane; microseconds of
+  // hold time otherwise); always live so `stats` answers even under
+  // -DNETPART_OBS=OFF.
+  mutable std::mutex telemetry_mutex_;
   std::map<std::string, obs::RollingHistogram> op_latency_;
   obs::RollingHistogram all_latency_{obs::RollingConfig{}};
+  std::vector<obs::RollingHistogram> class_latency_;  ///< one per class
   std::ofstream access_log_;
-  bool exec_cache_hit_ = false;  ///< set by do_partition, read by the log
   std::int64_t start_ms_ = 0;
-  std::int64_t last_gauge_sample_ms_ = 0;
+  std::atomic<std::int64_t> last_gauge_sample_ms_{0};
   std::atomic<std::int64_t> rss_bytes_{0};
 
   // Stats (see ServerStatsSnapshot).
@@ -225,6 +267,7 @@ class Server {
   std::atomic<std::int64_t> rejected_deadline_{0};
   std::atomic<std::int64_t> rejected_oversized_{0};
   std::atomic<std::int64_t> sessions_evicted_{0};
+  std::atomic<std::int64_t> write_failures_{0};
 };
 
 }  // namespace netpart::server

@@ -18,23 +18,36 @@
 /// A session is the server-side unit of state reuse: one RepartitionSession
 /// (evolving netlist + incremental IG + warm spectral cache) plus an
 /// EditScriptApplier resolving the wire protocol's net names.  All session
-/// *mutation* happens on the server's single executor thread; the manager's
-/// lock only guards the name -> session map, which the I/O thread also
-/// touches for idle eviction.  Eviction of a session the executor is
-/// currently driving is safe — the executor holds a shared_ptr, so the
-/// session outlives the request and simply ceases to be addressable.
+/// *mutation* happens on the one executor lane the session name pins to
+/// (runtime/executor_pool.hpp); the manager's lock only guards the
+/// name -> session map, which the I/O thread also touches for idle
+/// eviction.  Eviction of a session the executor is currently driving is
+/// safe — the executor holds a shared_ptr, so the session outlives the
+/// request and simply ceases to be addressable.
 
 namespace netpart::server {
 
-/// One live session.  Fields other than `last_used_ms` are owned by the
-/// executor thread.
+/// Classification hints published by the session's executor lane and read
+/// by the I/O thread's admission controller (server/runtime/admission.hpp).
+/// Values describe what serve path the *next* partition request on this
+/// session would take.
+enum AdmissionHint : std::uint8_t {
+  kHintCold = 0,    ///< no primed answer; next partition is a cold solve
+  kHintPrimed = 1,  ///< primed, no pending edits; next partition is a replay
+  kHintEdited = 2,  ///< pending edits; next partition is a warm ECO run
+};
+
+/// One live session.  Fields other than `last_used_ms` and the admission
+/// hint pair are owned by the session's executor lane.
 struct ServerSession {
   ServerSession(std::string session_name, const Hypergraph& initial,
                 std::uint64_t content_hash)
       : name(std::move(session_name)),
         session(initial),
         applier(session.netlist()),
-        netlist_hash(content_hash) {}
+        netlist_hash(content_hash) {
+    admission_hash.store(content_hash, std::memory_order_relaxed);
+  }
 
   ServerSession(const ServerSession&) = delete;
   ServerSession& operator=(const ServerSession&) = delete;
@@ -57,6 +70,23 @@ struct ServerSession {
   bool last_was_warm = false;
 
   std::atomic<std::int64_t> last_used_ms{0};
+
+  /// Lock-free mirror of (primed, pending_edits) for I/O-thread admission
+  /// classification.  The executor lane updates it after every state change;
+  /// the hint may lag the authoritative fields by in-flight requests, which
+  /// only mis-classifies (never mis-answers) a request.
+  std::atomic<std::uint8_t> admission_hint{kHintCold};
+  /// Mirror of `netlist_hash` for the same purpose (cache-hit probing).
+  std::atomic<std::uint64_t> admission_hash{0};
+
+  /// Publish the admission mirror from the authoritative executor-owned
+  /// fields.  Call after any mutation of primed/pending_edits/netlist_hash.
+  void publish_admission_hint() {
+    std::uint8_t hint = kHintCold;
+    if (primed) hint = pending_edits ? kHintEdited : kHintPrimed;
+    admission_hint.store(hint, std::memory_order_relaxed);
+    admission_hash.store(netlist_hash, std::memory_order_relaxed);
+  }
 };
 
 class SessionManager {

@@ -1,5 +1,11 @@
 #include "server/socket_util.hpp"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 
@@ -34,6 +40,116 @@ bool make_unix_address(const std::string& path, sockaddr_un& addr,
                                      name_len + 1);
   }
   return true;
+}
+
+bool split_host_port(const std::string& spec, std::string& host,
+                     std::string& port, std::string& error) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    error = "expected host:port, got '" + spec + "'";
+    return false;
+  }
+  host = spec.substr(0, colon);
+  port = spec.substr(colon + 1);
+  if (port.empty() ||
+      port.find_first_not_of("0123456789") != std::string::npos) {
+    error = "invalid port in '" + spec + "'";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+addrinfo* resolve(const std::string& host, const std::string& port,
+                  bool passive, std::string& error) {
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  addrinfo* result = nullptr;
+  const char* node = host.empty() ? nullptr : host.c_str();
+  if (passive && host.empty()) node = nullptr;
+  if (!passive && host.empty()) node = "127.0.0.1";
+  const int rc = ::getaddrinfo(node, port.c_str(), &hints, &result);
+  if (rc != 0) {
+    error = std::string("getaddrinfo: ") + ::gai_strerror(rc);
+    return nullptr;
+  }
+  return result;
+}
+
+}  // namespace
+
+int tcp_listen_fd(const std::string& host, const std::string& port,
+                  int backlog, std::string& error) {
+  addrinfo* addrs = resolve(host, port, /*passive=*/true, error);
+  if (addrs == nullptr) return -1;
+  int fd = -1;
+  std::string last_error = "no usable address";
+  for (addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, backlog) == 0)
+      break;
+    last_error = std::string(errno == EADDRINUSE ? "bind: " : "bind/listen: ") +
+                 std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(addrs);
+  if (fd < 0) error = last_error;
+  return fd;
+}
+
+int tcp_connect_fd(const std::string& host, const std::string& port,
+                   std::string& error) {
+  addrinfo* addrs = resolve(host, port, /*passive=*/false, error);
+  if (addrs == nullptr) return -1;
+  int fd = -1;
+  std::string last_error = "no usable address";
+  for (addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(addrs);
+  if (fd < 0) {
+    error = last_error;
+    return -1;
+  }
+  set_tcp_nodelay(fd);
+  return fd;
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int tcp_local_port(int fd) {
+  sockaddr_storage addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    return 0;
+  if (addr.ss_family == AF_INET)
+    return ntohs(reinterpret_cast<sockaddr_in*>(&addr)->sin_port);
+  if (addr.ss_family == AF_INET6)
+    return ntohs(reinterpret_cast<sockaddr_in6*>(&addr)->sin6_port);
+  return 0;
 }
 
 std::int64_t steady_now_ms() {

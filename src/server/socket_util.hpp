@@ -22,6 +22,31 @@ namespace netpart::server {
 bool make_unix_address(const std::string& path, sockaddr_un& addr,
                        socklen_t& len_out, std::string& error);
 
+/// Split "host:port" on the *last* colon (bare IPv6 literals are not
+/// supported; numeric port required).  Returns false with `error` filled on
+/// malformed input.  An empty host means "bind all interfaces" for listeners
+/// and "localhost" for clients — callers substitute.
+bool split_host_port(const std::string& spec, std::string& host,
+                     std::string& port, std::string& error);
+
+/// Create a listening TCP socket bound to host:port (getaddrinfo with
+/// AI_PASSIVE when host is empty), SO_REUSEADDR set, backlog applied.
+/// Returns -1 with `error` filled on failure.  Port "0" binds an ephemeral
+/// port — read it back with tcp_local_port().
+int tcp_listen_fd(const std::string& host, const std::string& port,
+                  int backlog, std::string& error);
+
+/// Connect a TCP socket to host:port (empty host -> "127.0.0.1"), with
+/// TCP_NODELAY set.  Returns -1 with `error` filled on failure.
+int tcp_connect_fd(const std::string& host, const std::string& port,
+                   std::string& error);
+
+/// Disable Nagle on an accepted/connected TCP socket.  Best-effort.
+void set_tcp_nodelay(int fd);
+
+/// The locally-bound port of a TCP socket (after bind), or 0 on error.
+[[nodiscard]] int tcp_local_port(int fd);
+
 /// Monotonic clock in milliseconds (steady_clock based; origin arbitrary).
 [[nodiscard]] std::int64_t steady_now_ms();
 

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -795,6 +796,218 @@ TEST(ServerTest, PartitionWithEventsSplicesTheConvergenceStream) {
   EXPECT_EQ(get_string(traced, "assignment"), get_string(plain, "assignment"));
   EXPECT_EQ(get_number(traced, "cut"), get_number(plain, "cut"));
   EXPECT_EQ(get_number(traced, "ratio"), get_number(plain, "ratio"));
+}
+
+
+/// One session's end-to-end conversation: cold partition, ECO edit, warm
+/// repartition, idempotent replay.  Cache is bypassed so the responses are
+/// a pure function of the session's own request sequence — the property
+/// the lane-pinning determinism contract promises.
+std::vector<std::string> run_session_workload(const std::string& socket,
+                                              const std::string& session,
+                                              const std::string& circuit) {
+  Client client;
+  EXPECT_TRUE(client.connect(socket)) << client.last_error();
+  const std::vector<std::string> requests = {
+      R"({"id":1,"op":"load","session":")" + session + R"(","circuit":")" +
+          circuit + R"("})",
+      R"({"id":2,"op":"partition","session":")" + session +
+          R"(","use_cache":false})",
+      R"({"id":3,"op":"edit","session":")" + session + R"(","script":)" +
+          json_quoted(kEcoScript) + "}",
+      R"({"id":4,"op":"repartition","session":")" + session +
+          R"(","use_cache":false})",
+      R"({"id":5,"op":"partition","session":")" + session +
+          R"(","use_cache":false})",
+  };
+  std::vector<std::string> responses;
+  for (const std::string& request : requests) {
+    std::string line;
+    EXPECT_TRUE(client.round_trip(request, line)) << client.last_error();
+    responses.push_back(line);
+  }
+  return responses;
+}
+
+TEST(ServerTest, ExecutorPoolIsBitIdenticalToSingleExecutor) {
+  const std::vector<std::pair<std::string, std::string>> sessions = {
+      {"alpha", "bm1"},
+      {"bravo", "Prim1"},
+      {"charlie", "Test02"},
+      {"delta", "Test03"}};
+
+  // Reference: the classic single-executor server, sessions run one after
+  // another.
+  std::map<std::string, std::vector<std::string>> reference;
+  {
+    const ServerOptions options = test_options(unique_socket());
+    ServerFixture fixture(options);
+    for (const auto& [name, circuit] : sessions)
+      reference[name] =
+          run_session_workload(options.socket_path, name, circuit);
+  }
+
+  // Pools of 2 and 4 lanes, all sessions driven concurrently from separate
+  // connections: every response line must match the reference byte for
+  // byte.
+  for (const std::size_t lanes : {std::size_t{2}, std::size_t{4}}) {
+    ServerOptions options = test_options(unique_socket());
+    options.executor_lanes = lanes;
+    ServerFixture fixture(options);
+    std::vector<std::vector<std::string>> results(sessions.size());
+    std::vector<std::thread> threads;
+    threads.reserve(sessions.size());
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      threads.emplace_back([&, i] {
+        results[i] = run_session_workload(options.socket_path,
+                                          sessions[i].first,
+                                          sessions[i].second);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (std::size_t i = 0; i < sessions.size(); ++i)
+      EXPECT_EQ(results[i], reference[sessions[i].first])
+          << "lanes=" << lanes << " session=" << sessions[i].first;
+  }
+}
+
+TEST(ServerTest, AdmissionShedsColdBeforeWarmAtSaturation) {
+  ServerOptions options = test_options(unique_socket());
+  options.cold_slots = 1;
+  options.warm_slots = 4;
+  ServerFixture fixture(options);
+  Client client;
+  ASSERT_TRUE(client.connect(options.socket_path)) << client.last_error();
+
+  // A primed-and-edited session: its next repartition classifies warm.
+  ASSERT_TRUE(is_ok(rpc(
+      client, R"({"id":1,"op":"load","session":"w","circuit":"bm1"})")));
+  ASSERT_TRUE(is_ok(rpc(client, R"({"id":2,"op":"partition","session":"w"})")));
+  ASSERT_TRUE(is_ok(rpc(client, R"({"id":3,"op":"edit","session":"w","script":)" +
+                                    json_quoted(kEcoScript) + "}")));
+
+  // Wedge the lane, then burst: three cold loads against one cold slot,
+  // plus the warm repartition.  The warm request must ride through while
+  // the cold surplus is shed with a structured hint.
+  ASSERT_TRUE(client.send_line(R"({"id":10,"op":"sleep","sleep_ms":400})"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(client.send_line(
+      R"({"id":11,"op":"load","session":"c1","circuit":"bm1"})"));
+  ASSERT_TRUE(client.send_line(
+      R"({"id":12,"op":"load","session":"c2","circuit":"bm1"})"));
+  ASSERT_TRUE(client.send_line(
+      R"({"id":13,"op":"load","session":"c3","circuit":"bm1"})"));
+  ASSERT_TRUE(client.send_line(R"({"id":14,"op":"repartition","session":"w"})"));
+
+  std::map<int, JsonValue> by_id;
+  for (int i = 0; i < 5; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.read_line(line)) << client.last_error();
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(parse_json(line, v, error)) << line;
+    by_id[static_cast<int>(get_number(v, "id"))] = v;
+  }
+
+  EXPECT_TRUE(is_ok(by_id[10]));
+  EXPECT_TRUE(is_ok(by_id[11]));  // fits the single cold slot
+  for (const int shed_id : {12, 13}) {
+    EXPECT_EQ(error_code(by_id[shed_id]), "overloaded") << shed_id;
+    EXPECT_EQ(get_string(by_id[shed_id], "class"), "cold") << shed_id;
+    EXPECT_GE(get_number(by_id[shed_id], "retry_after_ms"), 10.0) << shed_id;
+  }
+  EXPECT_TRUE(is_ok(by_id[14]));
+  EXPECT_TRUE(get_bool(by_id[14], "warm_started"));
+
+  const ServerStatsSnapshot st = fixture.server().stats();
+  EXPECT_EQ(st.shed_cold, 2);
+  EXPECT_EQ(st.shed_warm, 0);
+  EXPECT_EQ(st.shed_hit, 0);
+  EXPECT_EQ(st.rejected_overload, 2);
+}
+
+TEST(ServerTest, TcpTransportServesByteIdenticalResponses) {
+  ServerOptions options = test_options(unique_socket());
+  options.tcp_listen = "127.0.0.1:0";  // ephemeral port; read back below
+  ServerFixture fixture(options);
+  const int port = fixture.server().tcp_port();
+  ASSERT_GT(port, 0);
+
+  Client tcp;
+  ASSERT_TRUE(tcp.connect_tcp("127.0.0.1:" + std::to_string(port)))
+      << tcp.last_error();
+  EXPECT_TRUE(is_ok(rpc(tcp, R"({"id":1,"op":"ping"})")));
+
+  // The same cold workload over TCP and (after the session is gone) over
+  // the unix socket: one protocol, one compute path, identical bytes.
+  const std::string load_req =
+      R"({"id":2,"op":"load","session":"x","circuit":"bm1"})";
+  const std::string part_req =
+      R"({"id":3,"op":"partition","session":"x","use_cache":false})";
+  std::string tcp_load;
+  std::string tcp_part;
+  ASSERT_TRUE(tcp.round_trip(load_req, tcp_load)) << tcp.last_error();
+  ASSERT_TRUE(tcp.round_trip(part_req, tcp_part)) << tcp.last_error();
+  EXPECT_TRUE(is_ok(rpc(tcp, R"({"id":4,"op":"unload","session":"x"})")));
+
+  Client unix_client;
+  ASSERT_TRUE(unix_client.connect(options.socket_path))
+      << unix_client.last_error();
+  std::string unix_load;
+  std::string unix_part;
+  ASSERT_TRUE(unix_client.round_trip(load_req, unix_load))
+      << unix_client.last_error();
+  ASSERT_TRUE(unix_client.round_trip(part_req, unix_part))
+      << unix_client.last_error();
+  EXPECT_EQ(tcp_load, unix_load);
+  EXPECT_EQ(tcp_part, unix_part);
+}
+
+TEST(ServerTest, TcpConnectToClosedPortFailsCleanly) {
+  Client client;
+  // Port 1 is privileged and unbound in the test environment.
+  EXPECT_FALSE(client.connect_tcp("127.0.0.1:1"));
+  EXPECT_FALSE(client.last_error().empty());
+}
+
+TEST(ServerTest, StatsExposeLanesAdmissionAndClassLatencies) {
+  ServerOptions options = test_options(unique_socket());
+  options.executor_lanes = 2;
+  ServerFixture fixture(options);
+  Client client;
+  ASSERT_TRUE(client.connect(options.socket_path)) << client.last_error();
+  ASSERT_TRUE(is_ok(rpc(client, R"({"id":1,"op":"ping"})")));
+
+  const JsonValue stats = rpc(client, R"({"id":2,"op":"stats"})");
+  ASSERT_TRUE(is_ok(stats));
+  EXPECT_EQ(get_number(stats, "executor_lanes"), 2.0);
+  const JsonValue* lanes = stats.find("lanes");
+  ASSERT_NE(lanes, nullptr);
+  ASSERT_EQ(lanes->array.size(), 2u);
+  EXPECT_EQ(get_number(lanes->array[0], "queue_depth"), 0.0);
+  const JsonValue* admission = stats.find("admission");
+  ASSERT_NE(admission, nullptr);
+  EXPECT_TRUE(get_bool(*admission, "enabled"));
+  const JsonValue* cold = admission->find("cold");
+  ASSERT_NE(cold, nullptr);
+  EXPECT_GT(get_number(*cold, "cap"), 0.0);
+  const JsonValue* class_lat = stats.find("class_latency_ms");
+  ASSERT_NE(class_lat, nullptr);
+  EXPECT_NE(class_lat->find("hit"), nullptr);
+  EXPECT_NE(class_lat->find("warm"), nullptr);
+  EXPECT_NE(class_lat->find("cold"), nullptr);
+
+  const JsonValue prom =
+      rpc(client, R"({"id":3,"op":"stats","format":"prometheus"})");
+  ASSERT_TRUE(is_ok(prom));
+  const std::string body = get_string(prom, "body");
+  EXPECT_NE(body.find("netpartd_lane_queue_depth_0"), std::string::npos);
+  EXPECT_NE(body.find("netpartd_lane_queue_depth_1"), std::string::npos);
+  EXPECT_NE(body.find("netpartd_shed_cold_total"), std::string::npos);
+  EXPECT_NE(body.find("netpartd_shed_warm_total"), std::string::npos);
+  EXPECT_NE(body.find("netpartd_write_failures_total"), std::string::npos);
+  EXPECT_NE(body.find("netpartd_class_latency_ms_hit"), std::string::npos);
+  EXPECT_NE(body.find("netpartd_executor_lanes 2"), std::string::npos);
 }
 
 }  // namespace

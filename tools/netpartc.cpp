@@ -1,6 +1,6 @@
 /// netpartc — command-line client for netpartd (docs/SERVER.md).
 ///
-/// usage: netpartc [--socket <path>] <op> [args] [flags]
+/// usage: netpartc [--socket <path> | --tcp <host:port>] <op> [args] [flags]
 ///   ping
 ///   load      <session> <circuit-or-hgr-path>
 ///   partition <session> [--no-cache] [--trace] [--events] [--timeout <ms>]
@@ -36,7 +36,8 @@
 namespace {
 
 void print_usage(std::ostream& os) {
-  os << "usage: netpartc [--socket <path>] <op> [args] [flags]\n"
+  os << "usage: netpartc [--socket <path> | --tcp <host:port>] <op> [args]"
+        " [flags]\n"
         "  ping | sessions | metrics | shutdown\n"
         "  load <session> <circuit-or-hgr-path>\n"
         "  partition <session> [--no-cache] [--trace] [--events]"
@@ -46,7 +47,9 @@ void print_usage(std::ostream& os) {
         "  stats [--prom | --json]\n"
         "  profile start|stop|dump [--json]\n"
         "  raw <json-request-line>\n"
-        "default socket: @netpartd ('@' = abstract namespace)\n";
+        "default socket: @netpartd ('@' = abstract namespace)\n"
+        "--tcp connects to a netpartd --listen-tcp endpoint instead of the\n"
+        "unix socket (mutually exclusive with --socket).\n";
 }
 
 std::string quoted(const std::string& s) {
@@ -107,6 +110,8 @@ bool print_stats_pretty(const JsonValue& doc) {
 
 int main(int argc, char** argv) {
   std::string socket_path = "@netpartd";
+  std::string tcp_endpoint;
+  bool socket_set = false;
   bool no_cache = false;
   bool trace = false;
   bool events = false;
@@ -127,6 +132,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       socket_path = raw[++i];
+      socket_set = true;
+    } else if (arg == "--tcp") {
+      if (i + 1 >= raw.size()) {
+        std::cerr << "error: --tcp requires host:port\n";
+        return 2;
+      }
+      tcp_endpoint = raw[++i];
     } else if (arg == "--no-cache") {
       no_cache = true;
     } else if (arg == "--trace") {
@@ -202,8 +214,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!tcp_endpoint.empty() && socket_set) {
+    std::cerr << "error: --socket and --tcp are mutually exclusive\n";
+    return 2;
+  }
+
   netpart::server::Client client;
-  if (!client.connect(socket_path)) {
+  const bool connected = !tcp_endpoint.empty()
+                             ? client.connect_tcp(tcp_endpoint)
+                             : client.connect(socket_path);
+  if (!connected) {
     std::cerr << "netpartc: " << client.last_error() << '\n';
     return 1;
   }

@@ -9,8 +9,19 @@
 /// usage: netpartd [flags]
 ///   --socket <path>        listen address; '@' prefix = Linux abstract
 ///                          namespace (default: @netpartd)
-///   --queue <n>            request-queue capacity (default 64); a full
-///                          queue answers `overloaded` immediately
+///   --listen-tcp <h:p>     also listen on TCP host:port (same protocol,
+///                          same admission/drain path; port 0 = ephemeral)
+///   --pool-lanes <n>       executor lanes (default 1).  Sessions pin to
+///                          lanes by name hash; responses stay
+///                          bit-identical at any lane count
+///   --queue <n>            request-queue capacity (default 64); under
+///                          admission control this is the hit-class bound
+///   --no-admission         legacy backpressure: one bounded FIFO over all
+///                          classes instead of hit/warm/cold sheds
+///   --cold-slots <n>       cold-class occupancy bound (0 = derive from
+///                          --queue: max(2, queue/16))
+///   --warm-slots <n>       warm-class occupancy bound (0 = derive:
+///                          max(4, queue/4))
 ///   --cache <n>            result-cache entries, 0 disables (default 128)
 ///   --idle-timeout <ms>    evict sessions idle this long, 0 = never
 ///   --default-timeout <ms> deadline for requests without timeout_ms
@@ -44,7 +55,9 @@
 namespace {
 
 void print_usage(std::ostream& os) {
-  os << "usage: netpartd [--socket <path>] [--queue <n>] [--cache <n>]\n"
+  os << "usage: netpartd [--socket <path>] [--listen-tcp <host:port>]\n"
+        "                [--pool-lanes <n>] [--queue <n>] [--cache <n>]\n"
+        "                [--no-admission] [--cold-slots <n>] [--warm-slots <n>]\n"
         "                [--idle-timeout <ms>] [--default-timeout <ms>]\n"
         "                [--max-frame <bytes>] [--threads <n>]\n"
         "                [--access-log <path>] [--slow-ms <ms>]\n"
@@ -52,6 +65,7 @@ void print_usage(std::ostream& os) {
         "                [--ml-coarsen-to <n>] [--ml-vcycles <n>]\n"
         "                [--debug-ops] [--no-obs] [--help]\n"
         "'@'-prefixed socket paths use the Linux abstract namespace.\n"
+        "--listen-tcp serves the same protocol beside the unix socket.\n"
         "See docs/SERVER.md for the wire protocol.\n";
 }
 
@@ -98,6 +112,23 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.socket_path = args[++i];
+    } else if (arg == "--listen-tcp") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: --listen-tcp requires host:port\n";
+        return 2;
+      }
+      options.tcp_listen = args[++i];
+    } else if (arg == "--pool-lanes") {
+      if (!value(n)) return 2;
+      options.executor_lanes = static_cast<std::size_t>(n > 0 ? n : 1);
+    } else if (arg == "--no-admission") {
+      options.admission_control = false;
+    } else if (arg == "--cold-slots") {
+      if (!value(n)) return 2;
+      options.cold_slots = static_cast<std::size_t>(n);
+    } else if (arg == "--warm-slots") {
+      if (!value(n)) return 2;
+      options.warm_slots = static_cast<std::size_t>(n);
     } else if (arg == "--queue") {
       if (!value(n)) return 2;
       options.queue_capacity = static_cast<std::size_t>(n);
@@ -166,6 +197,9 @@ int main(int argc, char** argv) {
   }
   // The smoke scripts wait for this line before connecting.
   std::cout << "netpartd listening on " << options.socket_path << std::endl;
+  if (server.tcp_port() > 0)
+    std::cout << "netpartd listening on tcp port " << server.tcp_port()
+              << std::endl;
 
   server.run();
 
