@@ -22,12 +22,19 @@
 /// (control-plane) requests run on lane 0.
 ///
 /// Determinism contract: a session's responses are a function of its own
-/// request sequence only.  Per-lane FIFO preserves each connection's
-/// order; compute inside a lane is the library's deterministic serial
-/// path (lanes mark themselves inline on the shared parallel runtime, see
+/// request sequence only.  Per-lane FIFO preserves per-*session* order;
+/// compute inside a lane is the library's deterministic serial path
+/// (lanes mark themselves inline on the shared parallel runtime, see
 /// ThreadPool::mark_inline), and results are bit-identical at any lane
 /// count by the fixed-chunk reduction contract.  N sessions on N lanes
 /// therefore answer byte-for-byte what the single-executor build answers.
+///
+/// Ordering caveat at lanes > 1: one pipelined connection touching
+/// sessions that hash to *different* lanes may receive those responses
+/// out of request order (lanes drain independently).  Response content is
+/// unaffected; clients must match responses to requests by `id`, not by
+/// arrival position — the single-executor build (lanes == 1) still
+/// answers strictly in request order.
 ///
 /// The pool is deliberately unbounded: backpressure is the admission
 /// controller's job (admission.hpp), enforced before submit().

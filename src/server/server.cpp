@@ -352,7 +352,12 @@ void Server::io_loop() {
 
 void Server::accept_ready(int listen_fd, bool tcp) {
   while (true) {
-    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    // SOCK_NONBLOCK is load-bearing: write_response's bounded EAGAIN/poll
+    // budget (stall eviction) only engages on a nonblocking fd — a blocking
+    // ::send to a stalled peer would wedge a lane (or the I/O thread, which
+    // writes parse-error/shed responses directly) indefinitely.
+    const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                             SOCK_CLOEXEC | SOCK_NONBLOCK);
     if (fd < 0) return;  // EAGAIN/EMFILE/...: try again next poll round
     if (tcp) set_tcp_nodelay(fd);
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -480,8 +485,10 @@ void Server::enqueue(const std::shared_ptr<Conn>& conn, Request req,
     item->deadline_ms = item->enqueue_ms + effective_timeout;
   item->req = std::move(req);
 
+  // Classify unconditionally: even with --no-admission the class labels
+  // the access log and the per-class latency windows.
+  item->cls = classify(item->req);
   if (options_.admission_control) {
-    item->cls = classify(item->req);
     if (!admission_.try_admit(item->cls)) {
       rejected_overload_.fetch_add(1, std::memory_order_relaxed);
       NETPART_COUNTER_ADD("server.rejected_overload", 1);
@@ -859,6 +866,9 @@ std::string Server::do_edit(const Request& req) {
       s->applier.apply(batch);
       ops += static_cast<std::int64_t>(batch.size());
     }
+    // Republish: the loop publishes before each apply, so the off-lane
+    // module/net mirrors are one batch stale until this.
+    s->publish_admission_hint();
   } catch (...) {
     s->publish_admission_hint();
     throw;
@@ -883,21 +893,25 @@ std::string Server::do_unload(const Request& req) {
 }
 
 std::string Server::do_sessions(const Request& req) {
+  // Sessionless op: runs on lane 0 while other lanes may be mutating their
+  // sessions, so read only the atomic mirrors published by the owning lane
+  // (never the hypergraph or the lane-owned bools).
   std::string arr = "[";
   bool first = true;
   for (const auto& s : sessions_.snapshot()) {
+    const std::uint8_t flags = s->stat_flags.load(std::memory_order_relaxed);
     if (!first) arr += ',';
     first = false;
     arr += "{\"name\":\"";
     arr += obs::json_escape(s->name);
     arr += "\",\"modules\":";
-    arr += std::to_string(s->session.netlist().num_modules());
+    arr += std::to_string(s->stat_modules.load(std::memory_order_relaxed));
     arr += ",\"nets\":";
-    arr += std::to_string(s->session.netlist().num_nets());
+    arr += std::to_string(s->stat_nets.load(std::memory_order_relaxed));
     arr += ",\"primed\":";
-    arr += s->primed ? "true" : "false";
+    arr += (flags & ServerSession::kStatPrimed) ? "true" : "false";
     arr += ",\"pending_edits\":";
-    arr += s->pending_edits ? "true" : "false";
+    arr += (flags & ServerSession::kStatPendingEdits) ? "true" : "false";
     arr += '}';
   }
   arr += ']';
@@ -1210,9 +1224,9 @@ void Server::write_response(const std::shared_ptr<Conn>& conn,
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        // Nonblocking fd with a full socket buffer (or a test that made
-        // the fd nonblocking).  Wait for writability with a bounded total
-        // budget — a client that never drains gets evicted, not spun on.
+        // Full socket buffer (accepted fds are nonblocking).  Wait for
+        // writability with a bounded total budget — a client that never
+        // drains gets evicted, not spun on.
         if (++stalled_polls > 50) {
           write_failures_.fetch_add(1, std::memory_order_relaxed);
           NETPART_COUNTER_ADD("server.write_failures", 1);

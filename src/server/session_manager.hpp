@@ -37,8 +37,9 @@ enum AdmissionHint : std::uint8_t {
   kHintEdited = 2,  ///< pending edits; next partition is a warm ECO run
 };
 
-/// One live session.  Fields other than `last_used_ms` and the admission
-/// hint pair are owned by the session's executor lane.
+/// One live session.  Fields other than `last_used_ms` and the atomic
+/// mirrors (`admission_hint`/`admission_hash`/`stat_*`) are owned by the
+/// session's executor lane; other threads read only the mirrors.
 struct ServerSession {
   ServerSession(std::string session_name, const Hypergraph& initial,
                 std::uint64_t content_hash)
@@ -47,6 +48,9 @@ struct ServerSession {
         applier(session.netlist()),
         netlist_hash(content_hash) {
     admission_hash.store(content_hash, std::memory_order_relaxed);
+    stat_modules.store(session.netlist().num_modules(),
+                       std::memory_order_relaxed);
+    stat_nets.store(session.netlist().num_nets(), std::memory_order_relaxed);
   }
 
   ServerSession(const ServerSession&) = delete;
@@ -79,13 +83,34 @@ struct ServerSession {
   /// Mirror of `netlist_hash` for the same purpose (cache-hit probing).
   std::atomic<std::uint64_t> admission_hash{0};
 
-  /// Publish the admission mirror from the authoritative executor-owned
-  /// fields.  Call after any mutation of primed/pending_edits/netlist_hash.
+  /// Bit flags for `stat_flags`: an exact mirror of (primed, pending_edits)
+  /// readable off-lane.  Unlike `admission_hint`, this keeps the two bits
+  /// independent (an unprimed session with pending edits is representable).
+  static constexpr std::uint8_t kStatPrimed = 1;
+  static constexpr std::uint8_t kStatPendingEdits = 2;
+
+  /// Off-lane mirrors of lane-owned state for the `sessions` listing: the
+  /// op runs on lane 0 and must not touch the hypergraph or the bool
+  /// fields of sessions pinned to other lanes.
+  std::atomic<std::uint8_t> stat_flags{0};
+  std::atomic<std::int32_t> stat_modules{0};
+  std::atomic<std::int32_t> stat_nets{0};
+
+  /// Publish the lock-free mirrors from the authoritative executor-owned
+  /// fields.  Call after any mutation of primed/pending_edits/netlist_hash
+  /// or of the hypergraph itself (edits change module/net counts).
   void publish_admission_hint() {
     std::uint8_t hint = kHintCold;
     if (primed) hint = pending_edits ? kHintEdited : kHintPrimed;
     admission_hint.store(hint, std::memory_order_relaxed);
     admission_hash.store(netlist_hash, std::memory_order_relaxed);
+    std::uint8_t flags = 0;
+    if (primed) flags |= kStatPrimed;
+    if (pending_edits) flags |= kStatPendingEdits;
+    stat_flags.store(flags, std::memory_order_relaxed);
+    stat_modules.store(session.netlist().num_modules(),
+                       std::memory_order_relaxed);
+    stat_nets.store(session.netlist().num_nets(), std::memory_order_relaxed);
   }
 };
 

@@ -8,6 +8,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <map>
@@ -868,6 +869,70 @@ TEST(ServerTest, ExecutorPoolIsBitIdenticalToSingleExecutor) {
     for (std::size_t i = 0; i < sessions.size(); ++i)
       EXPECT_EQ(results[i], reference[sessions[i].first])
           << "lanes=" << lanes << " session=" << sessions[i].first;
+  }
+}
+
+/// The `sessions` op executes on lane 0 while other lanes mutate their
+/// sessions (edits rewrite the hypergraph, partitions flip primed/pending),
+/// so the listing must be built entirely from the atomic mirrors, never
+/// the lane-owned state.  Under TSan this is the race detector for that
+/// contract; in all builds it checks the listing stays well-formed under
+/// concurrent mutation and exact once quiescent.
+TEST(ServerTest, SessionsOpIsRaceFreeAgainstConcurrentLaneMutation) {
+  ServerOptions options = test_options(unique_socket());
+  options.executor_lanes = 4;
+  ServerFixture fixture(options);
+
+  std::atomic<bool> done{false};
+  std::thread lister([&] {
+    Client client;
+    ASSERT_TRUE(client.connect(options.socket_path)) << client.last_error();
+    while (!done.load(std::memory_order_relaxed)) {
+      const JsonValue v = rpc(client, R"({"id":1,"op":"sessions"})");
+      ASSERT_TRUE(is_ok(v));
+      const JsonValue* list = v.find("sessions");
+      ASSERT_NE(list, nullptr);
+      for (const JsonValue& s : list->array) {
+        EXPECT_FALSE(get_string(s, "name").empty());
+        EXPECT_GE(get_number(s, "modules"), 1.0);
+        EXPECT_GE(get_number(s, "nets"), 1.0);
+      }
+    }
+  });
+
+  const std::vector<std::pair<std::string, std::string>> sessions = {
+      {"alpha", "bm1"}, {"bravo", "Prim1"}, {"charlie", "Test02"}};
+  std::vector<std::thread> workers;
+  workers.reserve(sessions.size());
+  for (const auto& [name, circuit] : sessions)
+    workers.emplace_back([&, name = name, circuit = circuit] {
+      for (int round = 0; round < 3; ++round)
+        run_session_workload(options.socket_path, name, circuit);
+    });
+  for (std::thread& t : workers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  lister.join();
+
+  // Quiescent: the workload ends primed with all edits folded in, and the
+  // mirrored counts must agree with a fresh load+edit of the same circuit.
+  Client client;
+  ASSERT_TRUE(client.connect(options.socket_path)) << client.last_error();
+  const JsonValue v = rpc(client, R"({"id":2,"op":"sessions"})");
+  const JsonValue* list = v.find("sessions");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->array.size(), sessions.size());
+  for (const JsonValue& s : list->array) {
+    EXPECT_TRUE(get_bool(s, "primed")) << get_string(s, "name");
+    EXPECT_FALSE(get_bool(s, "pending_edits")) << get_string(s, "name");
+    const auto it = std::find_if(
+        sessions.begin(), sessions.end(),
+        [&](const auto& p) { return p.first == get_string(s, "name"); });
+    ASSERT_NE(it, sessions.end()) << get_string(s, "name");
+    const Hypergraph reference = make_benchmark(it->second).hypergraph;
+    // kEcoScript: one module added, one net removed, two nets added.
+    EXPECT_EQ(get_number(s, "modules"), reference.num_modules() + 1)
+        << it->first;
+    EXPECT_EQ(get_number(s, "nets"), reference.num_nets() + 1) << it->first;
   }
 }
 
