@@ -26,9 +26,13 @@ fi
 # socket, drive a load/partition/cache-hit/metrics/stats sequence with
 # netpartc, and shut it down cleanly.  Run against both OBS configurations
 # below — the `stats` telemetry (rolling percentiles, Prometheus body,
-# access log) must stay live even when the obs layer is compiled out.
+# access log) must stay live even when the obs layer is compiled out, and so
+# must the trace-context echo, the per-stage decomposition, and the flight
+# recorder.  Only the Chrome-trace request overlay needs OBS=ON (pass "on"
+# as the second argument to exercise it).
 server_smoke() {
   local bindir="$1"
+  local obs="${2:-on}"
   local sock="@netpart-check-$$-${bindir//\//-}"
   local access_log="$bindir/access-smoke.ndjson"
   rm -f "$access_log"
@@ -71,20 +75,118 @@ server_smoke() {
   "$bindir/tools/netpartc" --socket "$sock" profile stop
   python3 scripts/validate_folded.py "$bindir/profile-smoke.folded" \
     --min-samples 0
+  # Trace context round trip: a known trace_id must come back in the
+  # response envelope together with the caller's span as parent_span_id and
+  # the per-stage decomposition.
+  local tid="00112233445566778899aabbccddeeff"
+  "$bindir/tools/netpartc" --socket "$sock" raw \
+    "{\"id\":11,\"op\":\"partition\",\"session\":\"smoke3\",\"trace_id\":\"$tid\",\"span_id\":\"0123456789abcdef\"}" \
+    > "$bindir/traced-smoke.json"
+  grep -q "\"trace_id\":\"$tid\"" "$bindir/traced-smoke.json"
+  grep -q '"parent_span_id":"0123456789abcdef"' "$bindir/traced-smoke.json"
+  grep -q '"stages_us"' "$bindir/traced-smoke.json"
+  # netpartc mints its own trace context and --timing prints the breakdown.
+  "$bindir/tools/netpartc" --socket "$sock" --timing partition smoke3 \
+    > /dev/null 2> "$bindir/timing-smoke.txt"
+  grep -q 'trace_id=[0-9a-f]\{32\}' "$bindir/timing-smoke.txt"
+  grep -q 'execute=' "$bindir/timing-smoke.txt"
+  # Flight recorder drain via the debug op: the traced request above must be
+  # in the ring, stamped with its trace_id and a terminal outcome.
+  "$bindir/tools/netpartc" --socket "$sock" debug flightrec \
+    > "$bindir/flightrec-smoke.json"
+  python3 - "$bindir/flightrec-smoke.json" "$tid" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["ok"] and doc["enabled"], doc
+recs = doc["records"]
+assert recs, "flight recorder drained no records"
+mine = [r for r in recs if r.get("trace_id") == sys.argv[2]]
+assert mine, f"trace_id {sys.argv[2]} not in flight recorder"
+assert any(r["outcome"] == "ok" for r in mine), mine
+print(f"flight recorder ok ({len(recs)} records, {len(doc['notes'])} notes)")
+EOF
+  if [ "$obs" = "on" ]; then
+    # Chrome trace with the request-stage overlay: every request span must
+    # carry the caller's trace_id (OBS=ON only — the trace splice is
+    # compiled out otherwise).
+    "$bindir/tools/netpartc" --socket "$sock" raw \
+      "{\"id\":12,\"op\":\"partition\",\"session\":\"smoke3\",\"use_cache\":false,\"trace\":true,\"trace_format\":\"chrome\",\"trace_id\":\"$tid\",\"span_id\":\"0123456789abcdef\"}" \
+      > "$bindir/chrome-smoke.json"
+    python3 - "$bindir/chrome-smoke.json" "$bindir/chrome-smoke.trace" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["ok"], doc
+json.dump(doc["trace"], open(sys.argv[2], "w"))
+EOF
+    python3 scripts/validate_trace.py "$bindir/chrome-smoke.trace" \
+      --min-events 1 --require-trace-id
+  fi
   "$bindir/tools/netpartc" --socket "$sock" shutdown
   wait "$pid"
-  # Every executed request must have produced one parseable NDJSON line.
+  # Every executed request must have produced one parseable NDJSON line,
+  # now carrying the trace/lane/stage fields (appended, nothing renamed).
   python3 - "$access_log" <<'EOF'
 import json, sys
 lines = [json.loads(l) for l in open(sys.argv[1])]
 assert len(lines) >= 8, f"expected >= 8 access-log lines, got {len(lines)}"
 for entry in lines:
     for key in ("ts_ms", "op", "ok", "bytes_in", "bytes_out", "queue_ms",
-                "exec_ms", "cache_hit", "slow"):
+                "exec_ms", "cache_hit", "slow", "trace_id", "span_id",
+                "lane", "parse_us", "queue_us", "execute_us", "write_us",
+                "total_us"):
         assert key in entry, f"access-log line missing {key}: {entry}"
-print(f"access log ok ({len(lines)} lines)")
+traced = [e for e in lines if e["trace_id"]]
+assert traced, "no traced request reached the access log"
+print(f"access log ok ({len(lines)} lines, {len(traced)} traced)")
 EOF
   echo "server smoke ($bindir): ok"
+}
+
+# Crash post-mortem: SIGSEGV a loaded daemon mid-request and require a
+# parseable NDJSON dump naming the in-flight request by trace_id.  The
+# flight recorder is always-live telemetry, so this runs for both OBS
+# configurations.
+postmortem_smoke() {
+  local bindir="$1"
+  local sock="@netpart-pm-$$-${bindir//\//-}"
+  local pm="$bindir/postmortem-smoke.ndjson"
+  rm -f "$pm"
+  "$bindir/tools/netpartd" --socket "$sock" --postmortem "$pm" \
+    --debug-ops --pool-lanes 2 &
+  local pid=$!
+  trap 'kill "$pid" 2>/dev/null || true' RETURN
+  local i
+  for i in $(seq 1 50); do
+    if "$bindir/tools/netpartc" --socket "$sock" ping >/dev/null 2>&1; then
+      break
+    fi
+    sleep 0.1
+  done
+  "$bindir/tools/netpartc" --socket "$sock" load pm1 bm1
+  # Park a traced request on a lane so the dump catches it in flight.
+  "$bindir/tools/netpartc" --socket "$sock" raw \
+    '{"id":1,"op":"sleep","sleep_ms":3000,"trace_id":"feedfacefeedfacefeedfacefeedface","span_id":"feedfacefeedface"}' \
+    >/dev/null 2>&1 &
+  local cpid=$!
+  sleep 0.5
+  kill -SEGV "$pid"
+  wait "$pid" 2>/dev/null && { echo "daemon survived SIGSEGV"; return 1; }
+  wait "$cpid" 2>/dev/null || true
+  python3 - "$pm" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+assert lines, "empty postmortem"
+head = lines[0]
+assert head["type"] == "postmortem" and head["signal"] == 11, head
+recs = [l for l in lines if l.get("type") == "request"]
+assert recs, "no request records in postmortem"
+tid = "feedfacefeedfacefeedfacefeedface"
+mine = [r for r in recs if r.get("trace_id") == tid]
+assert mine, f"in-flight trace_id missing from postmortem: {recs}"
+assert any(r["outcome"] == "running" for r in mine), mine
+print(f"postmortem ok ({len(recs)} records, in-flight request captured)")
+EOF
+  echo "postmortem smoke ($bindir): ok"
 }
 
 # Telemetry exporters, driven through the CLI: a real partition run must
@@ -127,7 +229,8 @@ if [ "$FAST" -eq 1 ]; then
   exit 0
 fi
 ctest --test-dir build --output-on-failure
-server_smoke build
+server_smoke build on
+postmortem_smoke build
 telemetry_smoke build
 
 # Perf smoke: quick-mode kernel microbenches gated against the committed
@@ -161,7 +264,8 @@ fi
 cmake -B build-noobs -G Ninja -DNETPART_WARNINGS_AS_ERRORS=ON -DNETPART_OBS=OFF
 cmake --build build-noobs
 ctest --test-dir build-noobs --output-on-failure
-server_smoke build-noobs
+server_smoke build-noobs off
+postmortem_smoke build-noobs
 # With obs compiled out the exporters must still run (and emit an empty
 # span tree / empty profile / empty event stream), so only the floors
 # differ from the OBS=ON stage.
@@ -184,9 +288,10 @@ cmake -B build-tsan -G Ninja -DNETPART_SANITIZE=thread \
   -DNETPART_BUILD_BENCHMARKS=OFF -DNETPART_BUILD_EXAMPLES=OFF
 cmake --build build-tsan --target parallel_test obs_test fm_partition_test \
   repart_property_test coarsen_property_test igmatch_oracle_test \
-  server_test io_fuzz_test
+  server_test io_fuzz_test flight_recorder_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/obs_test
+./build-tsan/tests/flight_recorder_test
 ./build-tsan/tests/server_test
 ./build-tsan/tests/io_fuzz_test
 NETPART_THREADS=4 ./build-tsan/tests/fm_partition_test

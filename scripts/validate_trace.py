@@ -8,13 +8,29 @@ events on one thread strictly nest: any two either don't overlap or one
 contains the other.  The exporter synthesizes the layout, so a partial
 overlap is always a bug, never a scheduling artifact.
 
-Usage: validate_trace.py TRACE.json [--min-events N]
+The server's request-thread overlay (tid 2) lays each traced request out on
+a real timeline: one root span named "request" carrying args.trace_id, with
+"stage.<name>" children drawn from the request's StageClock.  Stage names
+are validated against the server's pipeline; --require-trace-id additionally
+demands at least one request span and a well-formed 32-hex trace_id on every
+one of them.
+
+Usage: validate_trace.py TRACE.json [--min-events N] [--require-trace-id]
 Exit codes: 0 valid, 1 invalid, 2 usage/I/O error.
 """
 
 import argparse
 import json
+import re
 import sys
+
+# Wire names from src/obs/trace_context.cpp stage_name(); an exported
+# stage.* span outside this set means the exporter and the pipeline have
+# drifted apart.
+KNOWN_STAGES = {"parse", "admission", "queue", "execute", "serialize",
+                "write"}
+
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
 
 
 def fail(message):
@@ -22,7 +38,7 @@ def fail(message):
     sys.exit(1)
 
 
-def validate(doc, min_events):
+def validate(doc, min_events, require_trace_id):
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         fail("top level must be an object with a traceEvents array")
     events = doc["traceEvents"]
@@ -30,6 +46,7 @@ def validate(doc, min_events):
         fail("traceEvents is not an array")
 
     complete = []
+    request_spans = 0
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"event {i} is not an object")
@@ -45,8 +62,24 @@ def validate(doc, min_events):
             for field in ("ts", "dur"):
                 if not isinstance(ev.get(field), int) or ev[field] < 0:
                     fail(f"event {i}: ph=X needs non-negative integer {field}")
+            name = ev.get("name", "?")
+            if name.startswith("stage."):
+                stage = name[len("stage."):]
+                if stage not in KNOWN_STAGES:
+                    fail(f"event {i}: unknown pipeline stage {stage!r} "
+                         f"(known: {', '.join(sorted(KNOWN_STAGES))})")
+            if name == "request":
+                request_spans += 1
+                trace_id = (ev.get("args") or {}).get("trace_id")
+                if not isinstance(trace_id, str) \
+                        or not TRACE_ID_RE.match(trace_id):
+                    fail(f"event {i}: request span without a 32-hex "
+                         f"args.trace_id (got {trace_id!r})")
             complete.append((ev["tid"], ev["ts"], ev["ts"] + ev["dur"],
-                             ev.get("name", "?")))
+                             name))
+
+    if require_trace_id and request_spans == 0:
+        fail("--require-trace-id: no 'request' span in the trace")
 
     if len(complete) < min_events:
         fail(f"only {len(complete)} complete events, expected >= {min_events}")
@@ -70,8 +103,9 @@ def validate(doc, min_events):
             stack.append((start, end, name))
 
     names = sorted({name for _, _, _, name in complete})
+    traced = f", {request_spans} traced request(s)" if request_spans else ""
     print(f"trace ok: {len(events)} events, {len(complete)} spans over "
-          f"{len(by_tid)} thread(s); phases: {', '.join(names[:8])}"
+          f"{len(by_tid)} thread(s){traced}; phases: {', '.join(names[:8])}"
           + (" ..." if len(names) > 8 else ""))
 
 
@@ -80,6 +114,10 @@ def main():
         description="Validate Chrome trace-event JSON (nesting included).")
     parser.add_argument("trace")
     parser.add_argument("--min-events", type=int, default=1)
+    parser.add_argument("--require-trace-id", action="store_true",
+                        help="fail unless the trace contains at least one "
+                             "'request' span (every one must carry a 32-hex "
+                             "args.trace_id)")
     args = parser.parse_args()
     try:
         with open(args.trace) as f:
@@ -87,7 +125,7 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: {args.trace}: {e}", file=sys.stderr)
         sys.exit(2)
-    validate(doc, args.min_events)
+    validate(doc, args.min_events, args.require_trace_id)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,484 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace netpart::obs {
+namespace {
+
+// Payload sizes in 64-bit words.  Both records are trivially copyable and
+// small; the stack staging buffer below is sized for the larger of the two.
+constexpr std::size_t words_for(std::size_t bytes) {
+  return (bytes + 7) / 8;
+}
+constexpr std::size_t kMaxPayloadWords = 16;
+static_assert(words_for(sizeof(FlightRecord)) <= kMaxPayloadWords);
+static_assert(words_for(sizeof(FlightNote)) <= kMaxPayloadWords);
+
+std::uint64_t fnv1a(const std::uint64_t* words, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= words[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Class labels mirror runtime::class_name(); obs cannot depend on the
+// server target, so the three admission-class names are duplicated here
+// (guarded by FlightRecorderClassLabelsMatchAdmission in server_test).
+const char* class_label(std::uint8_t cls) {
+  switch (cls) {
+    case 0:
+      return "hit";
+    case 1:
+      return "warm";
+    case 2:
+      return "cold";
+    default:
+      return "unknown";
+  }
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::int64_t wall_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe line formatting.  No snprintf, no allocation: hand-rolled
+// appends into a caller-provided buffer.  Shared by the signal-handler dump
+// and the debug-op JSON drain so both emit byte-identical lines.
+
+struct LineBuf {
+  char* data;
+  std::size_t cap;
+  std::size_t len = 0;
+
+  void put(char c) {
+    if (len < cap) data[len++] = c;
+  }
+  void puts(const char* s) {
+    while (*s != '\0') put(*s++);
+  }
+  void put_int(std::int64_t v) {
+    char tmp[24];
+    std::size_t n = 0;
+    std::uint64_t u =
+        v < 0 ? ~static_cast<std::uint64_t>(v) + 1 : static_cast<std::uint64_t>(v);
+    if (v < 0) put('-');
+    do {
+      tmp[n++] = static_cast<char>('0' + u % 10);
+      u /= 10;
+    } while (u != 0);
+    while (n > 0) put(tmp[--n]);
+  }
+  void put_hex64(std::uint64_t v) {
+    static const char digits[] = "0123456789abcdef";
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      put(digits[(v >> shift) & 0xF]);
+    }
+  }
+  /// Quoted string from a NUL-padded inline char array; the recorder only
+  /// stores op names and note kinds, but escape the JSON specials anyway.
+  void put_quoted(const char* s, std::size_t max) {
+    put('"');
+    for (std::size_t i = 0; i < max && s[i] != '\0'; ++i) {
+      const char c = s[i];
+      if (c == '"' || c == '\\') {
+        put('\\');
+        put(c);
+      } else if (static_cast<unsigned char>(c) >= 0x20) {
+        put(c);
+      }
+    }
+    put('"');
+  }
+};
+
+std::size_t format_record_line(char* buf, std::size_t cap,
+                               const FlightRecord& r) {
+  LineBuf out{buf, cap};
+  out.puts("{\"type\":\"request\",\"trace_id\":");
+  if ((r.trace_hi | r.trace_lo) != 0) {
+    out.put('"');
+    out.put_hex64(r.trace_hi);
+    out.put_hex64(r.trace_lo);
+    out.puts("\",\"span_id\":\"");
+    out.put_hex64(r.span_id);
+    out.put('"');
+  } else {
+    out.puts("null,\"span_id\":null");
+  }
+  out.puts(",\"id\":");
+  out.put_int(r.request_id);
+  out.puts(",\"ts_ms\":");
+  out.put_int(r.wall_ms);
+  out.puts(",\"lane\":");
+  out.put_int(r.lane);
+  out.puts(",\"class\":\"");
+  out.puts(class_label(r.cls));
+  out.puts("\",\"outcome\":\"");
+  out.puts(flight_outcome_name(static_cast<FlightOutcome>(r.outcome)));
+  out.puts("\",\"op\":");
+  out.put_quoted(r.op, sizeof(r.op));
+  out.puts(",\"stages_us\":{");
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    if (i != 0) out.put(',');
+    out.put('"');
+    out.puts(stage_name(static_cast<Stage>(i)));
+    out.puts("\":");
+    out.put_int(r.stage_us[i]);
+  }
+  out.puts("}}");
+  return out.len;
+}
+
+std::size_t format_note_line(char* buf, std::size_t cap, const FlightNote& n) {
+  LineBuf out{buf, cap};
+  out.puts("{\"type\":\"note\",\"ts_ms\":");
+  out.put_int(n.wall_ms);
+  out.puts(",\"kind\":");
+  out.put_quoted(n.kind, sizeof(n.kind));
+  out.puts(",\"value\":");
+  out.put_int(n.value);
+  out.put('}');
+  return out.len;
+}
+
+constexpr std::size_t kLineCap = 512;
+
+bool write_all(int fd, const char* buf, std::size_t n, std::int64_t* total) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, buf + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  *total += static_cast<std::int64_t>(n);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Crash handler state.  The path lives in a fixed buffer (a std::string
+// member could reallocate; the handler may only read plain memory).
+
+char g_postmortem_path[256] = {};
+std::atomic<int> g_dump_active{0};
+
+void crash_handler(int sig) {
+  int expected = 0;
+  if (g_dump_active.compare_exchange_strong(expected, 1,
+                                            std::memory_order_acq_rel)) {
+    if (g_postmortem_path[0] != '\0') {
+      const int fd =
+          ::open(g_postmortem_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        FlightRecorder::instance().dump_to_fd(fd, sig);
+        ::close(fd);
+      }
+    }
+    g_dump_active.store(0, std::memory_order_release);
+  }
+  if (sig != SIGQUIT) {
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+  }
+}
+
+}  // namespace
+
+const char* flight_outcome_name(FlightOutcome o) {
+  switch (o) {
+    case FlightOutcome::kRunning:
+      return "running";
+    case FlightOutcome::kOk:
+      return "ok";
+    case FlightOutcome::kError:
+      return "error";
+    case FlightOutcome::kDeadline:
+      return "deadline";
+    case FlightOutcome::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+void FlightRecord::set_op(const char* name) {
+  std::size_t i = 0;
+  for (; name[i] != '\0' && i + 1 < sizeof(op); ++i) op[i] = name[i];
+  for (; i < sizeof(op); ++i) op[i] = '\0';
+}
+
+void FlightNote::set_kind(const char* name) {
+  std::size_t i = 0;
+  for (; name[i] != '\0' && i + 1 < sizeof(kind); ++i) kind[i] = name[i];
+  for (; i < sizeof(kind); ++i) kind[i] = '\0';
+}
+
+// ---------------------------------------------------------------------------
+// Seqlock ring.
+
+template <typename T>
+void FlightRecorder::Ring<T>::configure(std::size_t cap) {
+  // Old slot arrays are intentionally leaked on reconfigure (matches the
+  // EventRing precedent): a racing record() may still hold a pointer, and
+  // reconfiguration happens O(1) times per process.
+  if (cap == 0) {
+    (void)slots.release();
+    mask = 0;
+    capacity = 0;
+    words_per = 0;
+    head.store(0, std::memory_order_relaxed);
+    return;
+  }
+  const std::size_t rounded = round_up_pow2(cap);
+  words_per = words_for(sizeof(T));
+  auto fresh = std::make_unique<Slot[]>(rounded);
+  for (std::size_t i = 0; i < rounded; ++i) {
+    fresh[i].words =
+        std::make_unique<std::atomic<std::uint64_t>[]>(words_per);
+    for (std::size_t w = 0; w < words_per; ++w) {
+      fresh[i].words[w].store(0, std::memory_order_relaxed);
+    }
+  }
+  (void)slots.release();
+  slots = std::move(fresh);
+  mask = rounded - 1;
+  capacity = rounded;
+  head.store(0, std::memory_order_relaxed);
+}
+
+template <typename T>
+void FlightRecorder::Ring<T>::push(const T& item) {
+  if (capacity == 0) return;
+  const std::uint64_t ticket = head.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots[ticket & mask];
+  slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+
+  std::uint64_t staged[kMaxPayloadWords] = {};
+  std::memcpy(staged, &item, sizeof(T));
+  for (std::size_t w = 0; w < words_per; ++w) {
+    slot.words[w].store(staged[w], std::memory_order_relaxed);
+  }
+  // The checksum is bound to the publish sequence so a slot whose payload
+  // mixes two lapped writers can never validate against either ticket.
+  slot.check.store(fnv1a(staged, words_per) ^ (2 * ticket + 2),
+                   std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+template <typename T>
+std::vector<T> FlightRecorder::Ring<T>::drain() const {
+  std::vector<T> out;
+  if (capacity == 0) return out;
+  const std::uint64_t end = head.load(std::memory_order_acquire);
+  const std::uint64_t count =
+      end < capacity ? end : static_cast<std::uint64_t>(capacity);
+  out.reserve(count);
+  for (std::uint64_t ticket = end - count; ticket < end; ++ticket) {
+    const Slot& slot = slots[ticket & mask];
+    if (slot.seq.load(std::memory_order_acquire) != 2 * ticket + 2) continue;
+    std::uint64_t staged[kMaxPayloadWords] = {};
+    for (std::size_t w = 0; w < words_per; ++w) {
+      staged[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
+    const std::uint64_t check = slot.check.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != 2 * ticket + 2) continue;
+    if (check != (fnv1a(staged, words_per) ^ (2 * ticket + 2))) continue;
+    T item;
+    std::memcpy(&item, staged, sizeof(T));
+    out.push_back(item);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder.
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::configure(std::size_t capacity) {
+  if (capacity != 0 && round_up_pow2(capacity) == capacity_) return;
+  records_.configure(capacity);
+  // Notes are rarer than requests; a quarter of the ring is plenty.
+  notes_.configure(capacity == 0 ? 0 : (capacity + 3) / 4);
+  capacity_ = capacity == 0 ? 0 : round_up_pow2(capacity);
+  mask_ = capacity_ == 0 ? 0 : capacity_ - 1;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  return records_.head.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FlightRecorder::overwritten() const {
+  const std::uint64_t total = recorded();
+  return total > capacity_ ? total - capacity_ : 0;
+}
+
+void FlightRecorder::record(const FlightRecord& rec) { records_.push(rec); }
+
+void FlightRecorder::note(const char* kind, std::int64_t value) {
+  if (notes_.capacity == 0) return;
+  FlightNote n;
+  n.wall_ms = wall_now_ms();
+  n.value = value;
+  n.set_kind(kind);
+  notes_.push(n);
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot_records() const {
+  return records_.drain();
+}
+
+std::vector<FlightNote> FlightRecorder::snapshot_notes() const {
+  return notes_.drain();
+}
+
+std::string FlightRecorder::records_to_json() const {
+  std::string out = "[";
+  char line[kLineCap];
+  bool first = true;
+  for (const FlightRecord& rec : snapshot_records()) {
+    if (!first) out += ',';
+    first = false;
+    out.append(line, format_record_line(line, sizeof(line), rec));
+  }
+  out += ']';
+  return out;
+}
+
+std::string FlightRecorder::notes_to_json() const {
+  std::string out = "[";
+  char line[kLineCap];
+  bool first = true;
+  for (const FlightNote& n : snapshot_notes()) {
+    if (!first) out += ',';
+    first = false;
+    out.append(line, format_note_line(line, sizeof(line), n));
+  }
+  out += ']';
+  return out;
+}
+
+std::int64_t FlightRecorder::dump_to_fd(int fd, int signal_number) const {
+  std::int64_t total = 0;
+  char line[kLineCap];
+  {
+    LineBuf out{line, sizeof(line)};
+    out.puts("{\"type\":\"postmortem\",\"signal\":");
+    out.put_int(signal_number);
+    out.puts(",\"recorded\":");
+    out.put_int(static_cast<std::int64_t>(recorded()));
+    out.puts(",\"overwritten\":");
+    out.put_int(static_cast<std::int64_t>(overwritten()));
+    out.puts(",\"capacity\":");
+    out.put_int(static_cast<std::int64_t>(capacity_));
+    out.puts("}\n");
+    if (!write_all(fd, line, out.len, &total)) return -1;
+  }
+  // Drain inline with stack staging only — snapshot_records() allocates and
+  // must not be used here.
+  if (records_.capacity != 0) {
+    const std::uint64_t end = records_.head.load(std::memory_order_acquire);
+    const std::uint64_t count =
+        end < records_.capacity
+            ? end
+            : static_cast<std::uint64_t>(records_.capacity);
+    for (std::uint64_t ticket = end - count; ticket < end; ++ticket) {
+      const Slot& slot = records_.slots[ticket & records_.mask];
+      if (slot.seq.load(std::memory_order_acquire) != 2 * ticket + 2) continue;
+      std::uint64_t staged[kMaxPayloadWords] = {};
+      for (std::size_t w = 0; w < records_.words_per; ++w) {
+        staged[w] = slot.words[w].load(std::memory_order_relaxed);
+      }
+      const std::uint64_t check = slot.check.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != 2 * ticket + 2) continue;
+      if (check != (fnv1a(staged, records_.words_per) ^ (2 * ticket + 2))) {
+        continue;
+      }
+      FlightRecord rec;
+      std::memcpy(&rec, staged, sizeof(rec));
+      std::size_t n = format_record_line(line, sizeof(line) - 1, rec);
+      line[n++] = '\n';
+      if (!write_all(fd, line, n, &total)) return -1;
+    }
+  }
+  if (notes_.capacity != 0) {
+    const std::uint64_t end = notes_.head.load(std::memory_order_acquire);
+    const std::uint64_t count =
+        end < notes_.capacity ? end
+                              : static_cast<std::uint64_t>(notes_.capacity);
+    for (std::uint64_t ticket = end - count; ticket < end; ++ticket) {
+      const Slot& slot = notes_.slots[ticket & notes_.mask];
+      if (slot.seq.load(std::memory_order_acquire) != 2 * ticket + 2) continue;
+      std::uint64_t staged[kMaxPayloadWords] = {};
+      for (std::size_t w = 0; w < notes_.words_per; ++w) {
+        staged[w] = slot.words[w].load(std::memory_order_relaxed);
+      }
+      const std::uint64_t check = slot.check.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != 2 * ticket + 2) continue;
+      if (check != (fnv1a(staged, notes_.words_per) ^ (2 * ticket + 2))) {
+        continue;
+      }
+      FlightNote note;
+      std::memcpy(&note, staged, sizeof(note));
+      std::size_t n = format_note_line(line, sizeof(line) - 1, note);
+      line[n++] = '\n';
+      if (!write_all(fd, line, n, &total)) return -1;
+    }
+  }
+  return total;
+}
+
+bool FlightRecorder::install_crash_handlers(const std::string& path,
+                                            std::string* error) {
+  if (path.size() + 1 > sizeof(g_postmortem_path)) {
+    if (error != nullptr) *error = "postmortem path too long";
+    return false;
+  }
+  instance();  // force singleton construction outside any signal context
+  std::memcpy(g_postmortem_path, path.c_str(), path.size() + 1);
+  struct sigaction sa = {};
+  sa.sa_handler = crash_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGQUIT}) {
+    if (sigaction(sig, &sa, nullptr) != 0) {
+      if (error != nullptr) {
+        *error = std::string("sigaction failed for signal ") +
+                 std::to_string(sig);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FlightRecorder::postmortem_path() {
+  return std::string(g_postmortem_path);
+}
+
+}  // namespace netpart::obs

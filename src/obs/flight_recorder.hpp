@@ -1,0 +1,160 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace_context.hpp"
+
+/// \file flight_recorder.hpp
+/// Crash-safe in-memory flight recorder (docs/OBSERVABILITY.md#flight-recorder).
+///
+/// The recorder keeps the last N completed-or-in-flight request records and
+/// a smaller ring of recent solver/server events in fixed, lock-free rings.
+/// It answers two questions a stats snapshot cannot: "what exactly was the
+/// daemon doing just now?" (drained live via the `debug` op) and "what was
+/// it doing when it died?" (dumped from SIGSEGV/SIGABRT/SIGBUS/SIGQUIT
+/// handlers to an NDJSON post-mortem file using only async-signal-safe
+/// calls).
+///
+/// Concurrency design: each ring slot is a seqlock — an atomic sequence
+/// word that is odd while a writer owns the slot, plus the payload stored
+/// as relaxed atomic 64-bit words so concurrent read/write of a lapped slot
+/// is race-free (TSan-clean) rather than undefined.  Writers claim tickets
+/// with a fetch_add and never block; readers discard slots whose sequence
+/// does not match the expected ticket or whose payload checksum fails
+/// (a writer lapped them mid-copy).  The ring never allocates after
+/// configure(), so record() is safe on any thread and dump_to_fd() is safe
+/// inside a signal handler.
+///
+/// Like the rolling latency histograms, this is always-on serving
+/// telemetry: it does not compile out under NETPART_OBS=OFF.
+
+namespace netpart::obs {
+
+/// Outcome of a recorded request.  kRunning records are written when a
+/// lane picks the request up and are superseded (same ticket semantics,
+/// newer slot) by the final record — a post-mortem that ends with a
+/// kRunning record names the in-flight casualty.
+enum class FlightOutcome : std::uint8_t {
+  kRunning = 0,
+  kOk,
+  kError,
+  kDeadline,
+  kShed,
+};
+
+[[nodiscard]] const char* flight_outcome_name(FlightOutcome o);
+
+/// One request record.  Trivially copyable and word-packable: it is copied
+/// through relaxed atomic words, so no pointers, no strings — the op name
+/// is a truncated inline char array.
+struct FlightRecord {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;
+  std::int64_t request_id = 0;
+  std::int64_t wall_ms = 0;  ///< unix wall clock at record time
+  std::int32_t lane = -1;
+  std::uint8_t cls = 0;  ///< runtime::RequestClass value (0 hit/1 warm/2 cold)
+  std::uint8_t outcome = 0;  ///< FlightOutcome value
+  char op[14] = {};          ///< NUL-padded, truncated op name
+  std::array<std::int32_t, kNumStages> stage_us{};
+
+  void set_op(const char* name);
+};
+
+/// One free-form event record ("session evicted", "lane stalled", ...).
+struct FlightNote {
+  std::int64_t wall_ms = 0;
+  std::int64_t value = 0;
+  char kind[24] = {};  ///< NUL-padded, truncated label
+
+  void set_kind(const char* name);
+};
+
+/// Process-wide recorder.  configure() before serving; record()/note() from
+/// any thread; snapshot()/*_to_json from a draining thread; dump_to_fd()
+/// from anywhere including signal handlers.
+class FlightRecorder {
+ public:
+  /// The process singleton (what the crash handlers dump).
+  static FlightRecorder& instance();
+
+  /// (Re)allocate the rings.  `capacity` is rounded up to a power of two;
+  /// 0 disables recording entirely.  Not safe concurrently with record() —
+  /// call before the server starts accepting (server_test reconfigures
+  /// between fixtures, which is fine because the old server has drained).
+  void configure(std::size_t capacity);
+
+  [[nodiscard]] bool enabled() const { return capacity_ != 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Total records ever written; min(recorded, capacity) survive.
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t overwritten() const;
+
+  void record(const FlightRecord& rec);
+  void note(const char* kind, std::int64_t value);
+
+  /// Oldest-first consistent copies of the surviving slots.  Slots caught
+  /// mid-write (seq mismatch or checksum failure) are skipped.
+  [[nodiscard]] std::vector<FlightRecord> snapshot_records() const;
+  [[nodiscard]] std::vector<FlightNote> snapshot_notes() const;
+
+  /// JSON arrays for the `debug` op (raw values, caller splices them in).
+  [[nodiscard]] std::string records_to_json() const;
+  [[nodiscard]] std::string notes_to_json() const;
+
+  /// Write the post-mortem NDJSON to an open fd: one header object, then
+  /// one line per surviving record and note.  Uses only write(2) and stack
+  /// buffers — async-signal-safe.  `signal_number` goes in the header
+  /// (0 = on-demand dump).  Returns bytes written, -1 on write error.
+  std::int64_t dump_to_fd(int fd, int signal_number) const;
+
+  /// Install SIGSEGV/SIGABRT/SIGBUS/SIGQUIT handlers that dump the
+  /// singleton to `path` (truncating).  SIGQUIT dumps and resumes; the
+  /// fatal three dump, restore the default handler and re-raise.  Returns
+  /// false (with `error` set) if a handler could not be installed.
+  static bool install_crash_handlers(const std::string& path,
+                                     std::string* error);
+
+  /// Path configured via install_crash_handlers, empty if none.
+  static std::string postmortem_path();
+
+ private:
+  FlightRecorder() = default;
+
+  // One slot: seq (odd while a writer owns it, 2*ticket+2 once published),
+  // payload words (relaxed atomics), and an FNV-1a checksum over the words
+  // that detects two lapped writers interleaving in the same slot.
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> check{0};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> words;
+  };
+
+  template <typename T>
+  struct Ring {
+    std::atomic<std::uint64_t> head{0};
+    std::unique_ptr<Slot[]> slots;
+    std::size_t mask = 0;       // capacity - 1, 0 when disabled
+    std::size_t capacity = 0;   // 0 = disabled
+    std::size_t words_per = 0;  // payload words per slot
+
+    void configure(std::size_t cap);
+    void push(const T& item);
+    std::vector<T> drain() const;
+  };
+
+  Ring<FlightRecord> records_;
+  Ring<FlightNote> notes_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace netpart::obs

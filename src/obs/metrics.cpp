@@ -403,8 +403,13 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     snap.histograms.push_back(entry);
   snap.rolling.reserve(rolling_->histograms.size());
   const auto now = static_cast<std::int64_t>(now_ms());
-  for (const auto& [name, hist] : rolling_->histograms)
-    snap.rolling.push_back({name, hist.window_ms(), hist.merged(now)});
+  for (const auto& [name, hist] : rolling_->histograms) {
+    RollingEntry entry;
+    entry.name = name;
+    entry.window_ms = hist.window_ms();
+    entry.window = hist.merged(now);
+    snap.rolling.push_back(std::move(entry));
+  }
   snap.profile = Profiler::instance().snapshot();
   return snap;
 }

@@ -89,10 +89,18 @@ void histogram_record(HistogramEntry& h, double value);
 
 /// One rolling histogram's windowed view at snapshot time: the merge of
 /// every epoch still inside the window (see rolling.hpp).
+///
+/// A producer may attach an exemplar — one recent traced sample near the
+/// window's tail — which the Prometheus exporter renders as an
+/// OpenMetrics-style `# {trace_id="..."}` annotation on the p99 summary
+/// sample so a dashboard quantile links to a concrete request.
 struct RollingEntry {
   std::string name;
   std::int64_t window_ms = 0;
   HistogramEntry window;
+  std::string exemplar_trace_id;    ///< 32-hex trace_id; empty = none
+  double exemplar_value = -1.0;     ///< the exemplar's sample value
+  std::int64_t exemplar_ts_ms = 0;  ///< unix ms when it was recorded
 };
 
 /// Immutable copy of a registry's state.  Entries are sorted by name — the

@@ -66,6 +66,20 @@ class Exposition {
     out_ += '\n';
   }
 
+  /// Like sample(), with an OpenMetrics-style exemplar annotation appended
+  /// after the value (` # {trace_id="..."} value timestamp`).  Classic
+  /// text-format parsers treat everything after `#` on a sample line as a
+  /// comment, so this stays backward compatible.
+  void sample_annotated(std::string_view name, std::string_view labels,
+                        double value, std::string_view annotation) {
+    out_ += name;
+    out_ += labels;
+    out_ += ' ';
+    append_prom_number(out_, value);
+    out_ += annotation;
+    out_ += '\n';
+  }
+
   void sample_int(std::string_view name, std::string_view labels,
                   std::int64_t value) {
     out_ += name;
@@ -134,7 +148,20 @@ void emit_summary(Exposition& expo, const std::string& family,
     std::string labels = "{quantile=\"";
     append_prom_number(labels, q);
     labels += "\"}";
-    expo.sample(family, labels, r.window.quantile(q));
+    // The p99 sample carries the exemplar (when the producer attached one)
+    // so a dashboard's tail-latency panel links to a concrete trace_id.
+    if (q == 0.99 && !r.exemplar_trace_id.empty()) {
+      std::string annotation = " # {trace_id=\"";
+      annotation += prom_escape_label(r.exemplar_trace_id);
+      annotation += "\"} ";
+      append_prom_number(annotation, r.exemplar_value);
+      annotation += ' ';
+      append_prom_number(annotation,
+                         static_cast<double>(r.exemplar_ts_ms) / 1000.0);
+      expo.sample_annotated(family, labels, r.window.quantile(q), annotation);
+    } else {
+      expo.sample(family, labels, r.window.quantile(q));
+    }
   }
   expo.sample(family + "_sum", "", r.window.sum);
   expo.sample_int(family + "_count", "", r.window.count);

@@ -1,0 +1,192 @@
+#include "obs/trace_context.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <random>
+#include <thread>
+
+namespace netpart::obs {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void append_hex64(std::string& out, std::uint64_t v) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kHexDigits[(v >> shift) & 0xF]);
+  }
+}
+
+/// -1 on a non-hex character.
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool parse_hex64(std::string_view text, std::uint64_t& out) {
+  std::uint64_t v = 0;
+  for (char c : text) {
+    const int d = hex_value(c);
+    if (d < 0) return false;
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  out = v;
+  return true;
+}
+
+/// Per-thread xorshift128+ generator.  Seeded once per thread from
+/// std::random_device mixed with the clock, the thread id, and a global
+/// counter so even a degenerate random_device yields distinct streams.
+struct TraceRng {
+  std::uint64_t s0;
+  std::uint64_t s1;
+
+  TraceRng() {
+    static std::atomic<std::uint64_t> counter{0};
+    std::random_device rd;
+    const auto now = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    const auto tid = static_cast<std::uint64_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    const std::uint64_t salt =
+        counter.fetch_add(0x9E3779B97F4A7C15ULL, std::memory_order_relaxed);
+    s0 = splitmix(static_cast<std::uint64_t>(rd()) << 32 ^ rd() ^ now ^ salt);
+    s1 = splitmix(static_cast<std::uint64_t>(rd()) << 32 ^ rd() ^ tid ^ ~salt);
+    if (s0 == 0 && s1 == 0) s1 = 0x2545F4914F6CDD1DULL;
+  }
+
+  static std::uint64_t splitmix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t next() {
+    std::uint64_t x = s0;
+    const std::uint64_t y = s1;
+    s0 = y;
+    x ^= x << 23;
+    s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1 + y;
+  }
+};
+
+std::uint64_t random_u64() {
+  thread_local TraceRng rng;
+  return rng.next();
+}
+
+std::uint64_t random_nonzero_u64() {
+  std::uint64_t v = random_u64();
+  while (v == 0) v = random_u64();
+  return v;
+}
+
+}  // namespace
+
+std::string format_trace_id(std::uint64_t hi, std::uint64_t lo) {
+  std::string out;
+  out.reserve(32);
+  append_hex64(out, hi);
+  append_hex64(out, lo);
+  return out;
+}
+
+std::string format_span_id(std::uint64_t id) {
+  std::string out;
+  out.reserve(16);
+  append_hex64(out, id);
+  return out;
+}
+
+bool parse_trace_id(std::string_view text, std::uint64_t& hi,
+                    std::uint64_t& lo) {
+  if (text.size() != 32) return false;
+  std::uint64_t h = 0;
+  std::uint64_t l = 0;
+  if (!parse_hex64(text.substr(0, 16), h)) return false;
+  if (!parse_hex64(text.substr(16), l)) return false;
+  hi = h;
+  lo = l;
+  return true;
+}
+
+bool parse_span_id(std::string_view text, std::uint64_t& id) {
+  if (text.size() != 16) return false;
+  std::uint64_t v = 0;
+  if (!parse_hex64(text, v)) return false;
+  id = v;
+  return true;
+}
+
+TraceContext generate_trace_context() {
+  TraceContext ctx;
+  ctx.trace_hi = random_u64();
+  ctx.trace_lo = random_u64();
+  if ((ctx.trace_hi | ctx.trace_lo) == 0) ctx.trace_lo = 1;
+  ctx.span_id = random_nonzero_u64();
+  return ctx;
+}
+
+std::uint64_t generate_span_id() { return random_nonzero_u64(); }
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kParse:
+      return "parse";
+    case Stage::kAdmission:
+      return "admission";
+    case Stage::kQueue:
+      return "queue";
+    case Stage::kExecute:
+      return "execute";
+    case Stage::kSerialize:
+      return "serialize";
+    case Stage::kWrite:
+      return "write";
+  }
+  return "unknown";
+}
+
+std::int64_t StageClock::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t StageClock::duration_us(Stage s) const {
+  const auto idx = static_cast<std::size_t>(s);
+  const std::int64_t at = marks_[idx];
+  if (at == 0) return 0;
+  std::int64_t prev = start_ns_;
+  for (std::size_t i = 0; i < idx; ++i) {
+    if (marks_[i] != 0) prev = marks_[i];
+  }
+  const std::int64_t delta = at - prev;
+  return delta > 0 ? delta / 1000 : 0;
+}
+
+std::int64_t StageClock::begin_offset_us(Stage s) const {
+  const auto idx = static_cast<std::size_t>(s);
+  std::int64_t prev = start_ns_;
+  for (std::size_t i = 0; i < idx; ++i) {
+    if (marks_[i] != 0) prev = marks_[i];
+  }
+  const std::int64_t delta = prev - start_ns_;
+  return delta > 0 ? delta / 1000 : 0;
+}
+
+std::int64_t StageClock::total_us() const {
+  std::int64_t last = 0;
+  for (const std::int64_t m : marks_) {
+    if (m != 0) last = m;
+  }
+  if (last == 0) return 0;
+  const std::int64_t delta = last - start_ns_;
+  return delta > 0 ? delta / 1000 : 0;
+}
+
+}  // namespace netpart::obs

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// \file trace_context.hpp
+/// Request-scoped trace identity and per-stage latency decomposition
+/// (docs/OBSERVABILITY.md#request-tracing).
+///
+/// A TraceContext is the Dapper-style identity a request carries across
+/// process hops: a 128-bit `trace_id` minted once by the originating client
+/// (netpartc, a proxy, a test harness) plus a 64-bit `span_id` per hop.
+/// netpartd echoes the trace_id on every response — including structured
+/// errors — and stamps its own span_id, so one request is joinable across
+/// the response envelope, the access log, the Chrome trace, the Prometheus
+/// exemplars, and the flight recorder by exact string equality.
+///
+/// A StageClock is the per-request timestamp vector behind the latency
+/// decomposition: the server stamps one monotonic mark as each pipeline
+/// stage completes (parse → admission → queue → execute → serialize →
+/// write), and stage durations are the deltas between consecutive marks.
+/// Everything here is always compiled — it is serving telemetry, like the
+/// rolling histograms, not optional obs instrumentation — and costs a
+/// handful of clock reads per request.
+
+namespace netpart::obs {
+
+/// One hop's trace identity.  `trace_hi`/`trace_lo` are the 128-bit
+/// trace_id (zero = untraced); `span_id` is this process's span and
+/// `parent_span` the caller's (zero = none supplied).
+struct TraceContext {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+
+  [[nodiscard]] bool valid() const { return (trace_hi | trace_lo) != 0; }
+};
+
+/// 32 lowercase hex characters (hi then lo), the wire form of a trace_id.
+[[nodiscard]] std::string format_trace_id(std::uint64_t hi, std::uint64_t lo);
+
+/// 16 lowercase hex characters, the wire form of a span_id.
+[[nodiscard]] std::string format_span_id(std::uint64_t id);
+
+/// Parse a 32-hex-character trace_id (case-insensitive).  False on any
+/// other length or a non-hex character; outputs untouched on failure.
+bool parse_trace_id(std::string_view text, std::uint64_t& hi,
+                    std::uint64_t& lo);
+
+/// Parse a 16-hex-character span_id (case-insensitive).
+bool parse_span_id(std::string_view text, std::uint64_t& id);
+
+/// Mint a new non-zero random trace context (trace_hi/lo and span_id set,
+/// parent_span zero).  Thread-safe; ids are unique per process run with
+/// overwhelming probability (seeded from std::random_device, the clock,
+/// and the thread id).
+[[nodiscard]] TraceContext generate_trace_context();
+
+/// Mint a new non-zero random span_id.
+[[nodiscard]] std::uint64_t generate_span_id();
+
+/// The server pipeline stages a request passes through, in order.  Each
+/// stage's duration is the time between the previous stage's mark and its
+/// own (the first is measured from the StageClock's start).
+enum class Stage : std::uint8_t {
+  kParse = 0,   ///< frame split + JSON parse + schema validation
+  kAdmission,   ///< classification + admission decision + lane submit
+  kQueue,       ///< waiting in the lane FIFO
+  kExecute,     ///< the handler (compute, cache lookup, control op)
+  kSerialize,   ///< trace/events/stage splicing into the response line
+  kWrite,       ///< socket write of the response
+};
+
+inline constexpr std::size_t kNumStages = 6;
+
+/// Wire name of a stage: "parse", "admission", "queue", "execute",
+/// "serialize", "write".
+[[nodiscard]] const char* stage_name(Stage s);
+
+/// Monotonic per-request timestamp vector.  start() stamps the origin (the
+/// moment the frame was read off the socket); mark() stamps a stage's
+/// completion.  Stages may legally be skipped (a request that dies at its
+/// deadline never executes); a skipped stage has duration zero and the next
+/// marked stage measures from the latest earlier mark.
+class StageClock {
+ public:
+  /// Monotonic nanoseconds (steady clock, arbitrary origin).
+  [[nodiscard]] static std::int64_t now_ns();
+
+  void start(std::int64_t t_ns) { start_ns_ = t_ns; }
+  void start() { start(now_ns()); }
+
+  void mark(Stage s, std::int64_t t_ns) {
+    marks_[static_cast<std::size_t>(s)] = t_ns;
+  }
+  void mark(Stage s) { mark(s, now_ns()); }
+
+  [[nodiscard]] std::int64_t start_ns() const { return start_ns_; }
+  /// Absolute mark of a stage; 0 = never marked.
+  [[nodiscard]] std::int64_t at_ns(Stage s) const {
+    return marks_[static_cast<std::size_t>(s)];
+  }
+
+  /// Duration of stage `s` in whole microseconds (floor): its mark minus
+  /// the latest earlier mark (or start).  Zero when `s` was never marked.
+  [[nodiscard]] std::int64_t duration_us(Stage s) const;
+
+  /// Offset of the *beginning* of stage `s` from start, in microseconds —
+  /// i.e. the latest mark before `s`.  Used to lay stage spans out on a
+  /// real timeline in the Chrome trace.
+  [[nodiscard]] std::int64_t begin_offset_us(Stage s) const;
+
+  /// Last mark minus start, in microseconds: the request's whole measured
+  /// wall time through its final stamped stage.
+  [[nodiscard]] std::int64_t total_us() const;
+
+ private:
+  std::int64_t start_ns_ = 0;
+  std::array<std::int64_t, kNumStages> marks_{};
+};
+
+}  // namespace netpart::obs

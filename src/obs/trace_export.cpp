@@ -71,6 +71,24 @@ class TraceWriter {
     out_ += "}}";
   }
 
+  /// Complete event on an arbitrary thread with caller-supplied raw args
+  /// (a JSON object body without braces, already escaped).
+  void complete_raw(std::string_view name, std::int64_t tid, std::int64_t ts_us,
+                    std::int64_t dur_us, std::string_view args_body) {
+    separator();
+    out_ += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out_ += std::to_string(tid);
+    out_ += ",\"ts\":";
+    out_ += std::to_string(ts_us);
+    out_ += ",\"dur\":";
+    out_ += std::to_string(dur_us);
+    out_ += ",\"name\":\"";
+    out_ += json_escape(name);
+    out_ += "\",\"args\":{";
+    out_ += args_body;
+    out_ += "}}";
+  }
+
   [[nodiscard]] std::string finish() && {
     return "{\"traceEvents\":[" + std::move(out_) + "]}";
   }
@@ -105,6 +123,13 @@ std::int64_t emit_packed(TraceWriter& writer,
 
 std::string to_chrome_trace(const MetricsSnapshot& snapshot,
                             std::string_view process_name) {
+  return to_chrome_trace(snapshot, process_name, {}, {});
+}
+
+std::string to_chrome_trace(const MetricsSnapshot& snapshot,
+                            std::string_view process_name,
+                            std::string_view trace_id,
+                            const std::vector<RequestStageEvent>& request_stages) {
   TraceWriter writer;
   std::string process = std::string(process_name);
   if (!snapshot.run_label.empty()) process += " [" + snapshot.run_label + "]";
@@ -113,6 +138,19 @@ std::string to_chrome_trace(const MetricsSnapshot& snapshot,
   for (const CounterEntry& c : snapshot.counters) writer.counter(c.name, c.value);
   emit_packed(writer, snapshot.spans, 0,
               std::numeric_limits<std::int64_t>::max());
+
+  if (!trace_id.empty() && !request_stages.empty()) {
+    writer.metadata("thread_name", 2, "request");
+    std::string args = "\"trace_id\":\"" + json_escape(trace_id) + "\"";
+    // The root span covers every stage so children always nest inside it.
+    std::int64_t total_us = 0;
+    for (const RequestStageEvent& s : request_stages)
+      total_us = std::max(total_us, s.ts_us + s.dur_us);
+    writer.complete_raw("request", 2, 0, total_us, args);
+    for (const RequestStageEvent& s : request_stages) {
+      writer.complete_raw("stage." + s.name, 2, s.ts_us, s.dur_us, args);
+    }
+  }
   return std::move(writer).finish();
 }
 

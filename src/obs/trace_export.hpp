@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/metrics.hpp"
 
@@ -30,5 +32,27 @@ namespace netpart::obs {
 /// the process metadata event (default "netpart").
 [[nodiscard]] std::string to_chrome_trace(
     const MetricsSnapshot& snapshot, std::string_view process_name = "netpart");
+
+/// One pipeline-stage span of a traced request, on a real timeline:
+/// `ts_us` is the offset from the request's start, `dur_us` its duration.
+/// `name` is a wire stage name ("parse", "queue", ...); the exporter
+/// prefixes it with "stage." in the event stream.
+struct RequestStageEvent {
+  std::string name;
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+};
+
+/// Render the snapshot plus one traced request's stage decomposition.  In
+/// addition to the synthesized pipeline profile (tid 1), the output gains a
+/// second thread (tid 2, "request") holding a root `ph:"X"` event named
+/// "request" whose args carry the 32-hex `trace_id`, with one nested
+/// `stage.<name>` child per entry of `request_stages` laid out at its real
+/// offset — unlike tid 1, this thread *is* a timeline.  With an empty
+/// `trace_id` or no stages this is identical to the plain overload.
+[[nodiscard]] std::string to_chrome_trace(
+    const MetricsSnapshot& snapshot, std::string_view process_name,
+    std::string_view trace_id,
+    const std::vector<RequestStageEvent>& request_stages);
 
 }  // namespace netpart::obs

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.hpp"  // obs::json_escape
+#include "obs/trace_context.hpp"
 
 namespace netpart::server {
 
@@ -323,6 +324,26 @@ ParseResult parse_request(std::string_view line, Request& out,
   if (!take_nonneg_int(doc, "id", id, error)) return ParseResult::kInvalid;
   out.id = id;
 
+  // Trace context next, for the same reason: once recovered, every
+  // structured error response can still echo the caller's trace_id.
+  std::string trace_id;
+  if (!take_string(doc, "trace_id", trace_id, error))
+    return ParseResult::kInvalid;
+  if (!trace_id.empty()) {
+    if (!obs::parse_trace_id(trace_id, out.trace_hi, out.trace_lo)) {
+      error = "trace_id must be 32 hex characters";
+      return ParseResult::kInvalid;
+    }
+    out.trace_id = obs::format_trace_id(out.trace_hi, out.trace_lo);
+  }
+  std::string span_id;
+  if (!take_string(doc, "span_id", span_id, error))
+    return ParseResult::kInvalid;
+  if (!span_id.empty() && !obs::parse_span_id(span_id, out.parent_span)) {
+    error = "span_id must be 16 hex characters";
+    return ParseResult::kInvalid;
+  }
+
   const JsonValue* op = doc.find("op");
   if (op == nullptr || !op->is_string()) {
     error = "missing string field 'op'";
@@ -349,6 +370,8 @@ ParseResult parse_request(std::string_view line, Request& out,
     out.op = Op::kStats;
   else if (op->string == "profile")
     out.op = Op::kProfile;
+  else if (op->string == "debug")
+    out.op = Op::kDebug;
   else if (op->string == "shutdown")
     out.op = Op::kShutdown;
   else if (op->string == "sleep")
@@ -386,6 +409,11 @@ ParseResult parse_request(std::string_view line, Request& out,
   if (out.op == Op::kProfile && out.action != "start" &&
       out.action != "stop" && out.action != "dump") {
     error = "profile requires action \"start\", \"stop\", or \"dump\"";
+    return ParseResult::kInvalid;
+  }
+  if (out.op == Op::kDebug && out.action != "flightrec" &&
+      out.action != "postmortem") {
+    error = "debug requires action \"flightrec\" or \"postmortem\"";
     return ParseResult::kInvalid;
   }
 

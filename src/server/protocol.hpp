@@ -66,6 +66,7 @@ enum class Op : std::uint8_t {
   kMetrics,     ///< server counters + obs registry snapshot
   kStats,       ///< live telemetry: uptime, qps, latency quantiles per op
   kProfile,     ///< sampling profiler control: action start/stop/dump
+  kDebug,       ///< flight recorder: action flightrec (drain) / postmortem
   kShutdown,    ///< drain in-flight work, then exit the serve loop
   kSleep,       ///< debug only: hold the executor (backpressure tests)
 };
@@ -88,10 +89,19 @@ struct Request {
   bool trace = false;           ///< attach a per-request obs snapshot
   bool events = false;          ///< attach this request's convergence events
   std::int64_t sleep_ms = 0;    ///< kSleep duration
-  /// profile: "start", "stop", or "dump".
+  /// profile: "start", "stop", or "dump"; debug: "flightrec" or
+  /// "postmortem".
   std::string action;
   /// stats: response encoding, "json" (default) or "prometheus".
   std::string format;
+  // Trace context (docs/SERVER.md#tracing).  `trace_id` is the canonical
+  // lowercase 32-hex form (empty = untraced request); `trace_hi`/`trace_lo`
+  // its decoded halves.  `parent_span` is the caller's decoded `span_id`
+  // field (0 = absent), echoed back as `parent_span_id`.
+  std::string trace_id;
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t parent_span = 0;
   /// with trace:true: snapshot encoding, "obs" (default, the registry's
   /// JSON schema) or "chrome" (trace-event JSON for Perfetto).
   std::string trace_format;

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -103,6 +104,17 @@ runtime::AdmissionLimits derive_limits(const ServerOptions& o) {
   return l;
 }
 
+/// Echo the caller's trace_id on a finished response line (error paths
+/// included) by reopening the top-level object.  No-op when the request
+/// carried no trace context.
+void splice_trace_id(std::string& response, const std::string& trace_id) {
+  if (trace_id.empty() || response.empty() || response.back() != '}') return;
+  response.pop_back();
+  response += ",\"trace_id\":\"";
+  response += trace_id;
+  response += "\"}";
+}
+
 /// Structured shed response: the legacy `overloaded` error plus top-level
 /// `class` and `retry_after_ms` fields clients can back off on.
 std::string overloaded_response(std::int64_t id, runtime::RequestClass cls,
@@ -132,9 +144,15 @@ Server::Server(ServerOptions options)
       admission_(derive_limits(options_)),
       all_latency_(obs::RollingConfig{options_.latency_window_ms, 6}) {
   class_latency_.reserve(runtime::kNumClasses);
-  for (std::size_t i = 0; i < runtime::kNumClasses; ++i)
+  class_queue_wait_.reserve(runtime::kNumClasses);
+  for (std::size_t i = 0; i < runtime::kNumClasses; ++i) {
     class_latency_.emplace_back(
         obs::RollingConfig{options_.latency_window_ms, 6});
+    class_queue_wait_.emplace_back(
+        obs::RollingConfig{options_.latency_window_ms, 6});
+  }
+  class_latency_exemplar_.resize(runtime::kNumClasses);
+  class_queue_exemplar_.resize(runtime::kNumClasses);
 }
 
 Server::~Server() {
@@ -224,6 +242,17 @@ bool Server::start(std::string& error) {
 
   start_ms_ = steady_now_ms();
   const std::size_t lanes = std::max<std::size_t>(1, options_.executor_lanes);
+  lane_queue_wait_.clear();
+  lane_execute_.clear();
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lane_queue_wait_.emplace_back(
+        obs::RollingConfig{options_.latency_window_ms, 6});
+    lane_execute_.emplace_back(
+        obs::RollingConfig{options_.latency_window_ms, 6});
+  }
+  obs::FlightRecorder::instance().configure(options_.flight_recorder_capacity);
+  obs::FlightRecorder::instance().note("server.start",
+                                       static_cast<std::int64_t>(lanes));
   const bool enable_obs = options_.enable_obs;
   const std::int64_t window_ms = options_.latency_window_ms;
   pool_.start(lanes, [lanes, enable_obs, window_ms](std::size_t lane) {
@@ -321,6 +350,7 @@ void Server::io_loop() {
       if (evicted > 0) {
         sessions_evicted_.fetch_add(evicted, std::memory_order_relaxed);
         NETPART_COUNTER_ADD("server.sessions_evicted", evicted);
+        obs::FlightRecorder::instance().note("sessions.evicted", evicted);
       }
     }
     if (n == 0) continue;
@@ -375,6 +405,10 @@ void Server::handle_readable(const std::shared_ptr<Conn>& conn) {
     return;
   }
   conn->inbuf.append(buf, static_cast<std::size_t>(n));
+  // StageClock origin for every frame completed by this read: the moment
+  // the bytes left the socket.  Stamped once — frames batched in one read
+  // share it, which only inflates their parse stage by sub-microseconds.
+  const std::int64_t read_ns = obs::StageClock::now_ns();
 
   const auto reject_oversized = [this, &conn] {
     // An over-long line can never be trusted to resync; refuse and hang up.
@@ -396,7 +430,7 @@ void Server::handle_readable(const std::shared_ptr<Conn>& conn) {
     }
     std::string_view line(conn->inbuf.data() + start, nl - start);
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    if (!line.empty()) process_line(conn, line);
+    if (!line.empty()) process_line(conn, line, read_ns);
     start = nl + 1;
   }
   conn->inbuf.erase(0, start);
@@ -409,31 +443,36 @@ void Server::handle_readable(const std::shared_ptr<Conn>& conn) {
 }
 
 void Server::process_line(const std::shared_ptr<Conn>& conn,
-                          std::string_view line) {
+                          std::string_view line, std::int64_t read_ns) {
   Request req;
   std::string error;
+  // Parse failures still echo a recovered trace_id (the parser decodes it
+  // before the op, exactly as it recovers the id) so failed requests stay
+  // attributable in client-side traces.
+  const auto reject = [&](const char* code) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    NETPART_COUNTER_ADD("server.parse_errors", 1);
+    std::string response = error_response(req.id, code, error);
+    splice_trace_id(response, req.trace_id);
+    write_response(conn, std::move(response));
+  };
   switch (parse_request(line, req, error)) {
     case ParseResult::kOk:
       break;
     case ParseResult::kMalformed:
-      parse_errors_.fetch_add(1, std::memory_order_relaxed);
-      NETPART_COUNTER_ADD("server.parse_errors", 1);
-      write_response(conn, error_response(req.id, "parse_error", error));
+      reject("parse_error");
       return;
     case ParseResult::kInvalid:
-      parse_errors_.fetch_add(1, std::memory_order_relaxed);
-      NETPART_COUNTER_ADD("server.parse_errors", 1);
-      write_response(conn, error_response(req.id, "bad_request", error));
+      reject("bad_request");
       return;
     case ParseResult::kUnknownOp:
-      parse_errors_.fetch_add(1, std::memory_order_relaxed);
-      NETPART_COUNTER_ADD("server.parse_errors", 1);
-      write_response(conn, error_response(req.id, "unknown_op", error));
+      reject("unknown_op");
       return;
   }
   requests_total_.fetch_add(1, std::memory_order_relaxed);
   NETPART_COUNTER_ADD("server.requests", 1);
-  enqueue(conn, std::move(req), static_cast<std::int64_t>(line.size()));
+  enqueue(conn, std::move(req), static_cast<std::int64_t>(line.size()),
+          read_ns);
 }
 
 runtime::RequestClass Server::classify(const Request& req) {
@@ -469,21 +508,31 @@ runtime::RequestClass Server::classify(const Request& req) {
 }
 
 void Server::enqueue(const std::shared_ptr<Conn>& conn, Request req,
-                     std::int64_t wire_bytes) {
+                     std::int64_t wire_bytes, std::int64_t read_ns) {
   if (stop_requested_.load(std::memory_order_relaxed)) {
-    write_response(conn, error_response(req.id, "shutting_down",
-                                        "server is draining"));
+    std::string response =
+        error_response(req.id, "shutting_down", "server is draining");
+    splice_trace_id(response, req.trace_id);
+    write_response(conn, std::move(response));
     return;
   }
   auto item = std::make_shared<QueueItem>();
   item->conn = conn;
   item->wire_bytes = wire_bytes;
   item->enqueue_ms = steady_now_ms();
+  item->clock.start(read_ns);
+  item->clock.mark(obs::Stage::kParse);
   const std::int64_t effective_timeout =
       req.timeout_ms > 0 ? req.timeout_ms : options_.default_timeout_ms;
   if (effective_timeout > 0)
     item->deadline_ms = item->enqueue_ms + effective_timeout;
   item->req = std::move(req);
+  if (item->req.trace_hi != 0 || item->req.trace_lo != 0) {
+    item->trace.trace_hi = item->req.trace_hi;
+    item->trace.trace_lo = item->req.trace_lo;
+    item->trace.parent_span = item->req.parent_span;
+    item->trace.span_id = obs::generate_span_id();
+  }
 
   // Classify unconditionally: even with --no-admission the class labels
   // the access log and the per-class latency windows.
@@ -502,9 +551,14 @@ void Server::enqueue(const std::shared_ptr<Conn>& conn, Request req,
         default:
           break;
       }
-      write_response(item->conn,
-                     overloaded_response(item->req.id, item->cls,
-                                         admission_.retry_after_ms(item->cls)));
+      item->clock.mark(obs::Stage::kAdmission);
+      obs::FlightRecorder::instance().record(
+          flight_record(*item, obs::FlightOutcome::kShed));
+      std::string response =
+          overloaded_response(item->req.id, item->cls,
+                              admission_.retry_after_ms(item->cls));
+      splice_trace_id(response, item->req.trace_id);
+      write_response(item->conn, std::move(response));
       return;
     }
   } else if (pool_.total_depth() >=
@@ -512,14 +566,21 @@ void Server::enqueue(const std::shared_ptr<Conn>& conn, Request req,
     // Legacy single-bound backpressure: every class shares one queue cap.
     rejected_overload_.fetch_add(1, std::memory_order_relaxed);
     NETPART_COUNTER_ADD("server.rejected_overload", 1);
-    write_response(item->conn,
-                   error_response(item->req.id, "overloaded",
-                                  "request queue is full; retry later"));
+    item->clock.mark(obs::Stage::kAdmission);
+    obs::FlightRecorder::instance().record(
+        flight_record(*item, obs::FlightOutcome::kShed));
+    std::string response =
+        error_response(item->req.id, "overloaded",
+                       "request queue is full; retry later");
+    splice_trace_id(response, item->req.trace_id);
+    write_response(item->conn, std::move(response));
     return;
   }
+  item->clock.mark(obs::Stage::kAdmission);
 
   const std::size_t lane = runtime::ExecutorPool::lane_for_session(
       item->req.session, pool_.lanes());
+  item->lane = static_cast<std::int32_t>(lane);
   NETPART_GAUGE_SET("server.queue_depth",
                     static_cast<double>(pool_.total_depth() + 1));
   pool_.submit(lane, [this, item] { handle_item(*item); });
@@ -527,22 +588,44 @@ void Server::enqueue(const std::shared_ptr<Conn>& conn, Request req,
 
 void Server::handle_item(QueueItem& item) {
   const std::int64_t begin_ms = steady_now_ms();
+  item.clock.mark(obs::Stage::kQueue);
   const bool admitted = options_.admission_control;
   if (admitted) admission_.on_start(item.cls);
-  NETPART_HISTOGRAM_RECORD("server.queue_wait_ms",
-                           static_cast<double>(begin_ms - item.enqueue_ms));
+  const double queue_wait_ms = static_cast<double>(begin_ms - item.enqueue_ms);
+  NETPART_HISTOGRAM_RECORD("server.queue_wait_ms", queue_wait_ms);
+  {
+    // Per-class and per-lane queue-wait windows: the decomposition that
+    // shows *where* admission backpressure lands, not just that it exists.
+    const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+    class_queue_wait_[static_cast<std::size_t>(item.cls)].record(queue_wait_ms,
+                                                                 begin_ms);
+    const auto lane = static_cast<std::size_t>(item.lane);
+    if (lane < lane_queue_wait_.size())
+      lane_queue_wait_[lane].record(queue_wait_ms, begin_ms);
+    if (item.trace.valid())
+      offer_exemplar(class_queue_exemplar_[static_cast<std::size_t>(item.cls)],
+                     queue_wait_ms, item.req.trace_id);
+  }
   if (item.deadline_ms > 0 && begin_ms > item.deadline_ms) {
     rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
     NETPART_COUNTER_ADD("server.rejected_deadline", 1);
     std::string response = error_response(item.req.id, "deadline_exceeded",
                                           "request expired while queued");
+    splice_trace_id(response, item.req.trace_id);
     const auto bytes_out = static_cast<std::int64_t>(response.size());
     write_response(item.conn, std::move(response));
+    item.clock.mark(obs::Stage::kWrite);
+    obs::FlightRecorder::instance().record(
+        flight_record(item, obs::FlightOutcome::kDeadline));
     if (admitted) admission_.on_finish(item.cls, 0.0);
     observe_request(item, begin_ms, begin_ms, /*ok=*/false,
                     /*cache_hit=*/false, bytes_out, "deadline_exceeded");
     return;
   }
+  // The in-flight marker: if the process dies inside dispatch, the
+  // post-mortem's newest record for this trace still says "running".
+  obs::FlightRecorder::instance().record(
+      flight_record(item, obs::FlightOutcome::kRunning));
 
   // Per-request observation windows (trace/events) splice registry-wide
   // state into one response; that is only coherent when a single lane runs
@@ -568,14 +651,32 @@ void Server::handle_item(QueueItem& item) {
 
   bool cache_hit = false;
   std::string response = dispatch(item.req, cache_hit);
+  item.clock.mark(obs::Stage::kExecute);
 
 #if NETPART_OBS_ENABLED
   if (trace && reg.enabled() && !response.empty() &&
       response.back() == '}') {
     const obs::MetricsSnapshot snap = reg.snapshot();
-    const std::string trace_json = item.req.trace_format == "chrome"
-                                       ? obs::to_chrome_trace(snap)
-                                       : snap.to_json();
+    std::string trace_json;
+    if (item.req.trace_format == "chrome") {
+      // A traced *and* trace-context-carrying request also gets its own
+      // stage decomposition as a real timeline thread in the Chrome trace,
+      // keyed by the same trace_id as everything else.
+      std::vector<obs::RequestStageEvent> stage_events;
+      if (item.trace.valid()) {
+        for (const obs::Stage s :
+             {obs::Stage::kParse, obs::Stage::kAdmission, obs::Stage::kQueue,
+              obs::Stage::kExecute}) {
+          stage_events.push_back({obs::stage_name(s),
+                                  item.clock.begin_offset_us(s),
+                                  item.clock.duration_us(s)});
+        }
+      }
+      trace_json = obs::to_chrome_trace(snap, "netpart", item.req.trace_id,
+                                        stage_events);
+    } else {
+      trace_json = snap.to_json();
+    }
     response.pop_back();
     response += ",\"trace\":";
     response += trace_json;
@@ -599,6 +700,36 @@ void Server::handle_item(QueueItem& item) {
     }
   }
 
+  // Serialize stage: the trace/events splices above plus the trace-context
+  // envelope below.  The response carries durations through `serialize`;
+  // `write` completes after the line is on the wire and lands in the
+  // access log and flight recorder only.
+  item.clock.mark(obs::Stage::kSerialize);
+  if (item.trace.valid() && !response.empty() && response.back() == '}') {
+    response.pop_back();
+    response += ",\"trace_id\":\"";
+    response += item.req.trace_id;
+    response += "\",\"span_id\":\"";
+    response += obs::format_span_id(item.trace.span_id);
+    response += '"';
+    if (item.trace.parent_span != 0) {
+      response += ",\"parent_span_id\":\"";
+      response += obs::format_span_id(item.trace.parent_span);
+      response += '"';
+    }
+    response += ",\"stages_us\":{";
+    for (std::size_t i = 0;
+         i <= static_cast<std::size_t>(obs::Stage::kSerialize); ++i) {
+      if (i != 0) response += ',';
+      response += '"';
+      response += obs::stage_name(static_cast<obs::Stage>(i));
+      response += "\":";
+      response += std::to_string(
+          item.clock.duration_us(static_cast<obs::Stage>(i)));
+    }
+    response += "}}";
+  }
+
   const std::int64_t end_ms = steady_now_ms();
   const double exec_ms = static_cast<double>(end_ms - begin_ms);
   if (admitted) admission_.on_finish(item.cls, exec_ms);
@@ -612,14 +743,54 @@ void Server::handle_item(QueueItem& item) {
         .first->second.record(exec_ms, end_ms);
     all_latency_.record(exec_ms, end_ms);
     class_latency_[static_cast<std::size_t>(item.cls)].record(exec_ms, end_ms);
+    const auto lane = static_cast<std::size_t>(item.lane);
+    if (lane < lane_execute_.size()) lane_execute_[lane].record(exec_ms, end_ms);
+    if (item.trace.valid())
+      offer_exemplar(class_latency_exemplar_[static_cast<std::size_t>(item.cls)],
+                     exec_ms, item.req.trace_id);
   }
   sample_process_gauges(end_ms);
 
   const bool ok = response.find("\"ok\":false") == std::string::npos;
   const auto bytes_out = static_cast<std::int64_t>(response.size());
   write_response(item.conn, std::move(response));
+  item.clock.mark(obs::Stage::kWrite);
+  obs::FlightRecorder::instance().record(flight_record(
+      item, ok ? obs::FlightOutcome::kOk : obs::FlightOutcome::kError));
   observe_request(item, begin_ms, end_ms, ok, cache_hit, bytes_out,
                   ok ? "ok" : "error");
+}
+
+obs::FlightRecord Server::flight_record(const QueueItem& item,
+                                        obs::FlightOutcome outcome) const {
+  obs::FlightRecord rec;
+  rec.trace_hi = item.trace.trace_hi;
+  rec.trace_lo = item.trace.trace_lo;
+  rec.span_id = item.trace.span_id;
+  rec.request_id = item.req.id;
+  rec.wall_ms = wall_now_ms();
+  rec.lane = item.lane;
+  rec.cls = static_cast<std::uint8_t>(item.cls);
+  rec.outcome = static_cast<std::uint8_t>(outcome);
+  rec.set_op(item.req.op_name.c_str());
+  for (std::size_t i = 0; i < obs::kNumStages; ++i) {
+    const std::int64_t us =
+        item.clock.duration_us(static_cast<obs::Stage>(i));
+    rec.stage_us[i] = static_cast<std::int32_t>(
+        std::min<std::int64_t>(us, std::numeric_limits<std::int32_t>::max()));
+  }
+  return rec;
+}
+
+void Server::offer_exemplar(Exemplar& ex, double value,
+                            const std::string& trace_id) const {
+  const std::int64_t now = wall_now_ms();
+  const bool stale =
+      ex.value < 0 || now - ex.ts_ms > options_.latency_window_ms;
+  if (!stale && value < ex.value) return;
+  ex.value = value;
+  ex.ts_ms = now;
+  ex.trace_id = trace_id;
 }
 
 void Server::observe_request(const QueueItem& item, std::int64_t begin_ms,
@@ -659,6 +830,30 @@ void Server::observe_request(const QueueItem& item, std::int64_t begin_ms,
                                : std::string("null");
   line += ",\"slow\":";
   line += slow ? "true" : "false";
+  // Tracing fields are appended after every pre-existing key (old
+  // consumers index by name, nothing was renamed).  `*_us` durations come
+  // from the StageClock; `total_us` spans frame-read to post-write.
+  line += ",\"trace_id\":";
+  if (item.trace.valid()) {
+    line += '"';
+    line += item.req.trace_id;
+    line += "\",\"span_id\":\"";
+    line += obs::format_span_id(item.trace.span_id);
+    line += '"';
+  } else {
+    line += "null,\"span_id\":null";
+  }
+  line += ",\"lane\":";
+  line += std::to_string(item.lane);
+  for (std::size_t i = 0; i < obs::kNumStages; ++i) {
+    const auto s = static_cast<obs::Stage>(i);
+    line += ",\"";
+    line += obs::stage_name(s);
+    line += "_us\":";
+    line += std::to_string(item.clock.duration_us(s));
+  }
+  line += ",\"total_us\":";
+  line += std::to_string(item.clock.total_us());
   line += '}';
 
   {
@@ -718,6 +913,8 @@ std::string Server::dispatch(const Request& req, bool& cache_hit) {
         return do_stats(req);
       case Op::kProfile:
         return do_profile(req);
+      case Op::kDebug:
+        return do_debug(req);
       case Op::kSleep:
         return do_sleep(req);
       case Op::kShutdown:
@@ -1040,6 +1237,38 @@ std::string Server::do_stats(const Request& req) {
                      runtime::class_name(static_cast<runtime::RequestClass>(i));
         entry.window_ms = class_latency_[i].window_ms();
         entry.window = class_latency_[i].merged(now);
+        if (class_latency_exemplar_[i].value >= 0) {
+          entry.exemplar_trace_id = class_latency_exemplar_[i].trace_id;
+          entry.exemplar_value = class_latency_exemplar_[i].value;
+          entry.exemplar_ts_ms = class_latency_exemplar_[i].ts_ms;
+        }
+        synth.rolling.push_back(std::move(entry));
+      }
+      for (std::size_t i = 0; i < class_queue_wait_.size(); ++i) {
+        obs::RollingEntry entry;
+        entry.name = std::string("class_queue_wait_ms.") +
+                     runtime::class_name(static_cast<runtime::RequestClass>(i));
+        entry.window_ms = class_queue_wait_[i].window_ms();
+        entry.window = class_queue_wait_[i].merged(now);
+        if (class_queue_exemplar_[i].value >= 0) {
+          entry.exemplar_trace_id = class_queue_exemplar_[i].trace_id;
+          entry.exemplar_value = class_queue_exemplar_[i].value;
+          entry.exemplar_ts_ms = class_queue_exemplar_[i].ts_ms;
+        }
+        synth.rolling.push_back(std::move(entry));
+      }
+      for (std::size_t i = 0; i < lane_execute_.size(); ++i) {
+        obs::RollingEntry entry;
+        entry.name = "lane_execute_ms." + std::to_string(i);
+        entry.window_ms = lane_execute_[i].window_ms();
+        entry.window = lane_execute_[i].merged(now);
+        synth.rolling.push_back(std::move(entry));
+      }
+      for (std::size_t i = 0; i < lane_queue_wait_.size(); ++i) {
+        obs::RollingEntry entry;
+        entry.name = "lane_queue_wait_ms." + std::to_string(i);
+        entry.window_ms = lane_queue_wait_[i].window_ms();
+        entry.window = lane_queue_wait_[i].merged(now);
         synth.rolling.push_back(std::move(entry));
       }
       for (const auto& [op_name, hist] : op_latency_) {
@@ -1073,6 +1302,9 @@ std::string Server::do_stats(const Request& req) {
 
   std::string per_op = "{";
   std::string per_class = "{";
+  std::string per_class_queue = "{";
+  std::string lane_queue_arr = "[";
+  std::string lane_exec_arr = "[";
   {
     const std::lock_guard<std::mutex> lock(telemetry_mutex_);
     bool first = true;
@@ -1092,9 +1324,31 @@ std::string Server::do_stats(const Request& req) {
       per_class += latency_json(class_latency_[i].merged(now),
                                 class_latency_[i].window_ms());
     }
+    for (std::size_t i = 0; i < class_queue_wait_.size(); ++i) {
+      if (i > 0) per_class_queue += ',';
+      per_class_queue += '"';
+      per_class_queue +=
+          runtime::class_name(static_cast<runtime::RequestClass>(i));
+      per_class_queue += "\":";
+      per_class_queue += latency_json(class_queue_wait_[i].merged(now),
+                                      class_queue_wait_[i].window_ms());
+    }
+    for (std::size_t i = 0; i < lane_queue_wait_.size(); ++i) {
+      if (i > 0) lane_queue_arr += ',';
+      lane_queue_arr += latency_json(lane_queue_wait_[i].merged(now),
+                                     lane_queue_wait_[i].window_ms());
+    }
+    for (std::size_t i = 0; i < lane_execute_.size(); ++i) {
+      if (i > 0) lane_exec_arr += ',';
+      lane_exec_arr += latency_json(lane_execute_[i].merged(now),
+                                    lane_execute_[i].window_ms());
+    }
   }
   per_op += '}';
   per_class += '}';
+  per_class_queue += '}';
+  lane_queue_arr += ']';
+  lane_exec_arr += ']';
 
   std::string lanes_arr = "[";
   for (std::size_t i = 0; i < st.lanes.size(); ++i) {
@@ -1141,6 +1395,9 @@ std::string Server::do_stats(const Request& req) {
       .add_raw("admission", admission)
       .add_raw("latency_ms", latency_json(all, all_latency_.window_ms()))
       .add_raw("class_latency_ms", per_class)
+      .add_raw("class_queue_wait_ms", per_class_queue)
+      .add_raw("lane_queue_wait_ms", lane_queue_arr)
+      .add_raw("lane_execute_ms", lane_exec_arr)
       .add_raw("op_latency_ms", per_op);
   return std::move(rb).finish();
 }
@@ -1182,6 +1439,48 @@ std::string Server::do_profile(const Request& req) {
       .add_int("dropped", snap.dropped_samples)
       .add_double("attribution", snap.attribution())
       .add_string("folded", snap.to_folded());
+  return std::move(rb).finish();
+}
+
+std::string Server::do_debug(const Request& req) {
+  // Read-only introspection: allowed without --debug-ops (unlike `sleep`,
+  // which can wedge a lane).  `flightrec` drains the in-memory rings;
+  // `postmortem` writes the same dump the crash handlers would, on demand.
+  auto& recorder = obs::FlightRecorder::instance();
+  if (req.action == "postmortem") {
+    const std::string path = obs::FlightRecorder::postmortem_path();
+    if (path.empty()) {
+      return error_response(req.id, "bad_request",
+                            "no postmortem path configured (--postmortem)");
+    }
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      return error_response(req.id, "internal",
+                            std::string("cannot open postmortem file: ") +
+                                std::strerror(errno));
+    }
+    const std::int64_t bytes = recorder.dump_to_fd(fd, 0);
+    ::close(fd);
+    if (bytes < 0) {
+      return error_response(req.id, "internal", "postmortem write failed");
+    }
+    return std::move(ResponseBuilder(req.id, true)
+                         .add_string("op", "debug")
+                         .add_string("action", "postmortem")
+                         .add_string("path", path)
+                         .add_int("bytes", bytes))
+        .finish();
+  }
+  ResponseBuilder rb(req.id, true);
+  rb.add_string("op", "debug")
+      .add_string("action", "flightrec")
+      .add_bool("enabled", recorder.enabled())
+      .add_int("capacity", static_cast<std::int64_t>(recorder.capacity()))
+      .add_int("recorded", static_cast<std::int64_t>(recorder.recorded()))
+      .add_int("overwritten",
+               static_cast<std::int64_t>(recorder.overwritten()))
+      .add_raw("records", recorder.records_to_json())
+      .add_raw("notes", recorder.notes_to_json());
   return std::move(rb).finish();
 }
 

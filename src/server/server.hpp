@@ -10,7 +10,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/rolling.hpp"
+#include "obs/trace_context.hpp"
 #include "repart/session.hpp"
 #include "server/protocol.hpp"
 #include "server/result_cache.hpp"
@@ -94,6 +96,9 @@ struct ServerOptions {
   std::int64_t slow_ms = 0;
   /// Rolling-latency window for per-op percentiles served by `stats`.
   std::int64_t latency_window_ms = 60000;
+  /// Flight-recorder ring capacity (last N request records kept in memory
+  /// for the `debug` op and crash post-mortems); 0 disables recording.
+  std::size_t flight_recorder_capacity = 256;
   /// Partitioner configuration used by every session.
   repart::RepartitionOptions repartition;
 };
@@ -185,15 +190,21 @@ class Server {
     std::int64_t enqueue_ms = 0;
     std::int64_t deadline_ms = 0;   ///< 0 = none
     std::int64_t wire_bytes = 0;    ///< request line length (access log)
+    std::int32_t lane = -1;         ///< executor lane; -1 = never submitted
+    /// Per-stage timestamp vector, started when the frame left the socket.
+    obs::StageClock clock;
+    /// Decoded trace identity; span_id is minted server-side on admit.
+    obs::TraceContext trace;
   };
 
   // --- I/O thread ---
   void io_loop();
   void accept_ready(int listen_fd, bool tcp);
   void handle_readable(const std::shared_ptr<Conn>& conn);
-  void process_line(const std::shared_ptr<Conn>& conn, std::string_view line);
+  void process_line(const std::shared_ptr<Conn>& conn, std::string_view line,
+                    std::int64_t read_ns);
   void enqueue(const std::shared_ptr<Conn>& conn, Request req,
-               std::int64_t wire_bytes);
+               std::int64_t wire_bytes, std::int64_t read_ns);
   /// Classify a request into an admission class from lock-free session
   /// hints and a non-counting cache probe.  A stale hint mis-classifies
   /// (sheds or admits sub-optimally) but never changes an answer.
@@ -211,8 +222,13 @@ class Server {
   std::string do_metrics(const Request& req);
   std::string do_stats(const Request& req);
   std::string do_profile(const Request& req);
+  std::string do_debug(const Request& req);
   std::string do_sleep(const Request& req);
   std::string do_shutdown(const Request& req);
+
+  /// Snapshot a queue item into a flight-recorder record.
+  [[nodiscard]] obs::FlightRecord flight_record(
+      const QueueItem& item, obs::FlightOutcome outcome) const;
 
   /// Fold one executed request into the rolling latency maps and (when
   /// configured) the access/slow logs.  Lane-safe: telemetry_mutex_.
@@ -248,10 +264,29 @@ class Server {
   // lanes under telemetry_mutex_ (uncontended at 1 lane; microseconds of
   // hold time otherwise); always live so `stats` answers even under
   // -DNETPART_OBS=OFF.
+  /// One recent traced sample a rolling histogram points at from its p99
+  /// Prometheus summary line.  Refreshed under telemetry_mutex_ whenever a
+  /// traced request's sample dominates the held one or the held one ages
+  /// out of the rolling window.
+  struct Exemplar {
+    double value = -1.0;       ///< -1 = none held
+    std::int64_t ts_ms = 0;    ///< unix ms when captured
+    std::string trace_id;      ///< canonical 32-hex form
+  };
+
+  /// Refresh `ex` with a traced sample (telemetry_mutex_ must be held).
+  void offer_exemplar(Exemplar& ex, double value,
+                      const std::string& trace_id) const;
+
   mutable std::mutex telemetry_mutex_;
   std::map<std::string, obs::RollingHistogram> op_latency_;
   obs::RollingHistogram all_latency_{obs::RollingConfig{}};
-  std::vector<obs::RollingHistogram> class_latency_;  ///< one per class
+  std::vector<obs::RollingHistogram> class_latency_;    ///< one per class
+  std::vector<obs::RollingHistogram> class_queue_wait_;  ///< one per class
+  std::vector<obs::RollingHistogram> lane_queue_wait_;  ///< sized in start()
+  std::vector<obs::RollingHistogram> lane_execute_;     ///< sized in start()
+  std::vector<Exemplar> class_latency_exemplar_;    ///< one per class
+  std::vector<Exemplar> class_queue_exemplar_;      ///< one per class
   std::ofstream access_log_;
   std::int64_t start_ms_ = 0;
   std::atomic<std::int64_t> last_gauge_sample_ms_{0};

@@ -15,6 +15,7 @@
 #include "obs/profiler.hpp"
 #include "obs/prom_export.hpp"
 #include "obs/rolling.hpp"
+#include "obs/trace_context.hpp"
 #include "obs/trace_export.hpp"
 
 namespace netpart::obs {
@@ -1114,6 +1115,172 @@ TEST(EventRing, CompiledOutEventMacroDoesNotEvaluateArguments) {
   EXPECT_EQ(evaluations, 0);
 }
 #endif
+
+// ---------------------------------------------------------------------------
+// Trace context (always compiled: serving telemetry, like the rolling
+// histograms)
+// ---------------------------------------------------------------------------
+
+TEST(TraceContext, FormatAndParseRoundTrip) {
+  EXPECT_EQ(format_trace_id(0x0011223344556677ULL, 0x8899aabbccddeeffULL),
+            "00112233445566778899aabbccddeeff");
+  EXPECT_EQ(format_span_id(0x0123456789abcdefULL), "0123456789abcdef");
+
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  ASSERT_TRUE(parse_trace_id("00112233445566778899aabbccddeeff", hi, lo));
+  EXPECT_EQ(hi, 0x0011223344556677ULL);
+  EXPECT_EQ(lo, 0x8899aabbccddeeffULL);
+  // Case-insensitive in, canonical lowercase out.
+  ASSERT_TRUE(parse_trace_id("00112233445566778899AABBCCDDEEFF", hi, lo));
+  EXPECT_EQ(format_trace_id(hi, lo), "00112233445566778899aabbccddeeff");
+
+  std::uint64_t span = 0;
+  ASSERT_TRUE(parse_span_id("FEEDFACEfeedface", span));
+  EXPECT_EQ(span, 0xfeedfacefeedfaceULL);
+}
+
+TEST(TraceContext, ParseRejectsMalformedIds) {
+  std::uint64_t hi = 1;
+  std::uint64_t lo = 2;
+  EXPECT_FALSE(parse_trace_id("", hi, lo));
+  EXPECT_FALSE(parse_trace_id("0011", hi, lo));                      // short
+  EXPECT_FALSE(parse_trace_id(std::string(33, 'a'), hi, lo));        // long
+  EXPECT_FALSE(parse_trace_id(std::string(31, 'a') + "g", hi, lo));  // non-hex
+  EXPECT_EQ(hi, 1u);  // outputs untouched on failure
+  EXPECT_EQ(lo, 2u);
+  std::uint64_t span = 3;
+  EXPECT_FALSE(parse_span_id("0123456789abcde", span));
+  EXPECT_FALSE(parse_span_id("0123456789abcdeZ", span));
+  EXPECT_EQ(span, 3u);
+}
+
+TEST(TraceContext, GeneratedContextsAreValidAndDistinct) {
+  const TraceContext a = generate_trace_context();
+  const TraceContext b = generate_trace_context();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a.span_id, 0u);
+  EXPECT_EQ(a.parent_span, 0u);
+  EXPECT_NE(format_trace_id(a.trace_hi, a.trace_lo),
+            format_trace_id(b.trace_hi, b.trace_lo));
+  EXPECT_NE(generate_span_id(), generate_span_id());
+}
+
+TEST(StageClock, DurationsAreDeltasBetweenConsecutiveMarks) {
+  StageClock clock;
+  clock.start(1'000'000);  // ns
+  clock.mark(Stage::kParse, 1'005'000);       // +5us
+  clock.mark(Stage::kAdmission, 1'007'000);   // +2us
+  clock.mark(Stage::kQueue, 1'107'000);       // +100us
+  clock.mark(Stage::kExecute, 2'107'000);     // +1000us
+  clock.mark(Stage::kSerialize, 2'110'000);   // +3us
+  clock.mark(Stage::kWrite, 2'112'500);       // +2.5us -> floor 2
+  EXPECT_EQ(clock.duration_us(Stage::kParse), 5);
+  EXPECT_EQ(clock.duration_us(Stage::kAdmission), 2);
+  EXPECT_EQ(clock.duration_us(Stage::kQueue), 100);
+  EXPECT_EQ(clock.duration_us(Stage::kExecute), 1000);
+  EXPECT_EQ(clock.duration_us(Stage::kSerialize), 3);
+  EXPECT_EQ(clock.duration_us(Stage::kWrite), 2);
+  EXPECT_EQ(clock.total_us(), 1112);  // 1'112'500 ns, floored
+  EXPECT_EQ(clock.begin_offset_us(Stage::kParse), 0);
+  EXPECT_EQ(clock.begin_offset_us(Stage::kQueue), 7);
+  EXPECT_EQ(clock.begin_offset_us(Stage::kExecute), 107);
+}
+
+TEST(StageClock, SkippedStagesHaveZeroDurationAndBridgeTheGap) {
+  StageClock clock;
+  clock.start(0);
+  clock.mark(Stage::kParse, 4'000);
+  // Admission and queue never happen (e.g. shed before submit)...
+  clock.mark(Stage::kWrite, 10'000);
+  EXPECT_EQ(clock.duration_us(Stage::kAdmission), 0);
+  EXPECT_EQ(clock.duration_us(Stage::kQueue), 0);
+  EXPECT_EQ(clock.duration_us(Stage::kExecute), 0);
+  // ...so the next marked stage measures from the latest earlier mark.
+  EXPECT_EQ(clock.duration_us(Stage::kWrite), 6);
+  EXPECT_EQ(clock.total_us(), 10);
+}
+
+TEST(StageClock, WireStageNamesAreStable) {
+  EXPECT_STREQ(stage_name(Stage::kParse), "parse");
+  EXPECT_STREQ(stage_name(Stage::kAdmission), "admission");
+  EXPECT_STREQ(stage_name(Stage::kQueue), "queue");
+  EXPECT_STREQ(stage_name(Stage::kExecute), "execute");
+  EXPECT_STREQ(stage_name(Stage::kSerialize), "serialize");
+  EXPECT_STREQ(stage_name(Stage::kWrite), "write");
+}
+
+TEST(PromExport, RollingExemplarAnnotatesTheP99Sample) {
+  MetricsSnapshot snap;
+  RollingEntry entry;
+  entry.name = "class_latency_ms.cold";
+  entry.window_ms = 60000;
+  for (int i = 0; i < 10; ++i) histogram_record(entry.window, 4.0);
+  entry.exemplar_trace_id = "00112233445566778899aabbccddeeff";
+  entry.exemplar_value = 4.0;
+  entry.exemplar_ts_ms = 1700000000500;
+  snap.rolling.push_back(entry);
+  const std::string body = to_prometheus(snap);
+  // The annotation rides the p99 sample line, after the value, behind a
+  // '#': classic text-format parsers read it as a comment.
+  EXPECT_NE(
+      body.find("netpart_class_latency_ms_cold{quantile=\"0.99\"} 4 "
+                "# {trace_id=\"00112233445566778899aabbccddeeff\"} 4 "
+                "1700000000.5\n"),
+      std::string::npos)
+      << body;
+  // The p50 sample stays bare.
+  EXPECT_NE(body.find("netpart_class_latency_ms_cold{quantile=\"0.5\"} 4\n"),
+            std::string::npos);
+
+  // Without an exemplar the p99 line is bare too.
+  MetricsSnapshot plain;
+  RollingEntry bare = entry;
+  bare.exemplar_trace_id.clear();
+  plain.rolling.push_back(bare);
+  EXPECT_NE(to_prometheus(plain).find(
+                "netpart_class_latency_ms_cold{quantile=\"0.99\"} 4\n"),
+            std::string::npos);
+}
+
+TEST(TraceExport, RequestOverlayAddsTracedTimelineThread) {
+  MetricsSnapshot snap;  // empty pipeline snapshot: overlay stands alone
+  const std::vector<RequestStageEvent> stages = {
+      {"parse", 0, 5}, {"admission", 5, 2}, {"queue", 7, 100},
+      {"execute", 107, 1000}};
+  const std::string trace = to_chrome_trace(
+      snap, "netpart", "00112233445566778899aabbccddeeff", stages);
+  const JsonValue root = JsonParser(trace).parse();
+  const std::vector<JsonValue>& events = root.at("traceEvents").array;
+
+  const JsonValue* request = nullptr;
+  std::vector<const JsonValue*> stage_events;
+  for (const JsonValue& ev : events) {
+    if (ev.at("ph").string != "X") continue;
+    EXPECT_EQ(ev.at("tid").number, 2.0);  // the request timeline thread
+    EXPECT_EQ(ev.at("args").at("trace_id").string,
+              "00112233445566778899aabbccddeeff");
+    if (ev.at("name").string == "request")
+      request = &ev;
+    else
+      stage_events.push_back(&ev);
+  }
+  ASSERT_NE(request, nullptr);
+  ASSERT_EQ(stage_events.size(), 4u);
+  // The root spans every stage; children sit inside it on a real timeline.
+  EXPECT_EQ(request->at("ts").number, 0.0);
+  EXPECT_EQ(request->at("dur").number, 1107.0);
+  for (const JsonValue* ev : stage_events) {
+    EXPECT_EQ(ev->at("name").string.rfind("stage.", 0), 0u);
+    EXPECT_GE(ev->at("ts").number, request->at("ts").number);
+    EXPECT_LE(ev->at("ts").number + ev->at("dur").number,
+              request->at("ts").number + request->at("dur").number);
+  }
+
+  // No trace context, no overlay: the plain export shape is unchanged.
+  EXPECT_EQ(to_chrome_trace(snap, "netpart", "", {}), to_chrome_trace(snap));
+}
 
 }  // namespace
 }  // namespace netpart::obs

@@ -19,12 +19,15 @@
 #include <vector>
 
 #include "circuits/benchmarks.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/trace_context.hpp"
 #include "repart/edit_script.hpp"
 #include "repart/session.hpp"
 #include "server/client.hpp"
 #include "server/protocol.hpp"
+#include "server/runtime/admission.hpp"
 #include "server/server.hpp"
 
 namespace netpart::server {
@@ -620,6 +623,13 @@ TEST(ServerTest, AccessLogWritesOneNdjsonLinePerExecutedRequest) {
     ASSERT_NE(entry.find("cache_hit"), nullptr);
     ASSERT_NE(entry.find("slow"), nullptr);
     EXPECT_FALSE(get_bool(entry, "slow"));  // slow_ms unset: never flagged
+    // Tracing fields are appended after every pre-existing key, so old
+    // consumers keep working; untraced requests carry trace_id null.
+    for (const char* key : {"trace_id", "span_id", "lane", "parse_us",
+                            "admission_us", "queue_us", "execute_us",
+                            "serialize_us", "write_us", "total_us"})
+      ASSERT_NE(entry.find(key), nullptr) << key;
+    EXPECT_GE(get_number(entry, "total_us"), 0.0);
   }
   EXPECT_EQ(get_string(lines[0], "op"), "ping");
   EXPECT_TRUE(get_bool(lines[0], "ok"));
@@ -1073,6 +1083,306 @@ TEST(ServerTest, StatsExposeLanesAdmissionAndClassLatencies) {
   EXPECT_NE(body.find("netpartd_write_failures_total"), std::string::npos);
   EXPECT_NE(body.find("netpartd_class_latency_ms_hit"), std::string::npos);
   EXPECT_NE(body.find("netpartd_executor_lanes 2"), std::string::npos);
+
+  // PR 10: per-class queue-wait and per-lane stage windows, in both the
+  // JSON report and the Prometheus body.
+  const JsonValue* class_queue = stats.find("class_queue_wait_ms");
+  ASSERT_NE(class_queue, nullptr);
+  EXPECT_NE(class_queue->find("hit"), nullptr);
+  EXPECT_NE(class_queue->find("cold"), nullptr);
+  const JsonValue* lane_queue = stats.find("lane_queue_wait_ms");
+  ASSERT_NE(lane_queue, nullptr);
+  EXPECT_EQ(lane_queue->array.size(), 2u);
+  const JsonValue* lane_exec = stats.find("lane_execute_ms");
+  ASSERT_NE(lane_exec, nullptr);
+  EXPECT_EQ(lane_exec->array.size(), 2u);
+  EXPECT_NE(body.find("netpartd_class_queue_wait_ms_hit"), std::string::npos);
+  EXPECT_NE(body.find("netpartd_lane_queue_wait_ms_0"), std::string::npos);
+  EXPECT_NE(body.find("netpartd_lane_execute_ms_1"), std::string::npos);
+}
+
+/// Tentpole end-to-end check: a trace-context-carrying request must echo
+/// its trace_id (canonicalized) and the caller's span as parent_span_id,
+/// mint a fresh server span, decompose its latency into stages that sum to
+/// the measured wall time, and land the same identity in the access log,
+/// the flight recorder, and the Prometheus exemplar.
+TEST(ServerTest, TraceContextPropagatesAndStagesSumToWall) {
+  const std::string log_path =
+      "trace-access-log-" + std::to_string(::getpid()) + ".ndjson";
+  std::remove(log_path.c_str());
+  ServerOptions options = test_options(unique_socket());
+  options.access_log_path = log_path;
+  const std::string tid = "00112233445566778899aabbccddeeff";
+  std::string server_span;
+  {
+    ServerFixture fixture(options);
+    Client client;
+    ASSERT_TRUE(client.connect(options.socket_path)) << client.last_error();
+    ASSERT_TRUE(is_ok(rpc(
+        client, R"({"id":1,"op":"load","session":"s","circuit":"Prim1"})")));
+    // Uppercase hex on the wire: the echo must be canonical lowercase.
+    const JsonValue traced = rpc(
+        client,
+        R"({"id":2,"op":"partition","session":"s","trace_id":"00112233445566778899AABBCCDDEEFF","span_id":"0123456789abcdef"})");
+    ASSERT_TRUE(is_ok(traced));
+    EXPECT_EQ(get_string(traced, "trace_id"), tid);
+    EXPECT_EQ(get_string(traced, "parent_span_id"), "0123456789abcdef");
+    server_span = get_string(traced, "span_id");
+    ASSERT_EQ(server_span.size(), 16u);
+    EXPECT_NE(server_span, "0123456789abcdef") << "server must mint its own";
+    const JsonValue* stages = traced.find("stages_us");
+    ASSERT_NE(stages, nullptr);
+    // The envelope carries durations through `serialize`; `write` cannot be
+    // known before the line is on the wire and lands in the access log.
+    ASSERT_EQ(stages->object.size(), 5u);
+    for (const char* name :
+         {"parse", "admission", "queue", "execute", "serialize"})
+      EXPECT_GE(get_number(*stages, name), 0.0) << name;
+
+    // The exemplar on the class-latency p99 sample names this trace.
+    const JsonValue prom =
+        rpc(client, R"({"id":3,"op":"stats","format":"prometheus"})");
+    ASSERT_TRUE(is_ok(prom));
+    EXPECT_NE(get_string(prom, "body").find("# {trace_id=\"" + tid + "\"}"),
+              std::string::npos);
+
+    // The flight recorder holds the same request under the same identity.
+    const JsonValue debug = rpc(client, R"({"id":4,"op":"debug","action":"flightrec"})");
+    ASSERT_TRUE(is_ok(debug));
+    EXPECT_TRUE(get_bool(debug, "enabled"));
+    const JsonValue* records = debug.find("records");
+    ASSERT_NE(records, nullptr);
+    bool found = false;
+    for (const JsonValue& r : records->array) {
+      if (get_string(r, "trace_id") != tid) continue;
+      if (get_string(r, "outcome") != "ok") continue;
+      found = true;
+      EXPECT_EQ(get_string(r, "op"), "partition");
+      EXPECT_EQ(get_string(r, "span_id"), server_span);
+      EXPECT_GE(get_number(r, "lane"), 0.0);
+    }
+    EXPECT_TRUE(found) << "traced request missing from the flight recorder";
+    fixture.stop();
+  }
+
+  // Access log: same trace identity, and the full six-stage decomposition
+  // must sum to total_us within flooring slack (one microsecond per stage).
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  bool checked = false;
+  while (std::getline(in, line)) {
+    JsonValue entry;
+    std::string error;
+    ASSERT_TRUE(parse_json(line, entry, error)) << error << ": " << line;
+    if (get_string(entry, "op") != "partition") continue;
+    checked = true;
+    EXPECT_EQ(get_string(entry, "trace_id"), tid);
+    EXPECT_EQ(get_string(entry, "span_id"), server_span);
+    EXPECT_GE(get_number(entry, "lane"), 0.0);
+    double sum = 0.0;
+    for (const char* name : {"parse_us", "admission_us", "queue_us",
+                             "execute_us", "serialize_us", "write_us"}) {
+      const double d = get_number(entry, name);
+      EXPECT_GE(d, 0.0) << name;
+      sum += d;
+    }
+    const double total = get_number(entry, "total_us");
+    EXPECT_GE(total, sum);
+    EXPECT_LE(total - sum, 6.0)
+        << "stage durations must decompose the wall latency";
+  }
+  EXPECT_TRUE(checked);
+  std::remove(log_path.c_str());
+}
+
+/// Trace context is observability, not input: carrying one must not change
+/// a single payload byte of the partition result, at any lane count.  The
+/// traced response must equal the untraced response with the trace envelope
+/// removed, and the untraced response must be lane-count-invariant.
+/// `served_from` is provenance, not payload — the second request to a
+/// session is legitimately served from its warm state — so it is
+/// normalised out before comparison.
+TEST(ServerTest, TraceContextDoesNotPerturbPartitionResults) {
+  const auto strip_provenance = [](std::string body) {
+    const std::size_t key = body.find("\"served_from\":\"");
+    if (key == std::string::npos) return body;
+    const std::size_t end = body.find('"', key + 15);
+    body.erase(key, end - key + 2);  // key, value, trailing comma
+    return body;
+  };
+  std::string reference;
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}}) {
+    ServerOptions options = test_options(unique_socket());
+    options.executor_lanes = lanes;
+    ServerFixture fixture(options);
+    Client client;
+    ASSERT_TRUE(client.connect(options.socket_path)) << client.last_error();
+    ASSERT_TRUE(is_ok(rpc(
+        client, R"({"id":7,"op":"load","session":"s","circuit":"Prim1"})")));
+    std::string untraced;
+    ASSERT_TRUE(client.round_trip(
+        R"({"id":8,"op":"partition","session":"s","use_cache":false})",
+        untraced));
+    std::string traced;
+    ASSERT_TRUE(client.round_trip(
+        R"({"id":8,"op":"partition","session":"s","use_cache":false,"trace_id":"feedfacefeedfacefeedfacefeedface","span_id":"0123456789abcdef"})",
+        traced));
+    const std::size_t envelope = traced.find(",\"trace_id\":");
+    ASSERT_NE(envelope, std::string::npos);
+    EXPECT_EQ(strip_provenance(traced.substr(0, envelope) + "}"),
+              strip_provenance(untraced))
+        << "lanes=" << lanes;
+    if (reference.empty())
+      reference = strip_provenance(untraced);
+    else
+      EXPECT_EQ(strip_provenance(untraced), reference) << "lanes=" << lanes;
+  }
+}
+
+TEST(ServerTest, ErrorResponsesEchoTraceId) {
+  ServerFixture fixture(test_options(unique_socket()));
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+  const std::string tid = "feedfacefeedfacefeedfacefeedface";
+
+  // Executed error (dispatch fails): full envelope with stages.
+  const JsonValue no_session = rpc(
+      client,
+      R"({"id":1,"op":"partition","session":"ghost","trace_id":"feedfacefeedfacefeedfacefeedface"})");
+  EXPECT_EQ(error_code(no_session), "no_session");
+  EXPECT_EQ(get_string(no_session, "trace_id"), tid);
+  EXPECT_NE(no_session.find("stages_us"), nullptr);
+
+  // Pre-execution reject (unknown op): trace_id still echoed.
+  const JsonValue unknown = rpc(
+      client,
+      R"({"id":2,"op":"frobnicate","trace_id":"feedfacefeedfacefeedfacefeedface"})");
+  EXPECT_EQ(error_code(unknown), "unknown_op");
+  EXPECT_EQ(get_string(unknown, "trace_id"), tid);
+
+  // Malformed context is a schema violation, not silently dropped.
+  const JsonValue bad_id =
+      rpc(client, R"({"id":3,"op":"ping","trace_id":"not-hex"})");
+  EXPECT_EQ(error_code(bad_id), "bad_request");
+  const JsonValue bad_span = rpc(
+      client,
+      R"({"id":4,"op":"ping","trace_id":"feedfacefeedfacefeedfacefeedface","span_id":"xyz"})");
+  EXPECT_EQ(error_code(bad_span), "bad_request");
+
+  // The all-zero trace_id is the "absent" sentinel: parses, not echoed.
+  const JsonValue zeros = rpc(
+      client,
+      R"({"id":5,"op":"ping","trace_id":"00000000000000000000000000000000"})");
+  ASSERT_TRUE(is_ok(zeros));
+  EXPECT_EQ(zeros.find("trace_id"), nullptr);
+}
+
+TEST(ServerTest, DebugOpDrainsFlightRecorderAndValidatesAction) {
+  ServerOptions options = test_options(unique_socket());
+  options.flight_recorder_capacity = 16;
+  ServerFixture fixture(options);
+  Client client;
+  ASSERT_TRUE(client.connect(options.socket_path)) << client.last_error();
+
+  EXPECT_EQ(error_code(rpc(client, R"({"id":1,"op":"debug"})")),
+            "bad_request");
+  EXPECT_EQ(error_code(
+                rpc(client, R"({"id":2,"op":"debug","action":"coredump"})")),
+            "bad_request");
+
+  ASSERT_TRUE(is_ok(rpc(client, R"({"id":3,"op":"ping"})")));
+  const JsonValue drained =
+      rpc(client, R"({"id":4,"op":"debug","action":"flightrec"})");
+  ASSERT_TRUE(is_ok(drained));
+  EXPECT_TRUE(get_bool(drained, "enabled"));
+  EXPECT_EQ(get_number(drained, "capacity"), 16.0);
+  EXPECT_GE(get_number(drained, "recorded"), 1.0);
+  const JsonValue* records = drained.find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_FALSE(records->array.empty());
+  bool saw_ping = false;
+  for (const JsonValue& r : records->array) {
+    EXPECT_FALSE(get_string(r, "outcome").empty());
+    if (get_string(r, "op") == "ping") saw_ping = true;
+  }
+  EXPECT_TRUE(saw_ping);
+  const JsonValue* notes = drained.find("notes");
+  ASSERT_NE(notes, nullptr);
+  bool saw_start = false;
+  for (const JsonValue& n : notes->array)
+    if (get_string(n, "kind") == "server.start") saw_start = true;
+  EXPECT_TRUE(saw_start) << "server start note missing";
+}
+
+/// The obs layer cannot depend on the server target, so the flight
+/// recorder duplicates the three admission-class labels.  This guard pins
+/// them to runtime::class_name — if a class is ever added or renamed, this
+/// is the test that fails.
+TEST(ServerTest, FlightRecorderClassLabelsMatchAdmission) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  recorder.configure(0);
+  recorder.configure(4);
+  for (std::uint8_t cls = 0; cls < runtime::kNumClasses; ++cls) {
+    recorder.configure(0);
+    recorder.configure(4);
+    obs::FlightRecord rec;
+    rec.cls = cls;
+    rec.set_op("ping");
+    recorder.record(rec);
+    const std::string expected =
+        std::string("\"class\":\"") +
+        runtime::class_name(static_cast<runtime::RequestClass>(cls)) + "\"";
+    EXPECT_NE(recorder.records_to_json().find(expected), std::string::npos)
+        << "class " << static_cast<int>(cls);
+  }
+  recorder.configure(0);
+}
+
+/// SIGQUIT is the non-fatal member of the crash-handler set: it dumps the
+/// post-mortem NDJSON and lets the process continue.  This is the
+/// in-process smoke for the async-signal-safe dump path; check.sh
+/// postmortem_smoke covers the fatal SIGSEGV path on a real daemon.
+TEST(ServerTest, SigquitDumpsPostmortemWithInFlightTraceIds) {
+  const std::string pm_path =
+      "postmortem-test-" + std::to_string(::getpid()) + ".ndjson";
+  std::remove(pm_path.c_str());
+  std::string error;
+  ASSERT_TRUE(obs::FlightRecorder::install_crash_handlers(pm_path, &error))
+      << error;
+  const std::string tid = "0badc0de0badc0de0badc0de0badc0de";
+  {
+    ServerFixture fixture(test_options(unique_socket()));
+    Client client;
+    ASSERT_TRUE(client.connect(fixture.server().options().socket_path));
+    ASSERT_TRUE(is_ok(rpc(
+        client,
+        R"({"id":1,"op":"ping","trace_id":"0badc0de0badc0de0badc0de0badc0de"})")));
+    ASSERT_EQ(::raise(SIGQUIT), 0);
+    fixture.stop();
+  }
+  std::ifstream in(pm_path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<JsonValue> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    JsonValue entry;
+    std::string parse_err;
+    ASSERT_TRUE(parse_json(line, entry, parse_err)) << parse_err << ": "
+                                                    << line;
+    lines.push_back(std::move(entry));
+  }
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(get_string(lines[0], "type"), "postmortem");
+  EXPECT_EQ(get_number(lines[0], "signal"), static_cast<double>(SIGQUIT));
+  bool found = false;
+  for (const JsonValue& entry : lines)
+    if (get_string(entry, "type") == "request" &&
+        get_string(entry, "trace_id") == tid)
+      found = true;
+  EXPECT_TRUE(found) << "traced request missing from the SIGQUIT dump";
+  std::remove(pm_path.c_str());
 }
 
 }  // namespace

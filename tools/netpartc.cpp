@@ -10,8 +10,15 @@
 ///   metrics
 ///   stats     [--prom | --json]
 ///   profile   start|stop|dump [--json]
+///   debug     flightrec|postmortem
 ///   shutdown
 ///   raw       <json-request-line>        (sent verbatim)
+///
+/// Every constructed request (everything except `raw`) carries a freshly
+/// generated 128-bit trace_id and 64-bit span_id, so any invocation can be
+/// correlated with the server's access log, flight recorder, Chrome trace
+/// and Prometheus exemplars.  `--timing` prints the response envelope's
+/// per-stage latency decomposition (and the trace_id) to stderr.
 ///
 /// Prints the server's JSON response line to stdout.  `stats` instead
 /// pretty-prints the live telemetry (uptime, qps, latency percentiles per
@@ -22,6 +29,7 @@
 /// response line.  Exit codes: 0 when the response carries "ok":true, 1 on
 /// transport failure or an error response, 2 on usage errors.
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -30,6 +38,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace_context.hpp"
 #include "server/client.hpp"
 #include "server/protocol.hpp"
 
@@ -46,10 +55,13 @@ void print_usage(std::ostream& os) {
         "  unload <session>\n"
         "  stats [--prom | --json]\n"
         "  profile start|stop|dump [--json]\n"
+        "  debug flightrec|postmortem\n"
         "  raw <json-request-line>\n"
         "default socket: @netpartd ('@' = abstract namespace)\n"
         "--tcp connects to a netpartd --listen-tcp endpoint instead of the\n"
-        "unix socket (mutually exclusive with --socket).\n";
+        "unix socket (mutually exclusive with --socket).\n"
+        "--timing prints the server's per-stage latency breakdown (from the\n"
+        "response envelope) and the request's trace_id to stderr.\n";
 }
 
 std::string quoted(const std::string& s) {
@@ -117,6 +129,7 @@ int main(int argc, char** argv) {
   bool events = false;
   bool prom = false;
   bool raw_json = false;
+  bool timing = false;
   std::string timeout_ms;
   std::vector<std::string> args;
 
@@ -149,6 +162,8 @@ int main(int argc, char** argv) {
       prom = true;
     } else if (arg == "--json") {
       raw_json = true;
+    } else if (arg == "--timing") {
+      timing = true;
     } else if (arg == "--timeout") {
       if (i + 1 >= raw.size()) {
         std::cerr << "error: --timeout requires a count\n";
@@ -207,11 +222,26 @@ int main(int argc, char** argv) {
     request += "}";
   } else if (op == "profile" && args.size() == 2) {
     request = "{\"id\":1,\"op\":\"profile\",\"action\":" + quoted(args[1]) + "}";
+  } else if (op == "debug" && args.size() == 2) {
+    request = "{\"id\":1,\"op\":\"debug\",\"action\":" + quoted(args[1]) + "}";
   } else if (op == "raw" && args.size() == 2) {
     request = args[1];
   } else {
     print_usage(std::cerr);
     return 2;
+  }
+
+  // Every constructed request carries a fresh trace context; the server
+  // echoes it on success *and* error responses, stamps the access log and
+  // flight recorder with it, and attaches it as a Prometheus exemplar.
+  // `raw` frames are the caller's responsibility and go out untouched.
+  std::string trace_id;
+  if (op != "raw") {
+    const netpart::obs::TraceContext ctx = netpart::obs::generate_trace_context();
+    trace_id = netpart::obs::format_trace_id(ctx.trace_hi, ctx.trace_lo);
+    request.pop_back();  // constructed requests always end with '}'
+    request += ",\"trace_id\":\"" + trace_id + "\",\"span_id\":\"" +
+               netpart::obs::format_span_id(ctx.span_id) + "\"}";
   }
 
   if (!tcp_endpoint.empty() && socket_set) {
@@ -228,10 +258,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::string response;
+  const auto wall_start = std::chrono::steady_clock::now();
   if (!client.round_trip(request, response)) {
     std::cerr << "netpartc: " << client.last_error() << '\n';
     return 1;
   }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                wall_start)
+          .count();
 
   netpart::server::JsonValue parsed;
   std::string parse_error;
@@ -240,6 +275,29 @@ int main(int argc, char** argv) {
   const auto* ok_field = parse_ok ? parsed.find("ok") : nullptr;
   const bool ok =
       ok_field != nullptr && ok_field->is_bool() && ok_field->boolean;
+
+  if (timing) {
+    // Per-stage breakdown from the response envelope, client wall clock for
+    // scale.  Stages cover parse..serialize — the final socket write can
+    // only land in the access log, after the response has left.
+    std::fprintf(stderr, "timing: trace_id=%s client_wall=%.3fms\n",
+                 trace_id.empty() ? "-" : trace_id.c_str(), wall_ms);
+    const JsonValue* stages = parse_ok ? parsed.find("stages_us") : nullptr;
+    if (stages != nullptr && stages->is_object()) {
+      double server_us = 0.0;
+      std::fprintf(stderr, "timing:");
+      for (const auto& [name, v] : stages->object) {
+        if (!v.is_number()) continue;
+        std::fprintf(stderr, " %s=%.0fus", name.c_str(), v.number);
+        server_us += v.number;
+      }
+      std::fprintf(stderr, " server_total=%.0fus\n", server_us);
+    } else {
+      std::fprintf(stderr,
+                   "timing: no stages_us in response (old server, shed "
+                   "before execute, or raw request)\n");
+    }
+  }
 
   if (op == "stats" && ok && !raw_json) {
     if (prom) {

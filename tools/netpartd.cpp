@@ -27,6 +27,12 @@
 ///   --default-timeout <ms> deadline for requests without timeout_ms
 ///   --max-frame <bytes>    per-request line limit (default 1 MiB)
 ///   --threads <n>          worker threads for the compute pool (0 = auto)
+///   --flight-recorder <n>  keep the last n request records in the in-memory
+///                          flight recorder (`debug` op / post-mortems);
+///                          0 disables (default 256)
+///   --postmortem <path>    install SIGSEGV/SIGABRT/SIGBUS/SIGQUIT handlers
+///                          that dump the flight recorder to this NDJSON
+///                          file (SIGQUIT dumps and continues)
 ///   --debug-ops            accept the debug `sleep` op (tests only)
 ///   --no-obs               do not enable the metrics registry
 ///   --access-log <path>    append one NDJSON line per executed request
@@ -49,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "parallel/thread_pool.hpp"
 #include "server/server.hpp"
 
@@ -63,6 +70,7 @@ void print_usage(std::ostream& os) {
         "                [--access-log <path>] [--slow-ms <ms>]\n"
         "                [--latency-window <ms>] [--vcycle-threshold <n>]\n"
         "                [--ml-coarsen-to <n>] [--ml-vcycles <n>]\n"
+        "                [--flight-recorder <n>] [--postmortem <path>]\n"
         "                [--debug-ops] [--no-obs] [--help]\n"
         "'@'-prefixed socket paths use the Linux abstract namespace.\n"
         "--listen-tcp serves the same protocol beside the unix socket.\n"
@@ -92,6 +100,7 @@ int main(int argc, char** argv) {
 
   ServerOptions options;
   bool enable_obs = true;
+  std::string postmortem_path;
   const std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -173,6 +182,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--ml-vcycles") {
       if (!value(n)) return 2;
       options.repartition.vcycle.vcycles = static_cast<std::int32_t>(n);
+    } else if (arg == "--flight-recorder") {
+      if (!value(n)) return 2;
+      options.flight_recorder_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--postmortem") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: --postmortem requires a path\n";
+        return 2;
+      }
+      postmortem_path = args[++i];
     } else if (arg == "--debug-ops") {
       options.enable_debug_ops = true;
     } else if (arg == "--no-obs") {
@@ -186,6 +204,13 @@ int main(int argc, char** argv) {
   options.enable_obs = enable_obs;
 
   std::string error;
+  if (!postmortem_path.empty()) {
+    if (!netpart::obs::FlightRecorder::install_crash_handlers(postmortem_path,
+                                                              &error)) {
+      std::cerr << "netpartd: " << error << '\n';
+      return 1;
+    }
+  }
   if (!Server::install_signal_handlers(error)) {
     std::cerr << "netpartd: " << error << '\n';
     return 1;
